@@ -1,0 +1,134 @@
+//! Error-measurement utilities used by tests, calibration and the Table 5
+//! accuracy analysis.
+
+/// Summary statistics of the deviation between an exact and an approximate
+/// scalar function over a set of probe inputs.
+///
+/// # Examples
+///
+/// ```
+/// use pim_approx::{fast_exp, ErrorStats};
+///
+/// let xs: Vec<f32> = (-20..20).map(|i| i as f32 * 0.1).collect();
+/// let stats = ErrorStats::measure(&xs, |x| x.exp(), |x| fast_exp(x));
+/// assert!(stats.max_rel < 0.04);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ErrorStats {
+    /// Mean of `|approx − exact| / |exact|`.
+    pub mean_rel: f64,
+    /// Maximum of `|approx − exact| / |exact|`.
+    pub max_rel: f64,
+    /// Mean of the *signed* relative error (negative = underestimation).
+    pub mean_signed_rel: f64,
+    /// Root mean squared *relative* error, `sqrt(E[((a-e)/e)^2])`.
+    pub l2_rel: f64,
+    /// Root mean squared absolute error.
+    pub rmse: f64,
+    /// Number of probe points with a well-defined relative error.
+    pub samples: usize,
+}
+
+impl ErrorStats {
+    /// Measures approximation error over `inputs`, skipping points where the
+    /// exact value is zero or either value is non-finite.
+    pub fn measure(
+        inputs: &[f32],
+        exact: impl Fn(f32) -> f32,
+        approx: impl Fn(f32) -> f32,
+    ) -> Self {
+        let mut mean_rel = 0.0f64;
+        let mut max_rel = 0.0f64;
+        let mut mean_signed = 0.0f64;
+        let mut rel_sq_sum = 0.0f64;
+        let mut sq_sum = 0.0f64;
+        let mut n = 0usize;
+        for &x in inputs {
+            let e = exact(x);
+            let a = approx(x);
+            if !e.is_finite() || !a.is_finite() || e == 0.0 {
+                continue;
+            }
+            let signed = ((a - e) / e) as f64;
+            let rel = signed.abs();
+            mean_rel += rel;
+            mean_signed += signed;
+            rel_sq_sum += signed * signed;
+            max_rel = max_rel.max(rel);
+            sq_sum += ((a - e) as f64).powi(2);
+            n += 1;
+        }
+        if n == 0 {
+            return ErrorStats {
+                mean_rel: 0.0,
+                max_rel: 0.0,
+                mean_signed_rel: 0.0,
+                l2_rel: 0.0,
+                rmse: 0.0,
+                samples: 0,
+            };
+        }
+        ErrorStats {
+            mean_rel: mean_rel / n as f64,
+            max_rel,
+            mean_signed_rel: mean_signed / n as f64,
+            l2_rel: (rel_sq_sum / n as f64).sqrt(),
+            rmse: (sq_sum / n as f64).sqrt(),
+            samples: n,
+        }
+    }
+}
+
+impl std::fmt::Display for ErrorStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "mean_rel={:.3e} max_rel={:.3e} signed={:+.3e} rmse={:.3e} (n={})",
+            self.mean_rel, self.max_rel, self.mean_signed_rel, self.rmse, self.samples
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_function_has_zero_error() {
+        let xs: Vec<f32> = (1..100).map(|i| i as f32).collect();
+        let stats = ErrorStats::measure(&xs, |x| x * 2.0, |x| x * 2.0);
+        assert_eq!(stats.mean_rel, 0.0);
+        assert_eq!(stats.max_rel, 0.0);
+        assert_eq!(stats.samples, 99);
+    }
+
+    #[test]
+    fn constant_offset_measured_correctly() {
+        let xs = [1.0f32, 2.0, 4.0];
+        let stats = ErrorStats::measure(&xs, |x| x, |x| x * 1.1);
+        assert!((stats.mean_rel - 0.1).abs() < 1e-6);
+        assert!((stats.mean_signed_rel - 0.1).abs() < 1e-6);
+    }
+
+    #[test]
+    fn degenerate_points_are_skipped() {
+        let xs = [0.0f32, 1.0];
+        let stats = ErrorStats::measure(&xs, |x| x, |x| x);
+        assert_eq!(stats.samples, 1, "x=0 has exact value 0 and is skipped");
+    }
+
+    #[test]
+    fn empty_input_is_all_zeros() {
+        let stats = ErrorStats::measure(&[], |x| x, |x| x);
+        assert_eq!(stats.samples, 0);
+        assert_eq!(stats.mean_rel, 0.0);
+    }
+
+    #[test]
+    fn display_contains_fields() {
+        let stats = ErrorStats::measure(&[1.0f32], |x| x, |x| x * 1.5);
+        let s = stats.to_string();
+        assert!(s.contains("mean_rel"));
+        assert!(s.contains("n=1"));
+    }
+}

@@ -1,0 +1,68 @@
+//! Ablation (§2.2 / [55]): batch-shared vs per-sample routing coefficients.
+//!
+//! The paper's RP accumulates agreement over the whole batch (Eq 4 sums
+//! over k), which is also what makes the B-dimension aggregation necessary.
+//! This ablation runs both functional variants and compares prediction
+//! agreement and coefficient sharpness.
+
+use capsnet::routing::dynamic_routing;
+use capsnet::ExactMath;
+use capsnet_workloads::report::Table;
+use pim_bench::{f2, f3, finish, header};
+use pim_tensor::Tensor;
+
+fn entropy(dist: &[f32]) -> f64 {
+    dist.iter()
+        .filter(|&&p| p > 0.0)
+        .map(|&p| -(p as f64) * (p as f64).ln())
+        .sum()
+}
+
+fn main() {
+    header(
+        "Ablation",
+        "batch-shared vs per-sample dynamic-routing coefficients",
+    );
+    let mut table = Table::new(&[
+        "batch",
+        "v_divergence",
+        "shared_entropy",
+        "per_sample_entropy",
+    ]);
+    for batch in [1usize, 8, 32, 64] {
+        let u_hat = Tensor::uniform(&[batch, 64, 10, 16], -0.5, 0.5, 42);
+        let shared = dynamic_routing(&u_hat, 3, true, &ExactMath).unwrap();
+        let per = dynamic_routing(&u_hat, 3, false, &ExactMath).unwrap();
+        let div: f32 = shared
+            .v
+            .as_slice()
+            .iter()
+            .zip(per.v.as_slice())
+            .map(|(a, b)| (a - b).abs())
+            .sum::<f32>()
+            / shared.v.len() as f32;
+        // Mean entropy of the routing distributions (lower = sharper).
+        let h_shared: f64 = shared
+            .coefficients
+            .as_slice()
+            .chunks(10)
+            .map(entropy)
+            .sum::<f64>()
+            / 64.0;
+        let h_per: f64 = per
+            .coefficients
+            .as_slice()
+            .chunks(10)
+            .map(entropy)
+            .sum::<f64>()
+            / (64.0 * batch as f64);
+        table.row(vec![
+            batch.to_string(),
+            f3(div as f64),
+            f2(h_shared),
+            f2(h_per),
+        ]);
+    }
+    finish("ablation_batch_routing", &table);
+    println!("batch=1 must agree exactly (divergence 0); larger batches diverge");
+}

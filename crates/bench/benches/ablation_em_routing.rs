@@ -1,0 +1,56 @@
+//! Ablation (§2.2/§5.1 generality claim): does the PIM design's speedup
+//! carry over from dynamic routing to EM routing?
+//!
+//! The paper argues all routing algorithms share the execution pattern
+//! (all-to-all compute, per-iteration aggregations, huge intermediates), so
+//! the in-memory optimizations apply "with simple adjustment". This bench
+//! prices both algorithms on the GPU baseline and on PIM-CapsNet via the
+//! EM op census and the generic phase builder.
+
+use capsnet::{CapsNetSpec, NetworkCensus, RoutingAlgorithm};
+use capsnet_workloads::report::{mean, Table};
+use pim_bench::{f2, finish, header, BenchContext};
+use pim_capsnet::{evaluate, DesignVariant};
+
+fn main() {
+    let ctx = BenchContext::new();
+    header(
+        "Ablation",
+        "dynamic vs EM routing: does the PIM speedup generalize?",
+    );
+    let mut table = Table::new(&[
+        "network",
+        "dyn_gpu_ms",
+        "dyn_pim_x",
+        "em_gpu_ms",
+        "em_pim_x",
+    ]);
+    let (mut dyn_x, mut em_x) = (Vec::new(), Vec::new());
+    for b in &ctx.benchmarks {
+        let mut row = vec![b.name.to_string()];
+        for routing in [RoutingAlgorithm::Dynamic, RoutingAlgorithm::Em] {
+            let spec = CapsNetSpec {
+                routing,
+                ..b.spec()
+            };
+            let census = NetworkCensus::from_spec(&spec, b.batch_size).expect("valid spec");
+            let base = evaluate(&census, &ctx.platform, DesignVariant::Baseline);
+            let pim = evaluate(&census, &ctx.platform, DesignVariant::PimCapsNet);
+            let speedup = pim.rp_speedup_vs(&base);
+            match routing {
+                RoutingAlgorithm::Dynamic => dyn_x.push(speedup),
+                RoutingAlgorithm::Em => em_x.push(speedup),
+            }
+            row.push(f2(base.rp_time_s * 1e3));
+            row.push(f2(speedup));
+        }
+        table.row(row);
+    }
+    finish("ablation_em_routing", &table);
+    println!(
+        "average RP speedup: dynamic {}x, EM {}x — the in-memory design \
+         generalizes across routing algorithms",
+        f2(mean(&dyn_x)),
+        f2(mean(&em_x))
+    );
+}

@@ -1,0 +1,61 @@
+//! Ablation (§5.1.2): intra-vault pre-aggregation on vs off.
+//!
+//! Without pre-aggregation, every vault ships *per-batch* partial
+//! agreements across the crossbar instead of one pre-reduced copy; the
+//! paper argues this floods the switch. This ablation quantifies the claim
+//! under B-dimension distribution.
+
+use capsnet_workloads::report::{mean, Table};
+use hmc_sim::PhaseEngine;
+use pim_bench::{f2, finish, header, BenchContext};
+use pim_capsnet::distribution::Dimension;
+use pim_capsnet::intra::{build_rp_phases, AddressingMode};
+
+fn main() {
+    let ctx = BenchContext::new();
+    header(
+        "Ablation",
+        "inter-vault pre-aggregation on/off (B-dimension)",
+    );
+    let engine = PhaseEngine::new(ctx.platform.hmc.clone());
+    let mut table = Table::new(&[
+        "network",
+        "with_preagg_ms",
+        "without_ms",
+        "slowdown",
+        "xbar_bytes_ratio",
+    ]);
+    let mut slowdowns = Vec::new();
+    for b in &ctx.benchmarks {
+        let rp = ctx.census(b).rp;
+        let with = build_rp_phases(
+            &rp,
+            &ctx.platform.hmc,
+            Dimension::B,
+            AddressingMode::Pim,
+            true,
+        );
+        let without = build_rp_phases(
+            &rp,
+            &ctx.platform.hmc,
+            Dimension::B,
+            AddressingMode::Pim,
+            false,
+        );
+        let t_with = engine.run(&with.phases);
+        let t_without = engine.run(&without.phases);
+        let xbar_with: u64 = with.phases.iter().map(|p| p.xbar_payload_bytes).sum();
+        let xbar_without: u64 = without.phases.iter().map(|p| p.xbar_payload_bytes).sum();
+        let slowdown = t_without.time_s / t_with.time_s;
+        slowdowns.push(slowdown);
+        table.row(vec![
+            b.name.to_string(),
+            f2(t_with.time_s * 1e3),
+            f2(t_without.time_s * 1e3),
+            f2(slowdown),
+            f2(xbar_without as f64 / xbar_with.max(1) as f64),
+        ]);
+    }
+    finish("ablation_preaggregation", &table);
+    println!("average slowdown without pre-aggregation: {}x", f2(mean(&slowdowns)));
+}

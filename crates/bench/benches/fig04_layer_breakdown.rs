@@ -1,0 +1,40 @@
+//! Fig 4: per-layer execution-time breakdown of CapsNet inference on the
+//! baseline GPU, plus the absolute inference time (the red line).
+//!
+//! Paper result: the routing procedure averages 74.62% of inference time;
+//! batching (MN1→MN3) does not shrink the RP share; the share grows with
+//! network size.
+
+use capsnet_workloads::report::{mean, Table};
+use gpu_sim::GpuTimingModel;
+use pim_bench::{f2, finish, header, pct, BenchContext};
+
+fn main() {
+    let ctx = BenchContext::new();
+    header("Fig 4", "layer breakdown of CapsNet inference on GPU (P100)");
+    let model = GpuTimingModel::with_params(ctx.platform.gpu.clone(), ctx.platform.gpu_params);
+
+    let mut table = Table::new(&[
+        "network", "conv%", "l_caps%", "rp%", "fc%", "time_ms",
+    ]);
+    let mut rp_shares = Vec::new();
+    for b in &ctx.benchmarks {
+        let census = ctx.census(b);
+        let t = model.network_times(&census);
+        let total = t.total();
+        rp_shares.push(t.rp_fraction());
+        table.row(vec![
+            b.name.to_string(),
+            pct(t.conv / total),
+            pct(t.l_caps / total),
+            pct(t.rp / total),
+            pct(t.fc / total),
+            f2(total * 1e3),
+        ]);
+    }
+    finish("fig04_layer_breakdown", &table);
+    println!(
+        "average RP share: {} (paper: 74.62%)",
+        pct(mean(&rp_shares))
+    );
+}

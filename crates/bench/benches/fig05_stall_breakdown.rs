@@ -1,0 +1,40 @@
+//! Fig 5: contributions to pipeline stalls during RP execution on the
+//! baseline GPU.
+//!
+//! Paper result: memory access dominates (44.64% average), barrier
+//! synchronization second (34.45%).
+
+use capsnet_workloads::report::{mean, Table};
+use gpu_sim::GpuTimingModel;
+use pim_bench::{finish, header, pct, BenchContext};
+
+fn main() {
+    let ctx = BenchContext::new();
+    header("Fig 5", "RP pipeline-stall breakdown on GPU (P100)");
+    let model = GpuTimingModel::with_params(ctx.platform.gpu.clone(), ctx.platform.gpu_params);
+
+    let mut table = Table::new(&[
+        "network", "memory", "sync", "resource", "inst_fetch", "other",
+    ]);
+    let (mut mems, mut syncs) = (Vec::new(), Vec::new());
+    for b in &ctx.benchmarks {
+        let census = ctx.census(b);
+        let s = model.rp_result(&census.rp).stalls;
+        mems.push(s.memory);
+        syncs.push(s.sync);
+        table.row(vec![
+            b.name.to_string(),
+            pct(s.memory),
+            pct(s.sync),
+            pct(s.resource),
+            pct(s.inst_fetch),
+            pct(s.other),
+        ]);
+    }
+    finish("fig05_stall_breakdown", &table);
+    println!(
+        "averages: memory {} (paper 44.64%), sync {} (paper 34.45%)",
+        pct(mean(&mems)),
+        pct(mean(&syncs))
+    );
+}

@@ -1,0 +1,67 @@
+//! Fig 6: (a) ratio of RP intermediate-variable size to GPU on-chip storage
+//! for four GPU generations; (b) the impact of on-chip storage size on RP
+//! performance (normalized to the smallest).
+//!
+//! Paper result: ratios of 41×–305× — intermediates massively exceed
+//! on-chip storage — and growing the storage from 1.73 MB (K40m) to 16 MB
+//! (V100) buys only ~1.09–1.14× RP speedup.
+
+use capsnet_workloads::report::{mean, Table};
+use gpu_sim::{GpuSpec, GpuTimingModel};
+use pim_bench::{f2, finish, header, BenchContext};
+
+/// The paper's four on-chip points: A=K40m, B=P100, C=RTX2080Ti, D=V100.
+const POINTS: [(&str, u64); 4] = [
+    ("A(1.73MB)", 1_730_000),
+    ("B(5.31MB)", 5_310_000),
+    ("C(9.75MB)", 9_750_000),
+    ("D(16MB)", 16_000_000),
+];
+
+fn main() {
+    let ctx = BenchContext::new();
+
+    header("Fig 6a", "intermediate-variable size / on-chip storage");
+    let mut table_a = Table::new(&["network", "ratio_A", "ratio_B", "ratio_C", "ratio_D"]);
+    for b in &ctx.benchmarks {
+        let census = ctx.census(b);
+        let mut row = vec![b.name.to_string()];
+        for (_, bytes) in POINTS {
+            row.push(format!("{:.0}x", census.rp.sizes.ratio_to_onchip(bytes)));
+        }
+        table_a.row(row);
+    }
+    finish("fig06a_onchip_ratio", &table_a);
+
+    header("Fig 6b", "RP performance vs on-chip storage (normalized to A)");
+    let mut table_b = Table::new(&["network", "perf_A", "perf_B", "perf_C", "perf_D"]);
+    let mut per_point: Vec<Vec<f64>> = vec![Vec::new(); POINTS.len()];
+    for b in &ctx.benchmarks {
+        let census = ctx.census(b);
+        let times: Vec<f64> = POINTS
+            .iter()
+            .map(|&(_, bytes)| {
+                let model = GpuTimingModel::with_params(
+                    GpuSpec::p100().with_onchip(bytes),
+                    ctx.platform.gpu_params,
+                );
+                model.rp_result(&census.rp).time_s
+            })
+            .collect();
+        let mut row = vec![b.name.to_string()];
+        for (i, &t) in times.iter().enumerate() {
+            let norm = times[0] / t;
+            per_point[i].push(norm);
+            row.push(f2(norm));
+        }
+        table_b.row(row);
+    }
+    finish("fig06b_onchip_perf", &table_b);
+    println!(
+        "average normalized perf A..D: {} {} {} {} (paper: 1.00 1.09 1.11 1.14)",
+        f2(mean(&per_point[0])),
+        f2(mean(&per_point[1])),
+        f2(mean(&per_point[2])),
+        f2(mean(&per_point[3])),
+    );
+}

@@ -1,0 +1,54 @@
+//! Fig 7: the impact of off-chip memory bandwidth on overall RP
+//! performance (normalized to GDDR5).
+//!
+//! Paper result: GDDR5 288 GB/s → HBM2 897 GB/s (3.1× more bandwidth)
+//! improves RP by only ~1.26× on average — bandwidth alone cannot fix the
+//! routing procedure. (The paper sweeps across four physical GPUs; we hold
+//! the GPU core constant and swap only the memory system, which isolates
+//! the bandwidth variable — see EXPERIMENTS.md.)
+
+use capsnet_workloads::report::{mean, Table};
+use gpu_sim::{GpuSpec, GpuTimingModel, MemorySpec};
+use pim_bench::{f2, finish, header, BenchContext};
+
+fn main() {
+    let ctx = BenchContext::new();
+    header("Fig 7", "RP performance vs memory bandwidth (normalized to GDDR5)");
+    let memories = [
+        ("GDDR5(288)", MemorySpec::gddr5()),
+        ("GDDR5X(484)", MemorySpec::gddr5x()),
+        ("GDDR6(616)", MemorySpec::gddr6()),
+        ("HBM2(897)", MemorySpec::hbm2()),
+    ];
+
+    let mut table = Table::new(&["network", "GDDR5", "GDDR5X", "GDDR6", "HBM2"]);
+    let mut per_mem: Vec<Vec<f64>> = vec![Vec::new(); memories.len()];
+    for b in &ctx.benchmarks {
+        let census = ctx.census(b);
+        let times: Vec<f64> = memories
+            .iter()
+            .map(|(_, mem)| {
+                let model = GpuTimingModel::with_params(
+                    GpuSpec::p100().with_memory(*mem),
+                    ctx.platform.gpu_params,
+                );
+                model.rp_result(&census.rp).time_s
+            })
+            .collect();
+        let mut row = vec![b.name.to_string()];
+        for (i, &t) in times.iter().enumerate() {
+            let norm = times[0] / t;
+            per_mem[i].push(norm);
+            row.push(f2(norm));
+        }
+        table.row(row);
+    }
+    finish("fig07_bandwidth", &table);
+    println!(
+        "average normalized perf: {} {} {} {} (paper: 1.00 1.14 1.19 1.26)",
+        f2(mean(&per_mem[0])),
+        f2(mean(&per_mem[1])),
+        f2(mean(&per_mem[2])),
+        f2(mean(&per_mem[3])),
+    );
+}

@@ -1,0 +1,47 @@
+//! Fig 15: RP-only speedup and energy of PIM-CapsNet vs the GPU baseline
+//! and GPU-ICP.
+//!
+//! Paper result: PIM-CapsNet accelerates the RP by 2.17× on average and
+//! saves 92.18% of its energy; GPU-ICP is within noise of the baseline;
+//! bigger networks benefit more (scalability).
+
+use capsnet_workloads::report::{mean, Table};
+use pim_bench::{f2, finish, header, pct, BenchContext};
+use pim_capsnet::DesignVariant;
+
+fn main() {
+    let ctx = BenchContext::new();
+    header("Fig 15", "RP speedup & energy vs GPU baseline");
+    let mut table = Table::new(&[
+        "network",
+        "icp_speedup",
+        "pim_speedup",
+        "pim_energy_saving",
+        "chosen_dim",
+    ]);
+    let (mut speedups, mut savings) = (Vec::new(), Vec::new());
+    for b in &ctx.benchmarks {
+        let base = ctx.eval(b, DesignVariant::Baseline);
+        let icp = ctx.eval(b, DesignVariant::GpuIcp);
+        let pim = ctx.eval(b, DesignVariant::PimCapsNet);
+        let speedup = pim.rp_speedup_vs(&base);
+        let saving = 1.0 - pim.rp_energy_j / base.rp_energy_j;
+        speedups.push(speedup);
+        savings.push(saving);
+        table.row(vec![
+            b.name.to_string(),
+            f2(icp.rp_speedup_vs(&base)),
+            f2(speedup),
+            pct(saving),
+            pim.chosen_dimension
+                .map(|d| d.to_string())
+                .unwrap_or_default(),
+        ]);
+    }
+    finish("fig15_rp_speedup", &table);
+    println!(
+        "average RP speedup {}x (paper 2.17x), energy saving {} (paper 92.18%)",
+        f2(mean(&speedups)),
+        pct(mean(&savings))
+    );
+}

@@ -1,0 +1,81 @@
+//! Fig 16: performance and energy breakdowns of the three PIM designs on
+//! the RP: PIM-Intra (no inter-vault design), PIM-Inter (no intra-vault
+//! design) and the full PIM-CapsNet.
+//!
+//! Paper result: PIM-Intra reaches only 1.22× (inter-vault crossbar traffic
+//! ≈45% of its time); PIM-Inter *loses* 4.73% to the baseline (vault
+//! request stalls ≈58%); PIM-CapsNet removes both.
+
+use capsnet_workloads::report::{mean, Table};
+use pim_bench::{f2, finish, header, pct, BenchContext};
+use pim_capsnet::DesignVariant;
+
+fn main() {
+    let ctx = BenchContext::new();
+    header(
+        "Fig 16a",
+        "RP time breakdown (normalized to baseline): Execution / X-bar / VRS",
+    );
+    let variants = [
+        DesignVariant::PimIntra,
+        DesignVariant::PimInter,
+        DesignVariant::PimCapsNet,
+    ];
+    let mut table = Table::new(&[
+        "network", "design", "speedup", "exec%", "xbar%", "vrs%",
+    ]);
+    let mut xbar_shares = Vec::new();
+    let mut vrs_shares = Vec::new();
+    for b in &ctx.benchmarks {
+        let base = ctx.eval(b, DesignVariant::Baseline);
+        for v in variants {
+            let r = ctx.eval(b, v);
+            let p = r.rp_phase.expect("PIM variant has phase result");
+            let t = p.time_s;
+            // exec is the residual so the three components tile the bar.
+            let exec = (t - p.xbar_s - p.vrs_s).max(0.0);
+            if v == DesignVariant::PimIntra {
+                xbar_shares.push(p.xbar_s / t);
+            }
+            if v == DesignVariant::PimInter {
+                vrs_shares.push(p.vrs_s / t);
+            }
+            table.row(vec![
+                b.name.to_string(),
+                v.label().to_string(),
+                f2(base.rp_time_s / r.rp_time_s),
+                pct(exec / t),
+                pct(p.xbar_s / t),
+                pct(p.vrs_s / t),
+            ]);
+        }
+    }
+    finish("fig16a_time_breakdown", &table);
+    println!(
+        "PIM-Intra avg X-bar share {} (paper 45.24%); PIM-Inter avg VRS share {} (paper 57.91%)",
+        pct(mean(&xbar_shares)),
+        pct(mean(&vrs_shares))
+    );
+
+    header("Fig 16b", "RP energy breakdown: Execution / DRAM / XBAR / Vault");
+    let mut etable = Table::new(&[
+        "network", "design", "exec%", "dram%", "xbar%", "vault%", "total_mJ",
+    ]);
+    for b in &ctx.benchmarks {
+        for v in variants {
+            let r = ctx.eval(b, v);
+            let e = r.rp_phase.expect("PIM variant has phase result").energy;
+            let total = e.total();
+            etable.row(vec![
+                b.name.to_string(),
+                v.label().to_string(),
+                pct(e.execution_j / total),
+                pct(e.dram_j / total),
+                pct(e.xbar_j / total),
+                pct(e.vault_j / total),
+                f2(total * 1e3),
+            ]);
+        }
+    }
+    finish("fig16b_energy_breakdown", &etable);
+}

@@ -1,0 +1,60 @@
+//! Fig 17: whole-network speedup and energy across designs: Baseline,
+//! All-in-PIM, RMAS-PIM, RMAS-GPU, PIM-CapsNet.
+//!
+//! Paper result: PIM-CapsNet averages 2.44× (up to 2.76×) and 64.91%
+//! energy saving; All-in-PIM drops 47.59% of performance but saves 71.09%
+//! energy; the naive schedulers trail the real RMAS.
+
+use capsnet_workloads::report::{mean, Table};
+use pim_bench::{f2, finish, header, pct, BenchContext};
+use pim_capsnet::DesignVariant;
+
+fn main() {
+    let ctx = BenchContext::new();
+    header("Fig 17", "whole-network speedup & energy vs baseline");
+    let variants = [
+        DesignVariant::AllInPim,
+        DesignVariant::RmasPim,
+        DesignVariant::RmasGpu,
+        DesignVariant::PimCapsNet,
+    ];
+    let mut table = Table::new(&[
+        "network",
+        "AllInPIM_x",
+        "RMAS-PIM_x",
+        "RMAS-GPU_x",
+        "PIM-CapsNet_x",
+        "PIM_energy_saving",
+    ]);
+    let mut pim_speedups = Vec::new();
+    let mut pim_savings = Vec::new();
+    let mut all_in_pim_savings = Vec::new();
+    for b in &ctx.benchmarks {
+        let base = ctx.eval(b, DesignVariant::Baseline);
+        let rs: Vec<_> = variants.iter().map(|&v| ctx.eval(b, v)).collect();
+        let pim = &rs[3];
+        pim_speedups.push(pim.total_speedup_vs(&base));
+        pim_savings.push(pim.energy_saving_vs(&base));
+        all_in_pim_savings.push(rs[0].energy_saving_vs(&base));
+        table.row(vec![
+            b.name.to_string(),
+            f2(rs[0].total_speedup_vs(&base)),
+            f2(rs[1].total_speedup_vs(&base)),
+            f2(rs[2].total_speedup_vs(&base)),
+            f2(pim.total_speedup_vs(&base)),
+            pct(pim.energy_saving_vs(&base)),
+        ]);
+    }
+    finish("fig17_overall", &table);
+    let max = pim_speedups.iter().cloned().fold(f64::MIN, f64::max);
+    println!(
+        "PIM-CapsNet: avg {}x / max {}x (paper 2.44x / 2.76x); energy saving {} (paper 64.91%)",
+        f2(mean(&pim_speedups)),
+        f2(max),
+        pct(mean(&pim_savings))
+    );
+    println!(
+        "All-in-PIM energy saving {} (paper 71.09%)",
+        pct(mean(&all_in_pim_savings))
+    );
+}

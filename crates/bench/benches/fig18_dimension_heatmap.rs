@@ -1,0 +1,58 @@
+//! Fig 18: RP speedup by distribution dimension (B/L/H) under three PE
+//! frequencies (312.5 / 625 / 937.5 MHz) — the heat map.
+//!
+//! Paper result: higher frequency raises all speedups; the *best* dimension
+//! changes with both network configuration and frequency (e.g. Caps-SV3
+//! flips preference as frequency grows).
+
+use capsnet_workloads::report::Table;
+use pim_bench::{f2, finish, header, BenchContext};
+use pim_capsnet::{evaluate_with_dimension, DesignVariant, Dimension, Platform};
+
+fn main() {
+    let ctx = BenchContext::new();
+    header(
+        "Fig 18",
+        "RP speedup heat map: dimension (B/L/H) x PE frequency",
+    );
+    let freqs = [(0.3125, "312.5MHz"), (0.625, "625MHz"), (0.9375, "937.5MHz")];
+    let mut table = Table::new(&[
+        "network", "freq", "B", "L", "H", "best",
+    ]);
+    for b in &ctx.benchmarks {
+        let census = ctx.census(b);
+        let base = ctx.eval(b, DesignVariant::Baseline);
+        for (ghz, label) in freqs {
+            let platform = Platform {
+                hmc: ctx.platform.hmc.clone().with_pe_clock_ghz(ghz),
+                gpu: ctx.platform.gpu.clone(),
+                gpu_params: ctx.platform.gpu_params,
+            };
+            let mut speedups = Vec::new();
+            for dim in Dimension::ALL {
+                let r = evaluate_with_dimension(
+                    &census,
+                    &platform,
+                    DesignVariant::PimCapsNet,
+                    Some(dim),
+                );
+                speedups.push(base.rp_time_s / r.rp_time_s);
+            }
+            let best = Dimension::ALL
+                .into_iter()
+                .zip(&speedups)
+                .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+                .map(|(d, _)| d.to_string())
+                .unwrap_or_default();
+            table.row(vec![
+                b.name.to_string(),
+                label.to_string(),
+                f2(speedups[0]),
+                f2(speedups[1]),
+                f2(speedups[2]),
+                best,
+            ]);
+        }
+    }
+    finish("fig18_dimension_heatmap", &table);
+}

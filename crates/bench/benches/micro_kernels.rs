@@ -1,0 +1,108 @@
+//! Criterion micro-benchmarks: wall-clock performance of the library's hot
+//! paths (exact vs approximate special functions, routing, matmul, address
+//! mapping, the phase-level HMC engine).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use capsnet::routing::dynamic_routing;
+use capsnet::{ApproxMath, ExactMath};
+use hmc_sim::{AddressMapping, DefaultMapping, HmcConfig, PhaseEngine, PimMapping};
+use pim_approx::{fast_div, fast_exp, fast_inv_sqrt};
+use pim_capsnet::distribution::Dimension;
+use pim_capsnet::intra::{build_rp_phases, AddressingMode};
+use pim_tensor::Tensor;
+
+fn bench_special_funcs(c: &mut Criterion) {
+    let mut g = c.benchmark_group("special_funcs");
+    let xs: Vec<f32> = (1..1000).map(|i| i as f32 * 0.013).collect();
+    g.bench_function("exp_exact", |b| {
+        b.iter(|| xs.iter().map(|&x| black_box((-x).exp())).sum::<f32>())
+    });
+    g.bench_function("exp_fast", |b| {
+        b.iter(|| xs.iter().map(|&x| black_box(fast_exp(-x))).sum::<f32>())
+    });
+    g.bench_function("inv_sqrt_exact", |b| {
+        b.iter(|| xs.iter().map(|&x| black_box(1.0 / x.sqrt())).sum::<f32>())
+    });
+    g.bench_function("inv_sqrt_fast", |b| {
+        b.iter(|| xs.iter().map(|&x| black_box(fast_inv_sqrt(x, 1))).sum::<f32>())
+    });
+    g.bench_function("div_exact", |b| {
+        b.iter(|| xs.iter().map(|&x| black_box(1.7 / x)).sum::<f32>())
+    });
+    g.bench_function("div_fast", |b| {
+        b.iter(|| xs.iter().map(|&x| black_box(fast_div(1.7, x, 1))).sum::<f32>())
+    });
+    g.finish();
+}
+
+fn bench_routing(c: &mut Criterion) {
+    let mut g = c.benchmark_group("routing");
+    g.sample_size(20);
+    let u_hat = Tensor::uniform(&[8, 128, 10, 16], -0.5, 0.5, 1);
+    let exact = ExactMath;
+    let approx = ApproxMath::with_recovery();
+    g.bench_function("dynamic_exact", |b| {
+        b.iter(|| dynamic_routing(black_box(&u_hat), 3, true, &exact).unwrap())
+    });
+    g.bench_function("dynamic_approx", |b| {
+        b.iter(|| dynamic_routing(black_box(&u_hat), 3, true, &approx).unwrap())
+    });
+    g.finish();
+}
+
+fn bench_matmul(c: &mut Criterion) {
+    let mut g = c.benchmark_group("matmul");
+    g.sample_size(20);
+    let a = Tensor::uniform(&[128, 128], -1.0, 1.0, 2);
+    let b_ = Tensor::uniform(&[128, 128], -1.0, 1.0, 3);
+    g.bench_function("matmul_128", |bch| {
+        bch.iter(|| black_box(&a).matmul(black_box(&b_)).unwrap())
+    });
+    g.finish();
+}
+
+fn bench_addressing(c: &mut Criterion) {
+    let mut g = c.benchmark_group("addressing");
+    let cfg = HmcConfig::gen3();
+    let default = DefaultMapping::new(&cfg);
+    let pim = PimMapping::new(&cfg, 64);
+    g.bench_function("default_locate", |b| {
+        b.iter(|| {
+            (0..1000u64)
+                .map(|i| black_box(default.locate(i * 16)).bank)
+                .sum::<usize>()
+        })
+    });
+    g.bench_function("pim_locate", |b| {
+        b.iter(|| {
+            (0..1000u64)
+                .map(|i| black_box(pim.locate(i * 16)).bank)
+                .sum::<usize>()
+        })
+    });
+    g.finish();
+}
+
+fn bench_phase_engine(c: &mut Criterion) {
+    let mut g = c.benchmark_group("hmc_engine");
+    g.sample_size(20);
+    let cfg = HmcConfig::gen3();
+    let engine = PhaseEngine::new(cfg.clone());
+    let rp = capsnet::RpCensus::new(100, 1152, 10, 8, 16, 3);
+    let plan = build_rp_phases(&rp, &cfg, Dimension::B, AddressingMode::Pim, true);
+    g.bench_function("run_mn1_rp", |b| {
+        b.iter(|| engine.run(black_box(&plan.phases)))
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_special_funcs,
+    bench_routing,
+    bench_matmul,
+    bench_addressing,
+    bench_phase_engine
+);
+criterion_main!(benches);

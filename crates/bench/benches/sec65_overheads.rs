@@ -1,0 +1,48 @@
+//! §6.5: area / power / thermal overhead analysis of the added logic.
+//!
+//! Paper result: 3.11 mm² at the 24 nm-class node (0.32% of the HMC logic
+//! surface), ~2.24 W average power — far below the 10 W TDP headroom.
+
+use capsnet_workloads::report::{mean, Table};
+use pim_bench::{f2, finish, header, pct, BenchContext};
+use pim_capsnet::{DesignVariant, OverheadModel};
+
+fn main() {
+    let ctx = BenchContext::new();
+    header("Sec 6.5", "area, power, thermal overheads");
+    let model = OverheadModel::new(ctx.platform.hmc.clone());
+
+    let area = model.area();
+    let mut atable = Table::new(&["component", "area_mm2"]);
+    atable.row(vec!["per-PE".into(), format!("{:.5}", area.per_pe_mm2)]);
+    atable.row(vec!["512 PEs".into(), f2(area.pes_mm2)]);
+    atable.row(vec!["RMAS".into(), format!("{:.3}", area.rmas_mm2)]);
+    atable.row(vec!["total".into(), f2(area.total_mm2)]);
+    atable.row(vec!["die fraction".into(), pct(area.die_fraction)]);
+    finish("sec65_area", &atable);
+    println!("paper: 3.11 mm² total, 0.32% of the logic die");
+
+    let mut ptable = Table::new(&["network", "dynamic_W", "static_W", "total_W", "within_TDP"]);
+    let mut totals = Vec::new();
+    for b in &ctx.benchmarks {
+        let r = ctx.eval(b, DesignVariant::PimCapsNet);
+        let phase = r.rp_phase.expect("PIM result has phases");
+        // PE dynamic energy = execution energy minus the static share.
+        let pe_dynamic =
+            (phase.energy.execution_j - phase.time_s * model.logic_static_w).max(0.0);
+        let p = model.power(pe_dynamic, phase.time_s);
+        totals.push(p.total_w);
+        ptable.row(vec![
+            b.name.to_string(),
+            f2(p.dynamic_w),
+            f2(p.static_w),
+            f2(p.total_w),
+            p.within_tdp.to_string(),
+        ]);
+    }
+    finish("sec65_power", &ptable);
+    println!(
+        "average logic power {} W (paper 2.24 W), TDP limit 10 W",
+        f2(mean(&totals))
+    );
+}

@@ -1,0 +1,15 @@
+//! Table 2: possible parallelizable dimensions of the five RP equations.
+
+use capsnet_workloads::report::Table;
+use pim_bench::{finish, header};
+use pim_capsnet::distribution::table2;
+
+fn main() {
+    header("Table 2", "possible parallelizable dimensions");
+    let mut table = Table::new(&["equation", "Batch(B)", "Low-level(L)", "High-level(H)"]);
+    for (eq, [b, l, h]) in table2() {
+        let mark = |x: bool| if x { "x" } else { "" }.to_string();
+        table.row(vec![eq.to_string(), mark(b), mark(l), mark(h)]);
+    }
+    finish("table02_parallelism", &table);
+}

@@ -1,0 +1,139 @@
+//! Shared infrastructure for the figure/table regeneration benches.
+//!
+//! Every bench target in `benches/` prints the paper's rows/series to
+//! stdout and writes a CSV into `bench_results/` (override the directory
+//! with the `PIM_BENCH_OUT` environment variable).
+
+use std::path::{Path, PathBuf};
+
+use capsnet::NetworkCensus;
+use capsnet_workloads::report::Table;
+use capsnet_workloads::{benchmarks, Benchmark};
+use pim_capsnet::{evaluate, DesignVariant, EvalResult, Platform};
+
+/// Evaluation context shared by all benches: the paper platform plus the
+/// Table 1 suite.
+pub struct BenchContext {
+    /// Table 4 platform (P100 + HMC Gen3).
+    pub platform: Platform,
+    /// The 12 Table 1 benchmarks.
+    pub benchmarks: Vec<Benchmark>,
+}
+
+impl BenchContext {
+    /// Creates the default context.
+    pub fn new() -> Self {
+        BenchContext {
+            platform: Platform::paper_default(),
+            benchmarks: benchmarks(),
+        }
+    }
+
+    /// Census for one benchmark at its Table 1 batch size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the spec is invalid — covered by workload tests.
+    pub fn census(&self, b: &Benchmark) -> NetworkCensus {
+        NetworkCensus::from_spec(&b.spec(), b.batch_size).expect("table-1 spec valid")
+    }
+
+    /// Evaluates one benchmark on one design variant.
+    pub fn eval(&self, b: &Benchmark, variant: DesignVariant) -> EvalResult {
+        evaluate(&self.census(b), &self.platform, variant)
+    }
+}
+
+impl Default for BenchContext {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// The output directory for CSV artifacts: `bench_results/` at the
+/// workspace root (benches execute with the package directory as CWD, so
+/// this resolves relative to the manifest instead). Override with
+/// `PIM_BENCH_OUT`.
+pub fn results_dir() -> PathBuf {
+    if let Some(dir) = std::env::var_os("PIM_BENCH_OUT") {
+        return PathBuf::from(dir);
+    }
+    let manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    let root = manifest
+        .ancestors()
+        .nth(2)
+        .map(Path::to_path_buf)
+        .unwrap_or(manifest);
+    root.join("bench_results")
+}
+
+/// Prints a bench header.
+pub fn header(id: &str, caption: &str) {
+    println!();
+    println!("=== {id} — {caption} ===");
+}
+
+/// Prints the table and writes it as `bench_results/<name>.csv`.
+pub fn finish(name: &str, table: &Table) {
+    table.print();
+    let path = results_dir().join(format!("{name}.csv"));
+    match table.write_csv(&path) {
+        Ok(()) => println!("[csv] {}", path.display()),
+        Err(e) => eprintln!("[csv] failed to write {}: {e}", path.display()),
+    }
+}
+
+/// Formats a float with 2 decimals.
+pub fn f2(x: f64) -> String {
+    format!("{x:.2}")
+}
+
+/// Formats a float with 3 decimals.
+pub fn f3(x: f64) -> String {
+    format!("{x:.3}")
+}
+
+/// Formats a fraction as a percentage with 2 decimals.
+pub fn pct(x: f64) -> String {
+    format!("{:.2}%", 100.0 * x)
+}
+
+/// Convenience: the path of a CSV artifact for a bench name (used by
+/// integration tests).
+pub fn csv_path(name: &str) -> PathBuf {
+    results_dir().join(format!("{name}.csv"))
+}
+
+/// `true` when `p` looks like one of our CSV artifacts.
+pub fn is_csv_artifact(p: &Path) -> bool {
+    p.extension().is_some_and(|e| e == "csv")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn context_builds_all_censuses() {
+        let ctx = BenchContext::new();
+        assert_eq!(ctx.benchmarks.len(), 12);
+        for b in &ctx.benchmarks {
+            let c = ctx.census(b);
+            assert_eq!(c.rp.nl, b.l_caps);
+        }
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(f2(1.234), "1.23");
+        assert_eq!(f3(1.2345), "1.234");
+        assert_eq!(pct(0.5), "50.00%");
+    }
+
+    #[test]
+    fn csv_path_shape() {
+        let p = csv_path("fig04");
+        assert!(is_csv_artifact(&p));
+        assert!(p.to_string_lossy().contains("fig04"));
+    }
+}

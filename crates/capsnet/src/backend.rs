@@ -1,0 +1,180 @@
+//! Math backends: exact FP32 (the GPU baseline) vs the PE bit-level
+//! approximations of §5.2.2.
+//!
+//! The routing procedure is written once against [`MathBackend`]; swapping
+//! the backend is exactly what the paper's hardware does when it moves RP
+//! from CUDA cores to the in-vault PEs, so Table 5's accuracy comparison
+//! falls out of running the same code with two backends.
+
+use pim_approx::ApproxProfile;
+
+/// The special functions the routing procedure needs beyond multiply-add.
+///
+/// Implementations must be pure (no interior mutability observable through
+/// the trait) so that inference is deterministic and thread-safe.
+pub trait MathBackend: Send + Sync {
+    /// `e^x`.
+    fn exp(&self, x: f32) -> f32;
+    /// `1/sqrt(x)` for `x > 0`.
+    fn inv_sqrt(&self, x: f32) -> f32;
+    /// `a / b`.
+    fn div(&self, a: f32, b: f32) -> f32;
+    /// `sqrt(x)`; default composes `x * inv_sqrt(x)`, which is how the PE
+    /// evaluates it (no dedicated sqrt unit).
+    fn sqrt(&self, x: f32) -> f32 {
+        if x == 0.0 {
+            0.0
+        } else {
+            x * self.inv_sqrt(x)
+        }
+    }
+    /// Short human-readable backend name (used in reports).
+    fn name(&self) -> &'static str;
+}
+
+/// Exact IEEE-754 single-precision math — the CUDA-core reference.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ExactMath;
+
+impl MathBackend for ExactMath {
+    #[inline]
+    fn exp(&self, x: f32) -> f32 {
+        x.exp()
+    }
+    #[inline]
+    fn inv_sqrt(&self, x: f32) -> f32 {
+        1.0 / x.sqrt()
+    }
+    #[inline]
+    fn div(&self, a: f32, b: f32) -> f32 {
+        a / b
+    }
+    #[inline]
+    fn sqrt(&self, x: f32) -> f32 {
+        x.sqrt()
+    }
+    fn name(&self) -> &'static str {
+        "exact"
+    }
+}
+
+/// The PE approximation backend: bit-level `exp` / `1/sqrt` / division with
+/// optional accuracy recovery (§5.2.2).
+///
+/// # Examples
+///
+/// ```
+/// use capsnet::{ApproxMath, MathBackend};
+///
+/// let with_recovery = ApproxMath::with_recovery();
+/// let without = ApproxMath::without_recovery();
+/// let x = 0.3f32;
+/// assert!((with_recovery.exp(x) - x.exp()).abs() / x.exp() < 0.05);
+/// assert!((without.exp(x) - x.exp()).abs() / x.exp() < 0.05);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ApproxMath {
+    profile: ApproxProfile,
+    recovery: bool,
+}
+
+impl ApproxMath {
+    /// Approximate math with the paper's 10,000-sample accuracy recovery.
+    pub fn with_recovery() -> Self {
+        ApproxMath {
+            profile: ApproxProfile::calibrated(),
+            recovery: true,
+        }
+    }
+
+    /// Approximate math with recovery disabled (Table 5's "w/o Accuracy
+    /// Recovery" rows).
+    pub fn without_recovery() -> Self {
+        ApproxMath {
+            profile: ApproxProfile::uncalibrated(),
+            recovery: false,
+        }
+    }
+
+    /// Builds from an explicit profile.
+    pub fn from_profile(profile: ApproxProfile, recovery: bool) -> Self {
+        ApproxMath { profile, recovery }
+    }
+
+    /// Whether accuracy recovery is applied.
+    pub fn recovery_enabled(&self) -> bool {
+        self.recovery
+    }
+}
+
+impl MathBackend for ApproxMath {
+    #[inline]
+    fn exp(&self, x: f32) -> f32 {
+        self.profile.exp(x)
+    }
+    #[inline]
+    fn inv_sqrt(&self, x: f32) -> f32 {
+        self.profile.inv_sqrt(x)
+    }
+    #[inline]
+    fn div(&self, a: f32, b: f32) -> f32 {
+        self.profile.div(a, b)
+    }
+    fn name(&self) -> &'static str {
+        if self.recovery {
+            "approx+recovery"
+        } else {
+            "approx"
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_backend_is_exact() {
+        let b = ExactMath;
+        assert_eq!(b.exp(0.0), 1.0);
+        assert_eq!(b.div(7.0, 2.0), 3.5);
+        assert_eq!(b.sqrt(9.0), 3.0);
+        assert_eq!(b.inv_sqrt(4.0), 0.5);
+        assert_eq!(b.name(), "exact");
+    }
+
+    #[test]
+    fn approx_backend_close_to_exact() {
+        let b = ApproxMath::with_recovery();
+        for x in [0.1f32, 0.9, 2.3, 7.7] {
+            assert!(((b.exp(x) - x.exp()) / x.exp()).abs() < 0.05);
+            assert!(((b.inv_sqrt(x) - 1.0 / x.sqrt()) * x.sqrt()).abs() < 0.01);
+            assert!(((b.div(1.0, x) - 1.0 / x) * x).abs() < 0.01);
+        }
+    }
+
+    #[test]
+    fn names_distinguish_recovery() {
+        assert_eq!(ApproxMath::with_recovery().name(), "approx+recovery");
+        assert_eq!(ApproxMath::without_recovery().name(), "approx");
+        assert!(ApproxMath::with_recovery().recovery_enabled());
+    }
+
+    #[test]
+    fn default_sqrt_composes_inv_sqrt() {
+        let b = ApproxMath::with_recovery();
+        assert_eq!(b.sqrt(0.0), 0.0);
+        assert!((b.sqrt(16.0) - 4.0).abs() < 0.05);
+    }
+
+    #[test]
+    fn backends_are_object_safe() {
+        let backends: Vec<Box<dyn MathBackend>> = vec![
+            Box::new(ExactMath),
+            Box::new(ApproxMath::with_recovery()),
+        ];
+        for b in &backends {
+            assert!(b.exp(0.0) > 0.9);
+        }
+    }
+}

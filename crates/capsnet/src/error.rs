@@ -1,0 +1,63 @@
+use std::error::Error;
+use std::fmt;
+
+use pim_tensor::TensorError;
+
+/// Error type for CapsNet construction and inference.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CapsNetError {
+    /// A tensor operation failed (shape mismatch etc.).
+    Tensor(TensorError),
+    /// The network specification is internally inconsistent.
+    InvalidSpec(String),
+    /// An input tensor does not match the network's expected geometry.
+    InputMismatch {
+        /// Human-readable description of what was expected.
+        expected: String,
+        /// The shape that was supplied.
+        actual: Vec<usize>,
+    },
+}
+
+impl fmt::Display for CapsNetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CapsNetError::Tensor(e) => write!(f, "tensor error: {e}"),
+            CapsNetError::InvalidSpec(msg) => write!(f, "invalid network spec: {msg}"),
+            CapsNetError::InputMismatch { expected, actual } => {
+                write!(f, "input mismatch: expected {expected}, got {actual:?}")
+            }
+        }
+    }
+}
+
+impl Error for CapsNetError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            CapsNetError::Tensor(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+#[doc(hidden)]
+impl From<TensorError> for CapsNetError {
+    fn from(e: TensorError) -> Self {
+        CapsNetError::Tensor(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = CapsNetError::from(TensorError::EmptyShape);
+        assert!(e.to_string().contains("tensor error"));
+        assert!(Error::source(&e).is_some());
+        let s = CapsNetError::InvalidSpec("bad".into());
+        assert!(s.to_string().contains("bad"));
+        assert!(Error::source(&s).is_none());
+    }
+}

@@ -1,0 +1,211 @@
+//! The final Caps layer: per-pair prediction vectors (`û = u·W`, paper Eq 1)
+//! followed by the routing procedure.
+
+use pim_tensor::Tensor;
+
+use crate::backend::MathBackend;
+use crate::config::RoutingAlgorithm;
+use crate::error::CapsNetError;
+use crate::routing::{self, RoutingOutput};
+
+/// The Caps layer connecting `L` low-level capsules (dimension `C_L`) to
+/// `H` high-level capsules (dimension `C_H`) via routing.
+#[derive(Debug, Clone)]
+pub struct CapsLayer {
+    /// Weights stored as `[L, C_L, H*C_H]` for per-capsule GEMM.
+    weight: Tensor,
+    l_caps: usize,
+    cl_dim: usize,
+    h_caps: usize,
+    ch_dim: usize,
+    routing: RoutingAlgorithm,
+    iterations: usize,
+    batch_shared: bool,
+}
+
+impl CapsLayer {
+    /// Creates the layer with seeded weights; `sharpness` scales the
+    /// weight magnitude (and therefore the agreement logits — see
+    /// [`crate::CapsNetSpec::routing_sharpness`]).
+    #[allow(clippy::too_many_arguments)] // mirrors the spec fields 1:1
+    pub fn seeded(
+        l_caps: usize,
+        cl_dim: usize,
+        h_caps: usize,
+        ch_dim: usize,
+        routing: RoutingAlgorithm,
+        iterations: usize,
+        sharpness: f32,
+        seed: u64,
+    ) -> Self {
+        let std = sharpness * (1.0 / cl_dim as f32).sqrt();
+        CapsLayer {
+            weight: Tensor::randn(&[l_caps, cl_dim, h_caps * ch_dim], std, seed),
+            l_caps,
+            cl_dim,
+            h_caps,
+            ch_dim,
+            routing,
+            iterations,
+            batch_shared: true,
+        }
+    }
+
+    /// Switches between batch-shared (paper) and per-sample (Sabour et al.)
+    /// routing coefficients.
+    pub fn with_batch_shared(mut self, batch_shared: bool) -> Self {
+        self.batch_shared = batch_shared;
+        self
+    }
+
+    /// Number of low-level capsules.
+    pub fn l_caps(&self) -> usize {
+        self.l_caps
+    }
+
+    /// Number of high-level capsules.
+    pub fn h_caps(&self) -> usize {
+        self.h_caps
+    }
+
+    /// Routing iterations.
+    pub fn iterations(&self) -> usize {
+        self.iterations
+    }
+
+    /// Computes the prediction vectors `û_{j|i} = u_i · W_{ij}` (Eq 1) for a
+    /// batch: `[B, L, C_L] -> [B, L, H, C_H]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a shape error when the input does not match the layer.
+    pub fn prediction_vectors(&self, u: &Tensor) -> Result<Tensor, CapsNetError> {
+        let dims = u.shape().dims();
+        if dims.len() != 3 || dims[1] != self.l_caps || dims[2] != self.cl_dim {
+            return Err(CapsNetError::InputMismatch {
+                expected: format!("[B, {}, {}]", self.l_caps, self.cl_dim),
+                actual: dims.to_vec(),
+            });
+        }
+        let b = dims[0];
+        let hc = self.h_caps * self.ch_dim;
+        let u_src = u.as_slice();
+        let w_src = self.weight.as_slice();
+        let mut out = vec![0.0f32; b * self.l_caps * hc];
+        // Per low-level capsule i: gather u rows [B, CL] and multiply by
+        // W_i [CL, H*CH]. The gather keeps the GEMM contiguous.
+        let mut u_i = vec![0.0f32; b * self.cl_dim];
+        for i in 0..self.l_caps {
+            for bi in 0..b {
+                let src = &u_src[(bi * self.l_caps + i) * self.cl_dim..][..self.cl_dim];
+                u_i[bi * self.cl_dim..(bi + 1) * self.cl_dim].copy_from_slice(src);
+            }
+            let w_i = &w_src[i * self.cl_dim * hc..(i + 1) * self.cl_dim * hc];
+            // out_i [B, H*CH]
+            for bi in 0..b {
+                let urow = &u_i[bi * self.cl_dim..(bi + 1) * self.cl_dim];
+                let orow = &mut out[(bi * self.l_caps + i) * hc..][..hc];
+                for (d, &uv) in urow.iter().enumerate() {
+                    if uv == 0.0 {
+                        continue;
+                    }
+                    let wrow = &w_i[d * hc..(d + 1) * hc];
+                    for (o, &wv) in orow.iter_mut().zip(wrow) {
+                        *o += uv * wv;
+                    }
+                }
+            }
+        }
+        Ok(Tensor::from_vec(
+            out,
+            &[b, self.l_caps, self.h_caps, self.ch_dim],
+        )?)
+    }
+
+    /// Full forward pass: prediction vectors then routing.
+    ///
+    /// # Errors
+    ///
+    /// Propagates shape errors from [`Self::prediction_vectors`].
+    pub fn forward(
+        &self,
+        u: &Tensor,
+        backend: &dyn MathBackend,
+    ) -> Result<RoutingOutput, CapsNetError> {
+        let u_hat = self.prediction_vectors(u)?;
+        match self.routing {
+            RoutingAlgorithm::Dynamic => {
+                routing::dynamic_routing(&u_hat, self.iterations, self.batch_shared, backend)
+            }
+            RoutingAlgorithm::Em => routing::em_routing(&u_hat, self.iterations, backend),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::ExactMath;
+
+    fn layer() -> CapsLayer {
+        CapsLayer::seeded(5, 4, 3, 6, RoutingAlgorithm::Dynamic, 3, 1.0, 17)
+    }
+
+    #[test]
+    fn prediction_vector_shape() {
+        let l = layer();
+        let u = Tensor::uniform(&[2, 5, 4], -1.0, 1.0, 1);
+        let u_hat = l.prediction_vectors(&u).unwrap();
+        assert_eq!(u_hat.shape().dims(), &[2, 5, 3, 6]);
+    }
+
+    #[test]
+    fn prediction_vectors_match_manual_matvec() {
+        let l = layer();
+        let u = Tensor::uniform(&[1, 5, 4], -1.0, 1.0, 2);
+        let u_hat = l.prediction_vectors(&u).unwrap();
+        // Manually compute û for capsule i=2, H capsule j=1.
+        let i = 2;
+        let w = l.weight.as_slice();
+        let hc = 3 * 6;
+        for j in 0..3 {
+            for d in 0..6 {
+                let mut acc = 0.0f32;
+                for p in 0..4 {
+                    acc += u.at(&[0, i, p]) * w[i * 4 * hc + p * hc + j * 6 + d];
+                }
+                let got = u_hat.at(&[0, i, j, d]);
+                assert!((acc - got).abs() < 1e-5, "{acc} vs {got}");
+            }
+        }
+    }
+
+    #[test]
+    fn input_mismatch_is_rejected() {
+        let l = layer();
+        assert!(l.prediction_vectors(&Tensor::zeros(&[2, 5, 3])).is_err());
+        assert!(l.prediction_vectors(&Tensor::zeros(&[2, 4, 4])).is_err());
+        assert!(l.prediction_vectors(&Tensor::zeros(&[2, 5])).is_err());
+    }
+
+    #[test]
+    fn forward_produces_squashed_capsules() {
+        let l = layer();
+        let u = Tensor::uniform(&[2, 5, 4], -1.0, 1.0, 3);
+        let out = l.forward(&u, &ExactMath).unwrap();
+        assert_eq!(out.v.shape().dims(), &[2, 3, 6]);
+        for cap in out.v.as_slice().chunks(6) {
+            let n: f32 = cap.iter().map(|&x| x * x).sum::<f32>().sqrt();
+            assert!(n < 1.0);
+        }
+    }
+
+    #[test]
+    fn em_routing_also_runs() {
+        let l = CapsLayer::seeded(5, 4, 3, 6, RoutingAlgorithm::Em, 3, 1.0, 17);
+        let u = Tensor::uniform(&[2, 5, 4], -1.0, 1.0, 3);
+        let out = l.forward(&u, &ExactMath).unwrap();
+        assert_eq!(out.v.shape().dims(), &[2, 3, 6]);
+        assert!(out.v.as_slice().iter().all(|x| x.is_finite()));
+    }
+}

@@ -1,0 +1,158 @@
+//! Plain convolutional layer (the CNN-type layer that stays on the GPU in
+//! the paper's hybrid design).
+
+use pim_tensor::{conv2d, Conv2dSpec, Tensor};
+use serde::{Deserialize, Serialize};
+
+use crate::error::CapsNetError;
+
+/// Pointwise activation applied after a layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+pub enum Activation {
+    /// No activation.
+    #[default]
+    Linear,
+    /// Rectified linear unit.
+    Relu,
+    /// Logistic sigmoid.
+    Sigmoid,
+}
+
+impl Activation {
+    /// Applies the activation to a tensor.
+    pub fn apply(&self, t: Tensor) -> Tensor {
+        match self {
+            Activation::Linear => t,
+            Activation::Relu => t.relu(),
+            Activation::Sigmoid => t.sigmoid(),
+        }
+    }
+}
+
+/// A 2D convolutional layer with optional bias and activation.
+#[derive(Debug, Clone)]
+pub struct Conv2dLayer {
+    weight: Tensor,
+    bias: Option<Tensor>,
+    spec: Conv2dSpec,
+    activation: Activation,
+}
+
+impl Conv2dLayer {
+    /// Creates a layer with deterministic seeded weights (He-style scale).
+    pub fn seeded(
+        in_channels: usize,
+        out_channels: usize,
+        kernel: usize,
+        stride: usize,
+        activation: Activation,
+        seed: u64,
+    ) -> Self {
+        let fan_in = (in_channels * kernel * kernel) as f32;
+        let std = (2.0 / fan_in).sqrt();
+        Conv2dLayer {
+            weight: Tensor::randn(&[out_channels, in_channels, kernel, kernel], std, seed),
+            bias: Some(Tensor::zeros(&[out_channels])),
+            spec: Conv2dSpec::new(kernel, stride, 0),
+            activation,
+        }
+    }
+
+    /// Creates a layer from explicit weights.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CapsNetError::InvalidSpec`] when the weight tensor is not
+    /// rank 4 or bias length mismatches.
+    pub fn from_weights(
+        weight: Tensor,
+        bias: Option<Tensor>,
+        stride: usize,
+        activation: Activation,
+    ) -> Result<Self, CapsNetError> {
+        let dims = weight.shape().dims().to_vec();
+        if dims.len() != 4 || dims[2] != dims[3] {
+            return Err(CapsNetError::InvalidSpec(format!(
+                "conv weight must be [out,in,k,k], got {dims:?}"
+            )));
+        }
+        if let Some(b) = &bias {
+            if b.len() != dims[0] {
+                return Err(CapsNetError::InvalidSpec(format!(
+                    "bias length {} != out channels {}",
+                    b.len(),
+                    dims[0]
+                )));
+            }
+        }
+        Ok(Conv2dLayer {
+            spec: Conv2dSpec::new(dims[2], stride, 0),
+            weight,
+            bias,
+            activation,
+        })
+    }
+
+    /// The convolution geometry.
+    pub fn spec(&self) -> Conv2dSpec {
+        self.spec
+    }
+
+    /// The weight tensor `[out, in, k, k]`.
+    pub fn weight(&self) -> &Tensor {
+        &self.weight
+    }
+
+    /// Forward pass: `[B, in, H, W] -> [B, out, H', W']`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates tensor shape errors.
+    pub fn forward(&self, input: &Tensor) -> Result<Tensor, CapsNetError> {
+        let out = conv2d(input, &self.weight, self.bias.as_ref(), self.spec)?;
+        Ok(self.activation.apply(out))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_shapes() {
+        let layer = Conv2dLayer::seeded(1, 4, 3, 1, Activation::Relu, 1);
+        let input = Tensor::uniform(&[2, 1, 8, 8], 0.0, 1.0, 2);
+        let out = layer.forward(&input).unwrap();
+        assert_eq!(out.shape().dims(), &[2, 4, 6, 6]);
+        // ReLU guarantees non-negative outputs.
+        assert!(out.as_slice().iter().all(|&x| x >= 0.0));
+    }
+
+    #[test]
+    fn from_weights_validates() {
+        let w = Tensor::zeros(&[4, 1, 3, 3]);
+        assert!(Conv2dLayer::from_weights(w.clone(), None, 1, Activation::Linear).is_ok());
+        let bad_bias = Tensor::zeros(&[5]);
+        assert!(
+            Conv2dLayer::from_weights(w, Some(bad_bias), 1, Activation::Linear).is_err()
+        );
+        let non_square = Tensor::zeros(&[4, 1, 3, 5]);
+        assert!(Conv2dLayer::from_weights(non_square, None, 1, Activation::Linear).is_err());
+    }
+
+    #[test]
+    fn activations_apply() {
+        let t = Tensor::from_vec(vec![-1.0, 2.0], &[2]).unwrap();
+        assert_eq!(Activation::Relu.apply(t.clone()).as_slice(), &[0.0, 2.0]);
+        assert_eq!(Activation::Linear.apply(t.clone()).as_slice(), &[-1.0, 2.0]);
+        let s = Activation::Sigmoid.apply(t);
+        assert!(s.as_slice()[0] < 0.5 && s.as_slice()[1] > 0.5);
+    }
+
+    #[test]
+    fn seeded_weights_are_deterministic() {
+        let a = Conv2dLayer::seeded(2, 3, 3, 1, Activation::Linear, 9);
+        let b = Conv2dLayer::seeded(2, 3, 3, 1, Activation::Linear, 9);
+        assert_eq!(a.weight().as_slice(), b.weight().as_slice());
+    }
+}

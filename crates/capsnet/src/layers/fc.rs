@@ -1,0 +1,85 @@
+//! Fully-connected decoder layers (Fig 2's reconstruction stack).
+
+use pim_tensor::Tensor;
+
+use crate::error::CapsNetError;
+use crate::layers::conv::Activation;
+
+/// A dense layer `y = act(x·W + b)`.
+#[derive(Debug, Clone)]
+pub struct DenseLayer {
+    weight: Tensor, // [in, out]
+    bias: Tensor,   // [out]
+    activation: Activation,
+}
+
+impl DenseLayer {
+    /// Creates a layer with seeded Xavier-style weights.
+    pub fn seeded(input: usize, output: usize, activation: Activation, seed: u64) -> Self {
+        let std = (1.0 / input as f32).sqrt();
+        DenseLayer {
+            weight: Tensor::randn(&[input, output], std, seed),
+            bias: Tensor::zeros(&[output]),
+            activation,
+        }
+    }
+
+    /// Input width.
+    pub fn input_dim(&self) -> usize {
+        self.weight.shape().dims()[0]
+    }
+
+    /// Output width.
+    pub fn output_dim(&self) -> usize {
+        self.weight.shape().dims()[1]
+    }
+
+    /// Forward pass `[B, in] -> [B, out]`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates tensor shape errors.
+    pub fn forward(&self, input: &Tensor) -> Result<Tensor, CapsNetError> {
+        let mut out = input.matmul(&self.weight)?;
+        let (rows, cols) = (out.shape().dims()[0], out.shape().dims()[1]);
+        let bias = self.bias.as_slice();
+        let data = out.as_mut_slice();
+        for r in 0..rows {
+            for c in 0..cols {
+                data[r * cols + c] += bias[c];
+            }
+        }
+        Ok(self.activation.apply(out))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_shape() {
+        let layer = DenseLayer::seeded(8, 4, Activation::Relu, 1);
+        let x = Tensor::uniform(&[3, 8], -1.0, 1.0, 2);
+        let y = layer.forward(&x).unwrap();
+        assert_eq!(y.shape().dims(), &[3, 4]);
+        assert!(y.as_slice().iter().all(|&v| v >= 0.0));
+        assert_eq!(layer.input_dim(), 8);
+        assert_eq!(layer.output_dim(), 4);
+    }
+
+    #[test]
+    fn wrong_input_width_errors() {
+        let layer = DenseLayer::seeded(8, 4, Activation::Linear, 1);
+        let x = Tensor::zeros(&[3, 7]);
+        assert!(layer.forward(&x).is_err());
+    }
+
+    #[test]
+    fn sigmoid_output_bounded() {
+        let layer = DenseLayer::seeded(4, 4, Activation::Sigmoid, 3);
+        let x = Tensor::uniform(&[2, 4], -10.0, 10.0, 4);
+        let y = layer.forward(&x).unwrap();
+        assert!(y.as_slice().iter().all(|&v| (0.0..=1.0).contains(&v)));
+    }
+}

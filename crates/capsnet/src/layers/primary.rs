@@ -1,0 +1,135 @@
+//! The PrimaryCaps layer: a convolution whose output channels are grouped
+//! into capsule vectors, squashed per capsule (Fig 2's "PrimaryCaps Layer").
+
+use pim_tensor::Tensor;
+
+use crate::backend::MathBackend;
+use crate::error::CapsNetError;
+use crate::layers::conv::{Activation, Conv2dLayer};
+use crate::squash::squash_in_place;
+
+/// PrimaryCaps: conv → reshape into `[B, L, C_L]` capsules → squash.
+#[derive(Debug, Clone)]
+pub struct PrimaryCapsLayer {
+    conv: Conv2dLayer,
+    caps_channels: usize,
+    cl_dim: usize,
+}
+
+impl PrimaryCapsLayer {
+    /// Creates the layer with seeded weights.
+    ///
+    /// The convolution produces `caps_channels * cl_dim` output channels;
+    /// each group of `cl_dim` channels at each spatial location is one
+    /// low-level capsule.
+    pub fn seeded(
+        in_channels: usize,
+        caps_channels: usize,
+        cl_dim: usize,
+        kernel: usize,
+        stride: usize,
+        seed: u64,
+    ) -> Self {
+        PrimaryCapsLayer {
+            conv: Conv2dLayer::seeded(
+                in_channels,
+                caps_channels * cl_dim,
+                kernel,
+                stride,
+                Activation::Linear,
+                seed,
+            ),
+            caps_channels,
+            cl_dim,
+        }
+    }
+
+    /// Capsule dimension `C_L`.
+    pub fn cl_dim(&self) -> usize {
+        self.cl_dim
+    }
+
+    /// Forward pass: `[B, in, H, W] -> [B, L, C_L]` with
+    /// `L = caps_channels · H' · W'`, squash applied per capsule.
+    ///
+    /// # Errors
+    ///
+    /// Propagates tensor shape errors.
+    pub fn forward(
+        &self,
+        input: &Tensor,
+        backend: &dyn MathBackend,
+    ) -> Result<Tensor, CapsNetError> {
+        let conv_out = self.conv.forward(input)?; // [B, caps*cl, H', W']
+        let dims = conv_out.shape().dims().to_vec();
+        let (b, _c, h, w) = (dims[0], dims[1], dims[2], dims[3]);
+        let l = self.caps_channels * h * w;
+        // Regroup [B, caps*cl, H, W] -> [B, L, CL] where capsule index runs
+        // over (channel_group, y, x).
+        let src = conv_out.as_slice();
+        let mut out = vec![0.0f32; b * l * self.cl_dim];
+        for bi in 0..b {
+            for g in 0..self.caps_channels {
+                for y in 0..h {
+                    for x in 0..w {
+                        let cap = (g * h + y) * w + x;
+                        for d in 0..self.cl_dim {
+                            let ch = g * self.cl_dim + d;
+                            out[(bi * l + cap) * self.cl_dim + d] =
+                                src[((bi * dims[1] + ch) * h + y) * w + x];
+                        }
+                    }
+                }
+            }
+        }
+        // Squash each capsule vector.
+        for cap in out.chunks_mut(self.cl_dim) {
+            squash_in_place(cap, backend);
+        }
+        Ok(Tensor::from_vec(out, &[b, l, self.cl_dim])?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::ExactMath;
+
+    #[test]
+    fn forward_shape_and_norms() {
+        let layer = PrimaryCapsLayer::seeded(2, 3, 4, 3, 2, 5);
+        let input = Tensor::uniform(&[2, 2, 9, 9], -1.0, 1.0, 6);
+        let out = layer.forward(&input, &ExactMath).unwrap();
+        // 9 -> (9-3)/2+1 = 4; L = 3*4*4 = 48.
+        assert_eq!(out.shape().dims(), &[2, 48, 4]);
+        // All capsule norms must be < 1 after squashing.
+        for cap in out.as_slice().chunks(4) {
+            let n: f32 = cap.iter().map(|&x| x * x).sum::<f32>().sqrt();
+            assert!(n < 1.0, "capsule norm {n} >= 1");
+        }
+    }
+
+    #[test]
+    fn capsule_grouping_is_channelwise() {
+        // With identity-like behaviour hard to arrange through conv, at
+        // least check determinism and that different seeds differ.
+        let input = Tensor::uniform(&[1, 1, 7, 7], 0.0, 1.0, 1);
+        let a = PrimaryCapsLayer::seeded(1, 2, 2, 3, 2, 10)
+            .forward(&input, &ExactMath)
+            .unwrap();
+        let b = PrimaryCapsLayer::seeded(1, 2, 2, 3, 2, 10)
+            .forward(&input, &ExactMath)
+            .unwrap();
+        let c = PrimaryCapsLayer::seeded(1, 2, 2, 3, 2, 11)
+            .forward(&input, &ExactMath)
+            .unwrap();
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn cl_dim_accessor() {
+        let layer = PrimaryCapsLayer::seeded(1, 2, 8, 3, 1, 0);
+        assert_eq!(layer.cl_dim(), 8);
+    }
+}

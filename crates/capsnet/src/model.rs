@@ -1,0 +1,330 @@
+//! The assembled CapsNet model: encoder (Conv1 → PrimaryCaps → Caps layer
+//! with routing) and FC decoder, per Fig 2.
+
+use pim_tensor::Tensor;
+
+use crate::backend::MathBackend;
+use crate::config::CapsNetSpec;
+use crate::error::CapsNetError;
+use crate::layers::{Activation, CapsLayer, Conv2dLayer, DenseLayer, PrimaryCapsLayer};
+
+/// Everything the encoder produces for a batch.
+#[derive(Debug, Clone)]
+pub struct ForwardOutput {
+    /// High-level (class) capsules, `[B, H, C_H]`.
+    pub class_capsules: Tensor,
+    /// Squared norms of the class capsules, `[B, H]` — the classification
+    /// scores (argmax equals argmax of the norms).
+    pub class_norms_sq: Tensor,
+    /// Final routing coefficients (see
+    /// [`crate::routing::RoutingOutput::coefficients`]).
+    pub routing_coefficients: Tensor,
+}
+
+impl ForwardOutput {
+    /// Predicted class per sample: argmax of capsule norm.
+    pub fn predictions(&self) -> Vec<usize> {
+        let dims = self.class_norms_sq.shape().dims();
+        let (b, h) = (dims[0], dims[1]);
+        let data = self.class_norms_sq.as_slice();
+        (0..b)
+            .map(|bi| {
+                let row = &data[bi * h..(bi + 1) * h];
+                row.iter()
+                    .enumerate()
+                    .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
+                    .map(|(i, _)| i)
+                    .unwrap_or(0)
+            })
+            .collect()
+    }
+}
+
+/// A complete CapsNet with deterministic seeded weights.
+#[derive(Debug, Clone)]
+pub struct CapsNet {
+    spec: CapsNetSpec,
+    conv1: Conv2dLayer,
+    primary: PrimaryCapsLayer,
+    caps: CapsLayer,
+    decoder: Vec<DenseLayer>,
+}
+
+impl CapsNet {
+    /// Builds a network from a spec with weights seeded from `seed`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CapsNetError::InvalidSpec`] if the spec fails validation.
+    pub fn seeded(spec: &CapsNetSpec, seed: u64) -> Result<Self, CapsNetError> {
+        spec.validate()?;
+        let conv1 = Conv2dLayer::seeded(
+            spec.input_channels,
+            spec.conv1_channels,
+            spec.conv1_kernel,
+            spec.conv1_stride,
+            Activation::Relu,
+            seed,
+        );
+        let primary = PrimaryCapsLayer::seeded(
+            spec.conv1_channels,
+            spec.primary_channels,
+            spec.cl_dim,
+            spec.primary_kernel,
+            spec.primary_stride,
+            seed.wrapping_add(1),
+        );
+        let caps = CapsLayer::seeded(
+            spec.l_caps()?,
+            spec.cl_dim,
+            spec.h_caps,
+            spec.ch_dim,
+            spec.routing,
+            spec.routing_iterations,
+            spec.routing_sharpness,
+            seed.wrapping_add(2),
+        )
+        .with_batch_shared(spec.batch_shared_routing);
+        let mut decoder = Vec::new();
+        let mut in_dim = spec.h_caps * spec.ch_dim;
+        for (li, &out_dim) in spec.decoder_dims.iter().enumerate() {
+            let act = if li + 1 == spec.decoder_dims.len() {
+                Activation::Sigmoid
+            } else {
+                Activation::Relu
+            };
+            decoder.push(DenseLayer::seeded(
+                in_dim,
+                out_dim,
+                act,
+                seed.wrapping_add(3 + li as u64),
+            ));
+            in_dim = out_dim;
+        }
+        Ok(CapsNet {
+            spec: spec.clone(),
+            conv1,
+            primary,
+            caps,
+            decoder,
+        })
+    }
+
+    /// The network's specification.
+    pub fn spec(&self) -> &CapsNetSpec {
+        &self.spec
+    }
+
+    /// Encoder forward pass: images `[B, C, H, W]` → class capsules.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CapsNetError::InputMismatch`] for wrong image geometry and
+    /// propagates tensor errors.
+    pub fn forward(
+        &self,
+        images: &Tensor,
+        backend: &dyn MathBackend,
+    ) -> Result<ForwardOutput, CapsNetError> {
+        let dims = images.shape().dims();
+        if dims.len() != 4
+            || dims[1] != self.spec.input_channels
+            || dims[2] != self.spec.input_hw.0
+            || dims[3] != self.spec.input_hw.1
+        {
+            return Err(CapsNetError::InputMismatch {
+                expected: format!(
+                    "[B, {}, {}, {}]",
+                    self.spec.input_channels, self.spec.input_hw.0, self.spec.input_hw.1
+                ),
+                actual: dims.to_vec(),
+            });
+        }
+        let c1 = self.conv1.forward(images)?;
+        let u = self.primary.forward(&c1, backend)?;
+        let routed = self.caps.forward(&u, backend)?;
+
+        // Class scores: squared norms of the H capsules.
+        let vdims = routed.v.shape().dims();
+        let (b, h, ch) = (vdims[0], vdims[1], vdims[2]);
+        let vs = routed.v.as_slice();
+        let mut norms = vec![0.0f32; b * h];
+        for bi in 0..b {
+            for j in 0..h {
+                norms[bi * h + j] = vs[(bi * h + j) * ch..(bi * h + j + 1) * ch]
+                    .iter()
+                    .map(|&x| x * x)
+                    .sum();
+            }
+        }
+        Ok(ForwardOutput {
+            class_capsules: routed.v,
+            class_norms_sq: Tensor::from_vec(norms, &[b, h])?,
+            routing_coefficients: routed.coefficients,
+        })
+    }
+
+    /// Decoder forward pass: reconstructs inputs from class capsules with
+    /// all but the target capsule masked to zero (Fig 2's decoding stage).
+    ///
+    /// # Errors
+    ///
+    /// Propagates tensor errors; `targets` must have one entry per sample.
+    pub fn reconstruct(
+        &self,
+        output: &ForwardOutput,
+        targets: &[usize],
+    ) -> Result<Tensor, CapsNetError> {
+        let vdims = output.class_capsules.shape().dims();
+        let (b, h, ch) = (vdims[0], vdims[1], vdims[2]);
+        if targets.len() != b {
+            return Err(CapsNetError::InputMismatch {
+                expected: format!("{b} target labels"),
+                actual: vec![targets.len()],
+            });
+        }
+        let vs = output.class_capsules.as_slice();
+        let mut masked = vec![0.0f32; b * h * ch];
+        for (bi, &t) in targets.iter().enumerate() {
+            if t >= h {
+                return Err(CapsNetError::InputMismatch {
+                    expected: format!("labels < {h}"),
+                    actual: vec![t],
+                });
+            }
+            let off = (bi * h + t) * ch;
+            masked[off..off + ch].copy_from_slice(&vs[off..off + ch]);
+        }
+        let mut x = Tensor::from_vec(masked, &[b, h * ch])?;
+        for layer in &self.decoder {
+            x = layer.forward(&x)?;
+        }
+        Ok(x)
+    }
+
+    /// Margin loss (Sabour et al. Eq 4): per-sample sum over classes of
+    /// `T_k·max(0, 0.9−‖v‖)² + 0.5·(1−T_k)·max(0, ‖v‖−0.1)²`.
+    ///
+    /// # Errors
+    ///
+    /// Requires one label per sample.
+    pub fn margin_loss(
+        &self,
+        output: &ForwardOutput,
+        labels: &[usize],
+    ) -> Result<f32, CapsNetError> {
+        let dims = output.class_norms_sq.shape().dims();
+        let (b, h) = (dims[0], dims[1]);
+        if labels.len() != b {
+            return Err(CapsNetError::InputMismatch {
+                expected: format!("{b} labels"),
+                actual: vec![labels.len()],
+            });
+        }
+        let norms = output.class_norms_sq.as_slice();
+        let mut total = 0.0f32;
+        for (bi, &label) in labels.iter().enumerate() {
+            for j in 0..h {
+                let norm = norms[bi * h + j].max(0.0).sqrt();
+                if j == label {
+                    let d = (0.9 - norm).max(0.0);
+                    total += d * d;
+                } else {
+                    let d = (norm - 0.1).max(0.0);
+                    total += 0.5 * d * d;
+                }
+            }
+        }
+        Ok(total / b as f32)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::{ApproxMath, ExactMath};
+    use crate::config::RoutingAlgorithm;
+
+    fn tiny_net() -> CapsNet {
+        CapsNet::seeded(&CapsNetSpec::tiny_for_tests(), 99).unwrap()
+    }
+
+    fn tiny_images(b: usize, seed: u64) -> Tensor {
+        let spec = CapsNetSpec::tiny_for_tests();
+        Tensor::uniform(&[b, 1, spec.input_hw.0, spec.input_hw.1], 0.0, 1.0, seed)
+    }
+
+    #[test]
+    fn forward_shapes() {
+        let net = tiny_net();
+        let out = net.forward(&tiny_images(3, 1), &ExactMath).unwrap();
+        assert_eq!(out.class_capsules.shape().dims(), &[3, 3, 6]);
+        assert_eq!(out.class_norms_sq.shape().dims(), &[3, 3]);
+        assert_eq!(out.predictions().len(), 3);
+    }
+
+    #[test]
+    fn rejects_wrong_geometry() {
+        let net = tiny_net();
+        let bad = Tensor::zeros(&[2, 1, 10, 10]);
+        assert!(net.forward(&bad, &ExactMath).is_err());
+    }
+
+    #[test]
+    fn reconstruct_shape_and_range() {
+        let net = tiny_net();
+        let out = net.forward(&tiny_images(2, 2), &ExactMath).unwrap();
+        let rec = net.reconstruct(&out, &[0, 2]).unwrap();
+        assert_eq!(rec.shape().dims(), &[2, 144]);
+        assert!(rec.as_slice().iter().all(|&x| (0.0..=1.0).contains(&x)));
+        assert!(net.reconstruct(&out, &[0]).is_err());
+        assert!(net.reconstruct(&out, &[0, 99]).is_err());
+    }
+
+    #[test]
+    fn margin_loss_prefers_correct_labels() {
+        let net = tiny_net();
+        let out = net.forward(&tiny_images(1, 3), &ExactMath).unwrap();
+        let pred = out.predictions()[0];
+        let wrong = (pred + 1) % 3;
+        let loss_right = net.margin_loss(&out, &[pred]).unwrap();
+        let loss_wrong = net.margin_loss(&out, &[wrong]).unwrap();
+        assert!(
+            loss_right < loss_wrong,
+            "loss {loss_right} vs {loss_wrong}"
+        );
+    }
+
+    #[test]
+    fn deterministic_across_constructions() {
+        let a = tiny_net().forward(&tiny_images(2, 4), &ExactMath).unwrap();
+        let b = tiny_net().forward(&tiny_images(2, 4), &ExactMath).unwrap();
+        assert_eq!(a.class_capsules, b.class_capsules);
+    }
+
+    #[test]
+    fn approx_backend_rarely_changes_predictions() {
+        let net = tiny_net();
+        let images = tiny_images(16, 5);
+        let exact = net.forward(&images, &ExactMath).unwrap().predictions();
+        let approx = net
+            .forward(&images, &ApproxMath::with_recovery())
+            .unwrap()
+            .predictions();
+        let agree = exact
+            .iter()
+            .zip(&approx)
+            .filter(|(a, b)| a == b)
+            .count();
+        assert!(agree >= 14, "only {agree}/16 predictions agree");
+    }
+
+    #[test]
+    fn em_variant_runs_end_to_end() {
+        let mut spec = CapsNetSpec::tiny_for_tests();
+        spec.routing = RoutingAlgorithm::Em;
+        let net = CapsNet::seeded(&spec, 7).unwrap();
+        let out = net.forward(&tiny_images(2, 6), &ExactMath).unwrap();
+        assert_eq!(out.class_capsules.shape().dims(), &[2, 3, 6]);
+    }
+}

@@ -1,0 +1,266 @@
+//! Dynamic routing — Algorithm 1 of the paper, faithfully:
+//!
+//! ```text
+//! û_{j|i}^k = u_i^k · W_ij                         (Eq 1, done by CapsLayer)
+//! b_ij ← 0
+//! for each routing iteration:
+//!     c_ij   = softmax_j(b_ij)                      (Eq 5)
+//!     s_j^k  = Σ_i û_{j|i}^k · c_ij                 (Eq 2)
+//!     v_j^k  = squash(s_j^k)                        (Eq 3)
+//!     b_ij   = Σ_k v_j^k · û_{j|i}^k + b_ij         (Eq 4)
+//! ```
+//!
+//! With `batch_shared = true` the coefficients couple the whole batch
+//! (the paper cites [55]: batching avoids local optima of the routing
+//! coefficients); with `false` each sample routes independently (the
+//! original Sabour et al. formulation).
+
+use pim_tensor::Tensor;
+
+use crate::backend::MathBackend;
+use crate::error::CapsNetError;
+use crate::routing::RoutingOutput;
+use crate::squash::squash_in_place;
+
+/// Runs dynamic routing over prediction vectors `û` of shape
+/// `[B, L, H, C_H]`.
+///
+/// Returns the high-level capsules `[B, H, C_H]` and the final routing
+/// coefficients (`[L, H]` if `batch_shared`, else `[B, L, H]`).
+///
+/// # Errors
+///
+/// Returns [`CapsNetError::InputMismatch`] if `u_hat` is not rank 4, or
+/// [`CapsNetError::InvalidSpec`] for zero iterations.
+pub fn dynamic_routing(
+    u_hat: &Tensor,
+    iterations: usize,
+    batch_shared: bool,
+    backend: &dyn MathBackend,
+) -> Result<RoutingOutput, CapsNetError> {
+    let dims = u_hat.shape().dims();
+    if dims.len() != 4 {
+        return Err(CapsNetError::InputMismatch {
+            expected: "[B, L, H, C_H]".into(),
+            actual: dims.to_vec(),
+        });
+    }
+    if iterations == 0 {
+        return Err(CapsNetError::InvalidSpec(
+            "routing needs at least one iteration".into(),
+        ));
+    }
+    let (nb, nl, nh, ch) = (dims[0], dims[1], dims[2], dims[3]);
+    let uh = u_hat.as_slice();
+
+    let coeff_rows = if batch_shared { nl } else { nb * nl };
+    let mut b_logits = vec![0.0f32; coeff_rows * nh];
+    let mut c = vec![0.0f32; coeff_rows * nh];
+    let mut s = vec![0.0f32; nb * nh * ch];
+    let mut v = vec![0.0f32; nb * nh * ch];
+
+    for _iter in 0..iterations {
+        // Eq 5: c_ij = softmax over the H dimension of b_ij.
+        for (b_row, c_row) in b_logits.chunks(nh).zip(c.chunks_mut(nh)) {
+            softmax_row(b_row, c_row, backend);
+        }
+
+        // Eq 2: s_j^k = Σ_i û·c (aggregation over L).
+        s.fill(0.0);
+        for k in 0..nb {
+            for i in 0..nl {
+                let c_row = if batch_shared {
+                    &c[i * nh..(i + 1) * nh]
+                } else {
+                    &c[(k * nl + i) * nh..(k * nl + i + 1) * nh]
+                };
+                let u_base = ((k * nl + i) * nh) * ch;
+                let s_base = k * nh * ch;
+                for j in 0..nh {
+                    let cij = c_row[j];
+                    let u_vec = &uh[u_base + j * ch..u_base + (j + 1) * ch];
+                    let s_vec = &mut s[s_base + j * ch..s_base + (j + 1) * ch];
+                    for (sv, &uv) in s_vec.iter_mut().zip(u_vec) {
+                        *sv += cij * uv;
+                    }
+                }
+            }
+        }
+
+        // Eq 3: v = squash(s).
+        v.copy_from_slice(&s);
+        for cap in v.chunks_mut(ch) {
+            squash_in_place(cap, backend);
+        }
+
+        // Eq 4: b_ij += Σ_k <v_j^k, û_{j|i}^k> (aggregation over B when
+        // batch-shared).
+        for k in 0..nb {
+            for i in 0..nl {
+                let u_base = ((k * nl + i) * nh) * ch;
+                let v_base = k * nh * ch;
+                let b_row = if batch_shared {
+                    &mut b_logits[i * nh..(i + 1) * nh]
+                } else {
+                    &mut b_logits[(k * nl + i) * nh..(k * nl + i + 1) * nh]
+                };
+                for j in 0..nh {
+                    let u_vec = &uh[u_base + j * ch..u_base + (j + 1) * ch];
+                    let v_vec = &v[v_base + j * ch..v_base + (j + 1) * ch];
+                    let agreement: f32 =
+                        u_vec.iter().zip(v_vec).map(|(&a, &b)| a * b).sum();
+                    b_row[j] += agreement;
+                }
+            }
+        }
+    }
+
+    let coeff_dims: Vec<usize> = if batch_shared {
+        vec![nl, nh]
+    } else {
+        vec![nb, nl, nh]
+    };
+    Ok(RoutingOutput {
+        v: Tensor::from_vec(v, &[nb, nh, ch])?,
+        coefficients: Tensor::from_vec(c, &coeff_dims)?,
+        iterations,
+    })
+}
+
+/// Backend-parameterized softmax of one row (max-subtracted for stability).
+fn softmax_row(logits: &[f32], out: &mut [f32], backend: &dyn MathBackend) {
+    let mx = logits.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+    let mut denom = 0.0f32;
+    for (&l, o) in logits.iter().zip(out.iter_mut()) {
+        let e = backend.exp(l - mx);
+        *o = e;
+        denom += e;
+    }
+    for o in out.iter_mut() {
+        *o = backend.div(*o, denom);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::{ApproxMath, ExactMath};
+
+    fn uhat(nb: usize, nl: usize, nh: usize, ch: usize, seed: u64) -> Tensor {
+        Tensor::uniform(&[nb, nl, nh, ch], -0.5, 0.5, seed)
+    }
+
+    #[test]
+    fn output_shapes() {
+        let u = uhat(2, 6, 3, 4, 1);
+        let out = dynamic_routing(&u, 3, true, &ExactMath).unwrap();
+        assert_eq!(out.v.shape().dims(), &[2, 3, 4]);
+        assert_eq!(out.coefficients.shape().dims(), &[6, 3]);
+        let per_sample = dynamic_routing(&u, 3, false, &ExactMath).unwrap();
+        assert_eq!(per_sample.coefficients.shape().dims(), &[2, 6, 3]);
+    }
+
+    #[test]
+    fn coefficients_are_distributions_over_h() {
+        let u = uhat(2, 6, 3, 4, 2);
+        let out = dynamic_routing(&u, 3, true, &ExactMath).unwrap();
+        for row in out.coefficients.as_slice().chunks(3) {
+            let sum: f32 = row.iter().sum();
+            assert!((sum - 1.0).abs() < 1e-5, "row sum {sum}");
+            assert!(row.iter().all(|&x| x >= 0.0));
+        }
+    }
+
+    #[test]
+    fn first_iteration_coefficients_are_uniform_before_update() {
+        // With a single iteration, c comes from b=0, i.e. uniform 1/H.
+        let u = uhat(1, 4, 5, 3, 3);
+        let out = dynamic_routing(&u, 1, true, &ExactMath).unwrap();
+        for &cv in out.coefficients.as_slice() {
+            assert!((cv - 0.2).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn iterations_sharpen_agreeing_capsules() {
+        // Construct û where every L capsule points the same way for H
+        // capsule 0 and randomly for the others: routing should raise
+        // c[:,0] above uniform.
+        let nb = 1;
+        let (nl, nh, ch) = (8, 4, 4);
+        let mut data = Tensor::uniform(&[nb, nl, nh, ch], -0.5, 0.5, 4).into_vec();
+        for i in 0..nl {
+            for d in 0..ch {
+                data[(i * nh) * ch + d] = 1.0; // j = 0 agreement
+            }
+        }
+        let u = Tensor::from_vec(data, &[nb, nl, nh, ch]).unwrap();
+        let out = dynamic_routing(&u, 3, true, &ExactMath).unwrap();
+        let c = out.coefficients.as_slice();
+        for i in 0..nl {
+            assert!(
+                c[i * nh] > 1.0 / nh as f32 + 0.05,
+                "capsule {i} coefficient {} did not sharpen",
+                c[i * nh]
+            );
+        }
+    }
+
+    #[test]
+    fn v_norms_below_one() {
+        let u = uhat(3, 10, 4, 8, 5);
+        let out = dynamic_routing(&u, 3, true, &ExactMath).unwrap();
+        for cap in out.v.as_slice().chunks(8) {
+            let n: f32 = cap.iter().map(|&x| x * x).sum::<f32>().sqrt();
+            assert!(n < 1.0);
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        let u = uhat(2, 6, 3, 4, 6);
+        let a = dynamic_routing(&u, 3, true, &ExactMath).unwrap();
+        let b = dynamic_routing(&u, 3, true, &ExactMath).unwrap();
+        assert_eq!(a.v, b.v);
+        assert_eq!(a.coefficients, b.coefficients);
+    }
+
+    #[test]
+    fn approx_backend_close_to_exact() {
+        let u = uhat(2, 12, 5, 8, 7);
+        let exact = dynamic_routing(&u, 3, true, &ExactMath).unwrap();
+        let approx = dynamic_routing(&u, 3, true, &ApproxMath::with_recovery()).unwrap();
+        let mut max_diff = 0.0f32;
+        for (a, e) in approx.v.as_slice().iter().zip(exact.v.as_slice()) {
+            max_diff = max_diff.max((a - e).abs());
+        }
+        assert!(
+            max_diff < 0.05,
+            "approx routing diverged from exact: {max_diff}"
+        );
+    }
+
+    #[test]
+    fn rejects_bad_inputs() {
+        let u3 = Tensor::zeros(&[2, 3, 4]);
+        assert!(dynamic_routing(&u3, 3, true, &ExactMath).is_err());
+        let u = uhat(1, 2, 2, 2, 8);
+        assert!(dynamic_routing(&u, 0, true, &ExactMath).is_err());
+    }
+
+    #[test]
+    fn batch_shared_differs_from_per_sample() {
+        // With >1 samples the two coefficient schemes route differently.
+        let u = uhat(4, 6, 3, 4, 9);
+        let shared = dynamic_routing(&u, 3, true, &ExactMath).unwrap();
+        let per = dynamic_routing(&u, 3, false, &ExactMath).unwrap();
+        let diff: f32 = shared
+            .v
+            .as_slice()
+            .iter()
+            .zip(per.v.as_slice())
+            .map(|(a, b)| (a - b).abs())
+            .sum();
+        assert!(diff > 1e-4, "expected differing outputs, diff {diff}");
+    }
+}

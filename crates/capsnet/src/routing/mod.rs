@@ -1,0 +1,34 @@
+//! The routing procedure (RP) — §2.2 of the paper.
+//!
+//! Routing inherits features from `L` low-level capsules into `H` high-level
+//! capsules without the information loss of pooling. Two algorithms are
+//! provided behind one interface:
+//!
+//! * [`dynamic_routing`] — Algorithm 1 (Sabour et al. 2017) with the paper's
+//!   batch-shared routing coefficients (`b_{ij}` accumulates agreement over
+//!   the whole batch, Eq 4);
+//! * [`em_routing`] — a simplified Expectation-Maximization routing
+//!   (Hinton et al. 2018), demonstrating that the in-memory optimizations
+//!   apply to "different RP algorithms with simple adjustment".
+
+mod dynamic;
+mod em;
+
+pub use dynamic::dynamic_routing;
+pub use em::em_routing;
+
+use pim_tensor::Tensor;
+
+/// The result of a routing procedure.
+#[derive(Debug, Clone)]
+pub struct RoutingOutput {
+    /// High-level capsules `v`, shape `[B, H, C_H]`.
+    pub v: Tensor,
+    /// Final routing coefficients.
+    ///
+    /// Dynamic routing with batch-shared coefficients returns shape
+    /// `[L, H]`; per-sample variants return `[B, L, H]`.
+    pub coefficients: Tensor,
+    /// Number of routing iterations executed.
+    pub iterations: usize,
+}

@@ -1,0 +1,127 @@
+//! The squash non-linearity (paper Eq 3):
+//!
+//! ```text
+//! v = (||s||² / (1 + ||s||²)) · (s / ||s||)
+//! ```
+//!
+//! shrinks short vectors toward zero and long vectors toward unit norm,
+//! preserving orientation. In backend terms it costs `CH` multiply-adds for
+//! the norm square, one inverse square root, one division and `CH`
+//! multiplies — the "3·CH + 19 operations" the paper's E-model charges
+//! per capsule (Eq 6).
+
+use crate::backend::MathBackend;
+
+/// Computes the scalar factor `||s||/(1+||s||²)` the squash applies to `s`,
+/// given the squared norm.
+///
+/// Exposed separately so the census/PE-program builders can reason about
+/// the special-function content: one `inv_sqrt`, one `div`, two multiplies.
+#[inline]
+pub fn squash_scale(norm_sq: f32, backend: &dyn MathBackend) -> f32 {
+    if norm_sq <= 0.0 {
+        return 0.0;
+    }
+    // ||s||/(1+||s||²)  ==  norm_sq * inv_sqrt(norm_sq) / (1 + norm_sq)
+    let norm = norm_sq * backend.inv_sqrt(norm_sq);
+    backend.div(norm, 1.0 + norm_sq)
+}
+
+/// Applies the squash in place to one capsule vector.
+///
+/// # Examples
+///
+/// ```
+/// use capsnet::{squash_in_place, ExactMath};
+///
+/// let mut long = [100.0f32, 0.0];
+/// squash_in_place(&mut long, &ExactMath);
+/// assert!((long[0] - 100.0 * 100.0 / (1.0 + 100.0f32 * 100.0) ).abs() < 1e-3);
+/// assert!(long[0] < 1.0 && long[0] > 0.99); // long vectors approach unit norm
+///
+/// let mut short = [0.01f32, 0.0];
+/// squash_in_place(&mut short, &ExactMath);
+/// assert!(short[0] < 0.011); // short vectors shrink toward zero
+/// ```
+#[inline]
+pub fn squash_in_place(s: &mut [f32], backend: &dyn MathBackend) {
+    let norm_sq: f32 = s.iter().map(|&x| x * x).sum();
+    let k = squash_scale(norm_sq, backend);
+    for x in s {
+        *x *= k;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::{ApproxMath, ExactMath};
+
+    fn norm(v: &[f32]) -> f32 {
+        v.iter().map(|&x| x * x).sum::<f32>().sqrt()
+    }
+
+    #[test]
+    fn zero_vector_stays_zero() {
+        let mut v = [0.0f32; 4];
+        squash_in_place(&mut v, &ExactMath);
+        assert!(v.iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn output_norm_below_one() {
+        for scale in [0.01f32, 0.1, 1.0, 10.0, 1000.0] {
+            let mut v = [scale, -scale, scale * 0.5];
+            squash_in_place(&mut v, &ExactMath);
+            assert!(norm(&v) < 1.0, "norm {} at scale {scale}", norm(&v));
+        }
+    }
+
+    #[test]
+    fn preserves_direction() {
+        let mut v = [3.0f32, 4.0];
+        squash_in_place(&mut v, &ExactMath);
+        // direction (3,4)/5 must be preserved
+        let n = norm(&v);
+        assert!((v[0] / n - 0.6).abs() < 1e-5);
+        assert!((v[1] / n - 0.8).abs() < 1e-5);
+    }
+
+    #[test]
+    fn matches_closed_form() {
+        let mut v = [1.0f32, 2.0, 2.0]; // norm 3, norm_sq 9
+        squash_in_place(&mut v, &ExactMath);
+        // k = 9/(1+9) / 3 = 0.3
+        assert!((v[0] - 0.3).abs() < 1e-6);
+        assert!((v[1] - 0.6).abs() < 1e-6);
+    }
+
+    #[test]
+    fn monotone_in_magnitude() {
+        // Larger inputs squash to larger outputs (norm-wise).
+        let mut prev = 0.0f32;
+        for scale in [0.1f32, 0.5, 1.0, 2.0, 8.0] {
+            let mut v = [scale, 0.0];
+            squash_in_place(&mut v, &ExactMath);
+            assert!(v[0] > prev);
+            prev = v[0];
+        }
+    }
+
+    #[test]
+    fn approx_backend_is_close() {
+        let approx = ApproxMath::with_recovery();
+        for scale in [0.05f32, 0.7, 3.0, 50.0] {
+            let mut a = [scale, scale * 0.3, -scale];
+            let mut e = a;
+            squash_in_place(&mut a, &approx);
+            squash_in_place(&mut e, &ExactMath);
+            for (x, y) in a.iter().zip(&e) {
+                assert!(
+                    (x - y).abs() <= 0.01 * (1.0 + y.abs()),
+                    "approx {x} vs exact {y} at scale {scale}"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,427 @@
+//! The design-variant evaluator: prices a CapsNet benchmark on every
+//! comparison point of §6 and returns RP-only and whole-network time and
+//! energy.
+
+use capsnet::census::NetworkCensus;
+use gpu_sim::{GpuEnergyModel, GpuModelParams, GpuSpec, GpuTimingModel, RpGpuResult};
+use hmc_sim::{HmcConfig, PhaseEngine, PhaseResult};
+use serde::{Deserialize, Serialize};
+
+use crate::distribution::{choose_dimension, DeviceCoeffs, Dimension, DistributionModel};
+use crate::intra::{build_non_rp_phases, build_rp_phases, build_rp_phases_generic, AddressingMode};
+use crate::pipeline::steady_state_batch_time;
+use crate::rmas::{RmasInputs, RmasPolicy};
+
+/// The §6.1 comparison points.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DesignVariant {
+    /// GPU + HBM baseline (Table 4).
+    Baseline,
+    /// GPU with an ideal cache replacement policy.
+    GpuIcp,
+    /// The full design: inter-vault + intra-vault + addressing + RMAS.
+    PimCapsNet,
+    /// Intra-vault design only (no inter-vault distribution: centralized
+    /// compute, data interleaved over vaults).
+    PimIntra,
+    /// Inter-vault design only (no intra-vault addressing optimization).
+    PimInter,
+    /// Full design but PEs always outrank the GPU at the vaults.
+    RmasPim,
+    /// Full design but the GPU always outranks the PEs.
+    RmasGpu,
+    /// Everything (conv/FC too) inside the HMC.
+    AllInPim,
+}
+
+impl DesignVariant {
+    /// All variants, in the paper's presentation order.
+    pub const ALL: [DesignVariant; 8] = [
+        DesignVariant::Baseline,
+        DesignVariant::GpuIcp,
+        DesignVariant::PimCapsNet,
+        DesignVariant::PimIntra,
+        DesignVariant::PimInter,
+        DesignVariant::RmasPim,
+        DesignVariant::RmasGpu,
+        DesignVariant::AllInPim,
+    ];
+
+    /// Display label matching the paper.
+    pub fn label(&self) -> &'static str {
+        match self {
+            DesignVariant::Baseline => "Baseline",
+            DesignVariant::GpuIcp => "GPU-ICP",
+            DesignVariant::PimCapsNet => "PIM-CapsNet",
+            DesignVariant::PimIntra => "PIM-Intra",
+            DesignVariant::PimInter => "PIM-Inter",
+            DesignVariant::RmasPim => "RMAS-PIM",
+            DesignVariant::RmasGpu => "RMAS-GPU",
+            DesignVariant::AllInPim => "All-in-PIM",
+        }
+    }
+}
+
+/// The evaluation platform (Table 4).
+#[derive(Debug, Clone)]
+pub struct Platform {
+    /// Host GPU.
+    pub gpu: GpuSpec,
+    /// GPU model coefficients.
+    pub gpu_params: GpuModelParams,
+    /// The HMC replacing the GPU's off-chip memory.
+    pub hmc: HmcConfig,
+}
+
+impl Platform {
+    /// Tesla P100 + HMC Gen3, the paper's configuration.
+    pub fn paper_default() -> Self {
+        Platform {
+            gpu: GpuSpec::p100(),
+            gpu_params: GpuModelParams::default(),
+            hmc: HmcConfig::gen3(),
+        }
+    }
+}
+
+/// Result of evaluating one benchmark on one design point.
+#[derive(Debug, Clone)]
+pub struct EvalResult {
+    /// Which design was evaluated.
+    pub variant: DesignVariant,
+    /// Routing-procedure time (per batch), seconds.
+    pub rp_time_s: f64,
+    /// Routing-procedure energy (per batch), joules.
+    pub rp_energy_j: f64,
+    /// Whole-network per-batch time (steady-state pipelined for hybrid
+    /// designs), seconds.
+    pub total_time_s: f64,
+    /// Whole-network per-batch energy, joules.
+    pub total_energy_j: f64,
+    /// HMC-side breakdown (PIM variants).
+    pub rp_phase: Option<PhaseResult>,
+    /// GPU-side RP detail (GPU variants).
+    pub gpu_rp: Option<RpGpuResult>,
+    /// Distribution dimension chosen by the execution score.
+    pub chosen_dimension: Option<Dimension>,
+}
+
+impl EvalResult {
+    /// RP speedup of `self` relative to a reference result.
+    pub fn rp_speedup_vs(&self, reference: &EvalResult) -> f64 {
+        reference.rp_time_s / self.rp_time_s
+    }
+
+    /// Whole-network speedup relative to a reference result.
+    pub fn total_speedup_vs(&self, reference: &EvalResult) -> f64 {
+        reference.total_time_s / self.total_time_s
+    }
+
+    /// Energy saving (fraction) relative to a reference result.
+    pub fn energy_saving_vs(&self, reference: &EvalResult) -> f64 {
+        1.0 - self.total_energy_j / reference.total_energy_j
+    }
+}
+
+/// Evaluates `census` on `variant`, letting the execution score choose the
+/// distribution dimension.
+pub fn evaluate(census: &NetworkCensus, platform: &Platform, variant: DesignVariant) -> EvalResult {
+    evaluate_with_dimension(census, platform, variant, None)
+}
+
+/// Evaluates with an explicitly forced distribution dimension (Fig 18's
+/// sweep); `None` lets the score decide.
+pub fn evaluate_with_dimension(
+    census: &NetworkCensus,
+    platform: &Platform,
+    variant: DesignVariant,
+    forced_dim: Option<Dimension>,
+) -> EvalResult {
+    match variant {
+        DesignVariant::Baseline => gpu_eval(census, platform, variant, false),
+        DesignVariant::GpuIcp => gpu_eval(census, platform, variant, true),
+        _ => pim_eval(census, platform, variant, forced_dim),
+    }
+}
+
+fn gpu_eval(
+    census: &NetworkCensus,
+    platform: &Platform,
+    variant: DesignVariant,
+    icp: bool,
+) -> EvalResult {
+    let model = GpuTimingModel::with_params(platform.gpu.clone(), platform.gpu_params)
+        .ideal_cache(icp);
+    let rp = model.rp_result(&census.rp);
+    let times = model.network_times(census);
+    let layers = GpuEnergyModel::new(platform.gpu.clone()).layers_energy(census.non_rp_layers());
+    EvalResult {
+        variant,
+        rp_time_s: rp.time_s,
+        rp_energy_j: rp.energy_j,
+        total_time_s: times.total(),
+        total_energy_j: rp.energy_j + layers.energy_j,
+        rp_phase: None,
+        gpu_rp: Some(rp),
+        chosen_dimension: None,
+    }
+}
+
+fn pim_eval(
+    census: &NetworkCensus,
+    platform: &Platform,
+    variant: DesignVariant,
+    forced_dim: Option<Dimension>,
+) -> EvalResult {
+    let coeffs = DeviceCoeffs::from_hmc(&platform.hmc);
+    let model = DistributionModel::from_census(&census.rp, platform.hmc.vaults);
+    let dim = forced_dim.unwrap_or_else(|| match census.rp.routing {
+        capsnet::RoutingAlgorithm::Dynamic => choose_dimension(&model, &coeffs),
+        // EM responsibilities are per-sample: B-splitting is residue-free,
+        // so it wins whenever the batch covers the vaults.
+        capsnet::RoutingAlgorithm::Em => {
+            if census.rp.nb >= platform.hmc.vaults {
+                Dimension::B
+            } else {
+                Dimension::H
+            }
+        }
+    });
+
+    let mode = match variant {
+        DesignVariant::PimInter => AddressingMode::NaiveBank,
+        DesignVariant::PimIntra => AddressingMode::DefaultInterleave,
+        _ => AddressingMode::Pim,
+    };
+    let engine = PhaseEngine::new(platform.hmc.clone());
+    let rp_plan = match census.rp.routing {
+        capsnet::RoutingAlgorithm::Dynamic => {
+            build_rp_phases(&census.rp, &platform.hmc, dim, mode, true)
+        }
+        capsnet::RoutingAlgorithm::Em => {
+            build_rp_phases_generic(&census.rp, &platform.hmc, dim, mode)
+        }
+    };
+    let mut rp = engine.run(&rp_plan.phases);
+
+    // GPU side: everything but the RP.
+    let gpu_model = GpuTimingModel::with_params(platform.gpu.clone(), platform.gpu_params);
+    let times = gpu_model.network_times(census);
+    let mut gpu_time = times.conv + times.l_caps + times.fc;
+    let gpu_energy =
+        GpuEnergyModel::new(platform.gpu.clone()).layers_energy(census.non_rp_layers());
+
+    if variant == DesignVariant::AllInPim {
+        // Conv/PrimaryCaps/FC also execute on the PEs, serialized with the
+        // RP inside the cube.
+        let non_rp = engine.run(&build_non_rp_phases(census, &platform.hmc));
+        let total_time = rp.time_s + non_rp.time_s;
+        let mut energy = rp.energy;
+        energy.add(&non_rp.energy);
+        return EvalResult {
+            variant,
+            rp_time_s: rp.time_s,
+            rp_energy_j: rp.energy.total(),
+            total_time_s: total_time,
+            total_energy_j: energy.total(),
+            rp_phase: Some(rp),
+            gpu_rp: None,
+            chosen_dimension: Some(dim),
+        };
+    }
+
+    // RMAS contention between pipelined GPU layers and in-memory RP.
+    let policy = match variant {
+        DesignVariant::RmasPim => RmasPolicy::AlwaysPim,
+        DesignVariant::RmasGpu => RmasPolicy::AlwaysGpu,
+        _ => RmasPolicy::Optimal,
+    };
+    let inputs = rmas_inputs(census, platform, &rp, gpu_time);
+    let overlap = gpu_time.min(rp.time_s);
+    /// Fraction of the overlap window a fully mis-prioritized side loses.
+    const CONTENTION_WEIGHT: f64 = 0.22;
+    match policy {
+        RmasPolicy::Optimal => {
+            // Small residual interference even with optimal arbitration.
+            let eps = 0.02 * overlap;
+            gpu_time += eps;
+        }
+        RmasPolicy::AlwaysPim => {
+            // The GPU starves behind PE queues; the PEs also eat the
+            // arbitration churn on the shared switch.
+            let pen =
+                inputs.penalty(RmasPolicy::AlwaysPim).min(2.0) * CONTENTION_WEIGHT * overlap;
+            gpu_time += pen;
+            rp.time_s += 0.25 * pen;
+        }
+        RmasPolicy::AlwaysGpu => {
+            // The PEs starve behind host bursts; the GPU still waits on
+            // in-flight PE requests it cannot preempt.
+            let pen =
+                inputs.penalty(RmasPolicy::AlwaysGpu).min(2.0) * CONTENTION_WEIGHT * overlap;
+            rp.time_s += pen;
+            gpu_time += 0.25 * pen;
+        }
+    }
+
+    let total_time = steady_state_batch_time(gpu_time, rp.time_s);
+    EvalResult {
+        variant,
+        rp_time_s: rp.time_s,
+        rp_energy_j: rp.energy.total(),
+        total_time_s: total_time,
+        total_energy_j: rp.energy.total() + gpu_energy.energy_j,
+        rp_phase: Some(rp),
+        gpu_rp: None,
+        chosen_dimension: Some(dim),
+    }
+}
+
+/// Derives the RMAS inputs from the two sides' memory intensities.
+fn rmas_inputs(
+    census: &NetworkCensus,
+    platform: &Platform,
+    rp: &PhaseResult,
+    gpu_time: f64,
+) -> RmasInputs {
+    // HMC-side intensity: how busy the internal bandwidth is during RP.
+    let rp_bytes: f64 = census.rp.total_traffic_bytes() as f64;
+    let hmc_util =
+        (rp_bytes / (rp.time_s.max(1e-12) * platform.hmc.internal_gbps * 1e9)).min(1.0);
+    // GPU-side intensity over the external links.
+    let gpu_bytes: f64 = census
+        .non_rp_layers()
+        .iter()
+        .map(|l| (l.read_bytes + l.write_bytes) as f64)
+        .sum();
+    let gpu_util =
+        (gpu_bytes / (gpu_time.max(1e-12) * platform.hmc.external_gbps * 1e9)).min(1.0);
+    RmasInputs {
+        queue_depth: 2.0 + 14.0 * hmc_util,
+        n_max: (platform.hmc.vaults as f64 / 4.0).max(1.0),
+        gamma_v: 0.2 + hmc_util,
+        gamma_h: 0.2 + gpu_util,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use capsnet::CapsNetSpec;
+
+    fn mn1() -> NetworkCensus {
+        NetworkCensus::from_spec(&CapsNetSpec::mnist(), 100).unwrap()
+    }
+
+    fn eval(v: DesignVariant) -> EvalResult {
+        evaluate(&mn1(), &Platform::paper_default(), v)
+    }
+
+    #[test]
+    fn pim_beats_baseline_on_rp_fig15() {
+        let base = eval(DesignVariant::Baseline);
+        let pim = eval(DesignVariant::PimCapsNet);
+        let speedup = pim.rp_speedup_vs(&base);
+        assert!(
+            (1.5..4.5).contains(&speedup),
+            "RP speedup {speedup} outside the paper's band"
+        );
+        // Energy saving on RP should be large (paper: 92%).
+        let saving = 1.0 - pim.rp_energy_j / base.rp_energy_j;
+        assert!((0.8..1.0).contains(&saving), "RP energy saving {saving}");
+    }
+
+    #[test]
+    fn icp_is_marginal() {
+        let base = eval(DesignVariant::Baseline);
+        let icp = eval(DesignVariant::GpuIcp);
+        let gain = icp.rp_speedup_vs(&base) - 1.0;
+        assert!((0.0..0.08).contains(&gain), "ICP gain {gain}");
+    }
+
+    #[test]
+    fn pim_intra_slower_than_full_design_fig16() {
+        let pim = eval(DesignVariant::PimCapsNet);
+        let intra = eval(DesignVariant::PimIntra);
+        let inter = eval(DesignVariant::PimInter);
+        assert!(intra.rp_time_s > pim.rp_time_s);
+        assert!(inter.rp_time_s > pim.rp_time_s);
+        // PIM-Intra's pain is the crossbar; PIM-Inter's is bank conflicts.
+        let intra_phase = intra.rp_phase.unwrap();
+        let inter_phase = inter.rp_phase.unwrap();
+        assert!(intra_phase.xbar_s > intra_phase.vrs_s);
+        assert!(inter_phase.vrs_s > inter_phase.xbar_s);
+    }
+
+    #[test]
+    fn pim_inter_close_to_baseline() {
+        // Paper: PIM-Inter *loses* slightly to the GPU baseline on RP.
+        let base = eval(DesignVariant::Baseline);
+        let inter = eval(DesignVariant::PimInter);
+        let ratio = base.rp_time_s / inter.rp_time_s;
+        assert!(
+            (0.5..1.3).contains(&ratio),
+            "PIM-Inter/baseline ratio {ratio}"
+        );
+    }
+
+    #[test]
+    fn naive_rmas_hurts_fig17() {
+        let pim = eval(DesignVariant::PimCapsNet);
+        let rmas_pim = eval(DesignVariant::RmasPim);
+        let rmas_gpu = eval(DesignVariant::RmasGpu);
+        assert!(rmas_pim.total_time_s >= pim.total_time_s);
+        assert!(rmas_gpu.total_time_s >= pim.total_time_s);
+    }
+
+    #[test]
+    fn all_in_pim_slower_but_frugal_fig17() {
+        let base = eval(DesignVariant::Baseline);
+        let all = eval(DesignVariant::AllInPim);
+        assert!(
+            all.total_time_s > base.total_time_s,
+            "All-in-PIM should lose on time"
+        );
+        assert!(
+            all.total_energy_j < base.total_energy_j,
+            "All-in-PIM should win on energy"
+        );
+    }
+
+    #[test]
+    fn overall_speedup_band_fig17() {
+        let base = eval(DesignVariant::Baseline);
+        let pim = eval(DesignVariant::PimCapsNet);
+        let speedup = pim.total_speedup_vs(&base);
+        assert!(
+            (1.5..4.0).contains(&speedup),
+            "overall speedup {speedup} outside band"
+        );
+        let saving = pim.energy_saving_vs(&base);
+        assert!((0.3..0.95).contains(&saving), "energy saving {saving}");
+    }
+
+    #[test]
+    fn forced_dimensions_all_work() {
+        let census = mn1();
+        let platform = Platform::paper_default();
+        for dim in Dimension::ALL {
+            let r = evaluate_with_dimension(
+                &census,
+                &platform,
+                DesignVariant::PimCapsNet,
+                Some(dim),
+            );
+            assert_eq!(r.chosen_dimension, Some(dim));
+            assert!(r.rp_time_s > 0.0);
+        }
+    }
+
+    #[test]
+    fn variant_labels_unique() {
+        let mut labels: Vec<&str> = DesignVariant::ALL.iter().map(|v| v.label()).collect();
+        labels.sort_unstable();
+        labels.dedup();
+        assert_eq!(labels.len(), 8);
+    }
+}

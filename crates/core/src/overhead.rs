@@ -1,0 +1,181 @@
+//! §6.5 overhead analysis: logic area, average power and the HMC thermal
+//! budget.
+//!
+//! The paper reports 3.11 mm² for the per-vault PE arrays plus the RMAS
+//! module at a 24 nm-class process (0.32 % of the HMC logic die) and an
+//! average 2.24 W power overhead, well under the 10 W TDP headroom
+//! (TOP-PIM).
+
+use hmc_sim::HmcConfig;
+use serde::{Deserialize, Serialize};
+
+/// Component areas at the 24 nm-class node, µm².
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AreaParams {
+    /// One FP32 adder.
+    pub adder_um2: f64,
+    /// One FP32 multiplier.
+    pub multiplier_um2: f64,
+    /// One 32-bit barrel shifter.
+    pub shifter_um2: f64,
+    /// The PE's mux/control network.
+    pub mux_um2: f64,
+    /// The PE's operand registers.
+    pub registers_um2: f64,
+    /// The RMAS module (queues + arbiter), total.
+    pub rmas_um2: f64,
+    /// HMC logic-die area, mm² (for the utilization figure).
+    pub logic_die_mm2: f64,
+}
+
+impl Default for AreaParams {
+    fn default() -> Self {
+        AreaParams {
+            adder_um2: 350.0,
+            multiplier_um2: 900.0,
+            shifter_um2: 80.0,
+            mux_um2: 280.0,
+            registers_um2: 400.0,
+            rmas_um2: 38_000.0,
+            logic_die_mm2: 968.0, // 0.32% utilization at 3.11 mm²
+        }
+    }
+}
+
+/// Area accounting result.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AreaReport {
+    /// One PE, mm².
+    pub per_pe_mm2: f64,
+    /// All PEs, mm².
+    pub pes_mm2: f64,
+    /// RMAS, mm².
+    pub rmas_mm2: f64,
+    /// Total logic overhead, mm².
+    pub total_mm2: f64,
+    /// Fraction of the HMC logic die.
+    pub die_fraction: f64,
+}
+
+/// Power accounting result.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PowerReport {
+    /// Average dynamic power of the PEs over a run, watts.
+    pub dynamic_w: f64,
+    /// Static (leakage/clock) power of the added logic, watts.
+    pub static_w: f64,
+    /// Total average power overhead, watts.
+    pub total_w: f64,
+    /// The thermal headroom limit, watts.
+    pub tdp_limit_w: f64,
+    /// Whether the design fits the thermal budget.
+    pub within_tdp: bool,
+}
+
+/// The §6.5 overhead model.
+#[derive(Debug, Clone)]
+pub struct OverheadModel {
+    params: AreaParams,
+    cfg: HmcConfig,
+    /// Static power of the added logic (PEs + RMAS), watts.
+    pub logic_static_w: f64,
+    /// Thermal design power headroom the stack tolerates, watts.
+    pub tdp_limit_w: f64,
+}
+
+impl OverheadModel {
+    /// Default model for a cube configuration.
+    pub fn new(cfg: HmcConfig) -> Self {
+        OverheadModel {
+            params: AreaParams::default(),
+            cfg,
+            logic_static_w: 1.2,
+            tdp_limit_w: 10.0,
+        }
+    }
+
+    /// Computes the area report. The PE of Fig 11(c) carries 4 adders,
+    /// 4 multipliers and 4 shifters steered by muxes (the units exist in
+    /// parallel even though the operation flow serializes through them),
+    /// plus the mux network and operand registers.
+    pub fn area(&self) -> AreaReport {
+        let p = &self.params;
+        let units = 4.0;
+        let per_pe_um2 = units * (p.adder_um2 + p.multiplier_um2 + p.shifter_um2)
+            + p.mux_um2
+            + p.registers_um2;
+        let per_pe_mm2 = per_pe_um2 / 1e6;
+        let pes_mm2 = per_pe_mm2 * self.cfg.total_pes() as f64;
+        let rmas_mm2 = p.rmas_um2 / 1e6;
+        let total = pes_mm2 + rmas_mm2;
+        AreaReport {
+            per_pe_mm2,
+            pes_mm2,
+            rmas_mm2,
+            total_mm2: total,
+            die_fraction: total / p.logic_die_mm2,
+        }
+    }
+
+    /// Computes the power report from a measured PE execution: dynamic
+    /// energy spent by the added logic over a wall-clock window.
+    pub fn power(&self, pe_dynamic_j: f64, window_s: f64) -> PowerReport {
+        let dynamic = if window_s > 0.0 {
+            pe_dynamic_j / window_s
+        } else {
+            0.0
+        };
+        let total = dynamic + self.logic_static_w;
+        PowerReport {
+            dynamic_w: dynamic,
+            static_w: self.logic_static_w,
+            total_w: total,
+            tdp_limit_w: self.tdp_limit_w,
+            within_tdp: total <= self.tdp_limit_w,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn area_matches_paper_magnitude() {
+        let m = OverheadModel::new(HmcConfig::gen3());
+        let a = m.area();
+        // Paper: 3.11 mm² total, 0.32% of the logic die.
+        assert!(
+            (2.5..3.8).contains(&a.total_mm2),
+            "total area {} mm²",
+            a.total_mm2
+        );
+        assert!(
+            (0.002..0.005).contains(&a.die_fraction),
+            "die fraction {}",
+            a.die_fraction
+        );
+        assert!(a.pes_mm2 > a.rmas_mm2);
+    }
+
+    #[test]
+    fn power_within_tdp_at_realistic_activity() {
+        let m = OverheadModel::new(HmcConfig::gen3());
+        // ~7 mJ of PE dynamic energy over a 4 ms RP — the MN1 ballpark.
+        let p = m.power(7.0e-3, 4.0e-3);
+        assert!(p.within_tdp, "power {} W exceeds TDP", p.total_w);
+        assert!(
+            (1.0..5.0).contains(&p.total_w),
+            "average power {} W far from the paper's 2.24 W",
+            p.total_w
+        );
+    }
+
+    #[test]
+    fn zero_window_is_static_only() {
+        let m = OverheadModel::new(HmcConfig::gen3());
+        let p = m.power(1.0, 0.0);
+        assert_eq!(p.dynamic_w, 0.0);
+        assert_eq!(p.total_w, p.static_w);
+    }
+}

@@ -1,0 +1,129 @@
+//! Energy accounting for the HMC (Fig 16b's Execution / DRAM / XBAR / Vault
+//! split).
+
+use serde::{Deserialize, Serialize};
+
+use crate::pe::PeOp;
+
+/// Per-event energy constants (24 nm-class logic on the HMC logic layer,
+/// stacked DRAM dies; values from the PIM literature the paper builds on —
+/// Neurocube, TOP-PIM).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EnergyParams {
+    /// Joules per MAC.
+    pub pj_mac: f64,
+    /// Joules per standalone add.
+    pub pj_add: f64,
+    /// Joules per standalone multiply.
+    pub pj_mul: f64,
+    /// Joules per bit shift.
+    pub pj_shift: f64,
+    /// Joules per DRAM byte moved inside a vault.
+    pub pj_dram_byte: f64,
+    /// Joules per byte crossing the crossbar.
+    pub pj_xbar_byte: f64,
+    /// Joules per block handled by a vault's sub-memory controller.
+    pub pj_vault_block: f64,
+    /// Static power of the logic layer (PEs + controllers), watts.
+    pub logic_static_w: f64,
+    /// DRAM background (refresh etc.) power, watts.
+    pub dram_static_w: f64,
+}
+
+impl Default for EnergyParams {
+    fn default() -> Self {
+        EnergyParams {
+            pj_mac: 12.0e-12,
+            pj_add: 4.0e-12,
+            pj_mul: 9.0e-12,
+            pj_shift: 1.2e-12,
+            pj_dram_byte: 30.0e-12,
+            pj_xbar_byte: 6.0e-12,
+            pj_vault_block: 8.0e-12,
+            logic_static_w: 1.2,
+            dram_static_w: 4.0,
+        }
+    }
+}
+
+impl EnergyParams {
+    /// Energy of one op batch (special functions decompose into their
+    /// component unit traversals).
+    pub fn op_energy(&self, op: &PeOp) -> f64 {
+        let n = op.count() as f64;
+        match op {
+            PeOp::Mac(_) | PeOp::DenseMac(_) => n * self.pj_mac,
+            PeOp::Add(_) => n * self.pj_add,
+            PeOp::Mul(_) => n * self.pj_mul,
+            PeOp::Shift(_) => n * self.pj_shift,
+            // exp: add + mul (recovery) + 2 shifts
+            PeOp::Exp(_) => n * (self.pj_add + self.pj_mul + 2.0 * self.pj_shift),
+            // isqrt: shift seed + Newton (3 mul + 1 add) + recovery mul
+            PeOp::InvSqrt(_) => n * (self.pj_shift + 4.0 * self.pj_mul + self.pj_add),
+            // div: shift seed + Newton (2 mul + 1 add) + final mul
+            PeOp::Div(_) => n * (self.pj_shift + 3.0 * self.pj_mul + self.pj_add),
+        }
+    }
+}
+
+/// Accumulated energy, split the way Fig 16b reports it.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct EnergyBreakdown {
+    /// PE execution energy (including logic static share).
+    pub execution_j: f64,
+    /// DRAM access + background energy.
+    pub dram_j: f64,
+    /// Crossbar transfer energy.
+    pub xbar_j: f64,
+    /// Vault sub-memory-controller energy.
+    pub vault_j: f64,
+}
+
+impl EnergyBreakdown {
+    /// Total joules.
+    pub fn total(&self) -> f64 {
+        self.execution_j + self.dram_j + self.xbar_j + self.vault_j
+    }
+
+    /// Adds another breakdown.
+    pub fn add(&mut self, other: &EnergyBreakdown) {
+        self.execution_j += other.execution_j;
+        self.dram_j += other.dram_j;
+        self.xbar_j += other.xbar_j;
+        self.vault_j += other.vault_j;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn special_functions_cost_more_than_mac() {
+        let p = EnergyParams::default();
+        assert!(p.op_energy(&PeOp::Exp(1)) > p.op_energy(&PeOp::Mac(1)));
+        assert!(p.op_energy(&PeOp::InvSqrt(1)) > p.op_energy(&PeOp::Mul(1)));
+    }
+
+    #[test]
+    fn op_energy_scales_with_count() {
+        let p = EnergyParams::default();
+        let one = p.op_energy(&PeOp::Mac(1));
+        let thousand = p.op_energy(&PeOp::Mac(1000));
+        assert!((thousand - 1000.0 * one).abs() < 1e-18);
+    }
+
+    #[test]
+    fn breakdown_totals_and_adds() {
+        let mut a = EnergyBreakdown {
+            execution_j: 1.0,
+            dram_j: 2.0,
+            xbar_j: 0.5,
+            vault_j: 0.25,
+        };
+        assert_eq!(a.total(), 3.75);
+        let b = a;
+        a.add(&b);
+        assert_eq!(a.total(), 7.5);
+    }
+}

@@ -1,0 +1,107 @@
+//! Property-based tests for the Fig 13 address mappings.
+
+use hmc_sim::{
+    AddressMapping, DefaultMapping, HmcConfig, NaiveVaultMapping, PimMapping,
+};
+use proptest::prelude::*;
+
+fn cfg() -> HmcConfig {
+    HmcConfig::gen3()
+}
+
+/// Byte addresses within the 8 GB cube.
+fn addr_strategy() -> impl Strategy<Value = u64> {
+    0u64..(8u64 << 30)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn locations_always_in_range(addr in addr_strategy(), subpage_exp in 4u32..9) {
+        let c = cfg();
+        let mappings: Vec<Box<dyn AddressMapping>> = vec![
+            Box::new(DefaultMapping::new(&c)),
+            Box::new(PimMapping::new(&c, 1 << subpage_exp)),
+            Box::new(NaiveVaultMapping::new(&c)),
+        ];
+        for m in &mappings {
+            let loc = m.locate(addr);
+            prop_assert!(loc.vault < c.vaults, "{}: vault {}", m.name(), loc.vault);
+            prop_assert!(loc.bank < c.banks_per_vault, "{}: bank {}", m.name(), loc.bank);
+        }
+    }
+
+    #[test]
+    fn same_block_same_location(addr in addr_strategy(), off in 0u64..16) {
+        // All byte addresses within one 16 B block resolve identically.
+        let c = cfg();
+        let base = addr - addr % 16;
+        for m in [
+            &DefaultMapping::new(&c) as &dyn AddressMapping,
+            &PimMapping::new(&c, 64),
+            &NaiveVaultMapping::new(&c),
+        ] {
+            let a = m.locate(base);
+            let b = m.locate(base + off);
+            prop_assert_eq!(a, b, "mapping {} split a block", m.name());
+        }
+    }
+
+    #[test]
+    fn pim_mapping_vault_is_top_bits(addr in addr_strategy()) {
+        // Fig 13b: the vault is determined purely by the address's position
+        // in 256 MB regions.
+        let c = cfg();
+        let m = PimMapping::new(&c, 64);
+        let expected_vault = (addr / c.vault_capacity_bytes()) as usize % c.vaults;
+        prop_assert_eq!(m.locate(addr).vault, expected_vault);
+    }
+
+    #[test]
+    fn default_mapping_vault_cycles_with_subpages(subpage_idx in 0u64..100_000) {
+        // Fig 13a: consecutive 128 B sub-pages visit vaults round-robin.
+        let c = cfg();
+        let m = DefaultMapping::new(&c);
+        let addr = subpage_idx * 128;
+        prop_assert_eq!(m.locate(addr).vault, (subpage_idx % 32) as usize);
+    }
+
+    #[test]
+    fn pim_consecutive_subpages_rotate_banks(i in 0u64..100_000, subpage_exp in 4u32..9) {
+        let c = cfg();
+        let sp = 1u64 << subpage_exp;
+        let m = PimMapping::new(&c, sp);
+        let a = m.locate(i * sp);
+        let b = m.locate((i + 1) * sp);
+        if a.vault == b.vault {
+            prop_assert_eq!(b.bank, (a.bank + 1) % c.banks_per_vault);
+        }
+    }
+
+    #[test]
+    fn naive_mapping_is_contiguous_rows(i in 0u64..1_000_000) {
+        // Within one bank region, consecutive blocks advance rows
+        // monotonically (the source of its sequential-friendliness and its
+        // concurrency pathology).
+        let c = cfg();
+        let m = NaiveVaultMapping::new(&c);
+        let a = m.locate(i * 16);
+        let b = m.locate(i * 16 + 16);
+        if a.bank == b.bank && a.vault == b.vault {
+            prop_assert!(b.row == a.row || b.row == a.row + 1);
+        }
+    }
+
+    #[test]
+    fn span_distribution_conserves_bytes(start in 0u64..(1u64 << 30), len_kb in 1u64..64) {
+        let c = cfg();
+        let len = len_kb * 1024;
+        let m = PimMapping::new(&c, 64);
+        let dist = m.span_distribution(start, len, &c);
+        let total: u64 = dist.iter().flatten().sum();
+        // The distribution covers whole blocks overlapping the range.
+        prop_assert!(total >= len);
+        prop_assert!(total <= len + 2 * c.block_bytes);
+    }
+}

@@ -1,0 +1,41 @@
+//! Dense `f32` tensor substrate for the PIM-CapsNet reproduction.
+//!
+//! This crate provides the small amount of linear algebra the functional
+//! CapsNet implementation needs: an owned, contiguous, row-major [`Tensor`]
+//! with shape/stride bookkeeping, elementwise operations, reductions,
+//! (optionally threaded) matrix multiplication and an im2col-based 2D
+//! convolution.
+//!
+//! It is deliberately *not* a general-purpose array library: shapes are
+//! validated eagerly ([`TensorError`] on mismatch), all data is `f32` (the
+//! paper's PE design targets IEEE-754 single precision, §5.2), and only the
+//! layouts the CapsNet layers use are supported.
+//!
+//! # Examples
+//!
+//! ```
+//! use pim_tensor::Tensor;
+//!
+//! # fn main() -> Result<(), pim_tensor::TensorError> {
+//! let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2])?;
+//! let b = Tensor::eye(2);
+//! let c = a.matmul(&b)?;
+//! assert_eq!(c.as_slice(), &[1.0, 2.0, 3.0, 4.0]);
+//! # Ok(())
+//! # }
+//! ```
+
+mod conv;
+mod error;
+mod matmul;
+mod ops;
+mod shape;
+mod tensor;
+
+pub use conv::{conv2d, im2col, Conv2dSpec};
+pub use error::TensorError;
+pub use shape::Shape;
+pub use tensor::Tensor;
+
+/// Convenience alias for results produced by this crate.
+pub type Result<T> = std::result::Result<T, TensorError>;

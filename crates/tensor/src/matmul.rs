@@ -1,0 +1,287 @@
+//! Matrix multiplication kernels, including a threaded variant for the
+//! conv-layer GEMMs in the functional CapsNet.
+
+use crate::error::TensorError;
+use crate::tensor::Tensor;
+
+/// Rows-per-task threshold below which threading is not worth spawning.
+const PAR_MIN_ROWS: usize = 64;
+/// Minimum per-thread work (in multiply-adds) before threads are used.
+const PAR_MIN_WORK: usize = 1 << 20;
+
+impl Tensor {
+    /// Matrix product of two rank-2 tensors: `[m,k] x [k,n] -> [m,n]`.
+    ///
+    /// Uses a cache-friendly i-k-j loop ordering and transparently splits
+    /// rows across `std::thread::scope` workers when the problem is large
+    /// enough to amortize spawning.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::RankMismatch`] for non-matrices and
+    /// [`TensorError::MatmulDims`] when the inner dimensions disagree.
+    pub fn matmul(&self, other: &Tensor) -> Result<Tensor, TensorError> {
+        let (a_dims, b_dims) = (self.shape().dims(), other.shape().dims());
+        if a_dims.len() != 2 {
+            return Err(TensorError::RankMismatch {
+                expected: 2,
+                actual: a_dims.len(),
+            });
+        }
+        if b_dims.len() != 2 {
+            return Err(TensorError::RankMismatch {
+                expected: 2,
+                actual: b_dims.len(),
+            });
+        }
+        let (m, k) = (a_dims[0], a_dims[1]);
+        let (k2, n) = (b_dims[0], b_dims[1]);
+        if k != k2 {
+            return Err(TensorError::MatmulDims {
+                left: (m, k),
+                right: (k2, n),
+            });
+        }
+        let mut out = vec![0.0f32; m * n];
+        matmul_into(self.as_slice(), other.as_slice(), &mut out, m, k, n);
+        Tensor::from_vec(out, &[m, n])
+    }
+
+    /// Batched matrix product: `[b,m,k] x [b,k,n] -> [b,m,n]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::RankMismatch`] / [`TensorError::MatmulDims`] /
+    /// [`TensorError::ShapeMismatch`] on malformed inputs.
+    pub fn batched_matmul(&self, other: &Tensor) -> Result<Tensor, TensorError> {
+        let (a_dims, b_dims) = (self.shape().dims(), other.shape().dims());
+        if a_dims.len() != 3 || b_dims.len() != 3 {
+            return Err(TensorError::RankMismatch {
+                expected: 3,
+                actual: if a_dims.len() != 3 {
+                    a_dims.len()
+                } else {
+                    b_dims.len()
+                },
+            });
+        }
+        if a_dims[0] != b_dims[0] {
+            return Err(TensorError::ShapeMismatch {
+                left: a_dims.to_vec(),
+                right: b_dims.to_vec(),
+            });
+        }
+        let (b, m, k) = (a_dims[0], a_dims[1], a_dims[2]);
+        let (k2, n) = (b_dims[1], b_dims[2]);
+        if k != k2 {
+            return Err(TensorError::MatmulDims {
+                left: (m, k),
+                right: (k2, n),
+            });
+        }
+        let mut out = vec![0.0f32; b * m * n];
+        for bi in 0..b {
+            let a_off = bi * m * k;
+            let b_off = bi * k * n;
+            let o_off = bi * m * n;
+            matmul_into(
+                &self.as_slice()[a_off..a_off + m * k],
+                &other.as_slice()[b_off..b_off + k * n],
+                &mut out[o_off..o_off + m * n],
+                m,
+                k,
+                n,
+            );
+        }
+        Tensor::from_vec(out, &[b, m, n])
+    }
+
+    /// Matrix-vector product: `[m,k] x [k] -> [m]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::MatmulDims`] when dimensions disagree.
+    pub fn matvec(&self, v: &Tensor) -> Result<Tensor, TensorError> {
+        let a_dims = self.shape().dims();
+        if a_dims.len() != 2 {
+            return Err(TensorError::RankMismatch {
+                expected: 2,
+                actual: a_dims.len(),
+            });
+        }
+        let (m, k) = (a_dims[0], a_dims[1]);
+        if v.len() != k {
+            return Err(TensorError::MatmulDims {
+                left: (m, k),
+                right: (v.len(), 1),
+            });
+        }
+        let a = self.as_slice();
+        let x = v.as_slice();
+        let mut out = vec![0.0f32; m];
+        for i in 0..m {
+            let row = &a[i * k..(i + 1) * k];
+            out[i] = row.iter().zip(x).map(|(&p, &q)| p * q).sum();
+        }
+        Tensor::from_vec(out, &[m])
+    }
+}
+
+/// Core GEMM: `out[m,n] = a[m,k] * b[k,n]`, writing into the provided slice.
+///
+/// Splits rows across threads when the work is large; each thread owns a
+/// disjoint chunk of `out`, so no synchronization is needed.
+pub(crate) fn matmul_into(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!(b.len(), k * n);
+    debug_assert_eq!(out.len(), m * n);
+    let work = m * n * k;
+    let threads = available_threads();
+    if threads <= 1 || m < PAR_MIN_ROWS || work < PAR_MIN_WORK {
+        matmul_serial(a, b, out, k, n);
+        return;
+    }
+    let rows_per = m.div_ceil(threads);
+    std::thread::scope(|scope| {
+        for (chunk_idx, out_chunk) in out.chunks_mut(rows_per * n).enumerate() {
+            let row0 = chunk_idx * rows_per;
+            let rows = out_chunk.len() / n;
+            let a_chunk = &a[row0 * k..(row0 + rows) * k];
+            scope.spawn(move || matmul_serial(a_chunk, b, out_chunk, k, n));
+        }
+    });
+}
+
+/// Serial i-k-j GEMM on a row block.
+fn matmul_serial(a: &[f32], b: &[f32], out: &mut [f32], k: usize, n: usize) {
+    let m = out.len() / n;
+    for i in 0..m {
+        let out_row = &mut out[i * n..(i + 1) * n];
+        out_row.fill(0.0);
+        for p in 0..k {
+            let aik = a[i * k + p];
+            if aik == 0.0 {
+                continue;
+            }
+            let b_row = &b[p * n..(p + 1) * n];
+            for (o, &bv) in out_row.iter_mut().zip(b_row) {
+                *o += aik * bv;
+            }
+        }
+    }
+}
+
+fn available_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(data: &[f32], dims: &[usize]) -> Tensor {
+        Tensor::from_vec(data.to_vec(), dims).unwrap()
+    }
+
+    #[test]
+    fn small_matmul() {
+        let a = t(&[1.0, 2.0, 3.0, 4.0], &[2, 2]);
+        let b = t(&[5.0, 6.0, 7.0, 8.0], &[2, 2]);
+        let c = a.matmul(&b).unwrap();
+        assert_eq!(c.as_slice(), &[19.0, 22.0, 43.0, 50.0]);
+    }
+
+    #[test]
+    fn identity_is_neutral() {
+        let a = Tensor::uniform(&[7, 7], -1.0, 1.0, 3);
+        let c = a.matmul(&Tensor::eye(7)).unwrap();
+        for (x, y) in a.as_slice().iter().zip(c.as_slice()) {
+            assert!((x - y).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn rectangular_shapes() {
+        let a = t(&[1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3]);
+        let b = t(&[1.0, 0.0, 0.0, 1.0, 1.0, 1.0], &[3, 2]);
+        let c = a.matmul(&b).unwrap();
+        assert_eq!(c.shape().dims(), &[2, 2]);
+        assert_eq!(c.as_slice(), &[4.0, 5.0, 10.0, 11.0]);
+    }
+
+    #[test]
+    fn dimension_errors() {
+        let a = Tensor::zeros(&[2, 3]);
+        let b = Tensor::zeros(&[2, 3]);
+        assert!(matches!(
+            a.matmul(&b),
+            Err(TensorError::MatmulDims { .. })
+        ));
+        assert!(matches!(
+            Tensor::zeros(&[2]).matmul(&b),
+            Err(TensorError::RankMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn threaded_matches_serial() {
+        // Large enough to trigger the threaded path.
+        let m = 128;
+        let k = 96;
+        let n = 90;
+        let a = Tensor::uniform(&[m, k], -1.0, 1.0, 11);
+        let b = Tensor::uniform(&[k, n], -1.0, 1.0, 12);
+        let c = a.matmul(&b).unwrap();
+        let mut serial = vec![0.0f32; m * n];
+        matmul_serial(a.as_slice(), b.as_slice(), &mut serial, k, n);
+        for (x, y) in c.as_slice().iter().zip(&serial) {
+            assert!((x - y).abs() < 1e-4, "threaded {x} vs serial {y}");
+        }
+    }
+
+    #[test]
+    fn batched_matmul_matches_loop() {
+        let a = Tensor::uniform(&[3, 4, 5], -1.0, 1.0, 21);
+        let b = Tensor::uniform(&[3, 5, 2], -1.0, 1.0, 22);
+        let c = a.batched_matmul(&b).unwrap();
+        assert_eq!(c.shape().dims(), &[3, 4, 2]);
+        for bi in 0..3 {
+            let am = Tensor::from_vec(
+                a.as_slice()[bi * 20..(bi + 1) * 20].to_vec(),
+                &[4, 5],
+            )
+            .unwrap();
+            let bm = Tensor::from_vec(
+                b.as_slice()[bi * 10..(bi + 1) * 10].to_vec(),
+                &[5, 2],
+            )
+            .unwrap();
+            let cm = am.matmul(&bm).unwrap();
+            for (i, &v) in cm.as_slice().iter().enumerate() {
+                assert!((c.as_slice()[bi * 8 + i] - v).abs() < 1e-5);
+            }
+        }
+    }
+
+    #[test]
+    fn batched_requires_same_batch() {
+        let a = Tensor::zeros(&[2, 3, 4]);
+        let b = Tensor::zeros(&[3, 4, 5]);
+        assert!(a.batched_matmul(&b).is_err());
+    }
+
+    #[test]
+    fn matvec_matches_matmul() {
+        let a = Tensor::uniform(&[6, 4], -1.0, 1.0, 31);
+        let v = Tensor::uniform(&[4], -1.0, 1.0, 32);
+        let mv = a.matvec(&v).unwrap();
+        let vm = v.reshape(&[4, 1]).unwrap();
+        let full = a.matmul(&vm).unwrap();
+        for (x, y) in mv.as_slice().iter().zip(full.as_slice()) {
+            assert!((x - y).abs() < 1e-5);
+        }
+        assert!(a.matvec(&Tensor::zeros(&[5])).is_err());
+    }
+}

@@ -1,0 +1,84 @@
+//! Design-space exploration with the paper's offline models: sweep the
+//! distribution dimension, PE frequency and vault count for a custom
+//! network and print the execution-score landscape (§5.1.2 / Fig 18).
+//!
+//! ```text
+//! cargo run --release --example design_space
+//! ```
+
+use pim_capsnet_suite::pim::distribution::{
+    choose_dimension, execution_score, DeviceCoeffs, DistributionModel,
+};
+use pim_capsnet_suite::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A custom network: large batch, mid-size L, many classes.
+    let rp = RpCensus::new(256, 2048, 32, 8, 16, 3);
+    println!(
+        "network: B={} L={} H={} C_L={} C_H={} iterations={}",
+        rp.nb, rp.nl, rp.nh, rp.cl, rp.ch, rp.iterations
+    );
+    println!(
+        "RP intermediates: {:.1} MB; total traffic {:.1} MB; {:.1} GFLOP",
+        rp.sizes.total_unshareable() as f64 / 1e6,
+        rp.total_traffic_bytes() as f64 / 1e6,
+        rp.total_flops() as f64 / 1e9
+    );
+
+    // Execution-score landscape over dimension x frequency.
+    println!("\nexecution scores S = 1/(aE + bM) (higher is better):");
+    println!("{:<12} {:>10} {:>10} {:>10}   chosen", "PE clock", "B", "L", "H");
+    for mhz in [312.5, 625.0, 937.5] {
+        let hmc = HmcConfig::gen3().with_pe_clock_ghz(mhz / 1000.0);
+        let coeffs = DeviceCoeffs::from_hmc(&hmc);
+        let model = DistributionModel::from_census(&rp, hmc.vaults);
+        let scores: Vec<f64> = [Dimension::B, Dimension::L, Dimension::H]
+            .into_iter()
+            .map(|d| execution_score(&model, d, &coeffs))
+            .collect();
+        println!(
+            "{:<12} {:>10.2} {:>10.2} {:>10.2}   {}",
+            format!("{mhz} MHz"),
+            scores[0],
+            scores[1],
+            scores[2],
+            choose_dimension(&model, &coeffs)
+        );
+    }
+
+    // Vault-count scaling: how the E/M balance moves with more vaults.
+    println!("\nvault-count sweep at 312.5 MHz:");
+    println!("{:<8} {:>12} {:>14}   chosen", "vaults", "E(best)", "M(best) bytes");
+    for vaults in [8usize, 16, 32, 64] {
+        let mut hmc = HmcConfig::gen3();
+        hmc.vaults = vaults;
+        let coeffs = DeviceCoeffs::from_hmc(&hmc);
+        let model = DistributionModel::from_census(&rp, vaults);
+        let dim = choose_dimension(&model, &coeffs);
+        println!(
+            "{:<8} {:>12.0} {:>14.0}   {}",
+            vaults,
+            model.e(dim),
+            model.m(dim),
+            dim
+        );
+    }
+
+    // End-to-end check of the chosen design against the GPU baseline.
+    let spec = CapsNetSpec {
+        name: "custom".into(),
+        h_caps: 32,
+        ..CapsNetSpec::mnist()
+    };
+    let census = NetworkCensus::from_spec(&spec, 256)?;
+    let platform = Platform::paper_default();
+    let base = evaluate(&census, &platform, DesignVariant::Baseline);
+    let pim = evaluate(&census, &platform, DesignVariant::PimCapsNet);
+    println!(
+        "\nend-to-end on the paper platform: {:.2}x faster, {:.1}% energy saved (dimension {})",
+        pim.total_speedup_vs(&base),
+        100.0 * pim.energy_saving_vs(&base),
+        pim.chosen_dimension.map(|d| d.to_string()).unwrap_or_default()
+    );
+    Ok(())
+}

@@ -1,0 +1,58 @@
+//! Quickstart: build a CapsNet, run inference with exact and PE-approximate
+//! math, and price the paper's headline comparison (GPU baseline vs
+//! PIM-CapsNet) on one benchmark.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use pim_capsnet_suite::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // ---- 1. Functional CapsNet inference --------------------------------
+    let spec = CapsNetSpec::tiny_for_tests();
+    let net = CapsNet::seeded(&spec, 42)?;
+    let images = Tensor::uniform(&[4, 1, spec.input_hw.0, spec.input_hw.1], 0.0, 1.0, 7);
+
+    let exact = net.forward(&images, &ExactMath)?;
+    let approx = net.forward(&images, &ApproxMath::with_recovery())?;
+    println!("predictions (exact math):  {:?}", exact.predictions());
+    println!("predictions (PE approx.):  {:?}", approx.predictions());
+
+    // ---- 2. The headline architecture comparison ------------------------
+    let bench = &workload_benchmarks()[0]; // Caps-MN1
+    let census = NetworkCensus::from_spec(&bench.spec(), bench.batch_size)?;
+    println!(
+        "\n{}: {} L-capsules -> {} H-capsules, {} routing iterations, batch {}",
+        bench.name, bench.l_caps, bench.h_caps, bench.iterations, bench.batch_size
+    );
+    println!(
+        "RP intermediate variables: {:.1} MB (u_hat alone {:.1} MB)",
+        census.rp.sizes.total_unshareable() as f64 / 1e6,
+        census.rp.sizes.u_hat as f64 / 1e6
+    );
+
+    let platform = Platform::paper_default();
+    let base = evaluate(&census, &platform, DesignVariant::Baseline);
+    let pim = evaluate(&census, &platform, DesignVariant::PimCapsNet);
+    println!(
+        "\nGPU baseline : RP {:.2} ms, whole net {:.2} ms, {:.2} J",
+        base.rp_time_s * 1e3,
+        base.total_time_s * 1e3,
+        base.total_energy_j
+    );
+    println!(
+        "PIM-CapsNet  : RP {:.2} ms, whole net {:.2} ms, {:.2} J (dimension {})",
+        pim.rp_time_s * 1e3,
+        pim.total_time_s * 1e3,
+        pim.total_energy_j,
+        pim.chosen_dimension.map(|d| d.to_string()).unwrap_or_default()
+    );
+    println!(
+        "speedup: RP {:.2}x, overall {:.2}x; energy saving {:.1}%",
+        pim.rp_speedup_vs(&base),
+        pim.total_speedup_vs(&base),
+        100.0 * pim.energy_saving_vs(&base)
+    );
+    Ok(())
+}

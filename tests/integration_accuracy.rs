@@ -1,0 +1,52 @@
+//! Cross-crate integration: the Table 5 accuracy pipeline.
+
+use pim_capsnet_suite::prelude::*;
+
+#[test]
+fn accuracy_pipeline_end_to_end() {
+    let b = &workload_benchmarks()[0]; // Caps-MN1
+    let exp = AccuracyExperiment::new(b, 80, 42);
+    let r = exp.run();
+    // Origin calibrated near the reported accuracy (sampling noise aside).
+    assert!(
+        (r.origin - b.origin_accuracy).abs() < 0.06,
+        "origin {} vs {}",
+        r.origin,
+        b.origin_accuracy
+    );
+    // Approximation losses stay small; recovery doesn't make things worse
+    // by more than sampling noise.
+    assert!(r.loss_without() < 0.06, "loss {}", r.loss_without());
+    assert!(r.loss_with() <= r.loss_without() + 0.02);
+}
+
+#[test]
+fn recovery_never_catastrophic_across_suite_subset() {
+    // A cheap sweep over structurally distinct benchmarks (many classes,
+    // many iterations).
+    for idx in [6usize, 10] {
+        let b = &workload_benchmarks()[idx];
+        let exp = AccuracyExperiment::new(b, 60, 7);
+        let r = exp.run();
+        assert!(
+            r.loss_with() < 0.08,
+            "{}: loss with recovery {}",
+            b.name,
+            r.loss_with()
+        );
+    }
+}
+
+#[test]
+fn exact_backend_reproduces_calibrated_origin() {
+    // The exact backend must agree with the injected-label construction:
+    // accuracy == 1 − flip_rate up to flip sampling on a finite set.
+    let b = &workload_benchmarks()[9]; // Caps-SV1, origin 96.7%
+    let exp = AccuracyExperiment::new(b, 100, 3);
+    let r = exp.run();
+    assert!(
+        (r.origin - 0.967).abs() < 0.05,
+        "origin {} should track 96.7%",
+        r.origin
+    );
+}
