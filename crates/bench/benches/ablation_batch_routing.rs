@@ -5,7 +5,9 @@
 //! This ablation runs both functional variants and compares prediction
 //! agreement and coefficient sharpness.
 
-use capsnet::routing::dynamic_routing;
+use std::time::Instant;
+
+use capsnet::routing::{dynamic_routing, dynamic_routing_parallel};
 use capsnet::ExactMath;
 use capsnet_workloads::report::Table;
 use pim_bench::{f2, f3, finish, header};
@@ -65,4 +67,41 @@ fn main() {
     }
     finish("ablation_batch_routing", &table);
     println!("batch=1 must agree exactly (divergence 0); larger batches diverge");
+
+    // Per-sample routing shards perfectly across cores: compare the serial
+    // driver against the batch-parallel one (outputs are bit-identical; the
+    // assert keeps this an executable claim).
+    header(
+        "Ablation",
+        "serial vs batch-parallel per-sample dynamic routing",
+    );
+    let mut par_table = Table::new(&["batch", "serial_ms", "parallel_ms", "speedup"]);
+    for batch in [8usize, 32, 64] {
+        let u_hat = Tensor::uniform(&[batch, 256, 10, 16], -0.5, 0.5, 7);
+        let reps = 5;
+        let t0 = Instant::now();
+        let mut serial = None;
+        for _ in 0..reps {
+            serial = Some(dynamic_routing(&u_hat, 3, false, &ExactMath).unwrap());
+        }
+        let serial_s = t0.elapsed().as_secs_f64() / reps as f64;
+        let t1 = Instant::now();
+        let mut parallel = None;
+        for _ in 0..reps {
+            parallel = Some(dynamic_routing_parallel(&u_hat, 3, &ExactMath).unwrap());
+        }
+        let parallel_s = t1.elapsed().as_secs_f64() / reps as f64;
+        let (serial, parallel) = (serial.unwrap(), parallel.unwrap());
+        assert_eq!(
+            serial.v, parallel.v,
+            "parallel routing must be bit-identical"
+        );
+        par_table.row(vec![
+            batch.to_string(),
+            f3(serial_s * 1e3),
+            f3(parallel_s * 1e3),
+            f2(serial_s / parallel_s),
+        ]);
+    }
+    finish("ablation_batch_routing_parallel", &par_table);
 }

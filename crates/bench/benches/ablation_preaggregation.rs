@@ -57,5 +57,8 @@ fn main() {
         ]);
     }
     finish("ablation_preaggregation", &table);
-    println!("average slowdown without pre-aggregation: {}x", f2(mean(&slowdowns)));
+    println!(
+        "average slowdown without pre-aggregation: {}x",
+        f2(mean(&slowdowns))
+    );
 }

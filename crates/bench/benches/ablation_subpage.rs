@@ -30,7 +30,9 @@ const ISSUE_INTERVAL: u64 = 8; // PE cycles between requests
 
 /// Deterministic per-(pe, step) jitter in cycles.
 fn jitter(pe: usize, step: u64) -> u64 {
-    let x = (pe as u64).wrapping_mul(0x9e37_79b9).wrapping_add(step.wrapping_mul(0x85eb_ca6b));
+    let x = (pe as u64)
+        .wrapping_mul(0x9e37_79b9)
+        .wrapping_add(step.wrapping_mul(0x85eb_ca6b));
     (x >> 7) % ISSUE_INTERVAL
 }
 

@@ -11,12 +11,13 @@ use pim_bench::{f2, finish, header, pct, BenchContext};
 
 fn main() {
     let ctx = BenchContext::new();
-    header("Fig 4", "layer breakdown of CapsNet inference on GPU (P100)");
+    header(
+        "Fig 4",
+        "layer breakdown of CapsNet inference on GPU (P100)",
+    );
     let model = GpuTimingModel::with_params(ctx.platform.gpu.clone(), ctx.platform.gpu_params);
 
-    let mut table = Table::new(&[
-        "network", "conv%", "l_caps%", "rp%", "fc%", "time_ms",
-    ]);
+    let mut table = Table::new(&["network", "conv%", "l_caps%", "rp%", "fc%", "time_ms"]);
     let mut rp_shares = Vec::new();
     for b in &ctx.benchmarks {
         let census = ctx.census(b);

@@ -14,7 +14,12 @@ fn main() {
     let model = GpuTimingModel::with_params(ctx.platform.gpu.clone(), ctx.platform.gpu_params);
 
     let mut table = Table::new(&[
-        "network", "memory", "sync", "resource", "inst_fetch", "other",
+        "network",
+        "memory",
+        "sync",
+        "resource",
+        "inst_fetch",
+        "other",
     ]);
     let (mut mems, mut syncs) = (Vec::new(), Vec::new());
     for b in &ctx.benchmarks {

@@ -33,7 +33,10 @@ fn main() {
     }
     finish("fig06a_onchip_ratio", &table_a);
 
-    header("Fig 6b", "RP performance vs on-chip storage (normalized to A)");
+    header(
+        "Fig 6b",
+        "RP performance vs on-chip storage (normalized to A)",
+    );
     let mut table_b = Table::new(&["network", "perf_A", "perf_B", "perf_C", "perf_D"]);
     let mut per_point: Vec<Vec<f64>> = vec![Vec::new(); POINTS.len()];
     for b in &ctx.benchmarks {

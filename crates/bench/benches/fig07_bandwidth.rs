@@ -13,7 +13,10 @@ use pim_bench::{f2, finish, header, BenchContext};
 
 fn main() {
     let ctx = BenchContext::new();
-    header("Fig 7", "RP performance vs memory bandwidth (normalized to GDDR5)");
+    header(
+        "Fig 7",
+        "RP performance vs memory bandwidth (normalized to GDDR5)",
+    );
     let memories = [
         ("GDDR5(288)", MemorySpec::gddr5()),
         ("GDDR5X(484)", MemorySpec::gddr5x()),

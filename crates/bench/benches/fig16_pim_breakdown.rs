@@ -21,9 +21,7 @@ fn main() {
         DesignVariant::PimInter,
         DesignVariant::PimCapsNet,
     ];
-    let mut table = Table::new(&[
-        "network", "design", "speedup", "exec%", "xbar%", "vrs%",
-    ]);
+    let mut table = Table::new(&["network", "design", "speedup", "exec%", "xbar%", "vrs%"]);
     let mut xbar_shares = Vec::new();
     let mut vrs_shares = Vec::new();
     for b in &ctx.benchmarks {
@@ -57,7 +55,10 @@ fn main() {
         pct(mean(&vrs_shares))
     );
 
-    header("Fig 16b", "RP energy breakdown: Execution / DRAM / XBAR / Vault");
+    header(
+        "Fig 16b",
+        "RP energy breakdown: Execution / DRAM / XBAR / Vault",
+    );
     let mut etable = Table::new(&[
         "network", "design", "exec%", "dram%", "xbar%", "vault%", "total_mJ",
     ]);

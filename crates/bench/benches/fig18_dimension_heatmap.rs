@@ -15,10 +15,12 @@ fn main() {
         "Fig 18",
         "RP speedup heat map: dimension (B/L/H) x PE frequency",
     );
-    let freqs = [(0.3125, "312.5MHz"), (0.625, "625MHz"), (0.9375, "937.5MHz")];
-    let mut table = Table::new(&[
-        "network", "freq", "B", "L", "H", "best",
-    ]);
+    let freqs = [
+        (0.3125, "312.5MHz"),
+        (0.625, "625MHz"),
+        (0.9375, "937.5MHz"),
+    ];
+    let mut table = Table::new(&["network", "freq", "B", "L", "H", "best"]);
     for b in &ctx.benchmarks {
         let census = ctx.census(b);
         let base = ctx.eval(b, DesignVariant::Baseline);

@@ -4,8 +4,8 @@
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 
-use capsnet::routing::dynamic_routing;
-use capsnet::{ApproxMath, ExactMath};
+use capsnet::routing::{dynamic_routing, dynamic_routing_parallel, dynamic_routing_with};
+use capsnet::{ApproxMath, ExactMath, MathBackend, RoutingScratch};
 use hmc_sim::{AddressMapping, DefaultMapping, HmcConfig, PhaseEngine, PimMapping};
 use pim_approx::{fast_div, fast_exp, fast_inv_sqrt};
 use pim_capsnet::distribution::Dimension;
@@ -25,13 +25,21 @@ fn bench_special_funcs(c: &mut Criterion) {
         b.iter(|| xs.iter().map(|&x| black_box(1.0 / x.sqrt())).sum::<f32>())
     });
     g.bench_function("inv_sqrt_fast", |b| {
-        b.iter(|| xs.iter().map(|&x| black_box(fast_inv_sqrt(x, 1))).sum::<f32>())
+        b.iter(|| {
+            xs.iter()
+                .map(|&x| black_box(fast_inv_sqrt(x, 1)))
+                .sum::<f32>()
+        })
     });
     g.bench_function("div_exact", |b| {
         b.iter(|| xs.iter().map(|&x| black_box(1.7 / x)).sum::<f32>())
     });
     g.bench_function("div_fast", |b| {
-        b.iter(|| xs.iter().map(|&x| black_box(fast_div(1.7, x, 1))).sum::<f32>())
+        b.iter(|| {
+            xs.iter()
+                .map(|&x| black_box(fast_div(1.7, x, 1)))
+                .sum::<f32>()
+        })
     });
     g.finish();
 }
@@ -42,11 +50,37 @@ fn bench_routing(c: &mut Criterion) {
     let u_hat = Tensor::uniform(&[8, 128, 10, 16], -0.5, 0.5, 1);
     let exact = ExactMath;
     let approx = ApproxMath::with_recovery();
+    // Monomorphized: the backend type is statically known, special
+    // functions inline into the RP loop.
     g.bench_function("dynamic_exact", |b| {
         b.iter(|| dynamic_routing(black_box(&u_hat), 3, true, &exact).unwrap())
     });
     g.bench_function("dynamic_approx", |b| {
         b.iter(|| dynamic_routing(black_box(&u_hat), 3, true, &approx).unwrap())
+    });
+    // Boxed: the seed-style `&dyn MathBackend` path — every exp/div/inv_sqrt
+    // is a virtual call. Kept benched so the monomorphization win stays
+    // visible over time.
+    let dyn_exact: &dyn MathBackend = &exact;
+    let dyn_approx: &dyn MathBackend = &approx;
+    g.bench_function("dynamic_exact_boxed", |b| {
+        b.iter(|| dynamic_routing(black_box(&u_hat), 3, true, dyn_exact).unwrap())
+    });
+    g.bench_function("dynamic_approx_boxed", |b| {
+        b.iter(|| dynamic_routing(black_box(&u_hat), 3, true, dyn_approx).unwrap())
+    });
+    // Arena: monomorphized plus a warm reused scratch — the zero-allocation
+    // steady state of the forward engine.
+    let mut scratch = RoutingScratch::new();
+    g.bench_function("dynamic_exact_arena", |b| {
+        b.iter(|| dynamic_routing_with(black_box(&u_hat), 3, true, &exact, &mut scratch).unwrap())
+    });
+    // Batch-parallel: per-sample coefficients shard the batch across cores.
+    g.bench_function("dynamic_exact_per_sample", |b| {
+        b.iter(|| dynamic_routing(black_box(&u_hat), 3, false, &exact).unwrap())
+    });
+    g.bench_function("dynamic_exact_batch_parallel", |b| {
+        b.iter(|| dynamic_routing_parallel(black_box(&u_hat), 3, &exact).unwrap())
     });
     g.finish();
 }

@@ -28,8 +28,7 @@ fn main() {
         let r = ctx.eval(b, DesignVariant::PimCapsNet);
         let phase = r.rp_phase.expect("PIM result has phases");
         // PE dynamic energy = execution energy minus the static share.
-        let pe_dynamic =
-            (phase.energy.execution_j - phase.time_s * model.logic_static_w).max(0.0);
+        let pe_dynamic = (phase.energy.execution_j - phase.time_s * model.logic_static_w).max(0.0);
         let p = model.power(pe_dynamic, phase.time_s);
         totals.push(p.total_w);
         ptable.row(vec![

@@ -1,18 +1,32 @@
 //! Prints the whole-suite comparison of every design variant — a compact
-//! version of Figs 15–17 for quick inspection.
+//! version of Figs 15–17 for quick inspection — then measures the routing
+//! engine's execution strategies and writes `BENCH_routing.json` so future
+//! changes have a perf trajectory to compare against.
 //!
 //! ```text
 //! cargo run --release -p pim-bench --bin suite_summary
 //! ```
 
+use std::time::Instant;
+
+use capsnet::routing::{
+    dynamic_routing, dynamic_routing_parallel, dynamic_routing_with, em_routing,
+};
+use capsnet::{ExactMath, MathBackend, RoutingScratch};
 use capsnet_workloads::report::{mean, Table};
-use pim_bench::{f2, pct, BenchContext};
+use pim_bench::{f2, pct, results_dir, BenchContext};
 use pim_capsnet::DesignVariant;
+use pim_tensor::Tensor;
 
 fn main() {
     let ctx = BenchContext::new();
     let mut table = Table::new(&[
-        "network", "base_ms", "PIM_rp_x", "PIM_total_x", "energy_saving", "dim",
+        "network",
+        "base_ms",
+        "PIM_rp_x",
+        "PIM_total_x",
+        "energy_saving",
+        "dim",
     ]);
     let mut rp_x = Vec::new();
     let mut tot_x = Vec::new();
@@ -27,7 +41,9 @@ fn main() {
             f2(pim.rp_speedup_vs(&base)),
             f2(pim.total_speedup_vs(&base)),
             pct(pim.energy_saving_vs(&base)),
-            pim.chosen_dimension.map(|d| d.to_string()).unwrap_or_default(),
+            pim.chosen_dimension
+                .map(|d| d.to_string())
+                .unwrap_or_default(),
         ]);
     }
     table.print();
@@ -36,4 +52,146 @@ fn main() {
         f2(mean(&rp_x)),
         f2(mean(&tot_x))
     );
+
+    write_routing_benchmarks();
+}
+
+/// One measured routing configuration.
+struct Measurement {
+    name: &'static str,
+    /// Name of the boxed-dispatch measurement this one is compared against.
+    baseline: &'static str,
+    ns_per_iter: f64,
+}
+
+/// Times `f` with a calibrated batch size (total per sample >= ~2 ms).
+fn time_ns<F: FnMut()>(mut f: F) -> f64 {
+    let mut iters: u64 = 1;
+    loop {
+        let start = Instant::now();
+        for _ in 0..iters {
+            f();
+        }
+        let elapsed = start.elapsed();
+        if elapsed.as_millis() >= 2 || iters >= 1 << 20 {
+            break;
+        }
+        iters *= 4;
+    }
+    // Median of 5 samples.
+    let mut samples: Vec<f64> = (0..5)
+        .map(|_| {
+            let start = Instant::now();
+            for _ in 0..iters {
+                f();
+            }
+            start.elapsed().as_nanos() as f64 / iters as f64
+        })
+        .collect();
+    samples.sort_by(|a, b| a.total_cmp(b));
+    samples[2]
+}
+
+/// Measures the routing execution strategies (boxed dyn-dispatch baseline
+/// vs monomorphized vs warm-arena vs batch-parallel) and writes
+/// `BENCH_routing.json` into the results directory.
+fn write_routing_benchmarks() {
+    println!("\n=== routing engine — ns/iter by execution strategy ===");
+    let u_shared = Tensor::uniform(&[8, 128, 10, 16], -0.5, 0.5, 1);
+    let u_batch = Tensor::uniform(&[32, 128, 10, 16], -0.5, 0.5, 2);
+    let exact = ExactMath;
+    let dyn_exact: &dyn MathBackend = &exact;
+    let mut scratch = RoutingScratch::new();
+
+    let measurements = [
+        Measurement {
+            name: "dynamic_shared_boxed",
+            baseline: "dynamic_shared_boxed",
+            ns_per_iter: time_ns(|| {
+                dynamic_routing(&u_shared, 3, true, dyn_exact).unwrap();
+            }),
+        },
+        Measurement {
+            name: "dynamic_shared_mono",
+            baseline: "dynamic_shared_boxed",
+            ns_per_iter: time_ns(|| {
+                dynamic_routing(&u_shared, 3, true, &exact).unwrap();
+            }),
+        },
+        Measurement {
+            name: "dynamic_shared_arena",
+            baseline: "dynamic_shared_boxed",
+            ns_per_iter: time_ns(|| {
+                dynamic_routing_with(&u_shared, 3, true, &exact, &mut scratch).unwrap();
+            }),
+        },
+        Measurement {
+            name: "dynamic_per_sample_boxed",
+            baseline: "dynamic_per_sample_boxed",
+            ns_per_iter: time_ns(|| {
+                dynamic_routing(&u_batch, 3, false, dyn_exact).unwrap();
+            }),
+        },
+        Measurement {
+            name: "dynamic_per_sample_mono",
+            baseline: "dynamic_per_sample_boxed",
+            ns_per_iter: time_ns(|| {
+                dynamic_routing(&u_batch, 3, false, &exact).unwrap();
+            }),
+        },
+        Measurement {
+            name: "dynamic_per_sample_parallel",
+            baseline: "dynamic_per_sample_boxed",
+            ns_per_iter: time_ns(|| {
+                dynamic_routing_parallel(&u_batch, 3, &exact).unwrap();
+            }),
+        },
+        Measurement {
+            name: "em_boxed",
+            baseline: "em_boxed",
+            ns_per_iter: time_ns(|| {
+                em_routing(&u_shared, 3, dyn_exact).unwrap();
+            }),
+        },
+        Measurement {
+            name: "em_mono",
+            baseline: "em_boxed",
+            ns_per_iter: time_ns(|| {
+                em_routing(&u_shared, 3, &exact).unwrap();
+            }),
+        },
+    ];
+
+    let baseline_ns = |name: &str| {
+        measurements
+            .iter()
+            .find(|m| m.name == name)
+            .map(|m| m.ns_per_iter)
+            .unwrap_or(f64::NAN)
+    };
+
+    let mut json = String::from("{\n  \"benchmarks\": [\n");
+    for (i, m) in measurements.iter().enumerate() {
+        let speedup = baseline_ns(m.baseline) / m.ns_per_iter;
+        println!(
+            "{:<32} {:>14.0} ns/iter   {:>5.2}x vs {}",
+            m.name, m.ns_per_iter, speedup, m.baseline
+        );
+        json.push_str(&format!(
+            "    {{\"name\": \"{}\", \"ns_per_iter\": {:.1}, \"baseline\": \"{}\", \"speedup_vs_baseline\": {:.4}}}{}\n",
+            m.name,
+            m.ns_per_iter,
+            m.baseline,
+            speedup,
+            if i + 1 == measurements.len() { "" } else { "," }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+
+    let dir = results_dir();
+    let path = dir.join("BENCH_routing.json");
+    match std::fs::create_dir_all(&dir).and_then(|()| std::fs::write(&path, &json)) {
+        Ok(()) => println!("[json] {}", path.display()),
+        Err(e) => eprintln!("[json] failed to write {}: {e}", path.display()),
+    }
 }

@@ -21,11 +21,20 @@ pub trait MathBackend: Send + Sync {
     fn div(&self, a: f32, b: f32) -> f32;
     /// `sqrt(x)`; default composes `x * inv_sqrt(x)`, which is how the PE
     /// evaluates it (no dedicated sqrt unit).
+    ///
+    /// The composition is only meaningful for positive finite inputs, so the
+    /// default guards the rest: zero, negatives and NaN return `0.0`
+    /// (capsule norm-squares are non-negative by construction, so a negative
+    /// here is always numerical noise worth clamping rather than turning
+    /// into NaN via `x * inv_sqrt(x)`), and `+∞` returns `+∞` instead of
+    /// the `∞ · 0` NaN the raw composition would produce.
     fn sqrt(&self, x: f32) -> f32 {
-        if x == 0.0 {
-            0.0
-        } else {
+        if x == f32::INFINITY {
+            f32::INFINITY
+        } else if x > 0.0 {
             x * self.inv_sqrt(x)
+        } else {
+            0.0
         }
     }
     /// Short human-readable backend name (used in reports).
@@ -167,12 +176,52 @@ mod tests {
         assert!((b.sqrt(16.0) - 4.0).abs() < 0.05);
     }
 
+    /// Backend that only provides the required methods, so `sqrt` exercises
+    /// the trait's default implementation.
+    struct DefaultSqrt;
+
+    impl MathBackend for DefaultSqrt {
+        fn exp(&self, x: f32) -> f32 {
+            x.exp()
+        }
+        fn inv_sqrt(&self, x: f32) -> f32 {
+            1.0 / x.sqrt()
+        }
+        fn div(&self, a: f32, b: f32) -> f32 {
+            a / b
+        }
+        fn name(&self) -> &'static str {
+            "default-sqrt"
+        }
+    }
+
+    #[test]
+    fn default_sqrt_guards_nonpositive_and_nonfinite() {
+        let b = DefaultSqrt;
+        assert_eq!(b.sqrt(0.0), 0.0);
+        assert_eq!(b.sqrt(-0.0), 0.0);
+        assert_eq!(b.sqrt(-1.0), 0.0, "negative inputs clamp to 0, not NaN");
+        assert_eq!(b.sqrt(f32::NEG_INFINITY), 0.0);
+        assert_eq!(b.sqrt(f32::NAN), 0.0);
+        assert_eq!(b.sqrt(f32::INFINITY), f32::INFINITY);
+        assert!((b.sqrt(9.0) - 3.0).abs() < 1e-6);
+        // Subnormals and tiny values stay finite and non-negative.
+        let tiny = b.sqrt(f32::MIN_POSITIVE);
+        assert!(tiny.is_finite() && tiny >= 0.0);
+    }
+
+    #[test]
+    fn approx_sqrt_is_nan_free_on_garbage() {
+        let b = ApproxMath::without_recovery();
+        for x in [-5.0f32, -0.0, f32::NAN, f32::NEG_INFINITY] {
+            assert_eq!(b.sqrt(x), 0.0, "sqrt({x}) must clamp");
+        }
+    }
+
     #[test]
     fn backends_are_object_safe() {
-        let backends: Vec<Box<dyn MathBackend>> = vec![
-            Box::new(ExactMath),
-            Box::new(ApproxMath::with_recovery()),
-        ];
+        let backends: Vec<Box<dyn MathBackend>> =
+            vec![Box::new(ExactMath), Box::new(ApproxMath::with_recovery())];
         for b in &backends {
             assert!(b.exp(0.0) > 0.9);
         }

@@ -186,8 +186,7 @@ pub struct RpCensus {
 impl RpCensus {
     /// Builds the census from raw dimensions.
     pub fn new(nb: usize, nl: usize, nh: usize, cl: usize, ch: usize, iterations: usize) -> Self {
-        let (nb_, nl_, nh_, cl_, ch_) =
-            (nb as u64, nl as u64, nh as u64, cl as u64, ch as u64);
+        let (nb_, nl_, nh_, cl_, ch_) = (nb as u64, nl as u64, nh as u64, cl as u64, ch as u64);
         let sizes = IntermediateSizes {
             u: nb_ * nl_ * cl_ * F32_BYTES,
             w: nl_ * nh_ * cl_ * ch_ * F32_BYTES,
@@ -296,9 +295,15 @@ impl RpCensus {
     /// The aggregation dimensions per slot are identical, which is why the
     /// inter-vault distribution (Table 2, Eqs 6–12) applies unchanged —
     /// the paper's generality claim.
-    pub fn new_em(nb: usize, nl: usize, nh: usize, cl: usize, ch: usize, iterations: usize) -> Self {
-        let (nb_, nl_, nh_, cl_, ch_) =
-            (nb as u64, nl as u64, nh as u64, cl as u64, ch as u64);
+    pub fn new_em(
+        nb: usize,
+        nl: usize,
+        nh: usize,
+        cl: usize,
+        ch: usize,
+        iterations: usize,
+    ) -> Self {
+        let (nb_, nl_, nh_, cl_, ch_) = (nb as u64, nl as u64, nh as u64, cl as u64, ch as u64);
         // Per-sample responsibilities R are [B, L, H]; μ/σ are [B, H, CH].
         let r_bytes = nb_ * nl_ * nh_ * F32_BYTES;
         let mu_bytes = nb_ * nh_ * ch_ * F32_BYTES;
@@ -624,7 +629,12 @@ mod tests {
     fn eq1_runs_once_others_iterate() {
         let c = mn1();
         assert!(!c.equation(RpEquation::Eq1).per_iteration);
-        for eq in [RpEquation::Eq2, RpEquation::Eq3, RpEquation::Eq4, RpEquation::Eq5] {
+        for eq in [
+            RpEquation::Eq2,
+            RpEquation::Eq3,
+            RpEquation::Eq4,
+            RpEquation::Eq5,
+        ] {
             assert!(c.equation(eq).per_iteration, "{eq} must iterate");
         }
     }
@@ -653,10 +663,7 @@ mod tests {
         assert_eq!(c.equation(RpEquation::Eq2).special_ops(), 0);
         assert!(c.equation(RpEquation::Eq3).isqrts > 0);
         assert!(c.equation(RpEquation::Eq5).exps > 0);
-        assert_eq!(
-            c.equation(RpEquation::Eq5).exps,
-            1152 * 10
-        );
+        assert_eq!(c.equation(RpEquation::Eq5).exps, 1152 * 10);
     }
 
     #[test]

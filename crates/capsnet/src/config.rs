@@ -183,7 +183,9 @@ impl CapsNetSpec {
     /// constraint.
     pub fn validate(&self) -> Result<(), CapsNetError> {
         if self.conv1_channels == 0 {
-            return Err(CapsNetError::InvalidSpec("conv1_channels must be > 0".into()));
+            return Err(CapsNetError::InvalidSpec(
+                "conv1_channels must be > 0".into(),
+            ));
         }
         if self.cl_dim == 0 || self.ch_dim == 0 {
             return Err(CapsNetError::InvalidSpec(

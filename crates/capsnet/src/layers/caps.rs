@@ -80,6 +80,25 @@ impl CapsLayer {
     ///
     /// Returns a shape error when the input does not match the layer.
     pub fn prediction_vectors(&self, u: &Tensor) -> Result<Tensor, CapsNetError> {
+        let mut out = Tensor::zeros(&[0]);
+        let mut gather = Vec::new();
+        self.prediction_vectors_into(u, &mut out, &mut gather)?;
+        Ok(out)
+    }
+
+    /// Allocation-free [`Self::prediction_vectors`]: writes `û` into `out`
+    /// (resized in place) using the caller-owned `gather` buffer for the
+    /// per-capsule input rows.
+    ///
+    /// # Errors
+    ///
+    /// Returns a shape error when the input does not match the layer.
+    pub fn prediction_vectors_into(
+        &self,
+        u: &Tensor,
+        out: &mut Tensor,
+        gather: &mut Vec<f32>,
+    ) -> Result<(), CapsNetError> {
         let dims = u.shape().dims();
         if dims.len() != 3 || dims[1] != self.l_caps || dims[2] != self.cl_dim {
             return Err(CapsNetError::InputMismatch {
@@ -91,10 +110,13 @@ impl CapsLayer {
         let hc = self.h_caps * self.ch_dim;
         let u_src = u.as_slice();
         let w_src = self.weight.as_slice();
-        let mut out = vec![0.0f32; b * self.l_caps * hc];
+        out.resize_for(&[b, self.l_caps, self.h_caps, self.ch_dim]);
+        let out_buf = out.as_mut_slice();
         // Per low-level capsule i: gather u rows [B, CL] and multiply by
         // W_i [CL, H*CH]. The gather keeps the GEMM contiguous.
-        let mut u_i = vec![0.0f32; b * self.cl_dim];
+        gather.clear();
+        gather.resize(b * self.cl_dim, 0.0);
+        let u_i = gather;
         for i in 0..self.l_caps {
             for bi in 0..b {
                 let src = &u_src[(bi * self.l_caps + i) * self.cl_dim..][..self.cl_dim];
@@ -104,7 +126,7 @@ impl CapsLayer {
             // out_i [B, H*CH]
             for bi in 0..b {
                 let urow = &u_i[bi * self.cl_dim..(bi + 1) * self.cl_dim];
-                let orow = &mut out[(bi * self.l_caps + i) * hc..][..hc];
+                let orow = &mut out_buf[(bi * self.l_caps + i) * hc..][..hc];
                 for (d, &uv) in urow.iter().enumerate() {
                     if uv == 0.0 {
                         continue;
@@ -116,10 +138,7 @@ impl CapsLayer {
                 }
             }
         }
-        Ok(Tensor::from_vec(
-            out,
-            &[b, self.l_caps, self.h_caps, self.ch_dim],
-        )?)
+        Ok(())
     }
 
     /// Full forward pass: prediction vectors then routing.
@@ -127,18 +146,73 @@ impl CapsLayer {
     /// # Errors
     ///
     /// Propagates shape errors from [`Self::prediction_vectors`].
-    pub fn forward(
+    pub fn forward<B: MathBackend + Sync + ?Sized>(
         &self,
         u: &Tensor,
-        backend: &dyn MathBackend,
+        backend: &B,
     ) -> Result<RoutingOutput, CapsNetError> {
         let u_hat = self.prediction_vectors(u)?;
-        match self.routing {
-            RoutingAlgorithm::Dynamic => {
-                routing::dynamic_routing(&u_hat, self.iterations, self.batch_shared, backend)
+        match (self.routing, self.batch_shared) {
+            (RoutingAlgorithm::Dynamic, true) => {
+                routing::dynamic_routing(&u_hat, self.iterations, true, backend)
             }
-            RoutingAlgorithm::Em => routing::em_routing(&u_hat, self.iterations, backend),
+            // Per-sample coefficients route every sample independently, so
+            // the batch shards across cores; results are bit-identical to
+            // the serial path (the driver falls back to it for small work).
+            (RoutingAlgorithm::Dynamic, false) => {
+                routing::dynamic_routing_parallel(&u_hat, self.iterations, backend)
+            }
+            (RoutingAlgorithm::Em, _) => {
+                routing::em_routing_parallel(&u_hat, self.iterations, backend)
+            }
         }
+    }
+
+    /// Allocation-free forward pass for the arena-backed model path: `û`
+    /// lands in `u_hat`, the routed capsules and coefficients in `scratch`
+    /// (read them via [`RoutingScratch::v`] and the coefficient accessors).
+    ///
+    /// Serial by design — the batch-parallel driver owns per-thread
+    /// scratches instead (see [`routing::dynamic_routing_parallel`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates shape errors from [`Self::prediction_vectors_into`].
+    pub fn forward_into<B: MathBackend + ?Sized>(
+        &self,
+        u: &Tensor,
+        backend: &B,
+        u_hat: &mut Tensor,
+        gather: &mut Vec<f32>,
+        scratch: &mut crate::routing::RoutingScratch,
+    ) -> Result<(), CapsNetError> {
+        self.prediction_vectors_into(u, u_hat, gather)?;
+        let d = u_hat.shape().dims();
+        let dims = (d[0], d[1], d[2], d[3]);
+        match self.routing {
+            RoutingAlgorithm::Dynamic => routing::dynamic_routing_core(
+                u_hat.as_slice(),
+                dims,
+                self.iterations,
+                self.batch_shared,
+                backend,
+                scratch,
+            ),
+            RoutingAlgorithm::Em => {
+                routing::em_routing_core(u_hat.as_slice(), dims, self.iterations, backend, scratch)
+            }
+        }
+        Ok(())
+    }
+
+    /// `true` when routing coefficients are shared across the batch.
+    pub fn batch_shared(&self) -> bool {
+        self.batch_shared
+    }
+
+    /// The routing algorithm this layer uses.
+    pub fn routing_algorithm(&self) -> RoutingAlgorithm {
+        self.routing
     }
 }
 

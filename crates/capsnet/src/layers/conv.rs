@@ -1,7 +1,7 @@
 //! Plain convolutional layer (the CNN-type layer that stays on the GPU in
 //! the paper's hybrid design).
 
-use pim_tensor::{conv2d, Conv2dSpec, Tensor};
+use pim_tensor::{conv2d_pretransposed_into, Conv2dScratch, Conv2dSpec, Tensor};
 use serde::{Deserialize, Serialize};
 
 use crate::error::CapsNetError;
@@ -27,12 +27,35 @@ impl Activation {
             Activation::Sigmoid => t.sigmoid(),
         }
     }
+
+    /// Applies the activation elementwise in place (the allocation-free
+    /// counterpart of [`Activation::apply`], same math).
+    pub fn apply_in_place(&self, data: &mut [f32]) {
+        match self {
+            Activation::Linear => {}
+            Activation::Relu => {
+                for x in data {
+                    *x = x.max(0.0);
+                }
+            }
+            Activation::Sigmoid => {
+                for x in data {
+                    *x = 1.0 / (1.0 + (-*x).exp());
+                }
+            }
+        }
+    }
 }
 
 /// A 2D convolutional layer with optional bias and activation.
+///
+/// The weight is also cached pre-reshaped+transposed (`[in*k*k, out]`) so
+/// the forward GEMM never re-derives it — the transpose the seed code paid
+/// per `forward` call now happens once at construction.
 #[derive(Debug, Clone)]
 pub struct Conv2dLayer {
     weight: Tensor,
+    weight_t: Tensor,
     bias: Option<Tensor>,
     spec: Conv2dSpec,
     activation: Activation,
@@ -50,8 +73,11 @@ impl Conv2dLayer {
     ) -> Self {
         let fan_in = (in_channels * kernel * kernel) as f32;
         let std = (2.0 / fan_in).sqrt();
+        let weight = Tensor::randn(&[out_channels, in_channels, kernel, kernel], std, seed);
+        let weight_t = transpose_weight(&weight);
         Conv2dLayer {
-            weight: Tensor::randn(&[out_channels, in_channels, kernel, kernel], std, seed),
+            weight,
+            weight_t,
             bias: Some(Tensor::zeros(&[out_channels])),
             spec: Conv2dSpec::new(kernel, stride, 0),
             activation,
@@ -85,9 +111,11 @@ impl Conv2dLayer {
                 )));
             }
         }
+        let weight_t = transpose_weight(&weight);
         Ok(Conv2dLayer {
             spec: Conv2dSpec::new(dims[2], stride, 0),
             weight,
+            weight_t,
             bias,
             activation,
         })
@@ -109,9 +137,46 @@ impl Conv2dLayer {
     ///
     /// Propagates tensor shape errors.
     pub fn forward(&self, input: &Tensor) -> Result<Tensor, CapsNetError> {
-        let out = conv2d(input, &self.weight, self.bias.as_ref(), self.spec)?;
-        Ok(self.activation.apply(out))
+        let mut out = Tensor::zeros(&[0]);
+        let mut scratch = Conv2dScratch::default();
+        self.forward_into(input, &mut out, &mut scratch)?;
+        Ok(out)
     }
+
+    /// Allocation-free forward pass: writes into `out` (resized in place)
+    /// using caller-owned scratch. Same math as [`Self::forward`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates tensor shape errors.
+    pub fn forward_into(
+        &self,
+        input: &Tensor,
+        out: &mut Tensor,
+        scratch: &mut Conv2dScratch,
+    ) -> Result<(), CapsNetError> {
+        conv2d_pretransposed_into(
+            input,
+            &self.weight_t,
+            self.bias.as_ref(),
+            self.spec,
+            out,
+            scratch,
+        )?;
+        self.activation.apply_in_place(out.as_mut_slice());
+        Ok(())
+    }
+}
+
+/// `[out, in, k, k]` → `[in*k*k, out]`, the GEMM-ready layout.
+fn transpose_weight(weight: &Tensor) -> Tensor {
+    let dims = weight.shape().dims();
+    let out_c = dims[0];
+    let ckk: usize = dims[1..].iter().product();
+    weight
+        .reshape(&[out_c, ckk])
+        .and_then(|w| w.transpose())
+        .expect("conv weight is rank 4 by construction")
 }
 
 #[cfg(test)]
@@ -133,9 +198,7 @@ mod tests {
         let w = Tensor::zeros(&[4, 1, 3, 3]);
         assert!(Conv2dLayer::from_weights(w.clone(), None, 1, Activation::Linear).is_ok());
         let bad_bias = Tensor::zeros(&[5]);
-        assert!(
-            Conv2dLayer::from_weights(w, Some(bad_bias), 1, Activation::Linear).is_err()
-        );
+        assert!(Conv2dLayer::from_weights(w, Some(bad_bias), 1, Activation::Linear).is_err());
         let non_square = Tensor::zeros(&[4, 1, 3, 5]);
         assert!(Conv2dLayer::from_weights(non_square, None, 1, Activation::Linear).is_err());
     }

@@ -1,7 +1,7 @@
 //! The PrimaryCaps layer: a convolution whose output channels are grouped
 //! into capsule vectors, squashed per capsule (Fig 2's "PrimaryCaps Layer").
 
-use pim_tensor::Tensor;
+use pim_tensor::{Conv2dScratch, Tensor};
 
 use crate::backend::MathBackend;
 use crate::error::CapsNetError;
@@ -55,19 +55,42 @@ impl PrimaryCapsLayer {
     /// # Errors
     ///
     /// Propagates tensor shape errors.
-    pub fn forward(
+    pub fn forward<B: MathBackend + ?Sized>(
         &self,
         input: &Tensor,
-        backend: &dyn MathBackend,
+        backend: &B,
     ) -> Result<Tensor, CapsNetError> {
-        let conv_out = self.conv.forward(input)?; // [B, caps*cl, H', W']
-        let dims = conv_out.shape().dims().to_vec();
+        let mut out = Tensor::zeros(&[0]);
+        let mut conv_buf = Tensor::zeros(&[0]);
+        let mut scratch = Conv2dScratch::default();
+        self.forward_into(input, backend, &mut out, &mut conv_buf, &mut scratch)?;
+        Ok(out)
+    }
+
+    /// Allocation-free forward pass: the convolution output lands in
+    /// `conv_buf`, the squashed capsules in `out` (both resized in place).
+    /// Same math as [`Self::forward`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates tensor shape errors.
+    pub fn forward_into<B: MathBackend + ?Sized>(
+        &self,
+        input: &Tensor,
+        backend: &B,
+        out: &mut Tensor,
+        conv_buf: &mut Tensor,
+        scratch: &mut Conv2dScratch,
+    ) -> Result<(), CapsNetError> {
+        self.conv.forward_into(input, conv_buf, scratch)?; // [B, caps*cl, H', W']
+        let dims = conv_buf.shape().dims().to_vec();
         let (b, _c, h, w) = (dims[0], dims[1], dims[2], dims[3]);
         let l = self.caps_channels * h * w;
         // Regroup [B, caps*cl, H, W] -> [B, L, CL] where capsule index runs
         // over (channel_group, y, x).
-        let src = conv_out.as_slice();
-        let mut out = vec![0.0f32; b * l * self.cl_dim];
+        out.resize_for(&[b, l, self.cl_dim]);
+        let dst = out.as_mut_slice();
+        let src = conv_buf.as_slice();
         for bi in 0..b {
             for g in 0..self.caps_channels {
                 for y in 0..h {
@@ -75,7 +98,7 @@ impl PrimaryCapsLayer {
                         let cap = (g * h + y) * w + x;
                         for d in 0..self.cl_dim {
                             let ch = g * self.cl_dim + d;
-                            out[(bi * l + cap) * self.cl_dim + d] =
+                            dst[(bi * l + cap) * self.cl_dim + d] =
                                 src[((bi * dims[1] + ch) * h + y) * w + x];
                         }
                     }
@@ -83,10 +106,10 @@ impl PrimaryCapsLayer {
             }
         }
         // Squash each capsule vector.
-        for cap in out.chunks_mut(self.cl_dim) {
+        for cap in dst.chunks_mut(self.cl_dim) {
             squash_in_place(cap, backend);
         }
-        Ok(Tensor::from_vec(out, &[b, l, self.cl_dim])?)
+        Ok(())
     }
 }
 

@@ -47,7 +47,8 @@ pub use backend::{ApproxMath, ExactMath, MathBackend};
 pub use census::{EquationProfile, IntermediateSizes, NetworkCensus, RpCensus, RpEquation};
 pub use config::{CapsNetSpec, RoutingAlgorithm};
 pub use error::CapsNetError;
-pub use model::{CapsNet, ForwardOutput};
+pub use model::{CapsNet, ForwardArena, ForwardOutput, ForwardView};
+pub use routing::RoutingScratch;
 pub use squash::{squash_in_place, squash_scale};
 
 /// Convenience alias for results produced by this crate.

@@ -1,12 +1,22 @@
 //! The assembled CapsNet model: encoder (Conv1 → PrimaryCaps → Caps layer
 //! with routing) and FC decoder, per Fig 2.
+//!
+//! Two forward paths share the same math (and produce bit-identical
+//! outputs):
+//!
+//! * [`CapsNet::forward`] — materializes owned tensors per call and lets
+//!   the routing layer shard independent samples across cores;
+//! * [`CapsNet::forward_with`] — threads a [`ForwardArena`] through every
+//!   layer so steady-state inference performs **zero heap allocations**
+//!   after the first (warm-up) call at a given batch size.
 
-use pim_tensor::Tensor;
+use pim_tensor::{Conv2dScratch, Tensor};
 
 use crate::backend::MathBackend;
-use crate::config::CapsNetSpec;
+use crate::config::{CapsNetSpec, RoutingAlgorithm};
 use crate::error::CapsNetError;
 use crate::layers::{Activation, CapsLayer, Conv2dLayer, DenseLayer, PrimaryCapsLayer};
+use crate::routing::RoutingScratch;
 
 /// Everything the encoder produces for a batch.
 #[derive(Debug, Clone)]
@@ -25,18 +35,145 @@ impl ForwardOutput {
     /// Predicted class per sample: argmax of capsule norm.
     pub fn predictions(&self) -> Vec<usize> {
         let dims = self.class_norms_sq.shape().dims();
-        let (b, h) = (dims[0], dims[1]);
-        let data = self.class_norms_sq.as_slice();
-        (0..b)
-            .map(|bi| {
-                let row = &data[bi * h..(bi + 1) * h];
-                row.iter()
-                    .enumerate()
-                    .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
-                    .map(|(i, _)| i)
-                    .unwrap_or(0)
-            })
-            .collect()
+        argmax_rows(self.class_norms_sq.as_slice(), dims[0], dims[1])
+    }
+}
+
+/// Squared capsule norms: `v` is `[B, H, C_H]`, `out` receives `[B, H]`.
+fn norms_sq_into(v: &[f32], b: usize, h: usize, ch: usize, out: &mut [f32]) {
+    for bi in 0..b {
+        for j in 0..h {
+            out[bi * h + j] = v[(bi * h + j) * ch..(bi * h + j + 1) * ch]
+                .iter()
+                .map(|&x| x * x)
+                .sum();
+        }
+    }
+}
+
+/// Row-wise argmax of a `[B, H]` score matrix.
+fn argmax_rows(data: &[f32], b: usize, h: usize) -> Vec<usize> {
+    let mut out = Vec::with_capacity(b);
+    argmax_rows_into(data, b, h, &mut out);
+    out
+}
+
+/// [`argmax_rows`] into a caller-owned buffer (cleared first).
+fn argmax_rows_into(data: &[f32], b: usize, h: usize, out: &mut Vec<usize>) {
+    out.clear();
+    out.extend((0..b).map(|bi| {
+        let row = &data[bi * h..(bi + 1) * h];
+        row.iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
+            .map(|(i, _)| i)
+            .unwrap_or(0)
+    }));
+}
+
+/// Reusable buffers for [`CapsNet::forward_with`]: every intermediate the
+/// encoder materializes, including the routing scratch.
+///
+/// Keep one per thread (arenas are cheap when cold and grow to the largest
+/// problem seen). All buffers are resized in place, so after the first
+/// call at a given geometry, forward passes allocate nothing.
+#[derive(Debug, Clone, Default)]
+pub struct ForwardArena {
+    conv1_out: Tensor,
+    primary_conv: Tensor,
+    primary_caps: Tensor,
+    u_hat: Tensor,
+    gather: Vec<f32>,
+    // One scratch per conv stage: the two convolutions have different
+    // im2col geometries, and sharing one buffer would re-shape it (and
+    // reallocate its Shape) on every pass, breaking the zero-allocation
+    // steady state.
+    conv1_scratch: Conv2dScratch,
+    primary_scratch: Conv2dScratch,
+    routing: RoutingScratch,
+    norms: Vec<f32>,
+}
+
+impl ForwardArena {
+    /// Creates an empty arena; buffers grow on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+/// Borrowed view of one [`CapsNet::forward_with`] result — all slices point
+/// into the [`ForwardArena`], so reading costs nothing.
+#[derive(Debug, Clone, Copy)]
+pub struct ForwardView<'a> {
+    class_capsules: &'a [f32],
+    class_norms_sq: &'a [f32],
+    routing_coefficients: &'a [f32],
+    batch: usize,
+    h_caps: usize,
+    ch_dim: usize,
+    coeff_dims: [usize; 3],
+    coeff_rank: usize,
+}
+
+impl ForwardView<'_> {
+    /// High-level (class) capsules, `[B, H, C_H]` row-major.
+    pub fn class_capsules(&self) -> &[f32] {
+        self.class_capsules
+    }
+
+    /// Squared norms of the class capsules, `[B, H]` row-major.
+    pub fn class_norms_sq(&self) -> &[f32] {
+        self.class_norms_sq
+    }
+
+    /// Final routing coefficients (`[L, H]` batch-shared dynamic,
+    /// `[B, L, H]` otherwise — see [`Self::coefficient_dims`]).
+    pub fn routing_coefficients(&self) -> &[f32] {
+        self.routing_coefficients
+    }
+
+    /// The coefficient tensor's dimensions.
+    pub fn coefficient_dims(&self) -> &[usize] {
+        &self.coeff_dims[..self.coeff_rank]
+    }
+
+    /// Batch size.
+    pub fn batch(&self) -> usize {
+        self.batch
+    }
+
+    /// Predicted class per sample: argmax of capsule norm.
+    pub fn predictions(&self) -> Vec<usize> {
+        argmax_rows(self.class_norms_sq, self.batch, self.h_caps)
+    }
+
+    /// [`Self::predictions`] into a caller-owned buffer (cleared first), for
+    /// allocation-free steady-state readout.
+    pub fn predictions_into(&self, out: &mut Vec<usize>) {
+        argmax_rows_into(self.class_norms_sq, self.batch, self.h_caps, out);
+    }
+
+    /// Materializes an owned [`ForwardOutput`] from this view.
+    ///
+    /// # Errors
+    ///
+    /// Propagates tensor construction errors (lengths always match by
+    /// construction).
+    pub fn to_owned_output(&self) -> Result<ForwardOutput, CapsNetError> {
+        Ok(ForwardOutput {
+            class_capsules: Tensor::from_vec(
+                self.class_capsules.to_vec(),
+                &[self.batch, self.h_caps, self.ch_dim],
+            )?,
+            class_norms_sq: Tensor::from_vec(
+                self.class_norms_sq.to_vec(),
+                &[self.batch, self.h_caps],
+            )?,
+            routing_coefficients: Tensor::from_vec(
+                self.routing_coefficients.to_vec(),
+                self.coefficient_dims(),
+            )?,
+        })
     }
 }
 
@@ -117,15 +254,101 @@ impl CapsNet {
 
     /// Encoder forward pass: images `[B, C, H, W]` → class capsules.
     ///
+    /// Generic over the backend (concrete types monomorphize the routing
+    /// hot loop; `&dyn MathBackend` still works). With per-sample routing
+    /// coefficients the routing layer shards the batch across cores —
+    /// results are bit-identical either way.
+    ///
     /// # Errors
     ///
     /// Returns [`CapsNetError::InputMismatch`] for wrong image geometry and
     /// propagates tensor errors.
-    pub fn forward(
+    pub fn forward<B: MathBackend + Sync + ?Sized>(
         &self,
         images: &Tensor,
-        backend: &dyn MathBackend,
+        backend: &B,
     ) -> Result<ForwardOutput, CapsNetError> {
+        self.validate_images(images)?;
+        let c1 = self.conv1.forward(images)?;
+        let u = self.primary.forward(&c1, backend)?;
+        let routed = self.caps.forward(&u, backend)?;
+
+        // Class scores: squared norms of the H capsules.
+        let vdims = routed.v.shape().dims();
+        let (b, h, ch) = (vdims[0], vdims[1], vdims[2]);
+        let mut norms = vec![0.0f32; b * h];
+        norms_sq_into(routed.v.as_slice(), b, h, ch, &mut norms);
+        Ok(ForwardOutput {
+            class_capsules: routed.v,
+            class_norms_sq: Tensor::from_vec(norms, &[b, h])?,
+            routing_coefficients: routed.coefficients,
+        })
+    }
+
+    /// Arena-backed encoder forward pass: identical math and bit-identical
+    /// outputs to [`Self::forward`], but every intermediate lives in
+    /// `arena`, so a warm arena makes the whole pass allocation-free.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CapsNetError::InputMismatch`] for wrong image geometry and
+    /// propagates tensor errors.
+    pub fn forward_with<'a, B: MathBackend + ?Sized>(
+        &self,
+        images: &Tensor,
+        backend: &B,
+        arena: &'a mut ForwardArena,
+    ) -> Result<ForwardView<'a>, CapsNetError> {
+        self.validate_images(images)?;
+        self.conv1
+            .forward_into(images, &mut arena.conv1_out, &mut arena.conv1_scratch)?;
+        self.primary.forward_into(
+            &arena.conv1_out,
+            backend,
+            &mut arena.primary_caps,
+            &mut arena.primary_conv,
+            &mut arena.primary_scratch,
+        )?;
+        self.caps.forward_into(
+            &arena.primary_caps,
+            backend,
+            &mut arena.u_hat,
+            &mut arena.gather,
+            &mut arena.routing,
+        )?;
+
+        let b = images.shape().dims()[0];
+        let (h, ch) = (self.spec.h_caps, self.spec.ch_dim);
+        arena.norms.clear();
+        arena.norms.resize(b * h, 0.0);
+        norms_sq_into(arena.routing.v(), b, h, ch, &mut arena.norms);
+
+        let l = self.caps.l_caps();
+        let (coeff_dims, coeff_rank) = if self.caps.routing_algorithm() == RoutingAlgorithm::Dynamic
+            && self.caps.batch_shared()
+        {
+            ([l, h, 0], 2)
+        } else {
+            ([b, l, h], 3)
+        };
+        let routing_coefficients = if self.caps.routing_algorithm() == RoutingAlgorithm::Dynamic {
+            arena.routing.coefficients()
+        } else {
+            arena.routing.responsibilities()
+        };
+        Ok(ForwardView {
+            class_capsules: arena.routing.v(),
+            class_norms_sq: &arena.norms,
+            routing_coefficients,
+            batch: b,
+            h_caps: h,
+            ch_dim: ch,
+            coeff_dims,
+            coeff_rank,
+        })
+    }
+
+    fn validate_images(&self, images: &Tensor) -> Result<(), CapsNetError> {
         let dims = images.shape().dims();
         if dims.len() != 4
             || dims[1] != self.spec.input_channels
@@ -140,28 +363,7 @@ impl CapsNet {
                 actual: dims.to_vec(),
             });
         }
-        let c1 = self.conv1.forward(images)?;
-        let u = self.primary.forward(&c1, backend)?;
-        let routed = self.caps.forward(&u, backend)?;
-
-        // Class scores: squared norms of the H capsules.
-        let vdims = routed.v.shape().dims();
-        let (b, h, ch) = (vdims[0], vdims[1], vdims[2]);
-        let vs = routed.v.as_slice();
-        let mut norms = vec![0.0f32; b * h];
-        for bi in 0..b {
-            for j in 0..h {
-                norms[bi * h + j] = vs[(bi * h + j) * ch..(bi * h + j + 1) * ch]
-                    .iter()
-                    .map(|&x| x * x)
-                    .sum();
-            }
-        }
-        Ok(ForwardOutput {
-            class_capsules: routed.v,
-            class_norms_sq: Tensor::from_vec(norms, &[b, h])?,
-            routing_coefficients: routed.coefficients,
-        })
+        Ok(())
     }
 
     /// Decoder forward pass: reconstructs inputs from class capsules with
@@ -289,10 +491,7 @@ mod tests {
         let wrong = (pred + 1) % 3;
         let loss_right = net.margin_loss(&out, &[pred]).unwrap();
         let loss_wrong = net.margin_loss(&out, &[wrong]).unwrap();
-        assert!(
-            loss_right < loss_wrong,
-            "loss {loss_right} vs {loss_wrong}"
-        );
+        assert!(loss_right < loss_wrong, "loss {loss_right} vs {loss_wrong}");
     }
 
     #[test]
@@ -311,11 +510,7 @@ mod tests {
             .forward(&images, &ApproxMath::with_recovery())
             .unwrap()
             .predictions();
-        let agree = exact
-            .iter()
-            .zip(&approx)
-            .filter(|(a, b)| a == b)
-            .count();
+        let agree = exact.iter().zip(&approx).filter(|(a, b)| a == b).count();
         assert!(agree >= 14, "only {agree}/16 predictions agree");
     }
 

@@ -19,7 +19,7 @@ use pim_tensor::Tensor;
 
 use crate::backend::MathBackend;
 use crate::error::CapsNetError;
-use crate::routing::RoutingOutput;
+use crate::routing::{validate_u_hat, RoutingOutput, RoutingScratch};
 use crate::squash::squash_in_place;
 
 /// Runs dynamic routing over prediction vectors `û` of shape
@@ -28,36 +28,89 @@ use crate::squash::squash_in_place;
 /// Returns the high-level capsules `[B, H, C_H]` and the final routing
 /// coefficients (`[L, H]` if `batch_shared`, else `[B, L, H]`).
 ///
+/// Generic over the backend: calling with a concrete type (`&ExactMath`,
+/// `&ApproxMath`) monomorphizes the whole RP with the special functions
+/// inlined; calling with `&dyn MathBackend` still works and produces
+/// bit-identical results through virtual dispatch.
+///
+/// Allocates its scratch internally; steady-state callers should hold a
+/// [`RoutingScratch`] and use [`dynamic_routing_with`].
+///
 /// # Errors
 ///
 /// Returns [`CapsNetError::InputMismatch`] if `u_hat` is not rank 4, or
 /// [`CapsNetError::InvalidSpec`] for zero iterations.
-pub fn dynamic_routing(
+pub fn dynamic_routing<B: MathBackend + ?Sized>(
     u_hat: &Tensor,
     iterations: usize,
     batch_shared: bool,
-    backend: &dyn MathBackend,
+    backend: &B,
 ) -> Result<RoutingOutput, CapsNetError> {
-    let dims = u_hat.shape().dims();
-    if dims.len() != 4 {
-        return Err(CapsNetError::InputMismatch {
-            expected: "[B, L, H, C_H]".into(),
-            actual: dims.to_vec(),
-        });
-    }
-    if iterations == 0 {
-        return Err(CapsNetError::InvalidSpec(
-            "routing needs at least one iteration".into(),
-        ));
-    }
-    let (nb, nl, nh, ch) = (dims[0], dims[1], dims[2], dims[3]);
-    let uh = u_hat.as_slice();
+    let mut scratch = RoutingScratch::new();
+    dynamic_routing_with(u_hat, iterations, batch_shared, backend, &mut scratch)
+}
 
+/// [`dynamic_routing`] with caller-owned scratch: a warm scratch makes the
+/// routing itself allocation-free (only the returned output tensors are
+/// materialized fresh).
+///
+/// # Errors
+///
+/// Same conditions as [`dynamic_routing`].
+pub fn dynamic_routing_with<B: MathBackend + ?Sized>(
+    u_hat: &Tensor,
+    iterations: usize,
+    batch_shared: bool,
+    backend: &B,
+    scratch: &mut RoutingScratch,
+) -> Result<RoutingOutput, CapsNetError> {
+    let (nb, nl, nh, ch) = validate_u_hat(u_hat, iterations)?;
+    dynamic_routing_core(
+        u_hat.as_slice(),
+        (nb, nl, nh, ch),
+        iterations,
+        batch_shared,
+        backend,
+        scratch,
+    );
+    let coeff_dims: Vec<usize> = if batch_shared {
+        vec![nl, nh]
+    } else {
+        vec![nb, nl, nh]
+    };
+    Ok(RoutingOutput {
+        v: Tensor::from_vec(scratch.v.clone(), &[nb, nh, ch])?,
+        coefficients: Tensor::from_vec(scratch.c.clone(), &coeff_dims)?,
+        iterations,
+    })
+}
+
+/// The monomorphized RP inner loop: routes `uh` (`[B, L, H, C_H]`
+/// row-major, pre-validated dims) leaving `v` and the coefficients in
+/// `scratch`.
+///
+/// This is the paper's Algorithm 1 exactly; no virtual calls, no heap
+/// allocation once `scratch` is warm.
+pub(crate) fn dynamic_routing_core<B: MathBackend + ?Sized>(
+    uh: &[f32],
+    (nb, nl, nh, ch): (usize, usize, usize, usize),
+    iterations: usize,
+    batch_shared: bool,
+    backend: &B,
+    scratch: &mut RoutingScratch,
+) {
+    debug_assert_eq!(uh.len(), nb * nl * nh * ch);
     let coeff_rows = if batch_shared { nl } else { nb * nl };
-    let mut b_logits = vec![0.0f32; coeff_rows * nh];
-    let mut c = vec![0.0f32; coeff_rows * nh];
-    let mut s = vec![0.0f32; nb * nh * ch];
-    let mut v = vec![0.0f32; nb * nh * ch];
+    RoutingScratch::fill_buf(&mut scratch.b_logits, coeff_rows * nh, 0.0);
+    RoutingScratch::fill_buf(&mut scratch.c, coeff_rows * nh, 0.0);
+    RoutingScratch::fill_buf(&mut scratch.s, nb * nh * ch, 0.0);
+    RoutingScratch::fill_buf(&mut scratch.v, nb * nh * ch, 0.0);
+    let (b_logits, c, s, v) = (
+        &mut scratch.b_logits,
+        &mut scratch.c,
+        &mut scratch.s,
+        &mut scratch.v,
+    );
 
     for _iter in 0..iterations {
         // Eq 5: c_ij = softmax over the H dimension of b_ij.
@@ -88,7 +141,7 @@ pub fn dynamic_routing(
         }
 
         // Eq 3: v = squash(s).
-        v.copy_from_slice(&s);
+        v.copy_from_slice(s);
         for cap in v.chunks_mut(ch) {
             squash_in_place(cap, backend);
         }
@@ -107,28 +160,17 @@ pub fn dynamic_routing(
                 for j in 0..nh {
                     let u_vec = &uh[u_base + j * ch..u_base + (j + 1) * ch];
                     let v_vec = &v[v_base + j * ch..v_base + (j + 1) * ch];
-                    let agreement: f32 =
-                        u_vec.iter().zip(v_vec).map(|(&a, &b)| a * b).sum();
+                    let agreement: f32 = u_vec.iter().zip(v_vec).map(|(&a, &b)| a * b).sum();
                     b_row[j] += agreement;
                 }
             }
         }
     }
-
-    let coeff_dims: Vec<usize> = if batch_shared {
-        vec![nl, nh]
-    } else {
-        vec![nb, nl, nh]
-    };
-    Ok(RoutingOutput {
-        v: Tensor::from_vec(v, &[nb, nh, ch])?,
-        coefficients: Tensor::from_vec(c, &coeff_dims)?,
-        iterations,
-    })
 }
 
 /// Backend-parameterized softmax of one row (max-subtracted for stability).
-fn softmax_row(logits: &[f32], out: &mut [f32], backend: &dyn MathBackend) {
+#[inline]
+fn softmax_row<B: MathBackend + ?Sized>(logits: &[f32], out: &mut [f32], backend: &B) {
     let mx = logits.iter().copied().fold(f32::NEG_INFINITY, f32::max);
     let mut denom = 0.0f32;
     for (&l, o) in logits.iter().zip(out.iter_mut()) {

@@ -16,7 +16,7 @@ use pim_tensor::Tensor;
 
 use crate::backend::MathBackend;
 use crate::error::CapsNetError;
-use crate::routing::RoutingOutput;
+use crate::routing::{validate_u_hat, RoutingOutput, RoutingScratch};
 
 /// Variance floor keeping the Gaussians well-conditioned.
 const SIGMA_FLOOR: f32 = 1e-4;
@@ -31,44 +31,88 @@ const BETA_A: f32 = 2.0;
 /// Returns high-level capsules `[B, H, C_H]` (mean scaled by activation) and
 /// per-sample assignment coefficients `[B, L, H]`.
 ///
+/// Generic over the backend: concrete backends monomorphize the E/M steps
+/// with the special functions inlined; `&dyn MathBackend` still works and
+/// produces bit-identical results.
+///
+/// Allocates its scratch internally; steady-state callers should hold a
+/// [`RoutingScratch`] and use [`em_routing_with`].
+///
 /// # Errors
 ///
 /// Returns [`CapsNetError::InputMismatch`] if `u_hat` is not rank 4, or
 /// [`CapsNetError::InvalidSpec`] for zero iterations.
-pub fn em_routing(
+pub fn em_routing<B: MathBackend + ?Sized>(
     u_hat: &Tensor,
     iterations: usize,
-    backend: &dyn MathBackend,
+    backend: &B,
 ) -> Result<RoutingOutput, CapsNetError> {
-    let dims = u_hat.shape().dims();
-    if dims.len() != 4 {
-        return Err(CapsNetError::InputMismatch {
-            expected: "[B, L, H, C_H]".into(),
-            actual: dims.to_vec(),
-        });
-    }
-    if iterations == 0 {
-        return Err(CapsNetError::InvalidSpec(
-            "routing needs at least one iteration".into(),
-        ));
-    }
-    let (nb, nl, nh, ch) = (dims[0], dims[1], dims[2], dims[3]);
-    let uh = u_hat.as_slice();
+    let mut scratch = RoutingScratch::new();
+    em_routing_with(u_hat, iterations, backend, &mut scratch)
+}
 
-    let mut r = vec![1.0 / nh as f32; nb * nl * nh];
-    let mut mu = vec![0.0f32; nb * nh * ch];
-    let mut sigma_sq = vec![1.0f32; nb * nh * ch];
-    let mut act = vec![0.5f32; nb * nh];
+/// [`em_routing`] with caller-owned scratch: a warm scratch makes the
+/// routing itself allocation-free (only the returned output tensors are
+/// materialized fresh).
+///
+/// # Errors
+///
+/// Same conditions as [`em_routing`].
+pub fn em_routing_with<B: MathBackend + ?Sized>(
+    u_hat: &Tensor,
+    iterations: usize,
+    backend: &B,
+    scratch: &mut RoutingScratch,
+) -> Result<RoutingOutput, CapsNetError> {
+    let (nb, nl, nh, ch) = validate_u_hat(u_hat, iterations)?;
+    em_routing_core(
+        u_hat.as_slice(),
+        (nb, nl, nh, ch),
+        iterations,
+        backend,
+        scratch,
+    );
+    Ok(RoutingOutput {
+        v: Tensor::from_vec(scratch.v.clone(), &[nb, nh, ch])?,
+        coefficients: Tensor::from_vec(scratch.r.clone(), &[nb, nl, nh])?,
+        iterations,
+    })
+}
+
+/// The monomorphized EM inner loop: routes `uh` (`[B, L, H, C_H]`
+/// row-major, pre-validated dims) leaving `v` (activation-scaled means) and
+/// the responsibilities `r` in `scratch`.
+pub(crate) fn em_routing_core<B: MathBackend + ?Sized>(
+    uh: &[f32],
+    (nb, nl, nh, ch): (usize, usize, usize, usize),
+    iterations: usize,
+    backend: &B,
+    scratch: &mut RoutingScratch,
+) {
+    debug_assert_eq!(uh.len(), nb * nl * nh * ch);
+    RoutingScratch::fill_buf(&mut scratch.r, nb * nl * nh, 1.0 / nh as f32);
+    RoutingScratch::fill_buf(&mut scratch.mu, nb * nh * ch, 0.0);
+    RoutingScratch::fill_buf(&mut scratch.sigma_sq, nb * nh * ch, 1.0);
+    RoutingScratch::fill_buf(&mut scratch.act, nb * nh, 0.5);
+    RoutingScratch::fill_buf(&mut scratch.log_p, nh, 0.0);
+    RoutingScratch::fill_buf(&mut scratch.v, nb * nh * ch, 0.0);
+    let (r, mu, sigma_sq, act, log_p, v) = (
+        &mut scratch.r,
+        &mut scratch.mu,
+        &mut scratch.sigma_sq,
+        &mut scratch.act,
+        &mut scratch.log_p,
+        &mut scratch.v,
+    );
 
     for _ in 0..iterations {
-        m_step(uh, &r, &mut mu, &mut sigma_sq, &mut act, nb, nl, nh, ch, backend);
-        e_step(uh, &mut r, &mu, &sigma_sq, &act, nb, nl, nh, ch, backend);
+        m_step(uh, r, mu, sigma_sq, act, nb, nl, nh, ch, backend);
+        e_step(uh, r, mu, sigma_sq, act, log_p, nb, nl, nh, ch, backend);
     }
     // One final M-step so the output reflects the last responsibilities.
-    m_step(uh, &r, &mut mu, &mut sigma_sq, &mut act, nb, nl, nh, ch, backend);
+    m_step(uh, r, mu, sigma_sq, act, nb, nl, nh, ch, backend);
 
     // v_j = a_j * mu_j — activation-scaled mean.
-    let mut v = vec![0.0f32; nb * nh * ch];
     for k in 0..nb {
         for j in 0..nh {
             let a = act[k * nh + j];
@@ -77,17 +121,11 @@ pub fn em_routing(
             }
         }
     }
-
-    Ok(RoutingOutput {
-        v: Tensor::from_vec(v, &[nb, nh, ch])?,
-        coefficients: Tensor::from_vec(r, &[nb, nl, nh])?,
-        iterations,
-    })
 }
 
 /// M-step: refit each H capsule's Gaussian from its weighted votes.
 #[allow(clippy::too_many_arguments)]
-fn m_step(
+fn m_step<B: MathBackend + ?Sized>(
     uh: &[f32],
     r: &[f32],
     mu: &mut [f32],
@@ -97,7 +135,7 @@ fn m_step(
     nl: usize,
     nh: usize,
     ch: usize,
-    backend: &dyn MathBackend,
+    backend: &B,
 ) {
     for k in 0..nb {
         for j in 0..nh {
@@ -140,28 +178,30 @@ fn m_step(
 }
 
 /// E-step: recompute responsibilities from Gaussian likelihoods.
+///
+/// `log_p` is caller-owned scratch of length `nh` (so the step allocates
+/// nothing).
 #[allow(clippy::too_many_arguments)]
-fn e_step(
+fn e_step<B: MathBackend + ?Sized>(
     uh: &[f32],
     r: &mut [f32],
     mu: &[f32],
     sigma_sq: &[f32],
     act: &[f32],
+    log_p: &mut [f32],
     nb: usize,
     nl: usize,
     nh: usize,
     ch: usize,
-    backend: &dyn MathBackend,
+    backend: &B,
 ) {
-    let mut log_p = vec![0.0f32; nh];
     for k in 0..nb {
         for i in 0..nl {
             // Unnormalized log posterior per j.
             for (j, lp) in log_p.iter_mut().enumerate() {
                 let mut quad = 0.0f32;
                 for d in 0..ch {
-                    let diff = uh[((k * nl + i) * nh + j) * ch + d]
-                        - mu[(k * nh + j) * ch + d];
+                    let diff = uh[((k * nl + i) * nh + j) * ch + d] - mu[(k * nh + j) * ch + d];
                     quad += backend.div(diff * diff, sigma_sq[(k * nh + j) * ch + d]);
                 }
                 // log(a_j) folded in multiplicatively after exp; keep the
@@ -184,7 +224,8 @@ fn e_step(
     }
 }
 
-fn logistic(x: f32, backend: &dyn MathBackend) -> f32 {
+#[inline]
+fn logistic<B: MathBackend + ?Sized>(x: f32, backend: &B) -> f32 {
     backend.div(1.0, 1.0 + backend.exp(-x))
 }
 

@@ -13,11 +13,44 @@
 
 mod dynamic;
 mod em;
+mod parallel;
+mod scratch;
 
-pub use dynamic::dynamic_routing;
-pub use em::em_routing;
+pub(crate) use dynamic::dynamic_routing_core;
+pub use dynamic::{dynamic_routing, dynamic_routing_with};
+pub(crate) use em::em_routing_core;
+pub use em::{em_routing, em_routing_with};
+pub use parallel::{dynamic_routing_parallel, em_routing_parallel};
+pub use scratch::RoutingScratch;
 
 use pim_tensor::Tensor;
+
+use crate::error::CapsNetError;
+
+/// Validates a `[B, L, H, C_H]` prediction-vector tensor and a routing
+/// iteration count, returning the unpacked dims.
+///
+/// Zero-sized `L`/`H`/`C_H` dimensions are rejected (the inner loops'
+/// chunked traversals are ill-defined for them); an empty batch (`B = 0`)
+/// is fine and routes to empty outputs.
+pub(crate) fn validate_u_hat(
+    u_hat: &Tensor,
+    iterations: usize,
+) -> Result<(usize, usize, usize, usize), CapsNetError> {
+    let dims = u_hat.shape().dims();
+    if dims.len() != 4 || dims[1..].contains(&0) {
+        return Err(CapsNetError::InputMismatch {
+            expected: "[B, L, H, C_H] with L, H, C_H > 0".into(),
+            actual: dims.to_vec(),
+        });
+    }
+    if iterations == 0 {
+        return Err(CapsNetError::InvalidSpec(
+            "routing needs at least one iteration".into(),
+        ));
+    }
+    Ok((dims[0], dims[1], dims[2], dims[3]))
+}
 
 /// The result of a routing procedure.
 #[derive(Debug, Clone)]

@@ -1,0 +1,218 @@
+//! Batch-parallel routing driver.
+//!
+//! With per-sample routing coefficients (`batch_shared = false`, the
+//! original Sabour et al. formulation and the configuration the accuracy
+//! harness uses) every sample routes independently, so a batch shards
+//! perfectly across cores. The driver reuses the work-size heuristics of
+//! `pim_tensor::par` (the same ones gating the threaded matmul) to decide
+//! when spawning is worth it, hands each `std::thread::scope` worker its own
+//! [`RoutingScratch`], and writes disjoint output chunks — results are
+//! **bit-identical** to the serial path because per-sample routing never
+//! mixes information across samples (the equivalence suite asserts this).
+
+use pim_tensor::par::{map_sharded, plan_threads};
+use pim_tensor::Tensor;
+
+use crate::backend::MathBackend;
+use crate::error::CapsNetError;
+use crate::routing::dynamic::dynamic_routing_core;
+use crate::routing::em::em_routing_core;
+use crate::routing::{validate_u_hat, RoutingOutput, RoutingScratch};
+
+/// Per-sample multiply-add-equivalents of one dynamic-routing invocation
+/// (Eq 2 + Eq 4 dominate: two `L·H·C_H` passes per iteration).
+fn dynamic_work_per_sample(nl: usize, nh: usize, ch: usize, iterations: usize) -> usize {
+    iterations.saturating_mul(nl * nh * (2 * ch + 4))
+}
+
+/// Per-sample multiply-add-equivalents of one EM-routing invocation (the
+/// M-step's mean+variance fits and the E-step's quadratic forms are each
+/// `L·H·C_H` passes).
+fn em_work_per_sample(nl: usize, nh: usize, ch: usize, iterations: usize) -> usize {
+    (iterations + 1).saturating_mul(nl * nh * (4 * ch + 8))
+}
+
+/// Dynamic routing with **per-sample** coefficients, sharded across cores.
+///
+/// Equivalent to `dynamic_routing(u_hat, iterations, false, backend)` —
+/// bit-identical outputs, including the `[B, L, H]` coefficient layout —
+/// but independent samples run on separate threads when the batch is large
+/// enough to amortize spawning (otherwise it falls through to the serial
+/// core).
+///
+/// # Errors
+///
+/// Returns [`CapsNetError::InputMismatch`] if `u_hat` is not rank 4, or
+/// [`CapsNetError::InvalidSpec`] for zero iterations.
+pub fn dynamic_routing_parallel<B: MathBackend + Sync + ?Sized>(
+    u_hat: &Tensor,
+    iterations: usize,
+    backend: &B,
+) -> Result<RoutingOutput, CapsNetError> {
+    let (nb, nl, nh, ch) = validate_u_hat(u_hat, iterations)?;
+    let threads = plan_threads(nb, dynamic_work_per_sample(nl, nh, ch, iterations));
+    let run = |uh: &[f32], samples: usize, scratch: &mut RoutingScratch| {
+        dynamic_routing_core(
+            uh,
+            (samples, nl, nh, ch),
+            iterations,
+            false,
+            backend,
+            scratch,
+        );
+    };
+    let (v, c) = shard_batch(u_hat.as_slice(), (nb, nl, nh, ch), threads, run);
+    Ok(RoutingOutput {
+        v: Tensor::from_vec(v, &[nb, nh, ch])?,
+        coefficients: Tensor::from_vec(c, &[nb, nl, nh])?,
+        iterations,
+    })
+}
+
+/// EM routing sharded across cores.
+///
+/// Equivalent to `em_routing(u_hat, iterations, backend)` — bit-identical
+/// outputs — but independent samples run on separate threads when the
+/// batch is large enough to amortize spawning.
+///
+/// # Errors
+///
+/// Returns [`CapsNetError::InputMismatch`] if `u_hat` is not rank 4, or
+/// [`CapsNetError::InvalidSpec`] for zero iterations.
+pub fn em_routing_parallel<B: MathBackend + Sync + ?Sized>(
+    u_hat: &Tensor,
+    iterations: usize,
+    backend: &B,
+) -> Result<RoutingOutput, CapsNetError> {
+    let (nb, nl, nh, ch) = validate_u_hat(u_hat, iterations)?;
+    let threads = plan_threads(nb, em_work_per_sample(nl, nh, ch, iterations));
+    let run = |uh: &[f32], samples: usize, scratch: &mut RoutingScratch| {
+        em_routing_core(uh, (samples, nl, nh, ch), iterations, backend, scratch);
+        // EM's coefficients live in `r`; surface them through `c` so the
+        // shard assembler reads one place.
+        scratch.c.clear();
+        scratch.c.extend_from_slice(&scratch.r);
+    };
+    let (v, r) = shard_batch(u_hat.as_slice(), (nb, nl, nh, ch), threads, run);
+    Ok(RoutingOutput {
+        v: Tensor::from_vec(v, &[nb, nh, ch])?,
+        coefficients: Tensor::from_vec(r, &[nb, nl, nh])?,
+        iterations,
+    })
+}
+
+/// Splits the batch into contiguous chunks, routes each on its own worker
+/// with its own scratch, and assembles `(v, coefficients)`.
+///
+/// Per-sample routing treats every sample independently, so routing a chunk
+/// as a mini-batch produces exactly the per-sample results of the full
+/// batch — concatenation is the whole reduction.
+fn shard_batch<F>(
+    uh: &[f32],
+    (nb, nl, nh, ch): (usize, usize, usize, usize),
+    threads: usize,
+    run: F,
+) -> (Vec<f32>, Vec<f32>)
+where
+    F: Fn(&[f32], usize, &mut RoutingScratch) + Sync,
+{
+    let sample_u = nl * nh * ch;
+    let sample_v = nh * ch;
+    let sample_c = nl * nh;
+    let parts = map_sharded(nb, threads, |range| {
+        let mut scratch = RoutingScratch::new();
+        run(
+            &uh[range.start * sample_u..range.end * sample_u],
+            range.len(),
+            &mut scratch,
+        );
+        // Move the routed buffers out of the worker's scratch — the
+        // concatenation below is the whole reduction.
+        (
+            std::mem::take(&mut scratch.v),
+            std::mem::take(&mut scratch.c),
+        )
+    });
+    let mut v = Vec::with_capacity(nb * sample_v);
+    let mut c = Vec::with_capacity(nb * sample_c);
+    for (part_v, part_c) in parts {
+        v.extend_from_slice(&part_v);
+        c.extend_from_slice(&part_c);
+    }
+    (v, c)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::{ApproxMath, ExactMath};
+    use crate::routing::{dynamic_routing, em_routing};
+
+    fn uhat(nb: usize, nl: usize, nh: usize, ch: usize, seed: u64) -> Tensor {
+        Tensor::uniform(&[nb, nl, nh, ch], -0.5, 0.5, seed)
+    }
+
+    #[test]
+    fn dynamic_parallel_matches_serial_bitwise() {
+        // Large enough that plan_threads actually shards on multicore hosts
+        // (total work exceeds PAR_MIN_WORK).
+        let u = uhat(16, 128, 8, 12, 1);
+        let serial = dynamic_routing(&u, 3, false, &ExactMath).unwrap();
+        let parallel = dynamic_routing_parallel(&u, 3, &ExactMath).unwrap();
+        assert_eq!(serial.v, parallel.v);
+        assert_eq!(serial.coefficients, parallel.coefficients);
+    }
+
+    #[test]
+    fn em_parallel_matches_serial_bitwise() {
+        let u = uhat(16, 96, 6, 8, 2);
+        let serial = em_routing(&u, 3, &ExactMath).unwrap();
+        let parallel = em_routing_parallel(&u, 3, &ExactMath).unwrap();
+        assert_eq!(serial.v, parallel.v);
+        assert_eq!(serial.coefficients, parallel.coefficients);
+    }
+
+    #[test]
+    fn small_batches_fall_through_to_serial() {
+        let u = uhat(2, 4, 3, 4, 3);
+        let serial = dynamic_routing(&u, 2, false, &ExactMath).unwrap();
+        let parallel = dynamic_routing_parallel(&u, 2, &ExactMath).unwrap();
+        assert_eq!(serial.v, parallel.v);
+        assert_eq!(serial.coefficients, parallel.coefficients);
+    }
+
+    #[test]
+    fn parallel_works_through_dyn_backend() {
+        let u = uhat(8, 32, 5, 8, 4);
+        let boxed: &dyn MathBackend = &ApproxMath::with_recovery();
+        let via_dyn = dynamic_routing_parallel(&u, 3, boxed).unwrap();
+        let via_mono = dynamic_routing_parallel(&u, 3, &ApproxMath::with_recovery()).unwrap();
+        assert_eq!(via_dyn.v, via_mono.v);
+    }
+
+    #[test]
+    fn zero_sized_dimensions_error_instead_of_panicking() {
+        // L*H work is large enough to request threads, but C_H = 0 makes
+        // the per-sample stride zero — every driver must reject it with a
+        // typed error (the inner loops cannot traverse zero-sized chunks).
+        let u = Tensor::zeros(&[16, 512, 128, 0]);
+        assert!(dynamic_routing(&u, 3, false, &ExactMath).is_err());
+        assert!(dynamic_routing_parallel(&u, 3, &ExactMath).is_err());
+        assert!(em_routing_parallel(&u, 3, &ExactMath).is_err());
+        // Empty batches are fine and produce empty outputs.
+        let empty = Tensor::zeros(&[0, 4, 3, 2]);
+        let out = dynamic_routing_parallel(&empty, 3, &ExactMath).unwrap();
+        assert_eq!(out.v.shape().dims(), &[0, 3, 2]);
+        assert_eq!(
+            out.v,
+            dynamic_routing(&empty, 3, false, &ExactMath).unwrap().v
+        );
+    }
+
+    #[test]
+    fn rejects_bad_inputs() {
+        assert!(dynamic_routing_parallel(&Tensor::zeros(&[2, 3, 4]), 3, &ExactMath).is_err());
+        let u = uhat(1, 2, 2, 2, 5);
+        assert!(em_routing_parallel(&u, 0, &ExactMath).is_err());
+    }
+}

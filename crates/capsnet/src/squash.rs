@@ -17,8 +17,12 @@ use crate::backend::MathBackend;
 ///
 /// Exposed separately so the census/PE-program builders can reason about
 /// the special-function content: one `inv_sqrt`, one `div`, two multiplies.
+///
+/// Generic over the backend (with `?Sized` so `&dyn MathBackend` still
+/// works): concrete backends monomorphize and inline, which is what keeps
+/// the routing hot loop free of virtual calls.
 #[inline]
-pub fn squash_scale(norm_sq: f32, backend: &dyn MathBackend) -> f32 {
+pub fn squash_scale<B: MathBackend + ?Sized>(norm_sq: f32, backend: &B) -> f32 {
     if norm_sq <= 0.0 {
         return 0.0;
     }
@@ -44,7 +48,7 @@ pub fn squash_scale(norm_sq: f32, backend: &dyn MathBackend) -> f32 {
 /// assert!(short[0] < 0.011); // short vectors shrink toward zero
 /// ```
 #[inline]
-pub fn squash_in_place(s: &mut [f32], backend: &dyn MathBackend) {
+pub fn squash_in_place<B: MathBackend + ?Sized>(s: &mut [f32], backend: &B) {
     let norm_sq: f32 = s.iter().map(|&x| x * x).sum();
     let k = squash_scale(norm_sq, backend);
     for x in s {

@@ -8,15 +8,8 @@ use proptest::prelude::*;
 /// Strategy: a û tensor with bounded values and small dimensions.
 fn u_hat_strategy() -> impl Strategy<Value = (Tensor, usize, usize, usize, usize)> {
     (1usize..=3, 2usize..=6, 2usize..=4, 2usize..=6).prop_flat_map(|(b, l, h, ch)| {
-        proptest::collection::vec(-1.0f32..1.0, b * l * h * ch).prop_map(move |data| {
-            (
-                Tensor::from_vec(data, &[b, l, h, ch]).unwrap(),
-                b,
-                l,
-                h,
-                ch,
-            )
-        })
+        proptest::collection::vec(-1.0f32..1.0, b * l * h * ch)
+            .prop_map(move |data| (Tensor::from_vec(data, &[b, l, h, ch]).unwrap(), b, l, h, ch))
     })
 }
 

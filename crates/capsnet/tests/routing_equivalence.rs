@@ -1,0 +1,158 @@
+//! Equivalence suite for the monomorphized / boxed / arena / parallel
+//! routing paths.
+//!
+//! The refactor away from `&dyn MathBackend` + per-call allocation is only
+//! safe because every execution strategy computes the *same* floats. These
+//! tests pin that down bitwise:
+//!
+//! * generic (monomorphized) calls vs `&dyn MathBackend` calls;
+//! * fresh-scratch calls vs warm reused-scratch calls;
+//! * batch-parallel sharded routing vs single-threaded routing;
+//! * the arena-backed `CapsNet::forward_with` vs the materializing
+//!   `CapsNet::forward`.
+
+use capsnet::routing::{
+    dynamic_routing, dynamic_routing_parallel, dynamic_routing_with, em_routing,
+    em_routing_parallel, em_routing_with,
+};
+use capsnet::{
+    ApproxMath, CapsNet, CapsNetSpec, ExactMath, ForwardArena, MathBackend, RoutingAlgorithm,
+    RoutingScratch,
+};
+use pim_tensor::Tensor;
+
+fn uhat(nb: usize, nl: usize, nh: usize, ch: usize, seed: u64) -> Tensor {
+    Tensor::uniform(&[nb, nl, nh, ch], -0.5, 0.5, seed)
+}
+
+fn backends() -> Vec<(&'static str, Box<dyn MathBackend>)> {
+    vec![
+        ("exact", Box::new(ExactMath)),
+        ("approx+recovery", Box::new(ApproxMath::with_recovery())),
+        ("approx", Box::new(ApproxMath::without_recovery())),
+    ]
+}
+
+#[test]
+fn dynamic_monomorphized_matches_boxed_bitwise() {
+    let u = uhat(4, 24, 6, 8, 11);
+    for batch_shared in [true, false] {
+        // Monomorphized: B = ExactMath / ApproxMath.
+        let mono_exact = dynamic_routing(&u, 3, batch_shared, &ExactMath).unwrap();
+        let mono_approx =
+            dynamic_routing(&u, 3, batch_shared, &ApproxMath::with_recovery()).unwrap();
+        // Boxed: B = dyn MathBackend, virtual dispatch.
+        let dyn_exact: &dyn MathBackend = &ExactMath;
+        let dyn_approx: &dyn MathBackend = &ApproxMath::with_recovery();
+        let boxed_exact = dynamic_routing(&u, 3, batch_shared, dyn_exact).unwrap();
+        let boxed_approx = dynamic_routing(&u, 3, batch_shared, dyn_approx).unwrap();
+        assert_eq!(
+            mono_exact.v, boxed_exact.v,
+            "exact v (shared={batch_shared})"
+        );
+        assert_eq!(mono_exact.coefficients, boxed_exact.coefficients);
+        assert_eq!(
+            mono_approx.v, boxed_approx.v,
+            "approx v (shared={batch_shared})"
+        );
+        assert_eq!(mono_approx.coefficients, boxed_approx.coefficients);
+    }
+}
+
+#[test]
+fn em_monomorphized_matches_boxed_bitwise() {
+    let u = uhat(3, 20, 5, 6, 12);
+    for (name, boxed) in backends() {
+        let via_dyn = em_routing(&u, 3, boxed.as_ref()).unwrap();
+        let via_mono = match name {
+            "exact" => em_routing(&u, 3, &ExactMath).unwrap(),
+            "approx+recovery" => em_routing(&u, 3, &ApproxMath::with_recovery()).unwrap(),
+            _ => em_routing(&u, 3, &ApproxMath::without_recovery()).unwrap(),
+        };
+        assert_eq!(via_mono.v, via_dyn.v, "{name} v");
+        assert_eq!(via_mono.coefficients, via_dyn.coefficients, "{name} r");
+    }
+}
+
+#[test]
+fn warm_scratch_matches_fresh_allocations_bitwise() {
+    let mut scratch = RoutingScratch::new();
+    // Reuse one scratch across differently-shaped problems, interleaving
+    // algorithms, and compare against fresh-scratch runs each time.
+    for (seed, (nb, nl, nh, ch)) in [(1u64, (2, 12, 4, 6)), (2, (5, 30, 8, 4)), (3, (1, 6, 3, 8))]
+        .into_iter()
+        .enumerate()
+        .map(|(i, d)| (i as u64 + 40, d.1))
+    {
+        let u = uhat(nb, nl, nh, ch, seed);
+        for batch_shared in [true, false] {
+            let fresh = dynamic_routing(&u, 3, batch_shared, &ExactMath).unwrap();
+            let warm = dynamic_routing_with(&u, 3, batch_shared, &ExactMath, &mut scratch).unwrap();
+            assert_eq!(fresh.v, warm.v);
+            assert_eq!(fresh.coefficients, warm.coefficients);
+        }
+        let fresh = em_routing(&u, 2, &ApproxMath::with_recovery()).unwrap();
+        let warm = em_routing_with(&u, 2, &ApproxMath::with_recovery(), &mut scratch).unwrap();
+        assert_eq!(fresh.v, warm.v);
+        assert_eq!(fresh.coefficients, warm.coefficients);
+    }
+}
+
+#[test]
+fn batch_parallel_matches_single_threaded_bitwise() {
+    // Big enough to clear the PAR_MIN_WORK gate so sharding really happens
+    // on multicore machines.
+    let u = uhat(24, 96, 10, 16, 13);
+    for (name, backend) in backends() {
+        let serial_dyn = dynamic_routing(&u, 3, false, backend.as_ref()).unwrap();
+        let par_dyn = dynamic_routing_parallel(&u, 3, backend.as_ref()).unwrap();
+        assert_eq!(serial_dyn.v, par_dyn.v, "{name} dynamic v");
+        assert_eq!(
+            serial_dyn.coefficients, par_dyn.coefficients,
+            "{name} dynamic c"
+        );
+
+        let serial_em = em_routing(&u, 2, backend.as_ref()).unwrap();
+        let par_em = em_routing_parallel(&u, 2, backend.as_ref()).unwrap();
+        assert_eq!(serial_em.v, par_em.v, "{name} em v");
+        assert_eq!(serial_em.coefficients, par_em.coefficients, "{name} em r");
+    }
+}
+
+#[test]
+fn arena_forward_matches_materializing_forward_bitwise() {
+    for routing in [RoutingAlgorithm::Dynamic, RoutingAlgorithm::Em] {
+        for batch_shared in [true, false] {
+            let mut spec = CapsNetSpec::tiny_for_tests();
+            spec.routing = routing;
+            spec.batch_shared_routing = batch_shared;
+            let net = CapsNet::seeded(&spec, 77).unwrap();
+            let mut arena = ForwardArena::new();
+            // Reuse the arena across calls and batch sizes; every call must
+            // match the materializing path bitwise.
+            for (seed, batch) in [(1u64, 4), (2, 4), (3, 2), (4, 6)] {
+                let images = Tensor::uniform(
+                    &[batch, 1, spec.input_hw.0, spec.input_hw.1],
+                    0.0,
+                    1.0,
+                    seed,
+                );
+                let owned = net.forward(&images, &ExactMath).unwrap();
+                let view = net.forward_with(&images, &ExactMath, &mut arena).unwrap();
+                assert_eq!(owned.class_capsules.as_slice(), view.class_capsules());
+                assert_eq!(owned.class_norms_sq.as_slice(), view.class_norms_sq());
+                assert_eq!(
+                    owned.routing_coefficients.as_slice(),
+                    view.routing_coefficients()
+                );
+                assert_eq!(
+                    owned.routing_coefficients.shape().dims(),
+                    view.coefficient_dims()
+                );
+                assert_eq!(owned.predictions(), view.predictions());
+                let roundtrip = view.to_owned_output().unwrap();
+                assert_eq!(roundtrip.class_capsules, owned.class_capsules);
+            }
+        }
+    }
+}

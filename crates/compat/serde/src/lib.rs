@@ -1,0 +1,86 @@
+//! Minimal offline stand-in for the `serde` crate.
+//!
+//! The build environment has no crates-registry access, so this shim keeps
+//! the workspace's `#[derive(Serialize, Deserialize)]` annotations and
+//! `T: Serialize` bounds compiling without pulling in the real dependency.
+//! [`Serialize`] / [`Deserialize`] are *marker traits* here: no actual
+//! (de)serialization format ships with the workspace today. When a real
+//! format is needed, dropping in genuine `serde` is a manifest-only change —
+//! all annotations (including `#[serde(default = "…")]` field attributes)
+//! are already written against the real API.
+
+// Lets the derive-generated `impl serde::Serialize for …` paths resolve
+// when the derives are used inside this crate (e.g. in its own tests).
+extern crate self as serde;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker for serializable types (stand-in for `serde::Serialize`).
+pub trait Serialize {}
+
+/// Marker for deserializable types (stand-in for `serde::Deserialize`).
+pub trait Deserialize<'de>: Sized {}
+
+macro_rules! impl_primitives {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {}
+        impl<'de> Deserialize<'de> for $t {}
+    )*};
+}
+
+impl_primitives!(bool, char, u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64, String);
+
+impl<T: Serialize> Serialize for Vec<T> {}
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Vec<T> {}
+impl<T: Serialize> Serialize for Option<T> {}
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Option<T> {}
+impl<T: Serialize> Serialize for [T] {}
+impl<T: Serialize, const N: usize> Serialize for [T; N] {}
+impl<'de, T: Deserialize<'de>, const N: usize> Deserialize<'de> for [T; N] {}
+impl<T: Serialize + ?Sized> Serialize for &T {}
+impl<T: Serialize + ?Sized> Serialize for Box<T> {}
+
+macro_rules! impl_tuples {
+    ($(($($n:ident),+)),*) => {$(
+        impl<$($n: Serialize),+> Serialize for ($($n,)+) {}
+        impl<'de, $($n: Deserialize<'de>),+> Deserialize<'de> for ($($n,)+) {}
+    )*};
+}
+
+impl_tuples!(
+    (A),
+    (A, B),
+    (A, B, C),
+    (A, B, C, D),
+    (A, B, C, D, E),
+    (A, B, C, D, E, F)
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Serialize, Deserialize)]
+    #[allow(dead_code)]
+    struct Plain {
+        x: f32,
+        name: String,
+    }
+
+    #[derive(Serialize, Deserialize)]
+    #[allow(dead_code)]
+    enum Kind {
+        A,
+        B(u32),
+    }
+
+    fn assert_serde<T: Serialize + for<'a> Deserialize<'a>>() {}
+
+    #[test]
+    fn derive_and_primitives_satisfy_bounds() {
+        assert_serde::<Plain>();
+        assert_serde::<Kind>();
+        assert_serde::<Vec<(usize, usize)>>();
+        assert_serde::<Option<f64>>();
+    }
+}

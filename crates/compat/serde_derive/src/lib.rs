@@ -1,0 +1,109 @@
+//! Derive macros for the offline `serde` stand-in.
+//!
+//! Emits marker-trait impls (`impl serde::Serialize for T {}` etc.) for
+//! plain (non-generic) structs and enums, which covers every annotated type
+//! in this workspace. Field attributes like `#[serde(default = "path")]`
+//! are accepted, and any `default`-function paths they reference are kept
+//! alive (referenced from generated code) so switching to the real `serde`
+//! later requires no source changes and the functions never rot as dead
+//! code in the meantime.
+
+use proc_macro::{TokenStream, TokenTree};
+
+/// Extracts the type name following the first `struct` or `enum` keyword.
+fn type_name(input: &TokenStream) -> Option<String> {
+    let mut saw_kw = false;
+    for tt in input.clone() {
+        // Only top-level idents matter; attribute bodies and visibility
+        // groups are nested inside `TokenTree::Group`s and skipped.
+        if let TokenTree::Ident(id) = tt {
+            let s = id.to_string();
+            if saw_kw {
+                return Some(s);
+            }
+            if s == "struct" || s == "enum" {
+                saw_kw = true;
+            }
+        }
+    }
+    None
+}
+
+/// Returns `true` when the type declares generic parameters (unsupported).
+fn has_generics(input: &TokenStream, name: &str) -> bool {
+    let mut prev_was_name = false;
+    for tt in input.clone() {
+        match &tt {
+            TokenTree::Ident(id) if id.to_string() == name => prev_was_name = true,
+            TokenTree::Punct(p) if prev_was_name && p.as_char() == '<' => return true,
+            _ => prev_was_name = false,
+        }
+    }
+    false
+}
+
+/// Collects every `default = "path"` mentioned in `#[serde(...)]` field
+/// attributes (textual scan — the attribute grammar here is tiny).
+fn default_fns(input: &TokenStream) -> Vec<String> {
+    let text = input.to_string();
+    let mut out = Vec::new();
+    let mut rest = text.as_str();
+    while let Some(pos) = rest.find("default") {
+        rest = &rest[pos + "default".len()..];
+        let trimmed = rest.trim_start();
+        if let Some(after_eq) = trimmed.strip_prefix('=') {
+            let after_eq = after_eq.trim_start();
+            if let Some(stripped) = after_eq.strip_prefix('"') {
+                if let Some(end) = stripped.find('"') {
+                    let path = &stripped[..end];
+                    if !path.is_empty() {
+                        out.push(path.to_string());
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+fn marker_impl(input: TokenStream, serialize: bool) -> TokenStream {
+    let Some(name) = type_name(&input) else {
+        return r#"compile_error!("serde stand-in derive: expected a struct or enum");"#
+            .parse()
+            .unwrap();
+    };
+    if has_generics(&input, &name) {
+        return format!(
+            r#"compile_error!("serde stand-in derive does not support generic type `{name}`");"#
+        )
+        .parse()
+        .unwrap();
+    }
+    let mut code = if serialize {
+        format!("impl serde::Serialize for {name} {{}}")
+    } else {
+        format!("impl<'de> serde::Deserialize<'de> for {name} {{}}")
+    };
+    if !serialize {
+        // Keep `#[serde(default = "f")]` functions referenced so they don't
+        // trip dead-code lints while the shim ignores the attribute.
+        let defaults = default_fns(&input);
+        if !defaults.is_empty() {
+            let refs: String = defaults.iter().map(|f| format!("let _ = {f};")).collect();
+            code.push_str(&format!("const _: () = {{ {refs} }};"));
+        }
+    }
+    code.parse().unwrap()
+}
+
+/// Marker derive for `Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    marker_impl(input, true)
+}
+
+/// Marker derive for `Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    marker_impl(input, false)
+}

@@ -162,7 +162,11 @@ mod tests {
         // eq5ish = 64
         // E_B = eq1 + 3·(eq2+eq3+eq4+0.15625+64)
         let expected = 11_059_200.0 + 3.0 * (1_473_920.0 + 2_680.0 + 1_428_480.0 + 0.15625 + 64.0);
-        assert!((m.e_b() - expected).abs() < 1.0, "{} vs {expected}", m.e_b());
+        assert!(
+            (m.e_b() - expected).abs() < 1.0,
+            "{} vs {expected}",
+            m.e_b()
+        );
     }
 
     #[test]

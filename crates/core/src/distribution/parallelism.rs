@@ -20,10 +20,15 @@ pub fn parallelizable(eq: RpEquation, dim: Dimension) -> bool {
     use RpEquation::*;
     matches!(
         (eq, dim),
-        (Eq1, B) | (Eq1, L) | (Eq1, H)
-            | (Eq2, B) | (Eq2, H)
-            | (Eq3, B) | (Eq3, H)
-            | (Eq4, L) | (Eq4, H)
+        (Eq1, B)
+            | (Eq1, L)
+            | (Eq1, H)
+            | (Eq2, B)
+            | (Eq2, H)
+            | (Eq3, B)
+            | (Eq3, H)
+            | (Eq4, L)
+            | (Eq4, H)
             | (Eq5, L)
     )
 }

@@ -11,9 +11,7 @@ pub fn vault_shares(n: usize, vaults: usize) -> Vec<usize> {
     assert!(vaults > 0, "need at least one vault");
     let base = n / vaults;
     let extra = n % vaults;
-    (0..vaults)
-        .map(|v| base + usize::from(v < extra))
-        .collect()
+    (0..vaults).map(|v| base + usize::from(v < extra)).collect()
 }
 
 /// The offline snippet plan for one distribution choice.

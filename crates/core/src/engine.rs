@@ -150,8 +150,8 @@ fn gpu_eval(
     variant: DesignVariant,
     icp: bool,
 ) -> EvalResult {
-    let model = GpuTimingModel::with_params(platform.gpu.clone(), platform.gpu_params)
-        .ideal_cache(icp);
+    let model =
+        GpuTimingModel::with_params(platform.gpu.clone(), platform.gpu_params).ideal_cache(icp);
     let rp = model.rp_result(&census.rp);
     let times = model.network_times(census);
     let layers = GpuEnergyModel::new(platform.gpu.clone()).layers_energy(census.non_rp_layers());
@@ -249,16 +249,14 @@ fn pim_eval(
         RmasPolicy::AlwaysPim => {
             // The GPU starves behind PE queues; the PEs also eat the
             // arbitration churn on the shared switch.
-            let pen =
-                inputs.penalty(RmasPolicy::AlwaysPim).min(2.0) * CONTENTION_WEIGHT * overlap;
+            let pen = inputs.penalty(RmasPolicy::AlwaysPim).min(2.0) * CONTENTION_WEIGHT * overlap;
             gpu_time += pen;
             rp.time_s += 0.25 * pen;
         }
         RmasPolicy::AlwaysGpu => {
             // The PEs starve behind host bursts; the GPU still waits on
             // in-flight PE requests it cannot preempt.
-            let pen =
-                inputs.penalty(RmasPolicy::AlwaysGpu).min(2.0) * CONTENTION_WEIGHT * overlap;
+            let pen = inputs.penalty(RmasPolicy::AlwaysGpu).min(2.0) * CONTENTION_WEIGHT * overlap;
             rp.time_s += pen;
             gpu_time += 0.25 * pen;
         }
@@ -286,16 +284,14 @@ fn rmas_inputs(
 ) -> RmasInputs {
     // HMC-side intensity: how busy the internal bandwidth is during RP.
     let rp_bytes: f64 = census.rp.total_traffic_bytes() as f64;
-    let hmc_util =
-        (rp_bytes / (rp.time_s.max(1e-12) * platform.hmc.internal_gbps * 1e9)).min(1.0);
+    let hmc_util = (rp_bytes / (rp.time_s.max(1e-12) * platform.hmc.internal_gbps * 1e9)).min(1.0);
     // GPU-side intensity over the external links.
     let gpu_bytes: f64 = census
         .non_rp_layers()
         .iter()
         .map(|l| (l.read_bytes + l.write_bytes) as f64)
         .sum();
-    let gpu_util =
-        (gpu_bytes / (gpu_time.max(1e-12) * platform.hmc.external_gbps * 1e9)).min(1.0);
+    let gpu_util = (gpu_bytes / (gpu_time.max(1e-12) * platform.hmc.external_gbps * 1e9)).min(1.0);
     RmasInputs {
         queue_depth: 2.0 + 14.0 * hmc_util,
         n_max: (platform.hmc.vaults as f64 / 4.0).max(1.0),
@@ -406,12 +402,8 @@ mod tests {
         let census = mn1();
         let platform = Platform::paper_default();
         for dim in Dimension::ALL {
-            let r = evaluate_with_dimension(
-                &census,
-                &platform,
-                DesignVariant::PimCapsNet,
-                Some(dim),
-            );
+            let r =
+                evaluate_with_dimension(&census, &platform, DesignVariant::PimCapsNet, Some(dim));
             assert_eq!(r.chosen_dimension, Some(dim));
             assert!(r.rp_time_s > 0.0);
         }

@@ -195,9 +195,8 @@ pub fn build_rp_phases(
             Dimension::B | Dimension::H => {
                 // Residue: softmax on vault 0, then scatter c (Fig 10's
                 // purple blocks / paper Eqs 8 & 12).
-                let mut works: Vec<(PeProgram, u64)> = (0..nv)
-                    .map(|_| (PeProgram::new(), 0u64))
-                    .collect();
+                let mut works: Vec<(PeProgram, u64)> =
+                    (0..nv).map(|_| (PeProgram::new(), 0u64)).collect();
                 let p = &mut works[0].0;
                 p.push(PeOp::Exp(nl * nh));
                 p.push(PeOp::Div(nl * nh));
@@ -207,10 +206,7 @@ pub fn build_rp_phases(
                 works[0].1 = p.traffic_bytes();
                 // For H-dim, Eq 5 first needs b gathered (M_H's first term).
                 let (payload, messages) = match dim {
-                    Dimension::B => (
-                        (nv as u64 - 1) * nl * nh * F32,
-                        (nv as u64 - 1) * nl * nh,
-                    ),
+                    Dimension::B => ((nv as u64 - 1) * nl * nh * F32, (nv as u64 - 1) * nl * nh),
                     Dimension::H => (
                         (nv as u64 - 1) * nl * F32 + nl * F32,
                         (nv as u64 - 1) * nl + nl,
@@ -270,9 +266,12 @@ pub fn build_rp_phases(
             if dim == Dimension::L {
                 // All-reduce partial s then broadcast v (M_L, Eq 10); the
                 // squash runs on the reducer vault.
-                let agg_factor = if pre_aggregate { 1 } else { plan.max_share() as u64 };
-                phase.xbar_payload_bytes =
-                    2 * nb * (nv as u64 - 1) * nh * ch * F32 * agg_factor;
+                let agg_factor = if pre_aggregate {
+                    1
+                } else {
+                    plan.max_share() as u64
+                };
+                phase.xbar_payload_bytes = 2 * nb * (nv as u64 - 1) * nh * ch * F32 * agg_factor;
                 phase.xbar_messages = 2 * nb * (nv as u64 - 1) * nh * agg_factor;
                 let reducer = &mut phase.vaults[0].program;
                 let caps = nb * nh;
@@ -326,13 +325,16 @@ pub fn build_rp_phases(
             if dim == Dimension::B {
                 // Gather pre-aggregated b to the softmax vault (M_B's first
                 // half); a log₂-tree spreads the reduction adds.
-                let agg_factor = if pre_aggregate { 1 } else { plan.max_share() as u64 };
+                let agg_factor = if pre_aggregate {
+                    1
+                } else {
+                    plan.max_share() as u64
+                };
                 phase.xbar_payload_bytes = (nv as u64 - 1) * nl * nh * F32 * agg_factor;
                 phase.xbar_messages = (nv as u64 - 1) * nl * nh * agg_factor;
                 let depth = plan.aggregation_depth as u64;
                 for work in phase.vaults.iter_mut() {
-                    work.program
-                        .push(PeOp::Add(nl * nh * depth / nv as u64));
+                    work.program.push(PeOp::Add(nl * nh * depth / nv as u64));
                 }
             }
             phases.push(phase);
@@ -434,7 +436,11 @@ pub fn build_rp_phases_generic(
     };
 
     let eq1 = rp.equation(capsnet::RpEquation::Eq1);
-    emit("eq1".into(), eq1, parallel_fn(capsnet::RpEquation::Eq1, dim));
+    emit(
+        "eq1".into(),
+        eq1,
+        parallel_fn(capsnet::RpEquation::Eq1, dim),
+    );
     for it in 0..rp.iterations {
         for eq in [
             capsnet::RpEquation::Eq5,
@@ -468,8 +474,7 @@ pub fn build_non_rp_phases(census: &NetworkCensus, cfg: &HmcConfig) -> Vec<Phase
                     p.read_bytes = layer.read_bytes / nv;
                     p.write_bytes = layer.write_bytes / nv;
                     let bytes = p.traffic_bytes();
-                    let (bank_bytes, row_hit_rate) =
-                        AddressingMode::Pim.bank_spread(bytes, cfg);
+                    let (bank_bytes, row_hit_rate) = AddressingMode::Pim.bank_spread(bytes, cfg);
                     VaultWork {
                         program: p,
                         bank_bytes,
@@ -578,8 +583,13 @@ mod tests {
         let engine = PhaseEngine::new(cfg.clone());
         let rp = mn1();
         let local = build_rp_phases(&rp, &cfg, Dimension::B, AddressingMode::Pim, true);
-        let remote =
-            build_rp_phases(&rp, &cfg, Dimension::B, AddressingMode::DefaultInterleave, true);
+        let remote = build_rp_phases(
+            &rp,
+            &cfg,
+            Dimension::B,
+            AddressingMode::DefaultInterleave,
+            true,
+        );
         let t_local = engine.run(&local.phases);
         let t_remote = engine.run(&remote.phases);
         assert!(t_remote.xbar_s > 5.0 * t_local.xbar_s);
@@ -592,9 +602,8 @@ mod tests {
         let rp = mn1();
         let with = build_rp_phases(&rp, &cfg, Dimension::B, AddressingMode::Pim, true);
         let without = build_rp_phases(&rp, &cfg, Dimension::B, AddressingMode::Pim, false);
-        let bytes = |p: &RpPhasePlan| -> u64 {
-            p.phases.iter().map(|ph| ph.xbar_payload_bytes).sum()
-        };
+        let bytes =
+            |p: &RpPhasePlan| -> u64 { p.phases.iter().map(|ph| ph.xbar_payload_bytes).sum() };
         assert!(
             bytes(&without) > 2 * bytes(&with),
             "pre-aggregation must cut inter-vault bytes"
@@ -614,8 +623,7 @@ mod tests {
 
     #[test]
     fn non_rp_phases_cover_all_layers() {
-        let census =
-            NetworkCensus::from_spec(&capsnet::CapsNetSpec::mnist(), 100).unwrap();
+        let census = NetworkCensus::from_spec(&capsnet::CapsNetSpec::mnist(), 100).unwrap();
         let cfg = HmcConfig::gen3();
         let phases = build_non_rp_phases(&census, &cfg);
         assert_eq!(phases.len(), 5); // conv, primary, 3 FC

@@ -101,9 +101,8 @@ impl OverheadModel {
     pub fn area(&self) -> AreaReport {
         let p = &self.params;
         let units = 4.0;
-        let per_pe_um2 = units * (p.adder_um2 + p.multiplier_um2 + p.shifter_um2)
-            + p.mux_um2
-            + p.registers_um2;
+        let per_pe_um2 =
+            units * (p.adder_um2 + p.multiplier_um2 + p.shifter_um2) + p.mux_um2 + p.registers_um2;
         let per_pe_mm2 = per_pe_um2 / 1e6;
         let pes_mm2 = per_pe_mm2 * self.cfg.total_pes() as f64;
         let rmas_mm2 = p.rmas_um2 / 1e6;

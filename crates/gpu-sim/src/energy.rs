@@ -87,7 +87,11 @@ mod tests {
         let e = model.layer_energy(&census.primary);
         assert!(e.energy_j > 0.0);
         // Average power should sit between idle and TDP.
-        assert!(e.avg_power_w > 60.0 && e.avg_power_w < 260.0, "{}", e.avg_power_w);
+        assert!(
+            e.avg_power_w > 60.0 && e.avg_power_w < 260.0,
+            "{}",
+            e.avg_power_w
+        );
     }
 
     #[test]

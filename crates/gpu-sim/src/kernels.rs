@@ -207,10 +207,7 @@ pub fn lower_rp_generic(rp: &RpCensus) -> Vec<KernelProfile> {
                         width: prof.reduction_width,
                     },
                     flops: prof.flops() - prof.flops() / 2,
-                    operands: vec![
-                        Operand::read_fresh(tmp),
-                        Operand::write(prof.write_bytes),
-                    ],
+                    operands: vec![Operand::read_fresh(tmp), Operand::write(prof.write_bytes)],
                     launches: 1,
                 });
             } else {
@@ -462,7 +459,10 @@ mod em_tests {
         assert_eq!(kernels.len(), 1 + 3 * 4 * 2);
         assert!(kernels.iter().any(|k| k.is_reduction()));
         let flops: u64 = kernels.iter().map(|k| k.flops).sum();
-        assert!(flops > em.total_flops() / 2, "lowering must carry the flops");
+        assert!(
+            flops > em.total_flops() / 2,
+            "lowering must carry the flops"
+        );
     }
 
     #[test]

@@ -175,8 +175,7 @@ impl GpuTimingModel {
             } else if op.fresh {
                 // Freshly written by the previous kernel: the resident
                 // fraction of the LLC it fits in is still warm.
-                let resident =
-                    (self.spec.onchip_bytes as f64 / op.bytes as f64).min(1.0) * 0.9;
+                let resident = (self.spec.onchip_bytes as f64 / op.bytes as f64).min(1.0) * 0.9;
                 raw * miss * (1.0 - resident.min(0.95))
             } else {
                 // Aged tensor (written kernels/iterations ago): survives
@@ -313,7 +312,12 @@ mod tests {
         let r = model.rp_result(&mn1().rp);
         let s = r.stalls;
         assert!(s.memory > s.sync, "memory {} <= sync {}", s.memory, s.sync);
-        assert!(s.sync > s.resource, "sync {} <= resource {}", s.sync, s.resource);
+        assert!(
+            s.sync > s.resource,
+            "sync {} <= resource {}",
+            s.sync,
+            s.resource
+        );
         let sum = s.memory + s.sync + s.resource + s.inst_fetch + s.other;
         assert!((sum - 1.0).abs() < 1e-9);
         // Paper averages: memory 44.6%, sync 34.5% — allow a generous band.

@@ -43,12 +43,7 @@ pub trait AddressMapping {
 
     /// Distribution of a contiguous byte range over (vault, bank) pairs:
     /// returns bytes per (vault, bank).
-    fn span_distribution(
-        &self,
-        start: u64,
-        len: u64,
-        cfg: &HmcConfig,
-    ) -> Vec<Vec<u64>> {
+    fn span_distribution(&self, start: u64, len: u64, cfg: &HmcConfig) -> Vec<Vec<u64>> {
         let mut out = vec![vec![0u64; cfg.banks_per_vault]; cfg.vaults];
         let block = cfg.block_bytes;
         let mut addr = start - start % block;

@@ -194,7 +194,11 @@ mod tests {
             })
             .collect();
         let r = s.run(&reqs);
-        assert!(r.row_hit_rate < 0.05, "thrash should kill hits: {}", r.row_hit_rate);
+        assert!(
+            r.row_hit_rate < 0.05,
+            "thrash should kill hits: {}",
+            r.row_hit_rate
+        );
     }
 
     #[test]

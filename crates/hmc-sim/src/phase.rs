@@ -305,7 +305,10 @@ mod tests {
             vec![even_vault(16_000_000, 1000); 32],
         ));
         let remote = e.run_phase(&phase);
-        assert!(remote.time_s > 1.8 * local.time_s, "crossbar path should dominate");
+        assert!(
+            remote.time_s > 1.8 * local.time_s,
+            "crossbar path should dominate"
+        );
         assert!(remote.xbar_s > remote.exec_s);
     }
 

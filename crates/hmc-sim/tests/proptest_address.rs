@@ -1,8 +1,6 @@
 //! Property-based tests for the Fig 13 address mappings.
 
-use hmc_sim::{
-    AddressMapping, DefaultMapping, HmcConfig, NaiveVaultMapping, PimMapping,
-};
+use hmc_sim::{AddressMapping, DefaultMapping, HmcConfig, NaiveVaultMapping, PimMapping};
 use proptest::prelude::*;
 
 fn cfg() -> HmcConfig {

@@ -67,6 +67,19 @@ impl Conv2dSpec {
 /// Returns [`TensorError::RankMismatch`] for non-rank-4 input and
 /// [`TensorError::InvalidConv`] when the kernel does not fit.
 pub fn im2col(input: &Tensor, spec: Conv2dSpec) -> Result<Tensor, TensorError> {
+    let mut out = Tensor::zeros(&[0]);
+    im2col_into(input, spec, &mut out)?;
+    Ok(out)
+}
+
+/// Allocation-reusing [`im2col`]: unfolds into `out`, which is resized in
+/// place to `[batch, out_h * out_w, channels * kernel * kernel]` — a warm
+/// buffer incurs no heap traffic.
+///
+/// # Errors
+///
+/// Same conditions as [`im2col`].
+pub fn im2col_into(input: &Tensor, spec: Conv2dSpec, out: &mut Tensor) -> Result<(), TensorError> {
     let dims = input.shape().dims();
     if dims.len() != 4 {
         return Err(TensorError::RankMismatch {
@@ -75,15 +88,16 @@ pub fn im2col(input: &Tensor, spec: Conv2dSpec) -> Result<Tensor, TensorError> {
         });
     }
     let (b, c, h, w) = (dims[0], dims[1], dims[2], dims[3]);
-    let oh = spec
-        .output_dim(h)
-        .ok_or_else(|| TensorError::InvalidConv(format!("kernel {} > height {}", spec.kernel, h)))?;
+    let oh = spec.output_dim(h).ok_or_else(|| {
+        TensorError::InvalidConv(format!("kernel {} > height {}", spec.kernel, h))
+    })?;
     let ow = spec
         .output_dim(w)
         .ok_or_else(|| TensorError::InvalidConv(format!("kernel {} > width {}", spec.kernel, w)))?;
     let k = spec.kernel;
     let cols_per_row = c * k * k;
-    let mut out = vec![0.0f32; b * oh * ow * cols_per_row];
+    out.resize_for(&[b, oh * ow, cols_per_row]);
+    let dst_buf = out.as_mut_slice();
     let src = input.as_slice();
     let pad = spec.padding as isize;
     for bi in 0..b {
@@ -97,8 +111,8 @@ pub fn im2col(input: &Tensor, spec: Conv2dSpec) -> Result<Tensor, TensorError> {
                             let ix = (ox * spec.stride + kx) as isize - pad;
                             let dst = row_base + (ci * k + ky) * k + kx;
                             if iy >= 0 && iy < h as isize && ix >= 0 && ix < w as isize {
-                                out[dst] = src
-                                    [((bi * c + ci) * h + iy as usize) * w + ix as usize];
+                                dst_buf[dst] =
+                                    src[((bi * c + ci) * h + iy as usize) * w + ix as usize];
                             }
                         }
                     }
@@ -106,7 +120,99 @@ pub fn im2col(input: &Tensor, spec: Conv2dSpec) -> Result<Tensor, TensorError> {
             }
         }
     }
-    Tensor::from_vec(out, &[b, oh * ow, cols_per_row])
+    Ok(())
+}
+
+/// Reusable buffers for [`conv2d_pretransposed_into`]: the im2col columns
+/// and the per-batch GEMM output. After warm-up no further heap allocation
+/// occurs for same-or-smaller problem sizes.
+#[derive(Debug, Clone, Default)]
+pub struct Conv2dScratch {
+    cols: Tensor,
+    gemm: Vec<f32>,
+}
+
+/// Allocation-free convolution core: same math as [`conv2d`] but the weight
+/// arrives already reshaped+transposed to `[in_c*k*k, out_c]` (layers cache
+/// this at construction) and the output/scratch buffers are caller-owned.
+///
+/// `out` is resized in place to `[batch, out_c, out_h, out_w]`.
+///
+/// # Errors
+///
+/// Propagates shape errors from [`im2col_into`] and validates the
+/// transposed-weight/bias shapes against the input.
+pub fn conv2d_pretransposed_into(
+    input: &Tensor,
+    weight_t: &Tensor,
+    bias: Option<&Tensor>,
+    spec: Conv2dSpec,
+    out: &mut Tensor,
+    scratch: &mut Conv2dScratch,
+) -> Result<(), TensorError> {
+    let wt_dims = weight_t.shape().dims();
+    if wt_dims.len() != 2 {
+        return Err(TensorError::RankMismatch {
+            expected: 2,
+            actual: wt_dims.len(),
+        });
+    }
+    let (ckk, out_c) = (wt_dims[0], wt_dims[1]);
+    let in_dims = input.shape().dims();
+    if in_dims.len() != 4 {
+        return Err(TensorError::RankMismatch {
+            expected: 4,
+            actual: in_dims.len(),
+        });
+    }
+    let in_c = in_dims[1];
+    if ckk != in_c * spec.kernel * spec.kernel {
+        return Err(TensorError::InvalidConv(format!(
+            "transposed weight rows {ckk} != in_c*k*k = {}",
+            in_c * spec.kernel * spec.kernel
+        )));
+    }
+    if let Some(bs) = bias {
+        if bs.len() != out_c {
+            return Err(TensorError::InvalidConv(format!(
+                "bias length {} != out channels {out_c}",
+                bs.len()
+            )));
+        }
+    }
+    im2col_into(input, spec, &mut scratch.cols)?;
+    let cols_dims = scratch.cols.shape().dims();
+    let (b, pixels) = (cols_dims[0], cols_dims[1]);
+    let (oh, ow) = {
+        let h = in_dims[2];
+        let w = in_dims[3];
+        // Both are Some: im2col_into just validated them.
+        (spec.output_dim(h).unwrap(), spec.output_dim(w).unwrap())
+    };
+    out.resize_for(&[b, out_c, oh, ow]);
+    let out_buf = out.as_mut_slice();
+    scratch.gemm.clear();
+    scratch.gemm.resize(pixels * out_c, 0.0);
+    let cols_slice = scratch.cols.as_slice();
+    for bi in 0..b {
+        let col_block = &cols_slice[bi * pixels * ckk..(bi + 1) * pixels * ckk];
+        matmul_into(
+            col_block,
+            weight_t.as_slice(),
+            &mut scratch.gemm,
+            pixels,
+            ckk,
+            out_c,
+        );
+        // gemm is [oh*ow, out_c]; transpose into [out_c, oh, ow].
+        for p in 0..pixels {
+            for oc in 0..out_c {
+                let v = scratch.gemm[p * out_c + oc] + bias.map_or(0.0, |bsx| bsx.as_slice()[oc]);
+                out_buf[((bi * out_c + oc) * pixels) + p] = v;
+            }
+        }
+    }
+    Ok(())
 }
 
 /// 2D convolution forward pass.
@@ -141,7 +247,7 @@ pub fn conv2d(
             actual: in_dims.len(),
         });
     }
-    let (b, in_c, h, w) = (in_dims[0], in_dims[1], in_dims[2], in_dims[3]);
+    let in_c = in_dims[1];
     let (out_c, w_in_c, k, k2) = (w_dims[0], w_dims[1], w_dims[2], w_dims[3]);
     if w_in_c != in_c || k != k2 || k != spec.kernel {
         return Err(TensorError::InvalidConv(format!(
@@ -157,34 +263,14 @@ pub fn conv2d(
             )));
         }
     }
-    let oh = spec
-        .output_dim(h)
-        .ok_or_else(|| TensorError::InvalidConv("kernel larger than padded input".into()))?;
-    let ow = spec
-        .output_dim(w)
-        .ok_or_else(|| TensorError::InvalidConv("kernel larger than padded input".into()))?;
-
-    let cols = im2col(input, spec)?; // [b, oh*ow, in_c*k*k]
     let ckk = in_c * k * k;
     // GEMM per batch item: cols [oh*ow, ckk] x weight^T [ckk, out_c].
     // Pre-transpose the weight once.
     let wt = weight.reshape(&[out_c, ckk])?.transpose()?; // [ckk, out_c]
-    let mut out = vec![0.0f32; b * out_c * oh * ow];
-    let cols_slice = cols.as_slice();
-    let mut gemm_out = vec![0.0f32; oh * ow * out_c];
-    for bi in 0..b {
-        let col_block = &cols_slice[bi * oh * ow * ckk..(bi + 1) * oh * ow * ckk];
-        matmul_into(col_block, wt.as_slice(), &mut gemm_out, oh * ow, ckk, out_c);
-        // gemm_out is [oh*ow, out_c]; transpose into [out_c, oh, ow].
-        for p in 0..oh * ow {
-            for oc in 0..out_c {
-                let v = gemm_out[p * out_c + oc]
-                    + bias.map_or(0.0, |bsx| bsx.as_slice()[oc]);
-                out[((bi * out_c + oc) * oh * ow) + p] = v;
-            }
-        }
-    }
-    Tensor::from_vec(out, &[b, out_c, oh, ow])
+    let mut out = Tensor::zeros(&[0]);
+    let mut scratch = Conv2dScratch::default();
+    conv2d_pretransposed_into(input, &wt, bias, spec, &mut out, &mut scratch)?;
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -216,8 +302,7 @@ mod tests {
                                 for kx in 0..k {
                                     let iy = (oy * spec.stride + ky) as isize - pad;
                                     let ix = (ox * spec.stride + kx) as isize - pad;
-                                    if iy >= 0 && iy < h as isize && ix >= 0 && ix < w as isize
-                                    {
+                                    if iy >= 0 && iy < h as isize && ix >= 0 && ix < w as isize {
                                         acc += input.at(&[bi, ci, iy as usize, ix as usize])
                                             * weight.at(&[oc, ci, ky, kx]);
                                     }

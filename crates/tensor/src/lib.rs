@@ -29,11 +29,13 @@ mod conv;
 mod error;
 mod matmul;
 mod ops;
+pub mod par;
 mod shape;
 mod tensor;
 
-pub use conv::{conv2d, im2col, Conv2dSpec};
+pub use conv::{conv2d, conv2d_pretransposed_into, im2col, im2col_into, Conv2dScratch, Conv2dSpec};
 pub use error::TensorError;
+pub use matmul::matmul_into;
 pub use shape::Shape;
 pub use tensor::Tensor;
 

@@ -2,12 +2,8 @@
 //! conv-layer GEMMs in the functional CapsNet.
 
 use crate::error::TensorError;
+use crate::par::{available_threads, PAR_MIN_ROWS, PAR_MIN_WORK};
 use crate::tensor::Tensor;
-
-/// Rows-per-task threshold below which threading is not worth spawning.
-const PAR_MIN_ROWS: usize = 64;
-/// Minimum per-thread work (in multiply-adds) before threads are used.
-const PAR_MIN_WORK: usize = 1 << 20;
 
 impl Tensor {
     /// Matrix product of two rank-2 tensors: `[m,k] x [k,n] -> [m,n]`.
@@ -130,8 +126,14 @@ impl Tensor {
 /// Core GEMM: `out[m,n] = a[m,k] * b[k,n]`, writing into the provided slice.
 ///
 /// Splits rows across threads when the work is large; each thread owns a
-/// disjoint chunk of `out`, so no synchronization is needed.
-pub(crate) fn matmul_into(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
+/// disjoint chunk of `out`, so no synchronization is needed. Public so
+/// allocation-free callers (the capsnet forward arena) can reuse their own
+/// output buffers.
+///
+/// # Panics
+///
+/// Debug-asserts the slice lengths match `m`/`k`/`n`.
+pub fn matmul_into(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
     debug_assert_eq!(a.len(), m * k);
     debug_assert_eq!(b.len(), k * n);
     debug_assert_eq!(out.len(), m * n);
@@ -169,12 +171,6 @@ fn matmul_serial(a: &[f32], b: &[f32], out: &mut [f32], k: usize, n: usize) {
             }
         }
     }
-}
-
-fn available_threads() -> usize {
-    std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
 }
 
 #[cfg(test)]
@@ -215,10 +211,7 @@ mod tests {
     fn dimension_errors() {
         let a = Tensor::zeros(&[2, 3]);
         let b = Tensor::zeros(&[2, 3]);
-        assert!(matches!(
-            a.matmul(&b),
-            Err(TensorError::MatmulDims { .. })
-        ));
+        assert!(matches!(a.matmul(&b), Err(TensorError::MatmulDims { .. })));
         assert!(matches!(
             Tensor::zeros(&[2]).matmul(&b),
             Err(TensorError::RankMismatch { .. })
@@ -248,16 +241,10 @@ mod tests {
         let c = a.batched_matmul(&b).unwrap();
         assert_eq!(c.shape().dims(), &[3, 4, 2]);
         for bi in 0..3 {
-            let am = Tensor::from_vec(
-                a.as_slice()[bi * 20..(bi + 1) * 20].to_vec(),
-                &[4, 5],
-            )
-            .unwrap();
-            let bm = Tensor::from_vec(
-                b.as_slice()[bi * 10..(bi + 1) * 10].to_vec(),
-                &[5, 2],
-            )
-            .unwrap();
+            let am =
+                Tensor::from_vec(a.as_slice()[bi * 20..(bi + 1) * 20].to_vec(), &[4, 5]).unwrap();
+            let bm =
+                Tensor::from_vec(b.as_slice()[bi * 10..(bi + 1) * 10].to_vec(), &[5, 2]).unwrap();
             let cm = am.matmul(&bm).unwrap();
             for (i, &v) in cm.as_slice().iter().enumerate() {
                 assert!((c.as_slice()[bi * 8 + i] - v).abs() < 1e-5);

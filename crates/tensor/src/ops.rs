@@ -61,7 +61,10 @@ impl Tensor {
 
     /// Maximum element. Returns `f32::NEG_INFINITY` for empty tensors.
     pub fn max(&self) -> f32 {
-        self.as_slice().iter().copied().fold(f32::NEG_INFINITY, f32::max)
+        self.as_slice()
+            .iter()
+            .copied()
+            .fold(f32::NEG_INFINITY, f32::max)
     }
 
     /// Index of the maximum element (first occurrence). Returns `None` for

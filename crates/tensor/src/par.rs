@@ -1,0 +1,109 @@
+//! Shared work-splitting heuristics for the threaded kernels.
+//!
+//! The matmul kernel and the capsnet batch-parallel routing driver both
+//! shard independent work items across `std::thread::scope` workers; this
+//! module centralizes the "is threading worth it?" decision so every
+//! consumer amortizes spawn cost the same way.
+
+/// Minimum total work (in multiply-add-equivalents) before threads are
+/// worth spawning at all.
+pub const PAR_MIN_WORK: usize = 1 << 20;
+
+/// Rows-per-GEMM threshold below which the matmul stays serial.
+pub const PAR_MIN_ROWS: usize = 64;
+
+/// Number of worker threads the machine offers (1 when unknown).
+pub fn available_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Plans a thread count for `items` independent work items costing
+/// `work_per_item` multiply-add-equivalents each.
+///
+/// Returns 1 (stay serial) when there is only one item, threading is
+/// unavailable, or the total work is below [`PAR_MIN_WORK`]; otherwise the
+/// smaller of the machine's parallelism and the item count, so no worker
+/// is ever idle.
+pub fn plan_threads(items: usize, work_per_item: usize) -> usize {
+    let threads = available_threads();
+    if threads <= 1 || items <= 1 || items.saturating_mul(work_per_item) < PAR_MIN_WORK {
+        return 1;
+    }
+    threads.min(items)
+}
+
+/// Splits `0..items` into `threads` contiguous ranges, runs `chunk_map`
+/// over each on its own `std::thread::scope` worker, and returns the
+/// results in range order.
+///
+/// With `threads <= 1` (or nothing to do) the single range runs on the
+/// calling thread — callers get identical results either way, so pairing
+/// this with [`plan_threads`] makes threading a pure go-faster knob.
+pub fn map_sharded<R, F>(items: usize, threads: usize, chunk_map: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(std::ops::Range<usize>) -> R + Sync,
+{
+    if threads <= 1 || items <= 1 {
+        return vec![chunk_map(0..items)];
+    }
+    let per = items.div_ceil(threads);
+    let chunks = items.div_ceil(per);
+    let mut results: Vec<Option<R>> = std::iter::repeat_with(|| None).take(chunks).collect();
+    std::thread::scope(|scope| {
+        let chunk_map = &chunk_map;
+        for (i, slot) in results.iter_mut().enumerate() {
+            let range = i * per..((i + 1) * per).min(items);
+            scope.spawn(move || {
+                *slot = Some(chunk_map(range));
+            });
+        }
+    });
+    results
+        .into_iter()
+        .map(|r| r.expect("every shard runs to completion"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_work_stays_serial() {
+        assert_eq!(plan_threads(1, usize::MAX), 1);
+        assert_eq!(plan_threads(1000, 4), 1);
+        assert_eq!(plan_threads(0, 1 << 30), 1);
+    }
+
+    #[test]
+    fn large_work_uses_threads_bounded_by_items() {
+        let t = available_threads();
+        if t > 1 {
+            assert_eq!(plan_threads(2, PAR_MIN_WORK), 2);
+            assert_eq!(plan_threads(10_000, PAR_MIN_WORK), t);
+        }
+    }
+
+    #[test]
+    fn work_product_saturates_instead_of_overflowing() {
+        assert!(plan_threads(usize::MAX, usize::MAX) <= available_threads());
+    }
+
+    #[test]
+    fn map_sharded_covers_every_item_in_order() {
+        for threads in [1, 2, 3, 7, 16] {
+            let parts = map_sharded(10, threads, |r| r.collect::<Vec<usize>>());
+            let flat: Vec<usize> = parts.into_iter().flatten().collect();
+            assert_eq!(flat, (0..10).collect::<Vec<usize>>(), "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn map_sharded_handles_empty_input() {
+        let parts = map_sharded(0, 8, |r| r.len());
+        assert_eq!(parts, vec![0]);
+    }
+}

@@ -186,6 +186,20 @@ impl Tensor {
         })
     }
 
+    /// Resizes this tensor in place to `dims`, zero-filling the data.
+    ///
+    /// Reuses the existing buffer capacity (and, when the dims are
+    /// unchanged, the existing [`Shape`]), so a warm buffer incurs no heap
+    /// allocation. This is the primitive the allocation-free forward arenas
+    /// build on.
+    pub fn resize_for(&mut self, dims: &[usize]) {
+        if self.shape.dims() != dims {
+            self.shape = Shape::new(dims);
+        }
+        self.data.clear();
+        self.data.resize(self.shape.volume(), 0.0);
+    }
+
     /// In-place reshape (no data copy).
     ///
     /// # Errors
@@ -246,6 +260,14 @@ impl Tensor {
     }
 }
 
+impl Default for Tensor {
+    /// An empty tensor (shape `[0]`) — the natural cold state for reusable
+    /// buffers that [`Tensor::resize_for`] will grow on first use.
+    fn default() -> Self {
+        Tensor::zeros(&[0])
+    }
+}
+
 impl std::fmt::Display for Tensor {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(f, "Tensor{} ", self.shape)?;
@@ -255,7 +277,12 @@ impl std::fmt::Display for Tensor {
             .take(8)
             .map(|x| format!("{x:.4}"))
             .collect();
-        write!(f, "[{}{}]", preview.join(", "), if self.len() > 8 { ", …" } else { "" })
+        write!(
+            f,
+            "[{}{}]",
+            preview.join(", "),
+            if self.len() > 8 { ", …" } else { "" }
+        )
     }
 }
 
@@ -306,8 +333,12 @@ mod tests {
     fn randn_statistics_are_plausible() {
         let t = Tensor::randn(&[10_000], 1.0, 7);
         let mean: f32 = t.as_slice().iter().sum::<f32>() / t.len() as f32;
-        let var: f32 =
-            t.as_slice().iter().map(|&x| (x - mean) * (x - mean)).sum::<f32>() / t.len() as f32;
+        let var: f32 = t
+            .as_slice()
+            .iter()
+            .map(|&x| (x - mean) * (x - mean))
+            .sum::<f32>()
+            / t.len() as f32;
         assert!(mean.abs() < 0.05, "mean {mean} too far from 0");
         assert!((var - 1.0).abs() < 0.1, "variance {var} too far from 1");
     }

@@ -14,7 +14,8 @@
 //!    accuracy difference is caused purely by the §5.2.2 approximations
 //!    perturbing routing — the quantity Table 5 reports.
 
-use capsnet::{ApproxMath, CapsNet, ExactMath, MathBackend};
+use capsnet::{ApproxMath, CapsNet, ExactMath, ForwardArena, MathBackend};
+use pim_tensor::par::{map_sharded, plan_threads};
 use pim_tensor::Tensor;
 
 use crate::suite::Benchmark;
@@ -162,22 +163,69 @@ impl AccuracyExperiment {
 
     /// Accuracy of the network under a math backend against the calibrated
     /// labels.
-    pub fn accuracy(&self, backend: &dyn MathBackend) -> f64 {
+    ///
+    /// Generic over the backend, so the concrete backends used by
+    /// [`Self::run`] monomorphize the whole forward path; `&dyn
+    /// MathBackend` callers go through [`Self::accuracy_boxed`] or pass the
+    /// object directly (`B = dyn MathBackend`).
+    ///
+    /// Evaluation batches are independent (routing only couples samples
+    /// *within* a batch), so they shard across cores via the same
+    /// work-size heuristics as the threaded matmul; each worker reuses one
+    /// [`ForwardArena`] across its batches. Results are bit-identical to a
+    /// serial evaluation.
+    pub fn accuracy<B: MathBackend + Sync + ?Sized>(&self, backend: &B) -> f64 {
         let n = self.labels.len();
-        let mut correct = 0usize;
-        for chunk in batch_ranges(n, self.batch) {
-            let imgs = slice_images(&self.images, chunk.clone());
-            let out = self
-                .net
-                .forward(&imgs, backend)
-                .expect("forward on generated images");
-            for (pred, idx) in out.predictions().into_iter().zip(chunk) {
-                if pred == self.labels[idx] {
-                    correct += 1;
-                }
-            }
-        }
+        let chunks: Vec<std::ops::Range<usize>> = batch_ranges(n, self.batch).collect();
+        let threads = plan_threads(chunks.len(), self.forward_cost_per_batch());
+        let correct: usize = map_sharded(chunks.len(), threads, |group| {
+            let mut arena = ForwardArena::new();
+            let mut preds = Vec::new();
+            chunks[group]
+                .iter()
+                .map(|chunk| self.correct_in_chunk(chunk.clone(), backend, &mut arena, &mut preds))
+                .sum::<usize>()
+        })
+        .into_iter()
+        .sum();
         correct as f64 / n as f64
+    }
+
+    /// Thin object-safe wrapper over [`Self::accuracy`] for callers holding
+    /// a boxed backend.
+    pub fn accuracy_boxed(&self, backend: &dyn MathBackend) -> f64 {
+        self.accuracy(backend)
+    }
+
+    /// Correct predictions within one evaluation batch (arena-backed
+    /// forward, allocation-free when warm).
+    fn correct_in_chunk<B: MathBackend + ?Sized>(
+        &self,
+        chunk: std::ops::Range<usize>,
+        backend: &B,
+        arena: &mut ForwardArena,
+        preds: &mut Vec<usize>,
+    ) -> usize {
+        let imgs = slice_images(&self.images, chunk.clone());
+        let view = self
+            .net
+            .forward_with(&imgs, backend, arena)
+            .expect("forward on generated images");
+        view.predictions_into(preds);
+        preds
+            .iter()
+            .zip(chunk)
+            .filter(|(&pred, idx)| pred == self.labels[*idx])
+            .count()
+    }
+
+    /// Rough multiply-add cost of one evaluation batch (the Eq 1 GEMM
+    /// dominates), used to decide whether sharding batches across threads
+    /// is worth it.
+    fn forward_cost_per_batch(&self) -> usize {
+        let spec = self.net.spec();
+        let l = spec.l_caps().unwrap_or(1);
+        self.batch * l * spec.cl_dim * spec.h_caps * spec.ch_dim
     }
 
     /// Runs the full Table 5 row.
@@ -239,6 +287,17 @@ mod tests {
         let a = AccuracyExperiment::new(b, 60, 3).run();
         let c = AccuracyExperiment::new(b, 60, 3).run();
         assert_eq!(a, c);
+    }
+
+    #[test]
+    fn generic_and_boxed_accuracy_agree_exactly() {
+        // The monomorphized path, the dyn-dispatch path, and (on multicore
+        // hosts) the batch-parallel evaluation must all score identically.
+        let b = &benchmarks()[0];
+        let exp = AccuracyExperiment::new(b, 40, 9);
+        let generic = exp.accuracy(&ExactMath);
+        let boxed = exp.accuracy_boxed(&ExactMath);
+        assert_eq!(generic, boxed);
     }
 
     #[test]

@@ -117,7 +117,11 @@ mod tests {
     fn shapes_and_ranges() {
         let d = cfg().generate(10);
         assert_eq!(d.images.shape().dims(), &[10, 1, 8, 8]);
-        assert!(d.images.as_slice().iter().all(|&x| (0.0..=1.0).contains(&x)));
+        assert!(d
+            .images
+            .as_slice()
+            .iter()
+            .all(|&x| (0.0..=1.0).contains(&x)));
         assert_eq!(d.labels.len(), 10);
         assert!(d.labels.iter().all(|&l| l < 4));
     }
@@ -144,7 +148,10 @@ mod tests {
                 / px as f32
         };
         // Samples 0 and 4 share class 0; samples 0 and 1 differ.
-        assert!(dist(0, 4) < dist(0, 1), "intra-class should beat inter-class");
+        assert!(
+            dist(0, 4) < dist(0, 1),
+            "intra-class should beat inter-class"
+        );
     }
 
     #[test]
@@ -152,11 +159,7 @@ mod tests {
         let mut labels: Vec<usize> = (0..10_000).map(|i| i % 10).collect();
         let original = labels.clone();
         inject_label_noise(&mut labels, 10, 0.1, 3);
-        let flipped = labels
-            .iter()
-            .zip(&original)
-            .filter(|(a, b)| a != b)
-            .count();
+        let flipped = labels.iter().zip(&original).filter(|(a, b)| a != b).count();
         let rate = flipped as f64 / labels.len() as f64;
         assert!((rate - 0.1).abs() < 0.01, "flip rate {rate}");
         // Determinism.

@@ -34,15 +34,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .forward(&frames, &ApproxMath::with_recovery())?
         .predictions();
     let agree = exact.iter().zip(&approx).filter(|(a, b)| a == b).count();
-    println!(
-        "functional agreement exact vs PE-approx: {agree}/16 frames (43 classes)"
-    );
+    println!("functional agreement exact vs PE-approx: {agree}/16 frames (43 classes)");
 
     // Latency per design point against a 30 fps budget for batch-64 frames.
     let census = NetworkCensus::from_spec(&bench.spec(), bench.batch_size)?;
     let platform = Platform::paper_default();
     let budget_ms = 33.3;
-    println!("\ndesign-point latencies for {} (batch {}):", bench.name, bench.batch_size);
+    println!(
+        "\ndesign-point latencies for {} (batch {}):",
+        bench.name, bench.batch_size
+    );
     let base = evaluate(&census, &platform, DesignVariant::Baseline);
     for v in [
         DesignVariant::Baseline,

@@ -27,7 +27,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Execution-score landscape over dimension x frequency.
     println!("\nexecution scores S = 1/(aE + bM) (higher is better):");
-    println!("{:<12} {:>10} {:>10} {:>10}   chosen", "PE clock", "B", "L", "H");
+    println!(
+        "{:<12} {:>10} {:>10} {:>10}   chosen",
+        "PE clock", "B", "L", "H"
+    );
     for mhz in [312.5, 625.0, 937.5] {
         let hmc = HmcConfig::gen3().with_pe_clock_ghz(mhz / 1000.0);
         let coeffs = DeviceCoeffs::from_hmc(&hmc);
@@ -48,7 +51,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Vault-count scaling: how the E/M balance moves with more vaults.
     println!("\nvault-count sweep at 312.5 MHz:");
-    println!("{:<8} {:>12} {:>14}   chosen", "vaults", "E(best)", "M(best) bytes");
+    println!(
+        "{:<8} {:>12} {:>14}   chosen",
+        "vaults", "E(best)", "M(best) bytes"
+    );
     for vaults in [8usize, 16, 32, 64] {
         let mut hmc = HmcConfig::gen3();
         hmc.vaults = vaults;
@@ -78,7 +84,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "\nend-to-end on the paper platform: {:.2}x faster, {:.1}% energy saved (dimension {})",
         pim.total_speedup_vs(&base),
         100.0 * pim.energy_saving_vs(&base),
-        pim.chosen_dimension.map(|d| d.to_string()).unwrap_or_default()
+        pim.chosen_dimension
+            .map(|d| d.to_string())
+            .unwrap_or_default()
     );
     Ok(())
 }

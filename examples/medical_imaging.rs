@@ -98,7 +98,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     println!("synthetic 'cell position' task ({N} images, 2 classes):");
     println!("  pooling-CNN surrogate accuracy : {:.1}%", 100.0 * cnn_acc);
-    println!("  CapsNet (routing) accuracy     : {:.1}%", 100.0 * caps_acc);
+    println!(
+        "  CapsNet (routing) accuracy     : {:.1}%",
+        100.0 * caps_acc
+    );
     println!(
         "\nequivariance wins: routing preserves *where* the mass is, pooling\n\
          averages it away (paper Fig 1's lung-cancer-cell example)."

@@ -46,7 +46,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         pim.rp_time_s * 1e3,
         pim.total_time_s * 1e3,
         pim.total_energy_j,
-        pim.chosen_dimension.map(|d| d.to_string()).unwrap_or_default()
+        pim.chosen_dimension
+            .map(|d| d.to_string())
+            .unwrap_or_default()
     );
     println!(
         "speedup: RP {:.2}x, overall {:.2}x; energy saving {:.1}%",

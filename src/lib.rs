@@ -39,8 +39,8 @@ pub use pim_tensor as tensor;
 /// Convenience prelude with the most-used types across the suite.
 pub mod prelude {
     pub use capsnet::{
-        ApproxMath, CapsNet, CapsNetSpec, ExactMath, MathBackend, NetworkCensus, RpCensus,
-        RoutingAlgorithm,
+        ApproxMath, CapsNet, CapsNetSpec, ExactMath, ForwardArena, ForwardView, MathBackend,
+        NetworkCensus, RoutingAlgorithm, RoutingScratch, RpCensus,
     };
     pub use capsnet_workloads::accuracy::AccuracyExperiment;
     pub use capsnet_workloads::report::Table;

@@ -83,9 +83,7 @@ fn variant_ordering_matches_fig16_and_17() {
 
 #[test]
 fn dimension_choice_is_score_optimal_everywhere() {
-    use pim_capsnet_suite::pim::distribution::{
-        choose_dimension, DeviceCoeffs, DistributionModel,
-    };
+    use pim_capsnet_suite::pim::distribution::{choose_dimension, DeviceCoeffs, DistributionModel};
     let platform = Platform::paper_default();
     let coeffs = DeviceCoeffs::from_hmc(&platform.hmc);
     for b in workload_benchmarks() {

@@ -24,7 +24,10 @@ fn pim_bank_spread_assumption_matches_mapping() {
     assert_eq!(used_real, used_assumed);
     let max = *dist[0].iter().max().unwrap() as f64;
     let min = *dist[0].iter().min().unwrap() as f64;
-    assert!(max / min < 1.01, "real mapping spread uneven: {max} vs {min}");
+    assert!(
+        max / min < 1.01,
+        "real mapping spread uneven: {max} vs {min}"
+    );
 }
 
 /// The naive mapping really does concentrate a shard on few banks.
@@ -47,7 +50,10 @@ fn default_interleave_is_vault_remote() {
     let cfg = HmcConfig::gen3();
     let mapping = DefaultMapping::new(&cfg);
     let dist = mapping.span_distribution(0, 1 << 20, &cfg);
-    let vaults_hit = dist.iter().filter(|banks| banks.iter().sum::<u64>() > 0).count();
+    let vaults_hit = dist
+        .iter()
+        .filter(|banks| banks.iter().sum::<u64>() > 0)
+        .count();
     assert_eq!(vaults_hit, cfg.vaults);
 }
 
