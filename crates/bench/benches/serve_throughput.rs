@@ -1,0 +1,24 @@
+//! Throughput of the `pim-serve` batched scheduler vs single-request-at-a-
+//! time serial forwarding, on the cache-exceeding streaming model — the
+//! CPU-side analogue of the paper's "batch until the internal bandwidth is
+//! saturated" argument. Writes `bench_results/BENCH_serve.json`.
+//!
+//! ```text
+//! cargo bench -p pim-bench --bench serve_throughput
+//! ```
+
+use pim_bench::header;
+use pim_bench::serve_bench::run_serve_bench;
+
+fn main() {
+    header(
+        "serve_throughput",
+        "batched scheduling vs per-request forward (open-loop traffic)",
+    );
+    let result = run_serve_bench(96);
+    result.report_and_write();
+    assert!(
+        result.bitwise_equal,
+        "batched serving must match serial forward bitwise"
+    );
+}

@@ -1,7 +1,8 @@
 //! Prints the whole-suite comparison of every design variant — a compact
 //! version of Figs 15–17 for quick inspection — then measures the routing
-//! engine's execution strategies and writes `BENCH_routing.json` so future
-//! changes have a perf trajectory to compare against.
+//! engine's execution strategies and the `pim-serve` batched scheduler,
+//! writing `BENCH_routing.json` and `BENCH_serve.json` so future changes
+//! have a perf trajectory to compare against.
 //!
 //! ```text
 //! cargo run --release -p pim-bench --bin suite_summary
@@ -14,7 +15,9 @@ use capsnet::routing::{
 };
 use capsnet::{ExactMath, MathBackend, RoutingScratch};
 use capsnet_workloads::report::{mean, Table};
-use pim_bench::{f2, pct, results_dir, BenchContext};
+use pim_bench::emit::{routing_json, write_json_artifact, RoutingMeasurement};
+use pim_bench::serve_bench::run_serve_bench;
+use pim_bench::{f2, pct, BenchContext};
 use pim_capsnet::DesignVariant;
 use pim_tensor::Tensor;
 
@@ -54,14 +57,7 @@ fn main() {
     );
 
     write_routing_benchmarks();
-}
-
-/// One measured routing configuration.
-struct Measurement {
-    name: &'static str,
-    /// Name of the boxed-dispatch measurement this one is compared against.
-    baseline: &'static str,
-    ns_per_iter: f64,
+    write_serve_benchmarks();
 }
 
 /// Times `f` with a calibrated batch size (total per sample >= ~2 ms).
@@ -104,56 +100,56 @@ fn write_routing_benchmarks() {
     let mut scratch = RoutingScratch::new();
 
     let measurements = [
-        Measurement {
+        RoutingMeasurement {
             name: "dynamic_shared_boxed",
             baseline: "dynamic_shared_boxed",
             ns_per_iter: time_ns(|| {
                 dynamic_routing(&u_shared, 3, true, dyn_exact).unwrap();
             }),
         },
-        Measurement {
+        RoutingMeasurement {
             name: "dynamic_shared_mono",
             baseline: "dynamic_shared_boxed",
             ns_per_iter: time_ns(|| {
                 dynamic_routing(&u_shared, 3, true, &exact).unwrap();
             }),
         },
-        Measurement {
+        RoutingMeasurement {
             name: "dynamic_shared_arena",
             baseline: "dynamic_shared_boxed",
             ns_per_iter: time_ns(|| {
                 dynamic_routing_with(&u_shared, 3, true, &exact, &mut scratch).unwrap();
             }),
         },
-        Measurement {
+        RoutingMeasurement {
             name: "dynamic_per_sample_boxed",
             baseline: "dynamic_per_sample_boxed",
             ns_per_iter: time_ns(|| {
                 dynamic_routing(&u_batch, 3, false, dyn_exact).unwrap();
             }),
         },
-        Measurement {
+        RoutingMeasurement {
             name: "dynamic_per_sample_mono",
             baseline: "dynamic_per_sample_boxed",
             ns_per_iter: time_ns(|| {
                 dynamic_routing(&u_batch, 3, false, &exact).unwrap();
             }),
         },
-        Measurement {
+        RoutingMeasurement {
             name: "dynamic_per_sample_parallel",
             baseline: "dynamic_per_sample_boxed",
             ns_per_iter: time_ns(|| {
                 dynamic_routing_parallel(&u_batch, 3, &exact).unwrap();
             }),
         },
-        Measurement {
+        RoutingMeasurement {
             name: "em_boxed",
             baseline: "em_boxed",
             ns_per_iter: time_ns(|| {
                 em_routing(&u_shared, 3, dyn_exact).unwrap();
             }),
         },
-        Measurement {
+        RoutingMeasurement {
             name: "em_mono",
             baseline: "em_boxed",
             ns_per_iter: time_ns(|| {
@@ -169,29 +165,22 @@ fn write_routing_benchmarks() {
             .map(|m| m.ns_per_iter)
             .unwrap_or(f64::NAN)
     };
-
-    let mut json = String::from("{\n  \"benchmarks\": [\n");
-    for (i, m) in measurements.iter().enumerate() {
-        let speedup = baseline_ns(m.baseline) / m.ns_per_iter;
+    for m in &measurements {
         println!(
             "{:<32} {:>14.0} ns/iter   {:>5.2}x vs {}",
-            m.name, m.ns_per_iter, speedup, m.baseline
-        );
-        json.push_str(&format!(
-            "    {{\"name\": \"{}\", \"ns_per_iter\": {:.1}, \"baseline\": \"{}\", \"speedup_vs_baseline\": {:.4}}}{}\n",
             m.name,
             m.ns_per_iter,
-            m.baseline,
-            speedup,
-            if i + 1 == measurements.len() { "" } else { "," }
-        ));
+            baseline_ns(m.baseline) / m.ns_per_iter,
+            m.baseline
+        );
     }
-    json.push_str("  ]\n}\n");
+    write_json_artifact("BENCH_routing.json", &routing_json(&measurements));
+}
 
-    let dir = results_dir();
-    let path = dir.join("BENCH_routing.json");
-    match std::fs::create_dir_all(&dir).and_then(|()| std::fs::write(&path, &json)) {
-        Ok(()) => println!("[json] {}", path.display()),
-        Err(e) => eprintln!("[json] failed to write {}: {e}", path.display()),
-    }
+/// Measures the batched serving layer on a reduced request count (the
+/// standalone `serve_throughput` bench runs the full-size version) and
+/// writes `BENCH_serve.json`.
+fn write_serve_benchmarks() {
+    println!("\n=== pim-serve — batched scheduling vs per-request forward ===");
+    run_serve_bench(48).report_and_write();
 }

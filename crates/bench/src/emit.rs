@@ -1,0 +1,94 @@
+//! Builders for the machine-readable perf-trajectory artifacts
+//! (`bench_results/BENCH_*.json`).
+//!
+//! The JSON strings are assembled here — not inline in the bench binaries —
+//! so the golden-file tests can pin their schema without re-running the
+//! measurements.
+
+use crate::results_dir;
+
+/// One measured routing configuration (see the `suite_summary` binary).
+pub struct RoutingMeasurement {
+    /// Strategy name (e.g. `dynamic_shared_mono`).
+    pub name: &'static str,
+    /// Name of the boxed-dispatch measurement this one is compared against.
+    pub baseline: &'static str,
+    /// Nanoseconds per iteration.
+    pub ns_per_iter: f64,
+}
+
+/// Renders `BENCH_routing.json`: every measurement plus its speedup over
+/// its named baseline.
+pub fn routing_json(measurements: &[RoutingMeasurement]) -> String {
+    let baseline_ns = |name: &str| {
+        measurements
+            .iter()
+            .find(|m| m.name == name)
+            .map(|m| m.ns_per_iter)
+            .unwrap_or(f64::NAN)
+    };
+    let mut json = String::from("{\n  \"benchmarks\": [\n");
+    for (i, m) in measurements.iter().enumerate() {
+        let speedup = baseline_ns(m.baseline) / m.ns_per_iter;
+        json.push_str(&format!(
+            "    {{\"name\": \"{}\", \"ns_per_iter\": {:.1}, \"baseline\": \"{}\", \"speedup_vs_baseline\": {:.4}}}{}\n",
+            m.name,
+            m.ns_per_iter,
+            m.baseline,
+            speedup,
+            if i + 1 == measurements.len() { "" } else { "," }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    json
+}
+
+/// Writes a JSON artifact into the results directory, logging the outcome.
+pub fn write_json_artifact(file_name: &str, json: &str) {
+    let dir = results_dir();
+    let path = dir.join(file_name);
+    match std::fs::create_dir_all(&dir).and_then(|()| std::fs::write(&path, json)) {
+        Ok(()) => println!("[json] {}", path.display()),
+        Err(e) => eprintln!("[json] failed to write {}: {e}", path.display()),
+    }
+}
+
+/// Renders a `u64` histogram as a JSON array.
+pub fn histogram_json(hist: &[u64]) -> String {
+    let cells: Vec<String> = hist.iter().map(|c| c.to_string()).collect();
+    format!("[{}]", cells.join(", "))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn routing_json_is_wellformed_with_speedups() {
+        let json = routing_json(&[
+            RoutingMeasurement {
+                name: "base",
+                baseline: "base",
+                ns_per_iter: 100.0,
+            },
+            RoutingMeasurement {
+                name: "fast",
+                baseline: "base",
+                ns_per_iter: 50.0,
+            },
+        ]);
+        let v = crate::jsonlite::parse(&json).unwrap();
+        let benches = v.get("benchmarks").unwrap().as_array().unwrap();
+        assert_eq!(benches.len(), 2);
+        assert_eq!(
+            benches[1].get("speedup_vs_baseline").unwrap().as_f64(),
+            Some(2.0)
+        );
+    }
+
+    #[test]
+    fn histogram_renders() {
+        assert_eq!(histogram_json(&[0, 2, 5]), "[0, 2, 5]");
+        assert_eq!(histogram_json(&[]), "[]");
+    }
+}

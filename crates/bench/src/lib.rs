@@ -4,6 +4,10 @@
 //! stdout and writes a CSV into `bench_results/` (override the directory
 //! with the `PIM_BENCH_OUT` environment variable).
 
+pub mod emit;
+pub mod jsonlite;
+pub mod serve_bench;
+
 use std::path::{Path, PathBuf};
 
 use capsnet::NetworkCensus;

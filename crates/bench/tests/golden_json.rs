@@ -1,0 +1,151 @@
+//! Golden-file schema tests for the perf-trajectory artifacts.
+//!
+//! `bench_results/BENCH_routing.json` and `bench_results/BENCH_serve.json`
+//! are committed so each PR leaves a comparable performance record; these
+//! tests pin their **schema** (keys, types, value sanity) without pinning
+//! machine-dependent numbers, so the files cannot silently drift into a
+//! shape future tooling can't read.
+
+use pim_bench::jsonlite::{parse, Value};
+use pim_bench::results_dir;
+
+fn load(name: &str) -> Value {
+    let path = results_dir().join(name);
+    let text = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("{} must be committed: {e}", path.display()));
+    parse(&text).unwrap_or_else(|e| panic!("{} is not valid JSON: {e}", path.display()))
+}
+
+fn f64_field(v: &Value, key: &str, ctx: &str) -> f64 {
+    v.get(key)
+        .and_then(Value::as_f64)
+        .unwrap_or_else(|| panic!("{ctx}: missing numeric field {key:?}"))
+}
+
+#[test]
+fn bench_routing_schema() {
+    let doc = load("BENCH_routing.json");
+    let benches = doc
+        .get("benchmarks")
+        .and_then(Value::as_array)
+        .expect("top-level \"benchmarks\" array");
+    assert!(
+        benches.len() >= 8,
+        "routing suite shrank: {}",
+        benches.len()
+    );
+    let mut names = Vec::new();
+    for b in benches {
+        let name = b
+            .get("name")
+            .and_then(Value::as_str)
+            .expect("benchmark name");
+        names.push(name.to_string());
+        let ns = f64_field(b, "ns_per_iter", name);
+        assert!(ns > 0.0 && ns.is_finite(), "{name}: ns_per_iter {ns}");
+        let speedup = f64_field(b, "speedup_vs_baseline", name);
+        assert!(
+            speedup > 0.0 && speedup.is_finite(),
+            "{name}: speedup {speedup}"
+        );
+        let baseline = b
+            .get("baseline")
+            .and_then(Value::as_str)
+            .expect("baseline name");
+        assert!(
+            benches
+                .iter()
+                .any(|x| x.get("name").and_then(Value::as_str) == Some(baseline)),
+            "{name}: baseline {baseline:?} not in the suite"
+        );
+    }
+    // The execution strategies the routing engine ships must stay measured.
+    for required in [
+        "dynamic_shared_boxed",
+        "dynamic_shared_mono",
+        "dynamic_shared_arena",
+        "dynamic_per_sample_parallel",
+        "em_mono",
+    ] {
+        assert!(names.iter().any(|n| n == required), "missing {required}");
+    }
+    // Baselines compare against themselves at exactly 1.0.
+    for b in benches {
+        let name = b.get("name").and_then(Value::as_str).unwrap();
+        if b.get("baseline").and_then(Value::as_str) == Some(name) {
+            assert_eq!(f64_field(b, "speedup_vs_baseline", name), 1.0);
+        }
+    }
+}
+
+#[test]
+fn bench_serve_schema() {
+    let doc = load("BENCH_serve.json");
+
+    let model = doc.get("model").expect("\"model\" object");
+    for key in [
+        "name",
+        "l_caps",
+        "cl_dim",
+        "h_caps",
+        "ch_dim",
+        "caps_weight_mb",
+    ] {
+        assert!(model.get(key).is_some(), "model missing {key:?}");
+    }
+    // The served model must stay in the weight-streaming regime the bench
+    // is about.
+    assert!(
+        f64_field(model, "caps_weight_mb", "model") > 100.0,
+        "caps weights no longer exceed cache scale"
+    );
+
+    let sched = doc.get("scheduler").expect("\"scheduler\" object");
+    for key in ["max_batch", "max_wait_us", "queue_capacity", "workers"] {
+        assert!(
+            f64_field(sched, key, "scheduler") >= 1.0,
+            "scheduler {key} must be >= 1"
+        );
+    }
+
+    let traffic = doc.get("traffic").expect("\"traffic\" object");
+    let requests = f64_field(traffic, "requests", "traffic");
+    let samples = f64_field(traffic, "samples", "traffic");
+    assert!(requests >= 1.0 && samples >= requests);
+
+    let serial_sps = f64_field(
+        doc.get("serial").expect("serial"),
+        "samples_per_s",
+        "serial",
+    );
+    let batched = doc.get("batched").expect("\"batched\" object");
+    let batched_sps = f64_field(batched, "samples_per_s", "batched");
+    assert!(serial_sps > 0.0 && batched_sps > 0.0);
+    for key in ["p50_us", "p95_us", "p99_us", "batches", "mean_occupancy"] {
+        assert!(
+            f64_field(batched, key, "batched") >= 0.0,
+            "batched {key} must be present and non-negative"
+        );
+    }
+    let hist = batched
+        .get("occupancy_histogram")
+        .and_then(Value::as_array)
+        .expect("occupancy histogram array");
+    let max_batch = f64_field(sched, "max_batch", "scheduler") as usize;
+    assert_eq!(hist.len(), max_batch + 1, "histogram indexed by batch size");
+    let total_batches: f64 = hist.iter().filter_map(Value::as_f64).sum();
+    assert_eq!(total_batches, f64_field(batched, "batches", "batched"));
+
+    let speedup = f64_field(&doc, "speedup_batched_vs_serial", "top level");
+    assert!(speedup > 0.0 && speedup.is_finite());
+    let ratio = batched_sps / serial_sps;
+    assert!(
+        (speedup - ratio).abs() / ratio < 0.01,
+        "recorded speedup {speedup} inconsistent with throughputs ({ratio})"
+    );
+    assert_eq!(
+        doc.get("outputs_bitwise_equal").and_then(Value::as_bool),
+        Some(true),
+        "batched serving must record bitwise equality with serial forward"
+    );
+}

@@ -48,8 +48,33 @@ pub use census::{EquationProfile, IntermediateSizes, NetworkCensus, RpCensus, Rp
 pub use config::{CapsNetSpec, RoutingAlgorithm};
 pub use error::CapsNetError;
 pub use model::{CapsNet, ForwardArena, ForwardOutput, ForwardView};
-pub use routing::RoutingScratch;
+// The routing drivers at the crate root: the serving layer (and any other
+// embedder) picks an execution strategy without reaching into the module
+// tree.
+pub use routing::{
+    dynamic_routing, dynamic_routing_parallel, dynamic_routing_with, em_routing,
+    em_routing_parallel, em_routing_with, RoutingScratch,
+};
 pub use squash::{squash_in_place, squash_scale};
 
 /// Convenience alias for results produced by this crate.
 pub type Result<T> = std::result::Result<T, CapsNetError>;
+
+#[cfg(test)]
+mod thread_safety {
+    use super::*;
+
+    /// The serving layer shares models across `std::thread::scope` workers
+    /// and moves arenas into them; these bounds are API guarantees, not
+    /// accidents of the current field types.
+    #[test]
+    fn serving_types_are_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<CapsNet>();
+        assert_send_sync::<CapsNetSpec>();
+        assert_send_sync::<ForwardArena>();
+        assert_send_sync::<RoutingScratch>();
+        assert_send_sync::<ExactMath>();
+        assert_send_sync::<ApproxMath>();
+    }
+}

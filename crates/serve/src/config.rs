@@ -1,0 +1,114 @@
+//! Scheduler configuration: the latency budget and capacity knobs.
+
+use std::time::Duration;
+
+use crate::error::ServeError;
+
+/// How a worker executes a coalesced batch. Every mode produces
+/// **bit-identical** outputs (the routing equivalence suite in `capsnet`
+/// pins the underlying drivers down); they differ only in resource usage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BatchExecution {
+    /// Pick per batch: the batch-parallel drivers when the host has more
+    /// than one core and the batch routes per sample, the warm arena
+    /// otherwise.
+    #[default]
+    Auto,
+    /// Always run through the worker's warm [`capsnet::ForwardArena`]
+    /// (`CapsNet::forward_with`): zero steady-state allocation, serial
+    /// routing.
+    Arena,
+    /// Always run through `CapsNet::forward`, whose per-sample routing path
+    /// shards the batch across cores via `dynamic_routing_parallel` /
+    /// `em_routing_parallel`.
+    Parallel,
+}
+
+/// Scheduler knobs: the latency budget (`max_batch` × `max_wait`), the
+/// backpressure bound, and the worker pool size.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ServeConfig {
+    /// Maximum samples per dispatched batch. A batch dispatches as soon as
+    /// it reaches this size.
+    pub max_batch: usize,
+    /// Maximum time the *oldest* request of a forming batch may wait for
+    /// companions before the batch dispatches anyway — the latency half of
+    /// the budget. `Duration::ZERO` disables coalescing waits entirely
+    /// (each worker dispatches whatever is queued).
+    pub max_wait: Duration,
+    /// Bound on queued (admitted but not yet dispatched) samples. Submits
+    /// that would exceed it are rejected with
+    /// [`crate::SubmitError::QueueFull`].
+    pub queue_capacity: usize,
+    /// Worker threads running inference.
+    pub workers: usize,
+    /// Batch execution strategy.
+    pub execution: BatchExecution,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            max_batch: 16,
+            max_wait: Duration::from_millis(2),
+            queue_capacity: 256,
+            workers: 1,
+            execution: BatchExecution::Auto,
+        }
+    }
+}
+
+impl ServeConfig {
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::InvalidConfig`] when a bound is zero or the
+    /// queue cannot hold even one full batch.
+    pub fn validate(&self) -> Result<(), ServeError> {
+        if self.max_batch == 0 {
+            return Err(ServeError::InvalidConfig("max_batch must be >= 1".into()));
+        }
+        if self.workers == 0 {
+            return Err(ServeError::InvalidConfig("workers must be >= 1".into()));
+        }
+        if self.queue_capacity < self.max_batch {
+            return Err(ServeError::InvalidConfig(format!(
+                "queue_capacity {} cannot hold one max_batch {}",
+                self.queue_capacity, self.max_batch
+            )));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_valid() {
+        ServeConfig::default().validate().unwrap();
+    }
+
+    #[test]
+    fn zero_bounds_are_rejected() {
+        let c = ServeConfig {
+            max_batch: 0,
+            ..ServeConfig::default()
+        };
+        assert!(c.validate().is_err());
+
+        let c = ServeConfig {
+            workers: 0,
+            ..ServeConfig::default()
+        };
+        assert!(c.validate().is_err());
+
+        let c = ServeConfig {
+            queue_capacity: ServeConfig::default().max_batch - 1,
+            ..ServeConfig::default()
+        };
+        assert!(c.validate().is_err());
+    }
+}

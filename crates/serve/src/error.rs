@@ -1,0 +1,106 @@
+//! Typed service errors: admission rejects and server-side failures.
+
+use std::fmt;
+
+/// Why a submission was rejected at admission time. Rejection is the
+/// backpressure mechanism — the queue never grows past its bound and the
+/// server never panics on overload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SubmitError {
+    /// The bounded queue cannot admit this request's samples right now.
+    QueueFull {
+        /// Configured sample capacity of the queue.
+        capacity: usize,
+        /// Samples already queued.
+        queued: usize,
+        /// Samples the rejected request carried.
+        requested: usize,
+    },
+    /// The server is shutting down and no longer admits requests.
+    ShuttingDown,
+    /// The request names a model index that is not registered.
+    UnknownModel {
+        /// The offending model index.
+        model: usize,
+        /// Number of registered models.
+        registered: usize,
+    },
+    /// The request's image tensor does not match the model's geometry, or
+    /// carries more samples than one batch may hold.
+    ShapeMismatch {
+        /// Human-readable expectation.
+        expected: String,
+        /// Offending dimensions.
+        actual: Vec<usize>,
+    },
+}
+
+impl fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SubmitError::QueueFull {
+                capacity,
+                queued,
+                requested,
+            } => write!(
+                f,
+                "queue full: {queued}/{capacity} samples queued, request adds {requested}"
+            ),
+            SubmitError::ShuttingDown => write!(f, "server is shutting down"),
+            SubmitError::UnknownModel { model, registered } => {
+                write!(f, "unknown model {model} ({registered} registered)")
+            }
+            SubmitError::ShapeMismatch { expected, actual } => {
+                write!(f, "shape mismatch: expected {expected}, got {actual:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SubmitError {}
+
+/// Server construction / execution errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServeError {
+    /// The configuration failed validation.
+    InvalidConfig(String),
+    /// No models were registered.
+    NoModels,
+    /// Inference failed inside a worker (propagated to every ticket of the
+    /// affected batch).
+    Forward(String),
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::InvalidConfig(msg) => write!(f, "invalid config: {msg}"),
+            ServeError::NoModels => write!(f, "no models registered"),
+            ServeError::Forward(msg) => write!(f, "forward pass failed: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_display() {
+        let e = SubmitError::QueueFull {
+            capacity: 8,
+            queued: 7,
+            requested: 2,
+        };
+        assert!(e.to_string().contains("7/8"));
+        assert!(SubmitError::ShuttingDown.to_string().contains("shutting"));
+        assert!(ServeError::InvalidConfig("x".into())
+            .to_string()
+            .contains("x"));
+        assert!(ServeError::Forward("boom".into())
+            .to_string()
+            .contains("boom"));
+    }
+}

@@ -1,0 +1,68 @@
+//! **pim-serve** — batched multi-tenant inference serving for the
+//! PIM-CapsNet reproduction.
+//!
+//! The paper's headline speedup comes from batching routing work until the
+//! HMC's internal bandwidth is saturated; the CPU-side analogue is that a
+//! capsule layer whose transformation matrix exceeds the last-level cache
+//! streams its weights from DRAM **once per request** when requests are
+//! served one at a time, but **once per batch** when compatible requests are
+//! coalesced. This crate provides the serving layer that performs that
+//! coalescing under an explicit latency budget:
+//!
+//! * a bounded FIFO queue with **typed backpressure**
+//!   ([`SubmitError::QueueFull`], never a panic or an unbounded buffer);
+//! * **latency-aware coalescing**: a dispatched batch closes when it
+//!   reaches [`ServeConfig::max_batch`] samples or when the oldest queued
+//!   request has waited [`ServeConfig::max_wait`], whichever comes first;
+//! * **multi-model, multi-tenant** requests: each request names a
+//!   registered model; only same-model requests coalesce, and
+//!   per-`(tenant, model)` FIFO dispatch order is preserved;
+//! * plain `std::thread::scope` workers — no async runtime — each owning a
+//!   warm [`capsnet::ForwardArena`] so steady-state batches allocate almost
+//!   nothing;
+//! * per-request and per-batch **metrics**: p50/p95/p99 latency,
+//!   throughput, and a batch-occupancy histogram.
+//!
+//! Batched execution is **bit-identical** to calling [`capsnet::CapsNet::forward`]
+//! per request (models route per sample, so no information crosses request
+//! boundaries); the `serve_throughput` bench and this crate's tests assert
+//! it.
+//!
+//! # Example
+//!
+//! ```
+//! use capsnet::{CapsNet, CapsNetSpec, ExactMath};
+//! use pim_serve::{Request, ServeConfig, ServedModel, Server};
+//! use pim_tensor::Tensor;
+//!
+//! let mut spec = CapsNetSpec::tiny_for_tests();
+//! spec.batch_shared_routing = false; // requests must not influence each other
+//! let models = [ServedModel::new("tiny", CapsNet::seeded(&spec, 1).unwrap())];
+//! let server = Server::new(&models, &ExactMath, ServeConfig::default()).unwrap();
+//! let (responses, metrics) = server.run(|handle| {
+//!     let tickets: Vec<_> = (0..4)
+//!         .map(|tenant| {
+//!             let images = Tensor::uniform(&[1, 1, 12, 12], 0.0, 1.0, tenant as u64);
+//!             handle
+//!                 .submit(Request { tenant, model: 0, images })
+//!                 .expect("queue has room")
+//!         })
+//!         .collect();
+//!     tickets
+//!         .into_iter()
+//!         .map(|t| t.wait().expect("inference succeeds"))
+//!         .collect::<Vec<_>>()
+//! });
+//! assert_eq!(responses.len(), 4);
+//! assert_eq!(metrics.requests, 4);
+//! ```
+
+mod config;
+mod error;
+mod metrics;
+mod server;
+
+pub use config::{BatchExecution, ServeConfig};
+pub use error::{ServeError, SubmitError};
+pub use metrics::MetricsReport;
+pub use server::{Request, Response, ServedModel, Server, ServerHandle, Ticket};

@@ -1,0 +1,152 @@
+//! Service metrics: request latencies, batch occupancy, throughput.
+
+use std::time::Instant;
+
+/// Mutable recorder the workers feed; lives behind a mutex in the server.
+#[derive(Debug)]
+pub(crate) struct MetricsRecorder {
+    started: Instant,
+    /// Total (queue + service) latency per completed request, microseconds.
+    latencies_us: Vec<u64>,
+    /// `occupancy[s]` = number of dispatched batches holding `s` samples.
+    occupancy: Vec<u64>,
+    samples: u64,
+    rejected_full: u64,
+}
+
+impl MetricsRecorder {
+    pub(crate) fn new(max_batch: usize) -> Self {
+        MetricsRecorder {
+            started: Instant::now(),
+            latencies_us: Vec::new(),
+            occupancy: vec![0; max_batch + 1],
+            samples: 0,
+            rejected_full: 0,
+        }
+    }
+
+    pub(crate) fn record_batch(&mut self, batch_samples: usize, request_latencies_us: &[u64]) {
+        if let Some(slot) = self.occupancy.get_mut(batch_samples) {
+            *slot += 1;
+        }
+        self.samples += batch_samples as u64;
+        self.latencies_us.extend_from_slice(request_latencies_us);
+    }
+
+    pub(crate) fn record_reject_full(&mut self) {
+        self.rejected_full += 1;
+    }
+
+    pub(crate) fn report(&self) -> MetricsReport {
+        let mut sorted = self.latencies_us.clone();
+        sorted.sort_unstable();
+        let elapsed_s = self.started.elapsed().as_secs_f64();
+        let mean_us = if sorted.is_empty() {
+            0.0
+        } else {
+            sorted.iter().sum::<u64>() as f64 / sorted.len() as f64
+        };
+        MetricsReport {
+            requests: sorted.len() as u64,
+            samples: self.samples,
+            batches: self.occupancy.iter().sum(),
+            rejected_full: self.rejected_full,
+            p50_us: percentile(&sorted, 0.50),
+            p95_us: percentile(&sorted, 0.95),
+            p99_us: percentile(&sorted, 0.99),
+            mean_us,
+            batch_occupancy: self.occupancy.clone(),
+            elapsed_s,
+        }
+    }
+}
+
+/// Nearest-rank percentile (`ceil(q·n) − 1`) over an ascending-sorted
+/// slice (0 when empty).
+pub(crate) fn percentile(sorted_us: &[u64], q: f64) -> u64 {
+    if sorted_us.is_empty() {
+        return 0;
+    }
+    let rank = (q * sorted_us.len() as f64).ceil() as usize;
+    sorted_us[rank.clamp(1, sorted_us.len()) - 1]
+}
+
+/// Immutable snapshot of the service's behavior over one [`crate::Server::run`]
+/// window.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricsReport {
+    /// Completed requests.
+    pub requests: u64,
+    /// Completed samples (requests may carry several).
+    pub samples: u64,
+    /// Dispatched batches.
+    pub batches: u64,
+    /// Submissions rejected with [`crate::SubmitError::QueueFull`].
+    pub rejected_full: u64,
+    /// Median total (queue + service) request latency, microseconds.
+    pub p50_us: u64,
+    /// 95th-percentile latency, microseconds.
+    pub p95_us: u64,
+    /// 99th-percentile latency, microseconds.
+    pub p99_us: u64,
+    /// Mean latency, microseconds.
+    pub mean_us: f64,
+    /// `batch_occupancy[s]` = dispatched batches that held `s` samples
+    /// (length `max_batch + 1`; index 0 is always 0).
+    pub batch_occupancy: Vec<u64>,
+    /// Wall-clock seconds the serve window was open.
+    pub elapsed_s: f64,
+}
+
+impl MetricsReport {
+    /// Completed samples per second over the serve window.
+    pub fn samples_per_s(&self) -> f64 {
+        if self.elapsed_s <= 0.0 {
+            0.0
+        } else {
+            self.samples as f64 / self.elapsed_s
+        }
+    }
+
+    /// Mean samples per dispatched batch.
+    pub fn mean_occupancy(&self) -> f64 {
+        if self.batches == 0 {
+            0.0
+        } else {
+            self.samples as f64 / self.batches as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentiles_nearest_rank() {
+        let v: Vec<u64> = (1..=100).collect();
+        assert_eq!(percentile(&v, 0.50), 50);
+        assert_eq!(percentile(&v, 0.95), 95);
+        assert_eq!(percentile(&v, 0.99), 99);
+        assert_eq!(percentile(&[], 0.5), 0);
+        assert_eq!(percentile(&[7], 0.99), 7);
+    }
+
+    #[test]
+    fn recorder_aggregates() {
+        let mut r = MetricsRecorder::new(4);
+        r.record_batch(3, &[10, 20, 30]);
+        r.record_batch(1, &[40]);
+        r.record_reject_full();
+        let rep = r.report();
+        assert_eq!(rep.requests, 4);
+        assert_eq!(rep.samples, 4);
+        assert_eq!(rep.batches, 2);
+        assert_eq!(rep.rejected_full, 1);
+        assert_eq!(rep.batch_occupancy[3], 1);
+        assert_eq!(rep.batch_occupancy[1], 1);
+        assert!((rep.mean_occupancy() - 2.0).abs() < 1e-12);
+        assert_eq!(rep.p50_us, 20);
+        assert!(rep.mean_us > 0.0);
+    }
+}

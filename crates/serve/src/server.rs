@@ -1,0 +1,927 @@
+//! The batched inference server: bounded queue, latency-aware coalescing,
+//! scoped worker threads, ticket-based responses.
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use capsnet::{CapsNet, ForwardArena, MathBackend};
+use pim_tensor::par::available_threads;
+use pim_tensor::Tensor;
+
+use crate::config::{BatchExecution, ServeConfig};
+use crate::error::{ServeError, SubmitError};
+use crate::metrics::{MetricsRecorder, MetricsReport};
+
+/// A registered model: a name plus the network that serves it. Only
+/// requests naming the same model coalesce into a batch.
+#[derive(Debug, Clone)]
+pub struct ServedModel {
+    name: String,
+    net: CapsNet,
+}
+
+impl ServedModel {
+    /// Registers `net` under `name`.
+    ///
+    /// Models served here should route **per sample**
+    /// (`batch_shared_routing = false`): batch-shared coefficients couple
+    /// samples, so coalescing would change results. The server still
+    /// accepts batch-shared models but refuses to coalesce across requests
+    /// for them (each dispatch holds exactly one request).
+    pub fn new(name: impl Into<String>, net: CapsNet) -> Self {
+        ServedModel {
+            name: name.into(),
+            net,
+        }
+    }
+
+    /// The model's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The served network.
+    pub fn net(&self) -> &CapsNet {
+        &self.net
+    }
+
+    /// `true` when requests for this model may share a dispatched batch.
+    fn coalescable(&self) -> bool {
+        !self.net.spec().batch_shared_routing
+    }
+}
+
+/// One inference request.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// Tenant tag (per-tenant FIFO dispatch order is preserved).
+    pub tenant: usize,
+    /// Index into the server's registered models.
+    pub model: usize,
+    /// Input images, `[n, C, H, W]` with `n >= 1` samples matching the
+    /// model's geometry.
+    pub images: Tensor,
+}
+
+/// The server's answer to one request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Response {
+    /// Predicted class per sample of the request.
+    pub predictions: Vec<usize>,
+    /// Squared class-capsule norms, `[n, H]` row-major.
+    pub class_norms_sq: Vec<f32>,
+    /// Samples in the dispatched batch this request rode in.
+    pub batch_samples: usize,
+    /// Dispatch sequence number of that batch (global, formation order).
+    pub batch_seq: u64,
+    /// This request's sample offset within the batch.
+    pub batch_offset: usize,
+    /// Time spent queued before dispatch, microseconds.
+    pub queue_us: u64,
+    /// Time from dispatch to completion, microseconds.
+    pub service_us: u64,
+}
+
+/// Completion slot shared between a [`Ticket`] and the worker that
+/// eventually fulfills it.
+#[derive(Debug)]
+struct TicketSlot {
+    state: Mutex<Option<Result<Response, ServeError>>>,
+    ready: Condvar,
+}
+
+/// Handle to one admitted request; [`Ticket::wait`] blocks until the
+/// request's batch completes. Every admitted request is fulfilled, even
+/// under shutdown (the workers drain the queue before exiting).
+#[derive(Debug)]
+pub struct Ticket {
+    slot: Arc<TicketSlot>,
+}
+
+impl Ticket {
+    /// Blocks until the response (or the batch's error) is available.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::Forward`] when inference failed for the
+    /// dispatched batch.
+    pub fn wait(self) -> Result<Response, ServeError> {
+        let mut st = self.slot.state.lock().expect("ticket lock");
+        loop {
+            if let Some(outcome) = st.take() {
+                return outcome;
+            }
+            st = self.slot.ready.wait(st).expect("ticket wait");
+        }
+    }
+
+    /// Non-blocking probe: a clone of the response if the batch already
+    /// completed. Does **not** consume the result — a later
+    /// [`Ticket::wait`] still returns it.
+    pub fn try_wait(&self) -> Option<Result<Response, ServeError>> {
+        self.slot.state.lock().expect("ticket lock").clone()
+    }
+}
+
+/// An admitted, not-yet-dispatched request.
+#[derive(Debug)]
+struct Pending {
+    model: usize,
+    images: Tensor,
+    samples: usize,
+    enqueued_at: Instant,
+    slot: Arc<TicketSlot>,
+}
+
+/// Scheduler state behind the queue mutex.
+#[derive(Debug)]
+struct SchedState {
+    queue: VecDeque<Pending>,
+    queued_samples: usize,
+    closed: bool,
+    next_batch_seq: u64,
+    /// Per-model count of batches currently being *formed*. While one
+    /// worker holds a forming batch for model `m` open across a coalescing
+    /// wait, other workers must not start a later model-`m` batch: it
+    /// would close first, take the lower `batch_seq`, and invert the
+    /// per-`(tenant, model)` FIFO guarantee.
+    forming: Vec<u32>,
+}
+
+/// Everything the workers and the handle share.
+struct Shared<'a, B: MathBackend + Sync + ?Sized> {
+    models: &'a [ServedModel],
+    backend: &'a B,
+    cfg: ServeConfig,
+    state: Mutex<SchedState>,
+    work_ready: Condvar,
+    metrics: Mutex<MetricsRecorder>,
+}
+
+/// The batched inference server. Construct with [`Server::new`], then open
+/// a serve window with [`Server::run`].
+pub struct Server<'a, B: MathBackend + Sync + ?Sized> {
+    models: &'a [ServedModel],
+    backend: &'a B,
+    cfg: ServeConfig,
+}
+
+impl<'a, B: MathBackend + Sync + ?Sized> Server<'a, B> {
+    /// Creates a server over registered models.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::NoModels`] for an empty registry or
+    /// [`ServeError::InvalidConfig`] for bad knobs.
+    pub fn new(
+        models: &'a [ServedModel],
+        backend: &'a B,
+        cfg: ServeConfig,
+    ) -> Result<Self, ServeError> {
+        if models.is_empty() {
+            return Err(ServeError::NoModels);
+        }
+        cfg.validate()?;
+        Ok(Server {
+            models,
+            backend,
+            cfg,
+        })
+    }
+
+    /// Opens a serve window: spawns the configured workers on a
+    /// `std::thread::scope`, hands `f` a [`ServerHandle`] to submit
+    /// requests through, and on return from `f` shuts down — no new
+    /// admissions, queued requests drained, workers joined. Returns `f`'s
+    /// result plus the window's [`MetricsReport`].
+    pub fn run<R>(&self, f: impl FnOnce(&ServerHandle<'_, 'a, B>) -> R) -> (R, MetricsReport) {
+        let shared = Shared {
+            models: self.models,
+            backend: self.backend,
+            cfg: self.cfg,
+            state: Mutex::new(SchedState {
+                queue: VecDeque::new(),
+                queued_samples: 0,
+                closed: false,
+                next_batch_seq: 0,
+                forming: vec![0; self.models.len()],
+            }),
+            work_ready: Condvar::new(),
+            metrics: Mutex::new(MetricsRecorder::new(self.cfg.max_batch)),
+        };
+        let result = std::thread::scope(|scope| {
+            for _ in 0..self.cfg.workers {
+                scope.spawn(|| worker_loop(&shared));
+            }
+            let handle = ServerHandle { shared: &shared };
+            let result = f(&handle);
+            {
+                let mut st = shared.state.lock().expect("queue lock");
+                st.closed = true;
+            }
+            shared.work_ready.notify_all();
+            result
+        });
+        let report = shared.metrics.lock().expect("metrics lock").report();
+        (result, report)
+    }
+}
+
+/// Submission handle passed to the [`Server::run`] closure; `Sync`, so the
+/// closure may fan submissions out over its own scoped threads.
+pub struct ServerHandle<'s, 'a, B: MathBackend + Sync + ?Sized> {
+    shared: &'s Shared<'a, B>,
+}
+
+impl<B: MathBackend + Sync + ?Sized> ServerHandle<'_, '_, B> {
+    /// Admits a request to the bounded queue.
+    ///
+    /// # Errors
+    ///
+    /// Returns a typed [`SubmitError`] — queue full (backpressure), unknown
+    /// model, geometry mismatch, or shutdown — without ever blocking or
+    /// panicking.
+    pub fn submit(&self, request: Request) -> Result<Ticket, SubmitError> {
+        let shared = self.shared;
+        let model = shared.models.get(request.model).ok_or({
+            SubmitError::UnknownModel {
+                model: request.model,
+                registered: shared.models.len(),
+            }
+        })?;
+        let spec = model.net().spec();
+        let dims = request.images.shape().dims();
+        let geometry_ok = dims.len() == 4
+            && dims[1] == spec.input_channels
+            && dims[2] == spec.input_hw.0
+            && dims[3] == spec.input_hw.1;
+        if !geometry_ok || dims[0] == 0 || dims[0] > shared.cfg.max_batch {
+            return Err(SubmitError::ShapeMismatch {
+                expected: format!(
+                    "[1..={}, {}, {}, {}]",
+                    shared.cfg.max_batch, spec.input_channels, spec.input_hw.0, spec.input_hw.1
+                ),
+                actual: dims.to_vec(),
+            });
+        }
+        let samples = dims[0];
+
+        let slot = Arc::new(TicketSlot {
+            state: Mutex::new(None),
+            ready: Condvar::new(),
+        });
+        {
+            let mut st = shared.state.lock().expect("queue lock");
+            if st.closed {
+                return Err(SubmitError::ShuttingDown);
+            }
+            if st.queued_samples + samples > shared.cfg.queue_capacity {
+                let queued = st.queued_samples;
+                drop(st);
+                shared
+                    .metrics
+                    .lock()
+                    .expect("metrics lock")
+                    .record_reject_full();
+                return Err(SubmitError::QueueFull {
+                    capacity: shared.cfg.queue_capacity,
+                    queued,
+                    requested: samples,
+                });
+            }
+            st.queued_samples += samples;
+            st.queue.push_back(Pending {
+                model: request.model,
+                images: request.images,
+                samples,
+                enqueued_at: Instant::now(),
+                slot: Arc::clone(&slot),
+            });
+        }
+        shared.work_ready.notify_all();
+        Ok(Ticket { slot })
+    }
+
+    /// Samples currently queued (admitted, not yet dispatched).
+    pub fn queued_samples(&self) -> usize {
+        self.shared.state.lock().expect("queue lock").queued_samples
+    }
+}
+
+/// One worker: form a batch under the latency budget, run it, fulfill its
+/// tickets; exit once the server closed *and* the queue drained.
+fn worker_loop<B: MathBackend + Sync + ?Sized>(shared: &Shared<'_, B>) {
+    let mut arena = ForwardArena::new();
+    loop {
+        let Some((batch, batch_seq)) = form_batch(shared) else {
+            return;
+        };
+        run_batch(shared, batch, batch_seq, &mut arena);
+    }
+}
+
+/// Blocks until a batch can be formed; `None` means closed-and-drained.
+fn form_batch<B: MathBackend + Sync + ?Sized>(
+    shared: &Shared<'_, B>,
+) -> Option<(Vec<Pending>, u64)> {
+    let cfg = &shared.cfg;
+    let mut st = shared.state.lock().expect("queue lock");
+    // Wait for the oldest request of a model no other worker is currently
+    // forming a batch for (or closed + drained). Skipping models with an
+    // open batch keeps per-(tenant, model) dispatch order intact: that
+    // open batch must close (and take its batch_seq) before a later
+    // same-model batch may form.
+    let first = loop {
+        let pick = {
+            let state = &*st;
+            state.queue.iter().position(|p| state.forming[p.model] == 0)
+        };
+        if let Some(i) = pick {
+            let p = st.queue.remove(i).expect("index in bounds");
+            st.queued_samples -= p.samples;
+            break p;
+        }
+        if st.closed && st.queue.is_empty() {
+            return None;
+        }
+        st = shared.work_ready.wait(st).expect("queue wait");
+    };
+    let model = first.model;
+    st.forming[model] += 1;
+    let coalescable = shared.models[model].coalescable();
+    let deadline = first.enqueued_at + cfg.max_wait;
+    let mut samples = first.samples;
+    let mut batch = vec![first];
+
+    while coalescable && samples < cfg.max_batch {
+        // Take same-model requests in FIFO order. Stop at the first
+        // same-model request that does not fit — taking a later one instead
+        // would reorder a tenant's stream.
+        let mut idx = 0;
+        while idx < st.queue.len() && samples < cfg.max_batch {
+            if st.queue[idx].model != model {
+                idx += 1;
+                continue;
+            }
+            if samples + st.queue[idx].samples > cfg.max_batch {
+                samples = cfg.max_batch; // close the batch
+                break;
+            }
+            let p = st.queue.remove(idx).expect("index in bounds");
+            st.queued_samples -= p.samples;
+            samples += p.samples;
+            batch.push(p);
+        }
+        if samples >= cfg.max_batch || st.closed {
+            break;
+        }
+        let now = Instant::now();
+        if now >= deadline {
+            break;
+        }
+        let (guard, timeout) = shared
+            .work_ready
+            .wait_timeout(st, deadline - now)
+            .expect("queue wait");
+        st = guard;
+        if timeout.timed_out() {
+            // One last sweep below the loop condition, then dispatch.
+            let mut idx = 0;
+            while idx < st.queue.len() && samples < cfg.max_batch {
+                if st.queue[idx].model != model {
+                    idx += 1;
+                    continue;
+                }
+                if samples + st.queue[idx].samples > cfg.max_batch {
+                    break;
+                }
+                let p = st.queue.remove(idx).expect("index in bounds");
+                st.queued_samples -= p.samples;
+                samples += p.samples;
+                batch.push(p);
+            }
+            break;
+        }
+    }
+    let batch_seq = st.next_batch_seq;
+    st.next_batch_seq += 1;
+    st.forming[model] -= 1;
+    drop(st);
+    // Another worker may be waiting for queued work this one skipped over
+    // or for this model's forming reservation to clear.
+    shared.work_ready.notify_all();
+    Some((batch, batch_seq))
+}
+
+/// Runs one formed batch and fulfills its tickets.
+fn run_batch<B: MathBackend + Sync + ?Sized>(
+    shared: &Shared<'_, B>,
+    batch: Vec<Pending>,
+    batch_seq: u64,
+    arena: &mut ForwardArena,
+) {
+    let dispatched_at = Instant::now();
+    let model = &shared.models[batch[0].model];
+    let spec = model.net().spec();
+    let batch_samples: usize = batch.iter().map(|p| p.samples).sum();
+
+    let outcome = if batch.len() == 1 {
+        // A lone request's tensor is already batch-shaped: zero-copy.
+        forward_batch(shared, model, &batch[0].images, arena)
+    } else {
+        let mut assembly = Vec::with_capacity(batch_samples * spec.input_pixels());
+        for p in &batch {
+            assembly.extend_from_slice(p.images.as_slice());
+        }
+        let dims = [
+            batch_samples,
+            spec.input_channels,
+            spec.input_hw.0,
+            spec.input_hw.1,
+        ];
+        Tensor::from_vec(assembly, &dims)
+            .map_err(|e| ServeError::Forward(e.to_string()))
+            .and_then(|images| forward_batch(shared, model, &images, arena))
+    };
+
+    match outcome {
+        Ok((predictions, norms, h)) => {
+            let mut offset = 0usize;
+            let mut latencies = Vec::with_capacity(batch.len());
+            for p in batch {
+                let queue_us = duration_us(dispatched_at.saturating_duration_since(p.enqueued_at));
+                let service_us = duration_us(dispatched_at.elapsed());
+                latencies.push(queue_us + service_us);
+                let response = Response {
+                    predictions: predictions[offset..offset + p.samples].to_vec(),
+                    class_norms_sq: norms[offset * h..(offset + p.samples) * h].to_vec(),
+                    batch_samples,
+                    batch_seq,
+                    batch_offset: offset,
+                    queue_us,
+                    service_us,
+                };
+                offset += p.samples;
+                fulfill(&p.slot, Ok(response));
+            }
+            shared
+                .metrics
+                .lock()
+                .expect("metrics lock")
+                .record_batch(batch_samples, &latencies);
+        }
+        Err(e) => {
+            for p in batch {
+                fulfill(&p.slot, Err(e.clone()));
+            }
+        }
+    }
+}
+
+/// Executes the batch under the configured strategy. Returns
+/// `(predictions, class_norms_sq, h_caps)`.
+fn forward_batch<B: MathBackend + Sync + ?Sized>(
+    shared: &Shared<'_, B>,
+    model: &ServedModel,
+    images: &Tensor,
+    arena: &mut ForwardArena,
+) -> Result<(Vec<usize>, Vec<f32>, usize), ServeError> {
+    let net = model.net();
+    let parallel = match shared.cfg.execution {
+        BatchExecution::Arena => false,
+        BatchExecution::Parallel => true,
+        BatchExecution::Auto => {
+            available_threads() > 1
+                && images.shape().dims()[0] > 1
+                && !net.spec().batch_shared_routing
+        }
+    };
+    if parallel {
+        let out = net
+            .forward(images, shared.backend)
+            .map_err(|e| ServeError::Forward(e.to_string()))?;
+        let h = out.class_norms_sq.shape().dims()[1];
+        Ok((out.predictions(), out.class_norms_sq.as_slice().to_vec(), h))
+    } else {
+        let view = net
+            .forward_with(images, shared.backend, arena)
+            .map_err(|e| ServeError::Forward(e.to_string()))?;
+        let h = view.class_norms_sq().len() / view.batch().max(1);
+        Ok((view.predictions(), view.class_norms_sq().to_vec(), h))
+    }
+}
+
+fn fulfill(slot: &TicketSlot, outcome: Result<Response, ServeError>) {
+    let mut st = slot.state.lock().expect("ticket lock");
+    *st = Some(outcome);
+    slot.ready.notify_all();
+}
+
+fn duration_us(d: Duration) -> u64 {
+    u64::try_from(d.as_micros()).unwrap_or(u64::MAX)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use capsnet::{CapsNetSpec, ExactMath};
+    use std::sync::OnceLock;
+
+    fn tiny_model() -> &'static ServedModel {
+        static MODEL: OnceLock<ServedModel> = OnceLock::new();
+        MODEL.get_or_init(|| {
+            let mut spec = CapsNetSpec::tiny_for_tests();
+            spec.batch_shared_routing = false;
+            ServedModel::new("tiny", CapsNet::seeded(&spec, 42).unwrap())
+        })
+    }
+
+    fn images(n: usize, seed: u64) -> Tensor {
+        Tensor::uniform(&[n, 1, 12, 12], 0.0, 1.0, seed)
+    }
+
+    fn server_cfg() -> ServeConfig {
+        ServeConfig {
+            max_batch: 8,
+            max_wait: Duration::from_millis(1),
+            queue_capacity: 64,
+            workers: 1,
+            execution: BatchExecution::Arena,
+        }
+    }
+
+    #[test]
+    fn responses_match_serial_forward_bitwise() {
+        let models = [tiny_model().clone()];
+        let server = Server::new(&models, &ExactMath, server_cfg()).unwrap();
+        let (responses, metrics) = server.run(|h| {
+            let tickets: Vec<Ticket> = (0..12)
+                .map(|i| {
+                    h.submit(Request {
+                        tenant: i % 3,
+                        model: 0,
+                        images: images(1 + i % 2, i as u64),
+                    })
+                    .unwrap()
+                })
+                .collect();
+            tickets
+                .into_iter()
+                .map(|t| t.wait().unwrap())
+                .collect::<Vec<Response>>()
+        });
+        assert_eq!(responses.len(), 12);
+        assert_eq!(metrics.requests, 12);
+        for (i, r) in responses.iter().enumerate() {
+            let imgs = images(1 + i % 2, i as u64);
+            let serial = tiny_model().net().forward(&imgs, &ExactMath).unwrap();
+            assert_eq!(r.predictions, serial.predictions(), "request {i}");
+            assert_eq!(
+                r.class_norms_sq.len(),
+                serial.class_norms_sq.as_slice().len()
+            );
+            for (a, b) in r
+                .class_norms_sq
+                .iter()
+                .zip(serial.class_norms_sq.as_slice())
+            {
+                assert_eq!(a.to_bits(), b.to_bits(), "request {i} not bitwise equal");
+            }
+            assert!(r.batch_samples >= 1 && r.batch_samples <= 8);
+        }
+    }
+
+    #[test]
+    fn parallel_execution_matches_arena() {
+        let models = [tiny_model().clone()];
+        let run = |execution| {
+            let cfg = ServeConfig {
+                execution,
+                ..server_cfg()
+            };
+            let server = Server::new(&models, &ExactMath, cfg).unwrap();
+            let (out, _) = server.run(|h| {
+                let t = h
+                    .submit(Request {
+                        tenant: 0,
+                        model: 0,
+                        images: images(4, 9),
+                    })
+                    .unwrap();
+                t.wait().unwrap()
+            });
+            out
+        };
+        let arena = run(BatchExecution::Arena);
+        let parallel = run(BatchExecution::Parallel);
+        assert_eq!(arena.predictions, parallel.predictions);
+        for (a, b) in arena.class_norms_sq.iter().zip(&parallel.class_norms_sq) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn queue_full_is_a_typed_reject() {
+        let models = [tiny_model().clone()];
+        let cfg = ServeConfig {
+            max_batch: 2,
+            queue_capacity: 2,
+            max_wait: Duration::from_millis(50),
+            ..server_cfg()
+        };
+        let server = Server::new(&models, &ExactMath, cfg).unwrap();
+        let ((), metrics) = server.run(|h| {
+            // Burst far past capacity from a single thread; the queue bound
+            // guarantees at least one reject before the worker can drain.
+            let mut accepted = Vec::new();
+            let mut rejected = 0usize;
+            for i in 0..64 {
+                match h.submit(Request {
+                    tenant: 0,
+                    model: 0,
+                    images: images(1, i),
+                }) {
+                    Ok(t) => accepted.push(t),
+                    Err(SubmitError::QueueFull { capacity, .. }) => {
+                        assert_eq!(capacity, 2);
+                        rejected += 1;
+                    }
+                    Err(e) => panic!("unexpected reject {e}"),
+                }
+            }
+            assert!(rejected > 0, "burst should overflow the bounded queue");
+            // Every admitted request still completes.
+            for t in accepted {
+                t.wait().unwrap();
+            }
+        });
+        assert!(metrics.rejected_full > 0);
+    }
+
+    #[test]
+    fn bad_submissions_are_rejected() {
+        let models = [tiny_model().clone()];
+        let server = Server::new(&models, &ExactMath, server_cfg()).unwrap();
+        server.run(|h| {
+            let bad_model = h.submit(Request {
+                tenant: 0,
+                model: 7,
+                images: images(1, 1),
+            });
+            assert!(matches!(
+                bad_model,
+                Err(SubmitError::UnknownModel { model: 7, .. })
+            ));
+            let bad_shape = h.submit(Request {
+                tenant: 0,
+                model: 0,
+                images: Tensor::zeros(&[1, 1, 10, 10]),
+            });
+            assert!(matches!(bad_shape, Err(SubmitError::ShapeMismatch { .. })));
+            let empty = h.submit(Request {
+                tenant: 0,
+                model: 0,
+                images: Tensor::zeros(&[0, 1, 12, 12]),
+            });
+            assert!(matches!(empty, Err(SubmitError::ShapeMismatch { .. })));
+            let oversize = h.submit(Request {
+                tenant: 0,
+                model: 0,
+                images: images(9, 2), // max_batch is 8
+            });
+            assert!(matches!(oversize, Err(SubmitError::ShapeMismatch { .. })));
+        });
+    }
+
+    #[test]
+    fn batch_shared_models_never_coalesce() {
+        // A batch-shared model couples samples; the server must dispatch
+        // one request per batch so results still match per-request forward.
+        let spec = CapsNetSpec::tiny_for_tests(); // batch_shared = true
+        assert!(spec.batch_shared_routing);
+        let models = [ServedModel::new(
+            "shared",
+            CapsNet::seeded(&spec, 5).unwrap(),
+        )];
+        let cfg = ServeConfig {
+            max_wait: Duration::from_millis(20),
+            ..server_cfg()
+        };
+        let server = Server::new(&models, &ExactMath, cfg).unwrap();
+        let (responses, metrics) = server.run(|h| {
+            let tickets: Vec<Ticket> = (0..6)
+                .map(|i| {
+                    h.submit(Request {
+                        tenant: 0,
+                        model: 0,
+                        images: images(2, 100 + i),
+                    })
+                    .unwrap()
+                })
+                .collect();
+            tickets
+                .into_iter()
+                .map(|t| t.wait().unwrap())
+                .collect::<Vec<_>>()
+        });
+        assert_eq!(metrics.batches, 6, "one batch per request");
+        for (i, r) in responses.iter().enumerate() {
+            assert_eq!(r.batch_samples, 2);
+            let serial = models[0]
+                .net()
+                .forward(&images(2, 100 + i as u64), &ExactMath)
+                .unwrap();
+            for (a, b) in r
+                .class_norms_sq
+                .iter()
+                .zip(serial.class_norms_sq.as_slice())
+            {
+                assert_eq!(a.to_bits(), b.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn multi_model_requests_only_coalesce_within_model() {
+        let mut spec_b = CapsNetSpec::tiny_for_tests();
+        spec_b.batch_shared_routing = false;
+        spec_b.h_caps = 4;
+        let models = [
+            tiny_model().clone(),
+            ServedModel::new("four-class", CapsNet::seeded(&spec_b, 7).unwrap()),
+        ];
+        let cfg = ServeConfig {
+            max_wait: Duration::from_millis(10),
+            ..server_cfg()
+        };
+        let server = Server::new(&models, &ExactMath, cfg).unwrap();
+        let (responses, _) = server.run(|h| {
+            let tickets: Vec<Ticket> = (0..10)
+                .map(|i| {
+                    h.submit(Request {
+                        tenant: i,
+                        model: i % 2,
+                        images: images(1, i as u64),
+                    })
+                    .unwrap()
+                })
+                .collect();
+            tickets
+                .into_iter()
+                .map(|t| t.wait().unwrap())
+                .collect::<Vec<_>>()
+        });
+        // Model 0 has 3 classes, model 1 has 4: norms length identifies the
+        // model each response came from.
+        for (i, r) in responses.iter().enumerate() {
+            let expected_h = if i % 2 == 0 { 3 } else { 4 };
+            assert_eq!(r.class_norms_sq.len(), expected_h, "request {i}");
+        }
+    }
+
+    #[test]
+    fn drains_queue_on_shutdown() {
+        let models = [tiny_model().clone()];
+        let cfg = ServeConfig {
+            max_wait: Duration::from_millis(200),
+            ..server_cfg()
+        };
+        let server = Server::new(&models, &ExactMath, cfg).unwrap();
+        // Submit and immediately leave the closure: shutdown must still
+        // fulfill every admitted ticket (workers drain before exiting).
+        let (tickets, _) = server.run(|h| {
+            (0..5)
+                .map(|i| {
+                    h.submit(Request {
+                        tenant: 0,
+                        model: 0,
+                        images: images(1, i),
+                    })
+                    .unwrap()
+                })
+                .collect::<Vec<Ticket>>()
+        });
+        for t in tickets {
+            t.wait().unwrap();
+        }
+    }
+
+    #[test]
+    fn coalescing_fills_batches_under_load() {
+        let models = [tiny_model().clone()];
+        let cfg = ServeConfig {
+            max_batch: 4,
+            max_wait: Duration::from_millis(100),
+            queue_capacity: 64,
+            workers: 1,
+            execution: BatchExecution::Arena,
+        };
+        let server = Server::new(&models, &ExactMath, cfg).unwrap();
+        let ((), metrics) = server.run(|h| {
+            let tickets: Vec<Ticket> = (0..16)
+                .map(|i| {
+                    h.submit(Request {
+                        tenant: 0,
+                        model: 0,
+                        images: images(1, i),
+                    })
+                    .unwrap()
+                })
+                .collect();
+            for t in tickets {
+                t.wait().unwrap();
+            }
+        });
+        // 16 single-sample requests, batch cap 4: at least one full batch
+        // must have formed (the first may dispatch early with fewer).
+        assert!(metrics.batches >= 4);
+        assert!(
+            metrics.batch_occupancy[4] >= 1,
+            "occupancy: {:?}",
+            metrics.batch_occupancy
+        );
+        assert!(metrics.mean_occupancy() > 1.0);
+        assert_eq!(metrics.samples, 16);
+        assert!(metrics.samples_per_s() > 0.0);
+    }
+
+    #[test]
+    fn fifo_holds_with_two_workers_and_blocking_coalesce() {
+        // Regression: with two workers, worker A pops R1 (1 sample) and
+        // waits out max_wait for companions while worker B pops R2
+        // (2 samples, instantly full at max_batch = 2). Without the
+        // per-model forming reservation B closed first and took the lower
+        // batch_seq, inverting tenant 0's dispatch order.
+        let models = [tiny_model().clone()];
+        let cfg = ServeConfig {
+            max_batch: 2,
+            max_wait: Duration::from_millis(5),
+            queue_capacity: 64,
+            workers: 2,
+            execution: BatchExecution::Arena,
+        };
+        for round in 0..20 {
+            let server = Server::new(&models, &ExactMath, cfg).unwrap();
+            let ((r1, r2), _) = server.run(|h| {
+                let t1 = h
+                    .submit(Request {
+                        tenant: 0,
+                        model: 0,
+                        images: images(1, round),
+                    })
+                    .unwrap();
+                let t2 = h
+                    .submit(Request {
+                        tenant: 0,
+                        model: 0,
+                        images: images(2, round + 100),
+                    })
+                    .unwrap();
+                (t1.wait().unwrap(), t2.wait().unwrap())
+            });
+            assert!(
+                (r1.batch_seq, r1.batch_offset) < (r2.batch_seq, r2.batch_offset),
+                "round {round}: R1 dispatched at {:?}, R2 at {:?}",
+                (r1.batch_seq, r1.batch_offset),
+                (r2.batch_seq, r2.batch_offset)
+            );
+        }
+    }
+
+    #[test]
+    fn try_wait_does_not_consume_the_result() {
+        let models = [tiny_model().clone()];
+        let server = Server::new(&models, &ExactMath, server_cfg()).unwrap();
+        server.run(|h| {
+            let t = h
+                .submit(Request {
+                    tenant: 0,
+                    model: 0,
+                    images: images(1, 1),
+                })
+                .unwrap();
+            // Poll until complete, then wait() must still return it.
+            let polled = loop {
+                if let Some(r) = t.try_wait() {
+                    break r.unwrap();
+                }
+                std::thread::yield_now();
+            };
+            let waited = t.wait().unwrap();
+            assert_eq!(polled, waited);
+        });
+    }
+
+    #[test]
+    fn handle_reports_queue_depth_and_rejects_after_close() {
+        let models = [tiny_model().clone()];
+        let server = Server::new(&models, &ExactMath, server_cfg()).unwrap();
+        server.run(|h| {
+            assert_eq!(h.queued_samples(), 0);
+        });
+        // After run() returns the server is gone; nothing to assert beyond
+        // the window — ShuttingDown is covered by the proptest suite, which
+        // races submitters against close.
+    }
+}

@@ -154,8 +154,33 @@ pub fn matmul_into(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n:
     });
 }
 
-/// Serial i-k-j GEMM on a row block.
+/// Column-tile width of the register-accumulator kernel: wide enough to
+/// fill two SIMD lanes' worth of f32 accumulators, small enough to stay in
+/// registers.
+const GEMM_TILE: usize = 8;
+
+/// `n` at or below which the register-tiled kernel wins: with few output
+/// columns the i-k-j kernel's per-`p` row traffic (reload/store of the
+/// output row) dominates, while wide rows amortize it and vectorize well
+/// as-is.
+const GEMM_TILED_MAX_N: usize = 32;
+
+/// Serial GEMM on a row block. Dispatches between two kernels with
+/// **bit-identical** results: every output element accumulates its `k`
+/// products in the same order either way, only the residency of the
+/// accumulator (memory vs register) differs.
 fn matmul_serial(a: &[f32], b: &[f32], out: &mut [f32], k: usize, n: usize) {
+    if n <= GEMM_TILED_MAX_N {
+        matmul_serial_tiled(a, b, out, k, n);
+    } else {
+        matmul_serial_ikj(a, b, out, k, n);
+    }
+}
+
+/// i-k-j GEMM: streams the full output row per `p` step. Best for wide
+/// rows (`n` large), where the row passes vectorize and the reload cost
+/// amortizes.
+fn matmul_serial_ikj(a: &[f32], b: &[f32], out: &mut [f32], k: usize, n: usize) {
     let m = out.len() / n;
     for i in 0..m {
         let out_row = &mut out[i * n..(i + 1) * n];
@@ -169,6 +194,47 @@ fn matmul_serial(a: &[f32], b: &[f32], out: &mut [f32], k: usize, n: usize) {
             for (o, &bv) in out_row.iter_mut().zip(b_row) {
                 *o += aik * bv;
             }
+        }
+    }
+}
+
+/// Register-tiled GEMM for narrow outputs: accumulates [`GEMM_TILE`]-wide
+/// column tiles in locals across the whole `k` loop, writing each output
+/// element once. Same per-element accumulation order (ascending `p`, with
+/// the same `aik == 0` skip) as [`matmul_serial_ikj`], so results are
+/// bit-identical for finite inputs.
+fn matmul_serial_tiled(a: &[f32], b: &[f32], out: &mut [f32], k: usize, n: usize) {
+    let m = out.len() / n;
+    for i in 0..m {
+        let a_row = &a[i * k..(i + 1) * k];
+        let out_row = &mut out[i * n..(i + 1) * n];
+        let mut j = 0;
+        while j < n {
+            let width = GEMM_TILE.min(n - j);
+            let mut acc = [0.0f32; GEMM_TILE];
+            if width == GEMM_TILE {
+                for (p, &aik) in a_row.iter().enumerate() {
+                    if aik == 0.0 {
+                        continue;
+                    }
+                    let b_row = &b[p * n + j..p * n + j + GEMM_TILE];
+                    for (av, &bv) in acc.iter_mut().zip(b_row) {
+                        *av += aik * bv;
+                    }
+                }
+            } else {
+                for (p, &aik) in a_row.iter().enumerate() {
+                    if aik == 0.0 {
+                        continue;
+                    }
+                    let b_row = &b[p * n + j..p * n + j + width];
+                    for (av, &bv) in acc[..width].iter_mut().zip(b_row) {
+                        *av += aik * bv;
+                    }
+                }
+            }
+            out_row[j..j + width].copy_from_slice(&acc[..width]);
+            j += width;
         }
     }
 }
@@ -216,6 +282,41 @@ mod tests {
             Tensor::zeros(&[2]).matmul(&b),
             Err(TensorError::RankMismatch { .. })
         ));
+    }
+
+    #[test]
+    fn tiled_kernel_matches_ikj_bitwise() {
+        // Sweep shapes straddling the tile width and the dispatch
+        // threshold, including zero-heavy inputs (the `aik == 0` skip).
+        for &(m, k, n) in &[
+            (64usize, 25usize, 8usize),
+            (4, 200, 16),
+            (7, 13, 5),
+            (3, 9, 1),
+            (16, 16, 32),
+            (16, 16, 33),
+            (5, 8, 31),
+        ] {
+            let mut a = Tensor::uniform(&[m, k], -1.0, 1.0, (m * k) as u64);
+            // Inject zeros so the skip path is exercised.
+            for (i, v) in a.as_mut_slice().iter_mut().enumerate() {
+                if i % 7 == 0 {
+                    *v = 0.0;
+                }
+            }
+            let b = Tensor::uniform(&[k, n], -1.0, 1.0, (k * n) as u64);
+            let mut tiled = vec![0.0f32; m * n];
+            let mut ikj = vec![0.0f32; m * n];
+            matmul_serial_tiled(a.as_slice(), b.as_slice(), &mut tiled, k, n);
+            matmul_serial_ikj(a.as_slice(), b.as_slice(), &mut ikj, k, n);
+            for (x, y) in tiled.iter().zip(&ikj) {
+                assert_eq!(
+                    x.to_bits(),
+                    y.to_bits(),
+                    "[{m}x{k}x{n}] tiled {x} vs ikj {y}"
+                );
+            }
+        }
     }
 
     #[test]

@@ -13,10 +13,19 @@ pub const PAR_MIN_WORK: usize = 1 << 20;
 pub const PAR_MIN_ROWS: usize = 64;
 
 /// Number of worker threads the machine offers (1 when unknown).
+///
+/// Cached after the first query: `std::thread::available_parallelism` is a
+/// syscall on Linux, and this function sits on the dispatch path of every
+/// matmul/conv/routing call — at small GEMM sizes the uncached syscall cost
+/// (~10 µs) exceeded the kernel itself. Affinity changes made after the
+/// first call are deliberately ignored.
 pub fn available_threads() -> usize {
-    std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
+    static CACHED: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+    *CACHED.get_or_init(|| {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    })
 }
 
 /// Plans a thread count for `items` independent work items costing

@@ -15,5 +15,6 @@ pub mod accuracy;
 pub mod report;
 mod suite;
 pub mod synth;
+pub mod traffic;
 
 pub use suite::{benchmarks, Benchmark, Dataset};

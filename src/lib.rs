@@ -34,6 +34,7 @@ pub use gpu_sim as gpu;
 pub use hmc_sim as hmc;
 pub use pim_approx as approx;
 pub use pim_capsnet as pim;
+pub use pim_serve as serve;
 pub use pim_tensor as tensor;
 
 /// Convenience prelude with the most-used types across the suite.
@@ -51,6 +52,9 @@ pub mod prelude {
     pub use pim_capsnet::{
         evaluate, evaluate_with_dimension, DesignVariant, Dimension, EvalResult, Platform,
     };
+    pub use pim_serve::{
+        MetricsReport, Request, Response, ServeConfig, ServedModel, Server, SubmitError,
+    };
     pub use pim_tensor::Tensor;
 }
 
@@ -66,6 +70,7 @@ mod tests {
         let _ = GpuSpec::p100();
         let _ = HmcConfig::gen3();
         let _ = Platform::paper_default();
+        let _ = ServeConfig::default();
         assert_eq!(workload_benchmarks().len(), 12);
     }
 }

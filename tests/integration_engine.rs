@@ -15,6 +15,47 @@ fn suite_results(variant: DesignVariant) -> Vec<(String, EvalResult)> {
 }
 
 #[test]
+fn every_variant_evaluates_every_table1_census_without_panic() {
+    // The full design-space sweep: all 8 variants × all 12 censuses must
+    // produce finite, positive timing/energy results with a coherent
+    // total ≥ RP ordering. (PIM-beats-Baseline per benchmark is pinned by
+    // `pim_wins_rp_on_every_benchmark` below.)
+    let platform = Platform::paper_default();
+    for b in workload_benchmarks() {
+        let census = NetworkCensus::from_spec(&b.spec(), b.batch_size).unwrap();
+        for variant in DesignVariant::ALL {
+            let r = evaluate(&census, &platform, variant);
+            assert!(
+                r.rp_time_s.is_finite() && r.rp_time_s > 0.0,
+                "{}/{variant:?}: rp_time {}",
+                b.name,
+                r.rp_time_s
+            );
+            assert!(
+                r.total_time_s.is_finite() && r.total_time_s >= r.rp_time_s,
+                "{}/{variant:?}: total {} < rp {}",
+                b.name,
+                r.total_time_s,
+                r.rp_time_s
+            );
+            assert!(
+                r.rp_energy_j.is_finite() && r.rp_energy_j > 0.0,
+                "{}/{variant:?}: rp_energy {}",
+                b.name,
+                r.rp_energy_j
+            );
+            assert!(
+                r.total_energy_j.is_finite() && r.total_energy_j >= r.rp_energy_j,
+                "{}/{variant:?}: total energy {} < rp energy {}",
+                b.name,
+                r.total_energy_j,
+                r.rp_energy_j
+            );
+        }
+    }
+}
+
+#[test]
 fn pim_wins_rp_on_every_benchmark() {
     let base = suite_results(DesignVariant::Baseline);
     let pim = suite_results(DesignVariant::PimCapsNet);
