@@ -120,6 +120,34 @@ impl ApproxProfile {
             x * self.inv_sqrt(x)
         }
     }
+
+    /// [`Self::exp`] applied to every element of `xs` in place.
+    ///
+    /// The slice form mirrors the routing engine's slice-level
+    /// `MathBackend` kernels: per element it is bit-identical to calling
+    /// [`Self::exp`] in a loop (the PE has no wide datapath to model), but
+    /// it costs one call per row instead of one per element — which is
+    /// what keeps the *boxed* (`dyn`) approx backend off the vtable inside
+    /// the hot loop.
+    pub fn exp_slice(&self, xs: &mut [f32]) {
+        for x in xs {
+            *x = self.exp(*x);
+        }
+    }
+
+    /// [`Self::inv_sqrt`] applied to every element of `xs` in place.
+    pub fn inv_sqrt_slice(&self, xs: &mut [f32]) {
+        for x in xs {
+            *x = self.inv_sqrt(*x);
+        }
+    }
+
+    /// [`Self::div`] of every element of `xs` by `denom`, in place.
+    pub fn div_slice(&self, xs: &mut [f32], denom: f32) {
+        for x in xs {
+            *x = self.div(*x, denom);
+        }
+    }
 }
 
 impl Default for ApproxProfile {
@@ -184,5 +212,29 @@ mod tests {
     #[test]
     fn default_is_calibrated() {
         assert_eq!(ApproxProfile::default(), ApproxProfile::calibrated());
+    }
+
+    #[test]
+    fn slice_forms_match_scalar_calls_bitwise() {
+        let p = ApproxProfile::calibrated();
+        let xs: Vec<f32> = (1..40).map(|i| i as f32 * 0.21).collect();
+
+        let mut got = xs.clone();
+        p.exp_slice(&mut got);
+        for (g, &x) in got.iter().zip(&xs) {
+            assert_eq!(g.to_bits(), p.exp(x).to_bits());
+        }
+
+        let mut got = xs.clone();
+        p.inv_sqrt_slice(&mut got);
+        for (g, &x) in got.iter().zip(&xs) {
+            assert_eq!(g.to_bits(), p.inv_sqrt(x).to_bits());
+        }
+
+        let mut got = xs.clone();
+        p.div_slice(&mut got, 3.1);
+        for (g, &x) in got.iter().zip(&xs) {
+            assert_eq!(g.to_bits(), p.div(x, 3.1).to_bits());
+        }
     }
 }

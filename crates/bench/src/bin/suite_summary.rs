@@ -15,7 +15,7 @@ use capsnet::routing::{
 };
 use capsnet::{ExactMath, MathBackend, RoutingScratch};
 use capsnet_workloads::report::{mean, Table};
-use pim_bench::emit::{routing_json, write_json_artifact, RoutingMeasurement};
+use pim_bench::emit::{routing_json, write_json_artifact, BenchHost, RoutingMeasurement};
 use pim_bench::serve_bench::run_serve_bench;
 use pim_bench::{f2, pct, BenchContext};
 use pim_capsnet::DesignVariant;
@@ -92,7 +92,11 @@ fn time_ns<F: FnMut()>(mut f: F) -> f64 {
 /// vs monomorphized vs warm-arena vs batch-parallel) and writes
 /// `BENCH_routing.json` into the results directory.
 fn write_routing_benchmarks() {
-    println!("\n=== routing engine — ns/iter by execution strategy ===");
+    let host = BenchHost::detect();
+    println!(
+        "\n=== routing engine — ns/iter by execution strategy (simd: {}, threads: {}) ===",
+        host.simd, host.threads
+    );
     let u_shared = Tensor::uniform(&[8, 128, 10, 16], -0.5, 0.5, 1);
     let u_batch = Tensor::uniform(&[32, 128, 10, 16], -0.5, 0.5, 2);
     let exact = ExactMath;
@@ -174,7 +178,7 @@ fn write_routing_benchmarks() {
             m.baseline
         );
     }
-    write_json_artifact("BENCH_routing.json", &routing_json(&measurements));
+    write_json_artifact("BENCH_routing.json", &routing_json(&host, &measurements));
 }
 
 /// Measures the batched serving layer on a reduced request count (the

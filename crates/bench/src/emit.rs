@@ -17,9 +17,30 @@ pub struct RoutingMeasurement {
     pub ns_per_iter: f64,
 }
 
-/// Renders `BENCH_routing.json`: every measurement plus its speedup over
-/// its named baseline.
-pub fn routing_json(measurements: &[RoutingMeasurement]) -> String {
+/// The measurement host's execution environment: which SIMD path the
+/// runtime dispatch selected and how many threads the work-splitting
+/// heuristics may use. Numbers from different hosts are only comparable
+/// with this context attached.
+pub struct BenchHost {
+    /// Active kernel path (e.g. `avx2+fma`, `scalar`).
+    pub simd: &'static str,
+    /// Worker threads available to the threaded kernels.
+    pub threads: usize,
+}
+
+impl BenchHost {
+    /// Detects the current host.
+    pub fn detect() -> Self {
+        BenchHost {
+            simd: pim_tensor::simd::active_level().name(),
+            threads: pim_tensor::par::available_threads(),
+        }
+    }
+}
+
+/// Renders `BENCH_routing.json`: the measurement host plus every
+/// measurement and its speedup over its named baseline.
+pub fn routing_json(host: &BenchHost, measurements: &[RoutingMeasurement]) -> String {
     let baseline_ns = |name: &str| {
         measurements
             .iter()
@@ -27,7 +48,10 @@ pub fn routing_json(measurements: &[RoutingMeasurement]) -> String {
             .map(|m| m.ns_per_iter)
             .unwrap_or(f64::NAN)
     };
-    let mut json = String::from("{\n  \"benchmarks\": [\n");
+    let mut json = format!(
+        "{{\n  \"host\": {{\"simd\": \"{}\", \"threads\": {}}},\n  \"benchmarks\": [\n",
+        host.simd, host.threads
+    );
     for (i, m) in measurements.iter().enumerate() {
         let speedup = baseline_ns(m.baseline) / m.ns_per_iter;
         json.push_str(&format!(
@@ -64,26 +88,43 @@ mod tests {
     use super::*;
 
     #[test]
-    fn routing_json_is_wellformed_with_speedups() {
-        let json = routing_json(&[
-            RoutingMeasurement {
-                name: "base",
-                baseline: "base",
-                ns_per_iter: 100.0,
-            },
-            RoutingMeasurement {
-                name: "fast",
-                baseline: "base",
-                ns_per_iter: 50.0,
-            },
-        ]);
+    fn routing_json_is_wellformed_with_speedups_and_host() {
+        let host = BenchHost {
+            simd: "avx2+fma",
+            threads: 4,
+        };
+        let json = routing_json(
+            &host,
+            &[
+                RoutingMeasurement {
+                    name: "base",
+                    baseline: "base",
+                    ns_per_iter: 100.0,
+                },
+                RoutingMeasurement {
+                    name: "fast",
+                    baseline: "base",
+                    ns_per_iter: 50.0,
+                },
+            ],
+        );
         let v = crate::jsonlite::parse(&json).unwrap();
+        let h = v.get("host").unwrap();
+        assert_eq!(h.get("simd").unwrap().as_str(), Some("avx2+fma"));
+        assert_eq!(h.get("threads").unwrap().as_f64(), Some(4.0));
         let benches = v.get("benchmarks").unwrap().as_array().unwrap();
         assert_eq!(benches.len(), 2);
         assert_eq!(
             benches[1].get("speedup_vs_baseline").unwrap().as_f64(),
             Some(2.0)
         );
+    }
+
+    #[test]
+    fn detected_host_is_sane() {
+        let host = BenchHost::detect();
+        assert!(host.threads >= 1);
+        assert!(matches!(host.simd, "scalar" | "avx2+fma"));
     }
 
     #[test]

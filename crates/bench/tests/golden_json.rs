@@ -25,6 +25,19 @@ fn f64_field(v: &Value, key: &str, ctx: &str) -> f64 {
 #[test]
 fn bench_routing_schema() {
     let doc = load("BENCH_routing.json");
+    // The measurement host: numbers are only interpretable knowing which
+    // SIMD path ran and how many threads the kernels could use.
+    let host = doc.get("host").expect("top-level \"host\" object");
+    let simd = host
+        .get("simd")
+        .and_then(Value::as_str)
+        .expect("host.simd string");
+    assert!(!simd.is_empty(), "host.simd must name the kernel path");
+    let threads = f64_field(host, "threads", "host");
+    assert!(
+        threads >= 1.0 && threads.fract() == 0.0,
+        "host.threads {threads}"
+    );
     let benches = doc
         .get("benchmarks")
         .and_then(Value::as_array)

@@ -1,6 +1,6 @@
 //! Fully-connected decoder layers (Fig 2's reconstruction stack).
 
-use pim_tensor::Tensor;
+use pim_tensor::{matmul_into, Tensor};
 
 use crate::error::CapsNetError;
 use crate::layers::conv::Activation;
@@ -40,16 +40,47 @@ impl DenseLayer {
     ///
     /// Propagates tensor shape errors.
     pub fn forward(&self, input: &Tensor) -> Result<Tensor, CapsNetError> {
-        let mut out = input.matmul(&self.weight)?;
-        let (rows, cols) = (out.shape().dims()[0], out.shape().dims()[1]);
+        let mut out = Tensor::zeros(&[0]);
+        self.forward_into(input, &mut out)?;
+        Ok(out)
+    }
+
+    /// Allocation-free [`Self::forward`]: writes the activations into `out`
+    /// (resized in place), with the GEMM running through
+    /// [`pim_tensor::matmul_into`] so a warm buffer makes the whole layer
+    /// zero-allocation.
+    ///
+    /// # Errors
+    ///
+    /// Propagates tensor shape errors.
+    pub fn forward_into(&self, input: &Tensor, out: &mut Tensor) -> Result<(), CapsNetError> {
+        let dims = input.shape().dims();
+        let (input_dim, output_dim) = (self.input_dim(), self.output_dim());
+        if dims.len() != 2 || dims[1] != input_dim {
+            return Err(CapsNetError::InputMismatch {
+                expected: format!("[B, {input_dim}]"),
+                actual: dims.to_vec(),
+            });
+        }
+        let rows = dims[0];
+        out.resize_for(&[rows, output_dim]);
+        matmul_into(
+            input.as_slice(),
+            self.weight.as_slice(),
+            out.as_mut_slice(),
+            rows,
+            input_dim,
+            output_dim,
+        );
         let bias = self.bias.as_slice();
         let data = out.as_mut_slice();
         for r in 0..rows {
-            for c in 0..cols {
-                data[r * cols + c] += bias[c];
+            for c in 0..output_dim {
+                data[r * output_dim + c] += bias[c];
             }
         }
-        Ok(self.activation.apply(out))
+        self.activation.apply_in_place(out.as_mut_slice());
+        Ok(())
     }
 }
 
@@ -66,6 +97,22 @@ mod tests {
         assert!(y.as_slice().iter().all(|&v| v >= 0.0));
         assert_eq!(layer.input_dim(), 8);
         assert_eq!(layer.output_dim(), 4);
+    }
+
+    #[test]
+    fn forward_into_matches_owned_and_reuses_buffer() {
+        let layer = DenseLayer::seeded(8, 4, Activation::Relu, 1);
+        let x = Tensor::uniform(&[3, 8], -1.0, 1.0, 2);
+        let owned = layer.forward(&x).unwrap();
+        let mut out = Tensor::zeros(&[0]);
+        layer.forward_into(&x, &mut out).unwrap();
+        assert_eq!(owned, out);
+        // Second pass into the warm buffer: same result, shape preserved.
+        layer.forward_into(&x, &mut out).unwrap();
+        assert_eq!(owned, out);
+        assert!(layer
+            .forward_into(&Tensor::zeros(&[3, 7]), &mut out)
+            .is_err());
     }
 
     #[test]

@@ -20,7 +20,7 @@ use pim_tensor::Tensor;
 use crate::backend::MathBackend;
 use crate::error::CapsNetError;
 use crate::routing::{validate_u_hat, RoutingOutput, RoutingScratch};
-use crate::squash::squash_in_place;
+use crate::squash::squash_into;
 
 /// Runs dynamic routing over prediction vectors `û` of shape
 /// `[B, L, H, C_H]`.
@@ -89,8 +89,12 @@ pub fn dynamic_routing_with<B: MathBackend + ?Sized>(
 /// row-major, pre-validated dims) leaving `v` and the coefficients in
 /// `scratch`.
 ///
-/// This is the paper's Algorithm 1 exactly; no virtual calls, no heap
-/// allocation once `scratch` is warm.
+/// This is the paper's Algorithm 1 exactly, written against the backend's
+/// slice/block kernels: the softmax over coupling logits is one fused row
+/// kernel per `i`, the Eq 2 weighted sum and Eq 4 agreement each stream one
+/// contiguous `[H, C_H]` block per `(k, i)` pair. No virtual calls with a
+/// concrete backend, no heap allocation once `scratch` is warm, and every
+/// dot product / axpy runs over contiguous memory.
 pub(crate) fn dynamic_routing_core<B: MathBackend + ?Sized>(
     uh: &[f32],
     (nb, nl, nh, ch): (usize, usize, usize, usize),
@@ -111,75 +115,64 @@ pub(crate) fn dynamic_routing_core<B: MathBackend + ?Sized>(
         &mut scratch.s,
         &mut scratch.v,
     );
+    let block = nh * ch;
 
-    for _iter in 0..iterations {
-        // Eq 5: c_ij = softmax over the H dimension of b_ij.
-        for (b_row, c_row) in b_logits.chunks(nh).zip(c.chunks_mut(nh)) {
-            softmax_row(b_row, c_row, backend);
-        }
-
-        // Eq 2: s_j^k = Σ_i û·c (aggregation over L).
+    // Pass fusion: Algorithm 1 runs softmax → Eq 2 → squash → Eq 4 per
+    // iteration, which streams û twice. But the Eq 4 update of coupling row
+    // `i` only feeds that same row's softmax in the *next* iteration, and
+    // the final iteration's Eq 4 output is discarded (v and c are already
+    // final). So iteration t ≥ 2 performs {Eq 4 with v(t−1) → softmax →
+    // Eq 2} per row while each û block is hot in cache — one û pass per
+    // iteration instead of two, and the dead final Eq 4 pass vanishes.
+    // Per-element accumulation order is unchanged (b row i still sums k
+    // ascending, s still sums i ascending), so results are bit-identical
+    // to the unfused loop for any backend.
+    for iter in 0..iterations {
         s.fill(0.0);
-        for k in 0..nb {
+        if batch_shared {
+            let u_stride = nl * block;
             for i in 0..nl {
-                let c_row = if batch_shared {
-                    &c[i * nh..(i + 1) * nh]
-                } else {
-                    &c[(k * nl + i) * nh..(k * nl + i + 1) * nh]
-                };
-                let u_base = ((k * nl + i) * nh) * ch;
-                let s_base = k * nh * ch;
-                for j in 0..nh {
-                    let cij = c_row[j];
-                    let u_vec = &uh[u_base + j * ch..u_base + (j + 1) * ch];
-                    let s_vec = &mut s[s_base + j * ch..s_base + (j + 1) * ch];
-                    for (sv, &uv) in s_vec.iter_mut().zip(u_vec) {
-                        *sv += cij * uv;
+                // Eq 4 (previous iteration): b_ij += Σ_k <v_j^k, û_{j|i}^k>
+                // — one strided sweep over the batch. (`min` keeps the
+                // slice in-bounds for empty batches, where the sweeps are
+                // no-ops but the softmax still emits uniform coefficients.)
+                let u_i = &uh[(i * block).min(uh.len())..];
+                if iter > 0 {
+                    let b_row = &mut b_logits[i * nh..(i + 1) * nh];
+                    backend.agreement_blocks_strided(u_i, u_stride, v, nb, b_row, ch);
+                }
+                // Eq 5: c_ij = softmax over the H dimension of b_ij.
+                let b_row = &b_logits[i * nh..(i + 1) * nh];
+                let c_row = &mut c[i * nh..(i + 1) * nh];
+                backend.softmax_row(b_row, c_row);
+                // Eq 2: s_j^k += û·c for this L capsule, every sample.
+                backend.weighted_sum_blocks_strided(c_row, u_i, u_stride, s, nb, ch);
+            }
+        } else {
+            // Per-sample coefficients: row (k, i) is self-contained, so the
+            // whole Eq 4 → softmax → Eq 2 chain fuses per û block, streamed
+            // in storage order.
+            for k in 0..nb {
+                for i in 0..nl {
+                    let u_block = &uh[(k * nl + i) * block..(k * nl + i + 1) * block];
+                    let row = (k * nl + i) * nh;
+                    if iter > 0 {
+                        let v_block = &v[k * block..(k + 1) * block];
+                        backend.agreement_block(u_block, v_block, &mut b_logits[row..row + nh], ch);
                     }
+                    let c_row = &mut c[row..row + nh];
+                    backend.softmax_row(&b_logits[row..row + nh], c_row);
+                    let s_block = &mut s[k * block..(k + 1) * block];
+                    backend.weighted_sum_block(c_row, u_block, s_block, ch);
                 }
             }
         }
 
-        // Eq 3: v = squash(s).
-        v.copy_from_slice(s);
-        for cap in v.chunks_mut(ch) {
-            squash_in_place(cap, backend);
+        // Eq 3: v = squash(s), capsule by capsule (dot for the norm
+        // square, one scale to write v — no intermediate copy).
+        for (s_cap, v_cap) in s.chunks(ch).zip(v.chunks_mut(ch)) {
+            squash_into(s_cap, v_cap, backend);
         }
-
-        // Eq 4: b_ij += Σ_k <v_j^k, û_{j|i}^k> (aggregation over B when
-        // batch-shared).
-        for k in 0..nb {
-            for i in 0..nl {
-                let u_base = ((k * nl + i) * nh) * ch;
-                let v_base = k * nh * ch;
-                let b_row = if batch_shared {
-                    &mut b_logits[i * nh..(i + 1) * nh]
-                } else {
-                    &mut b_logits[(k * nl + i) * nh..(k * nl + i + 1) * nh]
-                };
-                for j in 0..nh {
-                    let u_vec = &uh[u_base + j * ch..u_base + (j + 1) * ch];
-                    let v_vec = &v[v_base + j * ch..v_base + (j + 1) * ch];
-                    let agreement: f32 = u_vec.iter().zip(v_vec).map(|(&a, &b)| a * b).sum();
-                    b_row[j] += agreement;
-                }
-            }
-        }
-    }
-}
-
-/// Backend-parameterized softmax of one row (max-subtracted for stability).
-#[inline]
-fn softmax_row<B: MathBackend + ?Sized>(logits: &[f32], out: &mut [f32], backend: &B) {
-    let mx = logits.iter().copied().fold(f32::NEG_INFINITY, f32::max);
-    let mut denom = 0.0f32;
-    for (&l, o) in logits.iter().zip(out.iter_mut()) {
-        let e = backend.exp(l - mx);
-        *o = e;
-        denom += e;
-    }
-    for o in out.iter_mut() {
-        *o = backend.div(*o, denom);
     }
 }
 

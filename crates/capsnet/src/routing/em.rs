@@ -95,35 +95,45 @@ pub(crate) fn em_routing_core<B: MathBackend + ?Sized>(
     RoutingScratch::fill_buf(&mut scratch.sigma_sq, nb * nh * ch, 1.0);
     RoutingScratch::fill_buf(&mut scratch.act, nb * nh, 0.5);
     RoutingScratch::fill_buf(&mut scratch.log_p, nh, 0.0);
+    RoutingScratch::fill_buf(&mut scratch.r_sum, nh, 0.0);
     RoutingScratch::fill_buf(&mut scratch.v, nb * nh * ch, 0.0);
-    let (r, mu, sigma_sq, act, log_p, v) = (
+    let (r, mu, sigma_sq, act, log_p, r_sum, v) = (
         &mut scratch.r,
         &mut scratch.mu,
         &mut scratch.sigma_sq,
         &mut scratch.act,
         &mut scratch.log_p,
+        &mut scratch.r_sum,
         &mut scratch.v,
     );
 
     for _ in 0..iterations {
-        m_step(uh, r, mu, sigma_sq, act, nb, nl, nh, ch, backend);
+        m_step(uh, r, mu, sigma_sq, act, r_sum, nb, nl, nh, ch, backend);
         e_step(uh, r, mu, sigma_sq, act, log_p, nb, nl, nh, ch, backend);
     }
     // One final M-step so the output reflects the last responsibilities.
-    m_step(uh, r, mu, sigma_sq, act, nb, nl, nh, ch, backend);
+    m_step(uh, r, mu, sigma_sq, act, r_sum, nb, nl, nh, ch, backend);
 
-    // v_j = a_j * mu_j — activation-scaled mean.
+    // v_j = a_j * mu_j — activation-scaled mean, one scale per capsule.
     for k in 0..nb {
         for j in 0..nh {
             let a = act[k * nh + j];
-            for d in 0..ch {
-                v[(k * nh + j) * ch + d] = a * mu[(k * nh + j) * ch + d];
-            }
+            let base = (k * nh + j) * ch;
+            backend.scale_add(a, &mu[base..base + ch], 0.0, &mut v[base..base + ch]);
         }
     }
 }
 
 /// M-step: refit each H capsule's Gaussian from its weighted votes.
+///
+/// Restructured around the backend's block kernels: per `(k, i)` pair the
+/// responsibility-weighted mean and variance accumulations each stream one
+/// contiguous `[H, C_H]` block (`weighted_sum_block` / `sq_diff_axpy_block`
+/// — the same Eq 2-shaped GEMM pattern as dynamic routing), then the
+/// normalizations are row-wide `div_slice` calls. Per accumulated element
+/// the operations run in the same ascending-`i` order as the original
+/// scalar nest, so backends using the default (scalar) kernels produce
+/// bit-identical results.
 #[allow(clippy::too_many_arguments)]
 fn m_step<B: MathBackend + ?Sized>(
     uh: &[f32],
@@ -131,46 +141,60 @@ fn m_step<B: MathBackend + ?Sized>(
     mu: &mut [f32],
     sigma_sq: &mut [f32],
     act: &mut [f32],
+    r_sum: &mut [f32],
     nb: usize,
     nl: usize,
     nh: usize,
     ch: usize,
     backend: &B,
 ) {
+    let block = nh * ch;
     for k in 0..nb {
+        let mu_block = &mut mu[k * block..(k + 1) * block];
+        let sig_block = &mut sigma_sq[k * block..(k + 1) * block];
+        let r_sum_row = &mut r_sum[..nh];
+
+        // Σ_i r_ij per high-level capsule (one vector add per L row).
+        r_sum_row.fill(0.0);
+        for i in 0..nl {
+            backend.axpy(1.0, &r[(k * nl + i) * nh..(k * nl + i + 1) * nh], r_sum_row);
+        }
+
+        // Mean: accumulate r-weighted votes, then normalize row-wise.
+        mu_block.fill(0.0);
+        for i in 0..nl {
+            let r_row = &r[(k * nl + i) * nh..(k * nl + i + 1) * nh];
+            let u_block = &uh[(k * nl + i) * block..(k * nl + i + 1) * block];
+            backend.weighted_sum_block(r_row, u_block, mu_block, ch);
+        }
         for j in 0..nh {
-            let mut r_sum = 0.0f32;
-            for i in 0..nl {
-                r_sum += r[(k * nl + i) * nh + j];
-            }
-            let r_sum_safe = r_sum.max(1e-12);
-            // Mean.
-            for d in 0..ch {
-                let mut acc = 0.0f32;
-                for i in 0..nl {
-                    acc += r[(k * nl + i) * nh + j] * uh[((k * nl + i) * nh + j) * ch + d];
-                }
-                mu[(k * nh + j) * ch + d] = backend.div(acc, r_sum_safe);
-            }
-            // Variance and cost.
+            let denom = r_sum_row[j].max(1e-12);
+            backend.div_slice(&mut mu_block[j * ch..(j + 1) * ch], denom);
+        }
+
+        // Variance: accumulate r-weighted squared deviations from the mean,
+        // normalize, floor — and fold the per-capsule cost on the way.
+        sig_block.fill(0.0);
+        for i in 0..nl {
+            let r_row = &r[(k * nl + i) * nh..(k * nl + i + 1) * nh];
+            let u_block = &uh[(k * nl + i) * block..(k * nl + i + 1) * block];
+            backend.sq_diff_axpy_block(r_row, u_block, mu_block, sig_block, ch);
+        }
+        for j in 0..nh {
+            let denom = r_sum_row[j].max(1e-12);
+            let sig_row = &mut sig_block[j * ch..(j + 1) * ch];
+            backend.div_slice(sig_row, denom);
             let mut cost = 0.0f32;
-            for d in 0..ch {
-                let m = mu[(k * nh + j) * ch + d];
-                let mut acc = 0.0f32;
-                for i in 0..nl {
-                    let diff = uh[((k * nl + i) * nh + j) * ch + d] - m;
-                    acc += r[(k * nl + i) * nh + j] * diff * diff;
-                }
-                let var = backend.div(acc, r_sum_safe).max(SIGMA_FLOOR);
-                sigma_sq[(k * nh + j) * ch + d] = var;
-                // cost_d ≈ (log σ_d) · r_sum; log via ln(x) = -ln(1/x) is not
-                // available on the PE, so the model uses 0.5·(var-1) as a
-                // smooth stand-in with the same minimum.
-                cost += 0.5 * (var - 1.0);
+            for var in sig_row.iter_mut() {
+                // cost_d ≈ (log σ_d) · r_sum; log via ln(x) = -ln(1/x) is
+                // not available on the PE, so the model uses 0.5·(var-1) as
+                // a smooth stand-in with the same minimum.
+                *var = var.max(SIGMA_FLOOR);
+                cost += 0.5 * (*var - 1.0);
             }
             // Activation: logistic of (benefit − cost), scaled by how much
             // mass routed here relative to uniform.
-            let mass = backend.div(r_sum, nl as f32 / nh as f32);
+            let mass = backend.div(r_sum_row[j], nl as f32 / nh as f32);
             let logit = LAMBDA * (BETA_A - cost) * mass - BETA_A;
             act[k * nh + j] = logistic(logit, backend);
         }
@@ -180,7 +204,11 @@ fn m_step<B: MathBackend + ?Sized>(
 /// E-step: recompute responsibilities from Gaussian likelihoods.
 ///
 /// `log_p` is caller-owned scratch of length `nh` (so the step allocates
-/// nothing).
+/// nothing). Per `(k, i)` pair the quadratic forms stream one contiguous
+/// `[H, C_H]` block through the backend's `mahalanobis_block` kernel, the
+/// exponentials are one fused `exp_slice`, and the normalization one
+/// `div_slice` — per element the same operation sequence as the original
+/// scalar nest, so default-kernel backends are bit-identical.
 #[allow(clippy::too_many_arguments)]
 fn e_step<B: MathBackend + ?Sized>(
     uh: &[f32],
@@ -195,31 +223,34 @@ fn e_step<B: MathBackend + ?Sized>(
     ch: usize,
     backend: &B,
 ) {
+    let block = nh * ch;
     for k in 0..nb {
+        let mu_block = &mu[k * block..(k + 1) * block];
+        let sig_block = &sigma_sq[k * block..(k + 1) * block];
+        let act_row = &act[k * nh..(k + 1) * nh];
         for i in 0..nl {
-            // Unnormalized log posterior per j.
-            for (j, lp) in log_p.iter_mut().enumerate() {
-                let mut quad = 0.0f32;
-                for d in 0..ch {
-                    let diff = uh[((k * nl + i) * nh + j) * ch + d] - mu[(k * nh + j) * ch + d];
-                    quad += backend.div(diff * diff, sigma_sq[(k * nh + j) * ch + d]);
-                }
-                // log(a_j) folded in multiplicatively after exp; keep the
-                // quadratic in log space for stability.
-                *lp = -0.5 * quad;
+            // Unnormalized log posterior per j: one row-wise quadratic-form
+            // block, then shift by the max and exponentiate in one pass.
+            let u_block = &uh[(k * nl + i) * block..(k * nl + i + 1) * block];
+            backend.mahalanobis_block(u_block, mu_block, sig_block, log_p, ch);
+            // log(a_j) folded in multiplicatively after exp; keep the
+            // quadratic in log space for stability.
+            for lp in log_p.iter_mut() {
+                *lp *= -0.5;
             }
             let mx = log_p.iter().copied().fold(f32::NEG_INFINITY, f32::max);
-            let mut denom = 0.0f32;
+            for lp in log_p.iter_mut() {
+                *lp -= mx;
+            }
+            backend.exp_slice(log_p);
             let row = &mut r[(k * nl + i) * nh..(k * nl + i + 1) * nh];
-            for j in 0..nh {
-                let p = act[k * nh + j] * backend.exp(log_p[j] - mx);
-                row[j] = p;
+            let mut denom = 0.0f32;
+            for ((x, &a), &e) in row.iter_mut().zip(act_row).zip(log_p.iter()) {
+                let p = a * e;
+                *x = p;
                 denom += p;
             }
-            let denom = denom.max(1e-12);
-            for x in row.iter_mut() {
-                *x = backend.div(*x, denom);
-            }
+            backend.div_slice(row, denom.max(1e-12));
         }
     }
 }

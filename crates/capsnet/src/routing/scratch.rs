@@ -26,6 +26,7 @@ pub struct RoutingScratch {
     pub(crate) sigma_sq: Vec<f32>,
     pub(crate) act: Vec<f32>,
     pub(crate) log_p: Vec<f32>,
+    pub(crate) r_sum: Vec<f32>,
 }
 
 impl RoutingScratch {

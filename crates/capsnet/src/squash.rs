@@ -23,7 +23,11 @@ use crate::backend::MathBackend;
 /// the routing hot loop free of virtual calls.
 #[inline]
 pub fn squash_scale<B: MathBackend + ?Sized>(norm_sq: f32, backend: &B) -> f32 {
-    if norm_sq <= 0.0 {
+    // Non-positive, NaN, or overflowed (∞) norm squares all clamp to a zero
+    // scale: capsule norm-squares are non-negative and finite by
+    // construction, so anything else is numerical noise, and the raw
+    // composition below would turn ∞ into `∞ · inv_sqrt(∞) = NaN`.
+    if norm_sq.is_nan() || norm_sq <= 0.0 || norm_sq == f32::INFINITY {
         return 0.0;
     }
     // ||s||/(1+||s||²)  ==  norm_sq * inv_sqrt(norm_sq) / (1 + norm_sq)
@@ -49,11 +53,27 @@ pub fn squash_scale<B: MathBackend + ?Sized>(norm_sq: f32, backend: &B) -> f32 {
 /// ```
 #[inline]
 pub fn squash_in_place<B: MathBackend + ?Sized>(s: &mut [f32], backend: &B) {
-    let norm_sq: f32 = s.iter().map(|&x| x * x).sum();
+    let norm_sq = backend.dot(s, s);
     let k = squash_scale(norm_sq, backend);
     for x in s {
         *x *= k;
     }
+}
+
+/// Squashes `s` into `v` without mutating `s`: the norm square is one
+/// backend `dot`, the write-out one backend `scale_add` — both SIMD-wide
+/// under [`crate::ExactMath`], and `v`'s previous contents are ignored
+/// (safe for reused arena buffers).
+///
+/// # Panics
+///
+/// Debug-asserts `s` and `v` have equal lengths.
+#[inline]
+pub fn squash_into<B: MathBackend + ?Sized>(s: &[f32], v: &mut [f32], backend: &B) {
+    debug_assert_eq!(s.len(), v.len());
+    let norm_sq = backend.dot(s, s);
+    let k = squash_scale(norm_sq, backend);
+    backend.scale_add(k, s, 0.0, v);
 }
 
 #[cfg(test)]
@@ -110,6 +130,73 @@ mod tests {
             assert!(v[0] > prev);
             prev = v[0];
         }
+    }
+
+    #[test]
+    fn squash_into_matches_in_place() {
+        for backend_choice in 0..2 {
+            let src = [0.3f32, -0.8, 1.4, 0.05, -2.2];
+            let mut in_place = src;
+            let mut into = [f32::NAN; 5]; // stale garbage must be overwritten
+            if backend_choice == 0 {
+                squash_in_place(&mut in_place, &ExactMath);
+                squash_into(&src, &mut into, &ExactMath);
+            } else {
+                let b = ApproxMath::with_recovery();
+                squash_in_place(&mut in_place, &b);
+                squash_into(&src, &mut into, &b);
+            }
+            for (a, b) in in_place.iter().zip(&into) {
+                assert_eq!(a.to_bits(), b.to_bits(), "{a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn zero_vector_edge_cases_all_lengths() {
+        // Zero vectors must squash to exactly zero for every length the
+        // SIMD kernels chunk differently (full lanes, remainders, empty).
+        for len in [0usize, 1, 3, 7, 8, 9, 16, 17] {
+            let mut v = vec![0.0f32; len];
+            squash_in_place(&mut v, &ExactMath);
+            assert!(v.iter().all(|&x| x == 0.0), "len {len}");
+            let mut out = vec![f32::NAN; len];
+            squash_into(&vec![0.0f32; len], &mut out, &ExactMath);
+            assert!(out.iter().all(|&x| x == 0.0), "len {len}");
+        }
+    }
+
+    #[test]
+    fn huge_norms_stay_finite_and_below_one() {
+        // Norm squares up to ~1e38 (the edge of f32) must not round-trip
+        // through ∞ or NaN; the squashed norm approaches 1 from below.
+        for scale in [1e10f32, 1e15, 1e18, 3e18] {
+            let mut v = [scale, -scale, scale * 0.5, scale * 0.25];
+            squash_in_place(&mut v, &ExactMath);
+            assert!(v.iter().all(|x| x.is_finite()), "scale {scale}: {v:?}");
+            let n = norm(&v);
+            assert!(n < 1.0 + 1e-5, "scale {scale}: norm {n}");
+            assert!(n > 0.9, "scale {scale}: norm collapsed to {n}");
+        }
+    }
+
+    #[test]
+    fn overflowing_norm_square_clamps_not_nans() {
+        // ||s||² overflows f32 → inf; squash_scale must treat that as the
+        // long-vector limit (norm → 1 direction preserved or zeroed), never
+        // NaN.
+        let mut v = [f32::MAX / 2.0, f32::MAX / 2.0];
+        squash_in_place(&mut v, &ExactMath);
+        assert!(v.iter().all(|x| !x.is_nan()), "{v:?}");
+    }
+
+    #[test]
+    fn subnormal_inputs_shrink_toward_zero() {
+        let tiny = f32::MIN_POSITIVE; // smallest normal
+        let mut v = [tiny, tiny * 0.5, 0.0];
+        squash_in_place(&mut v, &ExactMath);
+        assert!(v.iter().all(|x| x.is_finite()));
+        assert!(norm(&v) <= tiny, "short vectors shrink: {v:?}");
     }
 
     #[test]

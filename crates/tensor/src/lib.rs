@@ -31,12 +31,14 @@ mod matmul;
 mod ops;
 pub mod par;
 mod shape;
+pub mod simd;
 mod tensor;
 
 pub use conv::{conv2d, conv2d_pretransposed_into, im2col, im2col_into, Conv2dScratch, Conv2dSpec};
 pub use error::TensorError;
-pub use matmul::matmul_into;
+pub use matmul::{batched_matmul_into, matmul_into, matvec_into};
 pub use shape::Shape;
+pub use simd::SimdLevel;
 pub use tensor::Tensor;
 
 /// Convenience alias for results produced by this crate.

@@ -3,6 +3,7 @@
 
 use crate::error::TensorError;
 use crate::par::{available_threads, PAR_MIN_ROWS, PAR_MIN_WORK};
+use crate::simd::{self, SimdLevel};
 use crate::tensor::Tensor;
 
 impl Tensor {
@@ -76,19 +77,7 @@ impl Tensor {
             });
         }
         let mut out = vec![0.0f32; b * m * n];
-        for bi in 0..b {
-            let a_off = bi * m * k;
-            let b_off = bi * k * n;
-            let o_off = bi * m * n;
-            matmul_into(
-                &self.as_slice()[a_off..a_off + m * k],
-                &other.as_slice()[b_off..b_off + k * n],
-                &mut out[o_off..o_off + m * n],
-                m,
-                k,
-                n,
-            );
-        }
+        batched_matmul_into(self.as_slice(), other.as_slice(), &mut out, b, m, k, n);
         Tensor::from_vec(out, &[b, m, n])
     }
 
@@ -112,14 +101,55 @@ impl Tensor {
                 right: (v.len(), 1),
             });
         }
-        let a = self.as_slice();
-        let x = v.as_slice();
         let mut out = vec![0.0f32; m];
-        for i in 0..m {
-            let row = &a[i * k..(i + 1) * k];
-            out[i] = row.iter().zip(x).map(|(&p, &q)| p * q).sum();
-        }
+        matvec_into(self.as_slice(), v.as_slice(), &mut out, m, k);
         Tensor::from_vec(out, &[m])
+    }
+}
+
+/// Batched GEMM into a caller-owned buffer:
+/// `out[b,m,n] = a[b,m,k] × bmat[b,k,n]` with no allocation.
+///
+/// # Panics
+///
+/// Debug-asserts the slice lengths match the dimensions.
+pub fn batched_matmul_into(
+    a: &[f32],
+    bmat: &[f32],
+    out: &mut [f32],
+    b: usize,
+    m: usize,
+    k: usize,
+    n: usize,
+) {
+    debug_assert_eq!(a.len(), b * m * k);
+    debug_assert_eq!(bmat.len(), b * k * n);
+    debug_assert_eq!(out.len(), b * m * n);
+    for bi in 0..b {
+        matmul_into(
+            &a[bi * m * k..(bi + 1) * m * k],
+            &bmat[bi * k * n..(bi + 1) * k * n],
+            &mut out[bi * m * n..(bi + 1) * m * n],
+            m,
+            k,
+            n,
+        );
+    }
+}
+
+/// GEMV into a caller-owned buffer: `out[m] = a[m,k] × x[k]` with no
+/// allocation. Rows are contiguous, so each output element is one
+/// SIMD-dispatched dot product.
+///
+/// # Panics
+///
+/// Debug-asserts the slice lengths match the dimensions.
+pub fn matvec_into(a: &[f32], x: &[f32], out: &mut [f32], m: usize, k: usize) {
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!(x.len(), k);
+    debug_assert_eq!(out.len(), m);
+    for (i, o) in out.iter_mut().enumerate() {
+        *o = simd::dot(&a[i * k..(i + 1) * k], x);
     }
 }
 
@@ -165,15 +195,101 @@ const GEMM_TILE: usize = 8;
 /// as-is.
 const GEMM_TILED_MAX_N: usize = 32;
 
-/// Serial GEMM on a row block. Dispatches between two kernels with
-/// **bit-identical** results: every output element accumulates its `k`
-/// products in the same order either way, only the residency of the
-/// accumulator (memory vs register) differs.
+/// Serial GEMM on a row block. Dispatches between two kernel shapes with
+/// **bit-identical** results at a given SIMD level: every output element
+/// accumulates its `k` products in the same order either way (the AVX2
+/// kernels fuse each step into one FMA per element, so they differ from the
+/// scalar kernels in low-order bits — `PIM_SIMD=scalar` pins the reference).
 fn matmul_serial(a: &[f32], b: &[f32], out: &mut [f32], k: usize, n: usize) {
+    #[cfg(target_arch = "x86_64")]
+    if simd::active_level() == SimdLevel::Avx2Fma {
+        // SAFETY: Avx2Fma is only selected after runtime feature detection.
+        unsafe {
+            if n <= GEMM_TILED_MAX_N {
+                matmul_serial_tiled_avx2(a, b, out, k, n);
+            } else {
+                matmul_serial_ikj_avx2(a, b, out, k, n);
+            }
+        }
+        return;
+    }
+    let _ = SimdLevel::Scalar; // silence unused import on non-x86 targets
     if n <= GEMM_TILED_MAX_N {
         matmul_serial_tiled(a, b, out, k, n);
     } else {
         matmul_serial_ikj(a, b, out, k, n);
+    }
+}
+
+/// AVX2 i-k-j GEMM: each `p` step is one FMA `axpy` over the output row.
+///
+/// Elementwise every output element sees `fma(aik, b, acc)` in ascending
+/// `p` (scalar `mul_add` tail rounds identically), so results are bitwise
+/// identical to [`matmul_serial_tiled_avx2`].
+///
+/// # Safety
+///
+/// Requires AVX2+FMA.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2,fma")]
+unsafe fn matmul_serial_ikj_avx2(a: &[f32], b: &[f32], out: &mut [f32], k: usize, n: usize) {
+    let m = out.len() / n;
+    for i in 0..m {
+        let out_row = &mut out[i * n..(i + 1) * n];
+        out_row.fill(0.0);
+        for p in 0..k {
+            let aik = a[i * k + p];
+            if aik == 0.0 {
+                continue;
+            }
+            simd::avx2::axpy(aik, &b[p * n..(p + 1) * n], out_row);
+        }
+    }
+}
+
+/// AVX2 register-tiled GEMM for narrow outputs: one 8-lane FMA accumulator
+/// per full tile held across the whole `k` loop; partial tiles use scalar
+/// `mul_add` (same rounding), preserving bitwise identity with
+/// [`matmul_serial_ikj_avx2`].
+///
+/// # Safety
+///
+/// Requires AVX2+FMA.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2,fma")]
+unsafe fn matmul_serial_tiled_avx2(a: &[f32], b: &[f32], out: &mut [f32], k: usize, n: usize) {
+    use std::arch::x86_64::*;
+    let m = out.len() / n;
+    for i in 0..m {
+        let a_row = &a[i * k..(i + 1) * k];
+        let out_row = &mut out[i * n..(i + 1) * n];
+        let mut j = 0;
+        while j + GEMM_TILE <= n {
+            let mut acc = _mm256_setzero_ps();
+            for (p, &aik) in a_row.iter().enumerate() {
+                if aik == 0.0 {
+                    continue;
+                }
+                let bv = _mm256_loadu_ps(b.as_ptr().add(p * n + j));
+                acc = _mm256_fmadd_ps(_mm256_set1_ps(aik), bv, acc);
+            }
+            _mm256_storeu_ps(out_row.as_mut_ptr().add(j), acc);
+            j += GEMM_TILE;
+        }
+        if j < n {
+            let width = n - j;
+            let mut acc = [0.0f32; GEMM_TILE];
+            for (p, &aik) in a_row.iter().enumerate() {
+                if aik == 0.0 {
+                    continue;
+                }
+                let b_row = &b[p * n + j..p * n + j + width];
+                for (av, &bv) in acc[..width].iter_mut().zip(b_row) {
+                    *av = aik.mul_add(bv, *av);
+                }
+            }
+            out_row[j..j + width].copy_from_slice(&acc[..width]);
+        }
     }
 }
 
@@ -317,6 +433,68 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[cfg(target_arch = "x86_64")]
+    #[test]
+    fn avx2_kernels_match_each_other_bitwise_and_scalar_closely() {
+        if !crate::simd::hardware_supports_avx2_fma() {
+            return;
+        }
+        for &(m, k, n) in &[
+            (64usize, 25usize, 8usize),
+            (4, 200, 16),
+            (7, 13, 5),
+            (3, 9, 1),
+            (16, 16, 33),
+            (5, 8, 31),
+            (12, 40, 100),
+        ] {
+            let mut a = Tensor::uniform(&[m, k], -1.0, 1.0, (m * k) as u64);
+            for (i, v) in a.as_mut_slice().iter_mut().enumerate() {
+                if i % 7 == 0 {
+                    *v = 0.0;
+                }
+            }
+            let b = Tensor::uniform(&[k, n], -1.0, 1.0, (k * n) as u64);
+            let mut tiled = vec![0.0f32; m * n];
+            let mut ikj = vec![0.0f32; m * n];
+            let mut reference = vec![0.0f32; m * n];
+            // SAFETY: guarded by the hardware check above.
+            unsafe {
+                matmul_serial_tiled_avx2(a.as_slice(), b.as_slice(), &mut tiled, k, n);
+                matmul_serial_ikj_avx2(a.as_slice(), b.as_slice(), &mut ikj, k, n);
+            }
+            matmul_serial_ikj(a.as_slice(), b.as_slice(), &mut reference, k, n);
+            for ((x, y), r) in tiled.iter().zip(&ikj).zip(&reference) {
+                assert_eq!(
+                    x.to_bits(),
+                    y.to_bits(),
+                    "[{m}x{k}x{n}] avx2 tiled {x} vs avx2 ikj {y}"
+                );
+                assert!(
+                    (x - r).abs() <= 1e-5 * (1.0 + r.abs()),
+                    "[{m}x{k}x{n}] avx2 {x} vs scalar {r}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn matvec_into_and_batched_into_match_owned() {
+        let a = Tensor::uniform(&[3, 6, 4], -1.0, 1.0, 41);
+        let b = Tensor::uniform(&[3, 4, 5], -1.0, 1.0, 42);
+        let owned = a.batched_matmul(&b).unwrap();
+        let mut buf = vec![0.0f32; 3 * 6 * 5];
+        batched_matmul_into(a.as_slice(), b.as_slice(), &mut buf, 3, 6, 4, 5);
+        assert_eq!(owned.as_slice(), &buf[..]);
+
+        let m = Tensor::uniform(&[6, 4], -1.0, 1.0, 43);
+        let v = Tensor::uniform(&[4], -1.0, 1.0, 44);
+        let owned = m.matvec(&v).unwrap();
+        let mut out = vec![0.0f32; 6];
+        matvec_into(m.as_slice(), v.as_slice(), &mut out, 6, 4);
+        assert_eq!(owned.as_slice(), &out[..]);
     }
 
     #[test]

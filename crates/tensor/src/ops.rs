@@ -1,6 +1,7 @@
 //! Elementwise operations, reductions and axis-wise helpers for [`Tensor`].
 
 use crate::error::TensorError;
+use crate::simd;
 use crate::tensor::Tensor;
 
 impl Tensor {
@@ -36,7 +37,8 @@ impl Tensor {
         self.map(|x| x * s)
     }
 
-    /// In-place `self += alpha * other` (BLAS `axpy`).
+    /// In-place `self += alpha * other` (BLAS `axpy`), through the
+    /// runtime-dispatched SIMD kernel.
     ///
     /// # Errors
     ///
@@ -48,9 +50,7 @@ impl Tensor {
                 right: other.shape().dims().to_vec(),
             });
         }
-        for (a, &b) in self.as_mut_slice().iter_mut().zip(other.as_slice()) {
-            *a += alpha * b;
-        }
+        simd::axpy(alpha, other.as_slice(), self.as_mut_slice());
         Ok(())
     }
 
@@ -80,9 +80,9 @@ impl Tensor {
         best.map(|(i, _)| i)
     }
 
-    /// Squared L2 norm of all elements.
+    /// Squared L2 norm of all elements (one SIMD-dispatched dot product).
     pub fn norm_sq(&self) -> f32 {
-        self.as_slice().iter().map(|&x| x * x).sum()
+        simd::dot(self.as_slice(), self.as_slice())
     }
 
     /// L2 norm of all elements.
@@ -90,7 +90,8 @@ impl Tensor {
         self.norm_sq().sqrt()
     }
 
-    /// Dot product of two same-shaped tensors, viewed as flat vectors.
+    /// Dot product of two same-shaped tensors, viewed as flat vectors
+    /// (runtime-dispatched SIMD kernel).
     ///
     /// # Errors
     ///
@@ -102,12 +103,7 @@ impl Tensor {
                 right: other.shape().dims().to_vec(),
             });
         }
-        Ok(self
-            .as_slice()
-            .iter()
-            .zip(other.as_slice())
-            .map(|(&a, &b)| a * b)
-            .sum())
+        Ok(simd::dot(self.as_slice(), other.as_slice()))
     }
 
     /// Sums along `axis`, removing it from the shape.

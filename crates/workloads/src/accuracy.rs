@@ -300,6 +300,60 @@ mod tests {
         assert_eq!(generic, boxed);
     }
 
+    /// Exact scalar math through the default (scalar) slice kernels — the
+    /// bitwise reference for the SIMD path `ExactMath` dispatches to.
+    struct ScalarRef;
+
+    impl MathBackend for ScalarRef {
+        fn exp(&self, x: f32) -> f32 {
+            x.exp()
+        }
+        fn inv_sqrt(&self, x: f32) -> f32 {
+            1.0 / x.sqrt()
+        }
+        fn div(&self, a: f32, b: f32) -> f32 {
+            a / b
+        }
+        fn sqrt(&self, x: f32) -> f32 {
+            x.sqrt()
+        }
+        fn name(&self) -> &'static str {
+            "scalar-ref"
+        }
+    }
+
+    #[test]
+    fn simd_path_is_classification_identical_on_accuracy_harness() {
+        // The vectorized-kernel contract on the harness itself: the SIMD
+        // path may drift ≤1e-5 in routing outputs but must not flip a
+        // single classification versus the scalar reference — checked
+        // per sample on harness-style generated images, then on the
+        // aggregate harness score.
+        let b = &benchmarks()[0];
+        let spec = b.functional_spec();
+        let net = CapsNet::seeded(&spec, 17).expect("functional spec is valid");
+        let synth = crate::synth::SynthConfig {
+            classes: spec.h_caps,
+            channels: spec.input_channels,
+            hw: spec.input_hw,
+            noise: 0.35,
+            seed: 0xfeed,
+        }
+        .generate(75);
+        for chunk in batch_ranges(synth.labels.len(), 25) {
+            let imgs = slice_images(&synth.images, chunk.clone());
+            let simd_preds = net.forward(&imgs, &ExactMath).unwrap().predictions();
+            let scalar_preds = net.forward(&imgs, &ScalarRef).unwrap().predictions();
+            assert_eq!(
+                simd_preds, scalar_preds,
+                "SIMD kernels flipped a classification in batch {chunk:?}"
+            );
+        }
+
+        let exp = AccuracyExperiment::new(b, 80, 17);
+        assert_eq!(exp.accuracy(&ExactMath), exp.accuracy(&ScalarRef));
+    }
+
     #[test]
     fn batch_ranges_cover_everything() {
         let ranges: Vec<_> = batch_ranges(10, 3).collect();
