@@ -1,0 +1,130 @@
+//! `store_load` — measures the model-persistence tier on the 280 MB
+//! streaming model and emits `bench_results/BENCH_store.json`.
+//!
+//! Steps, all on `capsnet_workloads::traffic::streaming_spec()`:
+//!
+//! 1. `rebuild_rng` — construct the network from seeded RNG (what every
+//!    process start paid before `pim-store` existed);
+//! 2. `save_cold`  — write the vault-aligned artifact (temp dir);
+//! 3. `load_owned` — `StoredModel::open` + rebuild (full read + verify +
+//!    materialize);
+//! 4. `load_mmap`  — `MappedModel::open` + rebuild (verify + zero-copy
+//!    views);
+//! 5. a short serve window off the mapped weights, cross-checked bitwise
+//!    against the in-memory network (`persist_roundtrip`).
+//!
+//! The headline number is `speedup_mmap_vs_rebuild`; the acceptance bar
+//! (≥ 10×) is pinned by the golden schema test.
+
+use std::time::Instant;
+
+use capsnet::CapsNet;
+use capsnet_workloads::persist::persist_roundtrip;
+use capsnet_workloads::traffic::streaming_spec;
+use pim_bench::emit::{
+    store_json, write_json_artifact, BenchHost, StoreBenchInputs, StoreMeasurement,
+};
+use pim_store::{MappedModel, ModelWriter, StoredModel};
+
+fn ms(t: Instant) -> f64 {
+    t.elapsed().as_secs_f64() * 1e3
+}
+
+fn main() {
+    let spec = streaming_spec();
+    let caps_weight_bytes = (spec.l_caps().expect("valid spec")
+        * spec.cl_dim
+        * spec.h_caps
+        * spec.ch_dim
+        * std::mem::size_of::<f32>()) as u64;
+    println!(
+        "[store_load] model {} (caps weights {} MB)",
+        spec.name,
+        caps_weight_bytes >> 20
+    );
+
+    let t = Instant::now();
+    let net = CapsNet::seeded(&spec, 42).expect("streaming spec is valid");
+    let rebuild_ms = ms(t);
+    println!("[store_load] rebuild_rng {rebuild_ms:.0} ms");
+
+    let dir = std::env::temp_dir().join(format!("pim_bench_store_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let path = dir.join("streaming.pimcaps");
+
+    let t = Instant::now();
+    let report = ModelWriter::vault_aligned()
+        .save(&net, &path)
+        .expect("save streaming model");
+    let save_ms = ms(t);
+    println!(
+        "[store_load] save_cold {save_ms:.0} ms ({} MB, {} partitions)",
+        report.bytes >> 20,
+        report.partitions
+    );
+
+    let t = Instant::now();
+    let owned = StoredModel::open(&path)
+        .and_then(StoredModel::into_capsnet)
+        .expect("owned load");
+    let owned_ms = ms(t);
+    drop(owned);
+    println!("[store_load] load_owned {owned_ms:.0} ms");
+
+    let t = Instant::now();
+    let mapped = MappedModel::open(&path).expect("mmap load");
+    let loaded = mapped.capsnet().expect("rebuild from mapping");
+    let mmap_ms = ms(t);
+    let was_mapped = mapped.is_mapped();
+    drop(loaded);
+    println!("[store_load] load_mmap {mmap_ms:.0} ms (mapped: {was_mapped})");
+
+    // End-to-end: save → map → serve, bitwise-checked (a second, smaller
+    // artifact write keeps this independent of the timing steps above).
+    let roundtrip =
+        persist_roundtrip(&net, &dir.join("roundtrip.pimcaps"), 8).expect("persist roundtrip");
+    println!(
+        "[store_load] served {} requests off the mapping, bitwise_identical: {}",
+        roundtrip.served_requests, roundtrip.bitwise_identical
+    );
+    assert!(
+        roundtrip.bitwise_identical,
+        "mapped serving must be bit-identical"
+    );
+
+    let speedup = rebuild_ms / mmap_ms;
+    println!("[store_load] speedup mmap vs rebuild: {speedup:.1}x");
+
+    let inputs = StoreBenchInputs {
+        model: spec.name.clone(),
+        artifact_bytes: report.bytes,
+        caps_weight_bytes,
+        measurements: vec![
+            StoreMeasurement {
+                name: "rebuild_rng",
+                ms: rebuild_ms,
+            },
+            StoreMeasurement {
+                name: "save_cold",
+                ms: save_ms,
+            },
+            StoreMeasurement {
+                name: "load_owned",
+                ms: owned_ms,
+            },
+            StoreMeasurement {
+                name: "load_mmap",
+                ms: mmap_ms,
+            },
+        ],
+        speedup_mmap_vs_rebuild: speedup,
+        mapped: was_mapped,
+        bitwise_identical: roundtrip.bitwise_identical,
+    };
+    write_json_artifact(
+        "BENCH_store.json",
+        &store_json(&BenchHost::detect(), &inputs),
+    );
+
+    std::fs::remove_dir_all(&dir).expect("cleanup temp dir");
+}

@@ -67,6 +67,59 @@ pub fn routing_json(host: &BenchHost, measurements: &[RoutingMeasurement]) -> St
     json
 }
 
+/// One timed persistence step (see the `store_load` binary).
+pub struct StoreMeasurement {
+    /// Step name (e.g. `load_mmap`).
+    pub name: &'static str,
+    /// Wall milliseconds.
+    pub ms: f64,
+}
+
+/// Everything `BENCH_store.json` records about the persistence tier.
+pub struct StoreBenchInputs {
+    /// Served model name.
+    pub model: String,
+    /// Artifact size on disk, bytes.
+    pub artifact_bytes: u64,
+    /// Caps-layer weight footprint, bytes (the part that dwarfs the LLC).
+    pub caps_weight_bytes: u64,
+    /// The timed steps, in execution order.
+    pub measurements: Vec<StoreMeasurement>,
+    /// `rebuild_rng ms / load_mmap ms` — the headline: loading beats
+    /// rebuilding.
+    pub speedup_mmap_vs_rebuild: f64,
+    /// Whether the mmap load was a true mapping (not the owned fallback).
+    pub mapped: bool,
+    /// Whether serving off the mapped weights was bit-identical to the
+    /// in-memory network.
+    pub bitwise_identical: bool,
+}
+
+/// Renders `BENCH_store.json`.
+pub fn store_json(host: &BenchHost, inputs: &StoreBenchInputs) -> String {
+    let mut json = format!(
+        "{{\n  \"host\": {{\"simd\": \"{}\", \"threads\": {}}},\n  \"model\": {{\"name\": \"{}\", \"artifact_bytes\": {}, \"caps_weight_bytes\": {}}},\n  \"measurements\": [\n",
+        host.simd, host.threads, inputs.model, inputs.artifact_bytes, inputs.caps_weight_bytes
+    );
+    for (i, m) in inputs.measurements.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"name\": \"{}\", \"ms\": {:.3}}}{}\n",
+            m.name,
+            m.ms,
+            if i + 1 == inputs.measurements.len() {
+                ""
+            } else {
+                ","
+            }
+        ));
+    }
+    json.push_str(&format!(
+        "  ],\n  \"speedup_mmap_vs_rebuild\": {:.2},\n  \"mapped\": {},\n  \"bitwise_identical\": {}\n}}\n",
+        inputs.speedup_mmap_vs_rebuild, inputs.mapped, inputs.bitwise_identical
+    ));
+    json
+}
+
 /// Writes a JSON artifact into the results directory, logging the outcome.
 pub fn write_json_artifact(file_name: &str, json: &str) {
     let dir = results_dir();

@@ -7,7 +7,7 @@ use std::time::{Duration, Instant};
 
 use capsnet::{CapsNet, ExactMath};
 use capsnet_workloads::traffic::{request_images, streaming_spec, Arrival, TrafficConfig};
-use pim_serve::{BatchExecution, Request, ServeConfig, ServedModel, Server, Ticket};
+use pim_serve::{BatchExecution, ModelRegistry, Request, ServeConfig, ServedModel, Server, Ticket};
 
 use crate::emit::{histogram_json, write_json_artifact};
 
@@ -108,10 +108,10 @@ pub fn run_serve_bench(requests: usize) -> ServeBenchResult {
     // Warm both paths (first call sizes every buffer).
     let warm = request_images(&spec, 1, 0);
     let _ = net.forward(&warm, &ExactMath).expect("warm-up");
-    let models = [ServedModel::new(spec.name.clone(), net)];
+    let registry = ModelRegistry::from_models([ServedModel::new(spec.name.clone(), net)]);
 
     let mut passes: Vec<Pass> = (0..PASSES)
-        .map(|_| measure_pass(&models, &spec, &arrivals, cfg))
+        .map(|_| measure_pass(&registry, &spec, &arrivals, cfg))
         .collect();
     let bitwise_equal = passes.iter().all(|p| p.bitwise_equal);
     passes.sort_by(|a, b| {
@@ -144,12 +144,13 @@ pub fn run_serve_bench(requests: usize) -> ServeBenchResult {
 /// Times one serial sweep and one batched sweep over the same arrivals,
 /// checking the batched outputs bitwise against the serial ones.
 fn measure_pass(
-    models: &[ServedModel],
+    registry: &ModelRegistry,
     spec: &capsnet::CapsNetSpec,
     arrivals: &[Arrival],
     cfg: ServeConfig,
 ) -> Pass {
-    let net = models[0].net();
+    let handle = registry.current(0).expect("bench registry has model 0");
+    let net = handle.net();
 
     // Serial: one `forward` call per request, in arrival order.
     let t0 = Instant::now();
@@ -167,7 +168,7 @@ fn measure_pass(
     let serial_s = t0.elapsed().as_secs_f64();
 
     // Batched: the same stream through the server.
-    let server = Server::new(models, &ExactMath, cfg).expect("valid serve config");
+    let server = Server::new(registry, &ExactMath, cfg).expect("valid serve config");
     let t0 = Instant::now();
     let (responses, metrics) = server.run(|handle| {
         let tickets: Vec<Ticket> = arrivals

@@ -162,3 +162,63 @@ fn bench_serve_schema() {
         "batched serving must record bitwise equality with serial forward"
     );
 }
+
+#[test]
+fn bench_store_schema() {
+    let doc = load("BENCH_store.json");
+
+    let host = doc.get("host").expect("\"host\" object");
+    assert!(host.get("simd").and_then(Value::as_str).is_some());
+    assert!(f64_field(host, "threads", "host") >= 1.0);
+
+    let model = doc.get("model").expect("\"model\" object");
+    assert!(model.get("name").and_then(Value::as_str).is_some());
+    // The artifact stores the streaming model: weights alone exceed 200 MB
+    // (the whole point — they dwarf any cache and any RNG rebuild budget).
+    assert!(
+        f64_field(model, "caps_weight_bytes", "model") > 200.0 * 1024.0 * 1024.0,
+        "streaming model shrank below the weight-bound regime"
+    );
+    assert!(
+        f64_field(model, "artifact_bytes", "model")
+            >= f64_field(model, "caps_weight_bytes", "model"),
+        "artifact must contain at least the caps weights"
+    );
+
+    // All four persistence steps, measured, in order, with positive times.
+    let measurements = doc
+        .get("measurements")
+        .and_then(Value::as_array)
+        .expect("\"measurements\" array");
+    let names: Vec<&str> = measurements
+        .iter()
+        .map(|m| m.get("name").and_then(Value::as_str).expect("step name"))
+        .collect();
+    assert_eq!(
+        names,
+        ["rebuild_rng", "save_cold", "load_owned", "load_mmap"],
+        "persistence steps changed"
+    );
+    for m in measurements {
+        let name = m.get("name").and_then(Value::as_str).unwrap();
+        let ms = f64_field(m, "ms", name);
+        assert!(ms > 0.0 && ms.is_finite(), "{name}: ms {ms}");
+    }
+
+    // Acceptance bar: mmap loading beats rebuilding from RNG by ≥ 10×.
+    let speedup = f64_field(&doc, "speedup_mmap_vs_rebuild", "top level");
+    assert!(
+        speedup >= 10.0,
+        "mmap load only {speedup}x faster than RNG rebuild (bar: 10x)"
+    );
+    assert_eq!(
+        doc.get("mapped").and_then(Value::as_bool),
+        Some(true),
+        "the recorded run must have used a real memory mapping"
+    );
+    assert_eq!(
+        doc.get("bitwise_identical").and_then(Value::as_bool),
+        Some(true),
+        "serving off the mapping must record bitwise equality"
+    );
+}

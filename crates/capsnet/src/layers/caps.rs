@@ -51,6 +51,48 @@ impl CapsLayer {
         }
     }
 
+    /// Creates the layer from an explicit weight tensor (the
+    /// weight-loading path). The weight layout is `[L, C_L, H·C_H]`, the
+    /// same per-capsule GEMM layout [`Self::seeded`] produces.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CapsNetError::InvalidSpec`] when the weight shape does not
+    /// match the capsule geometry.
+    pub fn from_weights(
+        weight: Tensor,
+        l_caps: usize,
+        cl_dim: usize,
+        h_caps: usize,
+        ch_dim: usize,
+        routing: RoutingAlgorithm,
+        iterations: usize,
+    ) -> Result<Self, CapsNetError> {
+        let dims = weight.shape().dims();
+        if dims != [l_caps, cl_dim, h_caps * ch_dim] {
+            return Err(CapsNetError::InvalidSpec(format!(
+                "caps weight must be [{l_caps}, {cl_dim}, {}], got {dims:?}",
+                h_caps * ch_dim
+            )));
+        }
+        Ok(CapsLayer {
+            weight,
+            l_caps,
+            cl_dim,
+            h_caps,
+            ch_dim,
+            routing,
+            iterations,
+            batch_shared: true,
+        })
+    }
+
+    /// The transformation weight `[L, C_L, H·C_H]` (paper Eq 1's `W_ij`,
+    /// flattened per low-level capsule).
+    pub fn weight(&self) -> &Tensor {
+        &self.weight
+    }
+
     /// Switches between batch-shared (paper) and per-sample (Sabour et al.)
     /// routing coefficients.
     pub fn with_batch_shared(mut self, batch_shared: bool) -> Self {

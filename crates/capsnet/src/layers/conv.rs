@@ -131,6 +131,16 @@ impl Conv2dLayer {
         &self.weight
     }
 
+    /// The bias vector `[out]`, when the layer has one.
+    pub fn bias(&self) -> Option<&Tensor> {
+        self.bias.as_ref()
+    }
+
+    /// The activation applied after the convolution.
+    pub fn activation(&self) -> Activation {
+        self.activation
+    }
+
     /// Forward pass: `[B, in, H, W] -> [B, out, H', W']`.
     ///
     /// # Errors

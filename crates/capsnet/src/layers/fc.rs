@@ -24,6 +24,52 @@ impl DenseLayer {
         }
     }
 
+    /// Creates a layer from explicit weights.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CapsNetError::InvalidSpec`] when the weight is not a
+    /// matrix or the bias length does not match its output width.
+    pub fn from_weights(
+        weight: Tensor,
+        bias: Tensor,
+        activation: Activation,
+    ) -> Result<Self, CapsNetError> {
+        let dims = weight.shape().dims().to_vec();
+        if dims.len() != 2 {
+            return Err(CapsNetError::InvalidSpec(format!(
+                "dense weight must be [in, out], got {dims:?}"
+            )));
+        }
+        if bias.len() != dims[1] {
+            return Err(CapsNetError::InvalidSpec(format!(
+                "dense bias length {} != output width {}",
+                bias.len(),
+                dims[1]
+            )));
+        }
+        Ok(DenseLayer {
+            weight,
+            bias,
+            activation,
+        })
+    }
+
+    /// The weight matrix `[in, out]`.
+    pub fn weight(&self) -> &Tensor {
+        &self.weight
+    }
+
+    /// The bias vector `[out]`.
+    pub fn bias(&self) -> &Tensor {
+        &self.bias
+    }
+
+    /// The activation applied after the affine map.
+    pub fn activation(&self) -> Activation {
+        self.activation
+    }
+
     /// Input width.
     pub fn input_dim(&self) -> usize {
         self.weight.shape().dims()[0]

@@ -44,6 +44,42 @@ impl PrimaryCapsLayer {
         }
     }
 
+    /// Creates the layer around an existing convolution (the
+    /// weight-loading path).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CapsNetError::InvalidSpec`] when the convolution's output
+    /// channels are not `caps_channels · cl_dim`.
+    pub fn from_conv(
+        conv: Conv2dLayer,
+        caps_channels: usize,
+        cl_dim: usize,
+    ) -> Result<Self, CapsNetError> {
+        let out_channels = conv.weight().shape().dims()[0];
+        if out_channels != caps_channels * cl_dim {
+            return Err(CapsNetError::InvalidSpec(format!(
+                "primary conv has {out_channels} output channels, expected \
+                 {caps_channels} capsule groups × {cl_dim} dims"
+            )));
+        }
+        Ok(PrimaryCapsLayer {
+            conv,
+            caps_channels,
+            cl_dim,
+        })
+    }
+
+    /// The underlying convolution.
+    pub fn conv(&self) -> &Conv2dLayer {
+        &self.conv
+    }
+
+    /// Number of capsule channel groups.
+    pub fn caps_channels(&self) -> usize {
+        self.caps_channels
+    }
+
     /// Capsule dimension `C_L`.
     pub fn cl_dim(&self) -> usize {
         self.cl_dim

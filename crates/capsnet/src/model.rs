@@ -177,6 +177,51 @@ impl ForwardView<'_> {
     }
 }
 
+/// Provides named weight tensors for [`CapsNet::from_views`].
+///
+/// A source may hand out **owned** tensors (e.g. freshly read from disk)
+/// or **shared** zero-copy views ([`Tensor::from_shared`] windows into an
+/// mmapped artifact) — the network runs bit-identically off either, since
+/// every forward path reads weights through `as_slice`.
+///
+/// The canonical names are the ones [`CapsNet::named_weights`] emits:
+/// `conv1.weight`, `conv1.bias`, `primary.weight`, `primary.bias`,
+/// `caps.weight`, and `decoder.{i}.weight` / `decoder.{i}.bias`.
+pub trait WeightSource {
+    /// `true` when the source can produce `name` (optional tensors like
+    /// biases are only requested when present).
+    fn contains(&self, name: &str) -> bool;
+
+    /// The tensor stored under `name`, which must have exactly `dims`.
+    ///
+    /// # Errors
+    ///
+    /// Implementations return an error for unknown names or shape
+    /// mismatches.
+    fn tensor(&mut self, name: &str, dims: &[usize]) -> Result<Tensor, CapsNetError>;
+}
+
+/// A `BTreeMap` of tensors is a valid weight source (used by tests and by
+/// in-memory weight transfers).
+impl WeightSource for std::collections::BTreeMap<String, Tensor> {
+    fn contains(&self, name: &str) -> bool {
+        self.contains_key(name)
+    }
+
+    fn tensor(&mut self, name: &str, dims: &[usize]) -> Result<Tensor, CapsNetError> {
+        let t = self
+            .get(name)
+            .ok_or_else(|| CapsNetError::InvalidSpec(format!("missing weight {name:?}")))?;
+        if t.shape().dims() != dims {
+            return Err(CapsNetError::InvalidSpec(format!(
+                "weight {name:?} has shape {:?}, expected {dims:?}",
+                t.shape().dims()
+            )));
+        }
+        Ok(t.clone())
+    }
+}
+
 /// A complete CapsNet with deterministic seeded weights.
 #[derive(Debug, Clone)]
 pub struct CapsNet {
@@ -245,6 +290,106 @@ impl CapsNet {
             caps,
             decoder,
         })
+    }
+
+    /// Builds a network from a spec and a [`WeightSource`] instead of RNG —
+    /// the model-loading path. When the source hands out shared
+    /// ([`Tensor::from_shared`]) views, the network's weights borrow the
+    /// source's backing buffer with zero copies; forward passes are
+    /// bit-identical to a network owning the same weight values.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CapsNetError::InvalidSpec`] if the spec fails validation,
+    /// and propagates source errors (missing tensors, shape mismatches).
+    pub fn from_views<S: WeightSource + ?Sized>(
+        spec: &CapsNetSpec,
+        source: &mut S,
+    ) -> Result<Self, CapsNetError> {
+        spec.validate()?;
+        let k1 = spec.conv1_kernel;
+        let conv1_w = source.tensor(
+            "conv1.weight",
+            &[spec.conv1_channels, spec.input_channels, k1, k1],
+        )?;
+        let conv1_b = if source.contains("conv1.bias") {
+            Some(source.tensor("conv1.bias", &[spec.conv1_channels])?)
+        } else {
+            None
+        };
+        let conv1 =
+            Conv2dLayer::from_weights(conv1_w, conv1_b, spec.conv1_stride, Activation::Relu)?;
+
+        let pc_out = spec.primary_channels * spec.cl_dim;
+        let kp = spec.primary_kernel;
+        let primary_w = source.tensor("primary.weight", &[pc_out, spec.conv1_channels, kp, kp])?;
+        let primary_b = if source.contains("primary.bias") {
+            Some(source.tensor("primary.bias", &[pc_out])?)
+        } else {
+            None
+        };
+        let primary_conv = Conv2dLayer::from_weights(
+            primary_w,
+            primary_b,
+            spec.primary_stride,
+            Activation::Linear,
+        )?;
+        let primary =
+            PrimaryCapsLayer::from_conv(primary_conv, spec.primary_channels, spec.cl_dim)?;
+
+        let l = spec.l_caps()?;
+        let caps_w = source.tensor("caps.weight", &[l, spec.cl_dim, spec.h_caps * spec.ch_dim])?;
+        let caps = CapsLayer::from_weights(
+            caps_w,
+            l,
+            spec.cl_dim,
+            spec.h_caps,
+            spec.ch_dim,
+            spec.routing,
+            spec.routing_iterations,
+        )?
+        .with_batch_shared(spec.batch_shared_routing);
+
+        let mut decoder = Vec::new();
+        let mut in_dim = spec.h_caps * spec.ch_dim;
+        for (li, &out_dim) in spec.decoder_dims.iter().enumerate() {
+            let act = if li + 1 == spec.decoder_dims.len() {
+                Activation::Sigmoid
+            } else {
+                Activation::Relu
+            };
+            let w = source.tensor(&format!("decoder.{li}.weight"), &[in_dim, out_dim])?;
+            let b = source.tensor(&format!("decoder.{li}.bias"), &[out_dim])?;
+            decoder.push(DenseLayer::from_weights(w, b, act)?);
+            in_dim = out_dim;
+        }
+        Ok(CapsNet {
+            spec: spec.clone(),
+            conv1,
+            primary,
+            caps,
+            decoder,
+        })
+    }
+
+    /// Every weight tensor with its canonical name, in a fixed order (the
+    /// order model writers persist them in). Names round-trip through
+    /// [`CapsNet::from_views`].
+    pub fn named_weights(&self) -> Vec<(String, &Tensor)> {
+        let mut out: Vec<(String, &Tensor)> = vec![("conv1.weight".into(), self.conv1.weight())];
+        if let Some(b) = self.conv1.bias() {
+            out.push(("conv1.bias".into(), b));
+        }
+        out.push(("primary.weight".into(), self.primary.conv().weight()));
+        if let Some(b) = self.primary.conv().bias() {
+            out.push(("primary.bias".into(), b));
+        }
+        out.push(("caps.weight".into(), self.caps.weight()));
+        for (li, layer) in self.decoder.iter().enumerate() {
+            out.push((format!("decoder.{li}.weight"), layer.weight()));
+            out.push((format!("decoder.{li}.bias"), layer.bias()));
+        }
+        out
     }
 
     /// The network's specification.
@@ -512,6 +657,119 @@ mod tests {
             .predictions();
         let agree = exact.iter().zip(&approx).filter(|(a, b)| a == b).count();
         assert!(agree >= 14, "only {agree}/16 predictions agree");
+    }
+
+    #[test]
+    fn from_views_roundtrips_named_weights_bit_identically() {
+        let net = tiny_net();
+        // Collect the weights into a map source (owned clones)…
+        let mut source: std::collections::BTreeMap<String, Tensor> = net
+            .named_weights()
+            .into_iter()
+            .map(|(name, t)| (name, t.clone()))
+            .collect();
+        assert!(source.contains_key("caps.weight"));
+        assert!(source.contains_key("decoder.2.bias"));
+        // …and rebuild. Forward must be bit-identical.
+        let rebuilt = CapsNet::from_views(net.spec(), &mut source).unwrap();
+        let images = tiny_images(3, 5);
+        let a = net.forward(&images, &ExactMath).unwrap();
+        let b = rebuilt.forward(&images, &ExactMath).unwrap();
+        for (x, y) in a
+            .class_capsules
+            .as_slice()
+            .iter()
+            .zip(b.class_capsules.as_slice())
+        {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+        for (x, y) in a
+            .class_norms_sq
+            .as_slice()
+            .iter()
+            .zip(b.class_norms_sq.as_slice())
+        {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+        // The decoder too (reconstruction exercises every dense layer).
+        let ra = net.reconstruct(&a, &[0, 1, 2]).unwrap();
+        let rb = rebuilt.reconstruct(&b, &[0, 1, 2]).unwrap();
+        assert_eq!(ra, rb);
+    }
+
+    #[test]
+    fn from_views_rejects_missing_and_misshapen_weights() {
+        let net = tiny_net();
+        let weights: Vec<(String, Tensor)> = net
+            .named_weights()
+            .into_iter()
+            .map(|(n, t)| (n, t.clone()))
+            .collect();
+
+        let mut missing: std::collections::BTreeMap<String, Tensor> = weights
+            .iter()
+            .filter(|(n, _)| n != "caps.weight")
+            .cloned()
+            .collect();
+        assert!(CapsNet::from_views(net.spec(), &mut missing).is_err());
+
+        let mut misshapen: std::collections::BTreeMap<String, Tensor> =
+            weights.into_iter().collect();
+        misshapen.insert("caps.weight".into(), Tensor::zeros(&[1, 2, 3]));
+        assert!(CapsNet::from_views(net.spec(), &mut misshapen).is_err());
+    }
+
+    #[test]
+    fn from_views_runs_off_shared_storage() {
+        use pim_tensor::TensorBuf;
+        use std::sync::Arc;
+
+        let net = tiny_net();
+        // Pack every weight into one flat buffer, then serve shared
+        // (zero-copy) windows of it — the in-memory analogue of mmap.
+        struct Packed {
+            buf: Arc<dyn TensorBuf>,
+            index: std::collections::BTreeMap<String, (usize, Vec<usize>)>,
+        }
+        impl WeightSource for Packed {
+            fn contains(&self, name: &str) -> bool {
+                self.index.contains_key(name)
+            }
+            fn tensor(&mut self, name: &str, dims: &[usize]) -> Result<Tensor, CapsNetError> {
+                let (offset, stored) = self
+                    .index
+                    .get(name)
+                    .ok_or_else(|| CapsNetError::InvalidSpec(format!("missing {name:?}")))?;
+                assert_eq!(stored, dims, "{name}");
+                Tensor::from_shared(Arc::clone(&self.buf), *offset, dims)
+                    .map_err(CapsNetError::from)
+            }
+        }
+        let mut flat = Vec::new();
+        let mut index = std::collections::BTreeMap::new();
+        for (name, t) in net.named_weights() {
+            index.insert(name, (flat.len(), t.shape().dims().to_vec()));
+            flat.extend_from_slice(t.as_slice());
+        }
+        let mut source = Packed {
+            buf: Arc::new(flat),
+            index,
+        };
+        let shared_net = CapsNet::from_views(net.spec(), &mut source).unwrap();
+        // The big caps weight really is a borrowed view…
+        assert!(shared_net.caps.weight().is_shared());
+        // …and forward is bit-identical to the owning network.
+        let images = tiny_images(2, 8);
+        let a = net.forward(&images, &ExactMath).unwrap();
+        let b = shared_net.forward(&images, &ExactMath).unwrap();
+        for (x, y) in a
+            .class_capsules
+            .as_slice()
+            .iter()
+            .zip(b.class_capsules.as_slice())
+        {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
     }
 
     #[test]

@@ -53,6 +53,9 @@ pub fn squash_scale<B: MathBackend + ?Sized>(norm_sq: f32, backend: &B) -> f32 {
 /// ```
 #[inline]
 pub fn squash_in_place<B: MathBackend + ?Sized>(s: &mut [f32], backend: &B) {
+    if s.is_empty() {
+        return;
+    }
     let norm_sq = backend.dot(s, s);
     let k = squash_scale(norm_sq, backend);
     for x in s {
@@ -71,6 +74,12 @@ pub fn squash_in_place<B: MathBackend + ?Sized>(s: &mut [f32], backend: &B) {
 #[inline]
 pub fn squash_into<B: MathBackend + ?Sized>(s: &[f32], v: &mut [f32], backend: &B) {
     debug_assert_eq!(s.len(), v.len());
+    // Zero-length capsule slices are a no-op by definition (guard audit:
+    // degenerate geometry must not reach the backend kernels, whose
+    // behavior on empty chunks is an implementation detail).
+    if s.is_empty() {
+        return;
+    }
     let norm_sq = backend.dot(s, s);
     let k = squash_scale(norm_sq, backend);
     backend.scale_add(k, s, 0.0, v);
@@ -164,6 +173,17 @@ mod tests {
             squash_into(&vec![0.0f32; len], &mut out, &ExactMath);
             assert!(out.iter().all(|&x| x == 0.0), "len {len}");
         }
+    }
+
+    #[test]
+    fn empty_capsule_slices_are_a_no_op_on_every_backend() {
+        // Regression (guard audit): zero-length capsules must no-op before
+        // reaching the backend kernels, on exact and approximate backends.
+        let approx = ApproxMath::with_recovery();
+        squash_in_place::<ExactMath>(&mut [], &ExactMath);
+        squash_in_place::<ApproxMath>(&mut [], &approx);
+        squash_into::<ExactMath>(&[], &mut [], &ExactMath);
+        squash_into::<ApproxMath>(&[], &mut [], &approx);
     }
 
     #[test]

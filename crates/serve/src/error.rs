@@ -69,6 +69,9 @@ pub enum ServeError {
     /// Inference failed inside a worker (propagated to every ticket of the
     /// affected batch).
     Forward(String),
+    /// A model artifact could not be loaded into (or swapped within) the
+    /// registry.
+    Load(String),
 }
 
 impl fmt::Display for ServeError {
@@ -77,6 +80,7 @@ impl fmt::Display for ServeError {
             ServeError::InvalidConfig(msg) => write!(f, "invalid config: {msg}"),
             ServeError::NoModels => write!(f, "no models registered"),
             ServeError::Forward(msg) => write!(f, "forward pass failed: {msg}"),
+            ServeError::Load(msg) => write!(f, "model load failed: {msg}"),
         }
     }
 }

@@ -32,13 +32,16 @@
 //!
 //! ```
 //! use capsnet::{CapsNet, CapsNetSpec, ExactMath};
-//! use pim_serve::{Request, ServeConfig, ServedModel, Server};
+//! use pim_serve::{ModelRegistry, Request, ServeConfig, ServedModel, Server};
 //! use pim_tensor::Tensor;
 //!
 //! let mut spec = CapsNetSpec::tiny_for_tests();
 //! spec.batch_shared_routing = false; // requests must not influence each other
-//! let models = [ServedModel::new("tiny", CapsNet::seeded(&spec, 1).unwrap())];
-//! let server = Server::new(&models, &ExactMath, ServeConfig::default()).unwrap();
+//! let registry = ModelRegistry::from_models([ServedModel::new(
+//!     "tiny",
+//!     CapsNet::seeded(&spec, 1).unwrap(),
+//! )]);
+//! let server = Server::new(&registry, &ExactMath, ServeConfig::default()).unwrap();
 //! let (responses, metrics) = server.run(|handle| {
 //!     let tickets: Vec<_> = (0..4)
 //!         .map(|tenant| {
@@ -60,9 +63,11 @@
 mod config;
 mod error;
 mod metrics;
+mod registry;
 mod server;
 
 pub use config::{BatchExecution, ServeConfig};
 pub use error::{ServeError, SubmitError};
-pub use metrics::MetricsReport;
+pub use metrics::{MetricsReport, ModelVersionCount};
+pub use registry::{ModelHandle, ModelRegistry};
 pub use server::{Request, Response, ServedModel, Server, ServerHandle, Ticket};

@@ -1,5 +1,7 @@
-//! Service metrics: request latencies, batch occupancy, throughput.
+//! Service metrics: request latencies, batch occupancy, throughput, and
+//! per-(model, version) dispatch counters for hot-swap observability.
 
+use std::collections::BTreeMap;
 use std::time::Instant;
 
 /// Mutable recorder the workers feed; lives behind a mutex in the server.
@@ -12,6 +14,9 @@ pub(crate) struct MetricsRecorder {
     occupancy: Vec<u64>,
     samples: u64,
     rejected_full: u64,
+    /// `(model, version)` → requests/samples dispatched on that epoch.
+    versions: BTreeMap<(usize, u64), (u64, u64)>,
+    swaps: u64,
 }
 
 impl MetricsRecorder {
@@ -22,19 +27,34 @@ impl MetricsRecorder {
             occupancy: vec![0; max_batch + 1],
             samples: 0,
             rejected_full: 0,
+            versions: BTreeMap::new(),
+            swaps: 0,
         }
     }
 
-    pub(crate) fn record_batch(&mut self, batch_samples: usize, request_latencies_us: &[u64]) {
+    pub(crate) fn record_batch(
+        &mut self,
+        model: usize,
+        version: u64,
+        batch_samples: usize,
+        request_latencies_us: &[u64],
+    ) {
         if let Some(slot) = self.occupancy.get_mut(batch_samples) {
             *slot += 1;
         }
         self.samples += batch_samples as u64;
         self.latencies_us.extend_from_slice(request_latencies_us);
+        let entry = self.versions.entry((model, version)).or_insert((0, 0));
+        entry.0 += request_latencies_us.len() as u64;
+        entry.1 += batch_samples as u64;
     }
 
     pub(crate) fn record_reject_full(&mut self) {
         self.rejected_full += 1;
+    }
+
+    pub(crate) fn record_swap(&mut self) {
+        self.swaps += 1;
     }
 
     pub(crate) fn report(&self) -> MetricsReport {
@@ -57,8 +77,34 @@ impl MetricsRecorder {
             mean_us,
             batch_occupancy: self.occupancy.clone(),
             elapsed_s,
+            version_counts: self
+                .versions
+                .iter()
+                .map(
+                    |(&(model, version), &(requests, samples))| ModelVersionCount {
+                        model,
+                        version,
+                        requests,
+                        samples,
+                    },
+                )
+                .collect(),
+            swaps: self.swaps,
         }
     }
+}
+
+/// Dispatch volume attributed to one `(model, version)` epoch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ModelVersionCount {
+    /// Registry slot index.
+    pub model: usize,
+    /// Model version the batches dispatched with.
+    pub version: u64,
+    /// Requests completed on this version.
+    pub requests: u64,
+    /// Samples completed on this version.
+    pub samples: u64,
 }
 
 /// Nearest-rank percentile (`ceil(q·n) − 1`) over an ascending-sorted
@@ -96,6 +142,12 @@ pub struct MetricsReport {
     pub batch_occupancy: Vec<u64>,
     /// Wall-clock seconds the serve window was open.
     pub elapsed_s: f64,
+    /// Dispatch volume per `(model, version)` — every batch is attributed
+    /// to the version it formed under, so a hot-swap splits a model's
+    /// traffic across exactly the epochs that served it.
+    pub version_counts: Vec<ModelVersionCount>,
+    /// Hot swaps performed during the window.
+    pub swaps: u64,
 }
 
 impl MetricsReport {
@@ -135,10 +187,29 @@ mod tests {
     #[test]
     fn recorder_aggregates() {
         let mut r = MetricsRecorder::new(4);
-        r.record_batch(3, &[10, 20, 30]);
-        r.record_batch(1, &[40]);
+        r.record_batch(0, 1, 3, &[10, 20, 30]);
+        r.record_swap();
+        r.record_batch(0, 2, 1, &[40]);
         r.record_reject_full();
         let rep = r.report();
+        assert_eq!(rep.swaps, 1);
+        assert_eq!(
+            rep.version_counts,
+            vec![
+                ModelVersionCount {
+                    model: 0,
+                    version: 1,
+                    requests: 3,
+                    samples: 3
+                },
+                ModelVersionCount {
+                    model: 0,
+                    version: 2,
+                    requests: 1,
+                    samples: 1
+                },
+            ]
+        );
         assert_eq!(rep.requests, 4);
         assert_eq!(rep.samples, 4);
         assert_eq!(rep.batches, 2);

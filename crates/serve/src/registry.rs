@@ -1,0 +1,242 @@
+//! The versioned model registry: the serving tier's source of truth for
+//! *which weights* a model index currently dispatches with.
+//!
+//! Inspired by the serving-system lineage in PAPERS.md (Clipper's model
+//! registry, TensorFlow-Serving's versioned servables): each slot holds an
+//! [`Arc<ModelHandle>`] — name, monotonically increasing version, and the
+//! network — and swaps replace the `Arc` atomically. Batches resolve the
+//! handle **once**, at formation, so an in-flight batch keeps serving the
+//! version it formed under (the `Arc` keeps the old weights alive) while
+//! every later batch dispatches on the new epoch. Combined with the
+//! scheduler's per-model forming reservation
+//! ([`crate::ServerHandle::swap_model`] drains it before swapping), version
+//! order along any `(tenant, model)` stream is strictly monotone.
+
+use std::path::Path;
+use std::sync::{Arc, Mutex};
+
+use capsnet::CapsNet;
+use pim_store::MappedModel;
+
+use crate::error::ServeError;
+use crate::server::ServedModel;
+
+/// One immutable registered (model, version) pair. Handles are shared via
+/// `Arc`: a swap never invalidates a handle someone still holds.
+#[derive(Debug)]
+pub struct ModelHandle {
+    name: String,
+    version: u64,
+    net: CapsNet,
+}
+
+impl ModelHandle {
+    /// The model's registered name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The version this handle serves (1 for the initial registration,
+    /// bumped by one per swap).
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// The network.
+    pub fn net(&self) -> &CapsNet {
+        &self.net
+    }
+
+    /// `true` when requests for this model may share a dispatched batch
+    /// (per-sample routing; batch-shared models never coalesce).
+    pub(crate) fn coalescable(&self) -> bool {
+        !self.net.spec().batch_shared_routing
+    }
+}
+
+/// The registry: an append-only list of model slots, each holding the
+/// current [`ModelHandle`]. Indices are stable across swaps — a
+/// [`crate::Request::model`] keeps meaning "slot N" while the weights
+/// behind slot N evolve.
+#[derive(Debug, Default)]
+pub struct ModelRegistry {
+    slots: Vec<Mutex<Arc<ModelHandle>>>,
+}
+
+impl ModelRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builds a registry from pre-constructed models (version 1 each).
+    pub fn from_models(models: impl IntoIterator<Item = ServedModel>) -> Self {
+        let mut registry = Self::new();
+        for m in models {
+            registry.register(m);
+        }
+        registry
+    }
+
+    /// Registers a model at the next free index, version 1.
+    pub fn register(&mut self, model: ServedModel) -> usize {
+        let (name, net) = model.into_parts();
+        self.slots.push(Mutex::new(Arc::new(ModelHandle {
+            name,
+            version: 1,
+            net,
+        })));
+        self.slots.len() - 1
+    }
+
+    /// Loads a model artifact from `path` (zero-copy mmap where the layout
+    /// allows — see `pim_store::MappedModel`) and registers it under
+    /// `name` at the next free index.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Load`] when the artifact cannot be opened, fails
+    /// verification, or does not rebuild into a network.
+    pub fn load_from_path(
+        &mut self,
+        name: impl Into<String>,
+        path: &Path,
+    ) -> Result<usize, ServeError> {
+        let net = load_net(path)?;
+        Ok(self.register(ServedModel::new(name, net)))
+    }
+
+    /// Registered model count.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// `true` when no models are registered.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// The current handle of slot `model` (an `Arc` clone; stays valid
+    /// across later swaps).
+    pub fn current(&self, model: usize) -> Option<Arc<ModelHandle>> {
+        self.slots
+            .get(model)
+            .map(|slot| Arc::clone(&slot.lock().expect("registry slot lock")))
+    }
+
+    /// Replaces slot `model`'s network, bumping the version. This is the
+    /// raw registry operation — safe at any time (in-flight holders keep
+    /// their `Arc`), but it does **not** coordinate with a running
+    /// scheduler; inside a serve window use
+    /// [`crate::ServerHandle::swap_model`], which drains the slot's
+    /// forming reservation first so version order stays monotone per
+    /// dispatch order.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Load`] when `model` is out of range.
+    pub fn swap_model(&self, model: usize, net: CapsNet) -> Result<u64, ServeError> {
+        let slot = self.slots.get(model).ok_or_else(|| {
+            ServeError::Load(format!(
+                "swap_model: no slot {model} (registered: {})",
+                self.slots.len()
+            ))
+        })?;
+        let mut guard = slot.lock().expect("registry slot lock");
+        let next = ModelHandle {
+            name: guard.name.clone(),
+            version: guard.version + 1,
+            net,
+        };
+        *guard = Arc::new(next);
+        Ok(guard.version)
+    }
+
+    /// [`Self::swap_model`] from an artifact path (load + verify, then
+    /// swap).
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Load`] on load failure or bad index.
+    pub fn swap_from_path(&self, model: usize, path: &Path) -> Result<u64, ServeError> {
+        let net = load_net(path)?;
+        self.swap_model(model, net)
+    }
+}
+
+fn load_net(path: &Path) -> Result<CapsNet, ServeError> {
+    let mapped = MappedModel::open(path)
+        .map_err(|e| ServeError::Load(format!("{}: {e}", path.display())))?;
+    mapped
+        .capsnet()
+        .map_err(|e| ServeError::Load(format!("{}: {e}", path.display())))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use capsnet::{CapsNetSpec, ExactMath};
+    use pim_store::ModelWriter;
+    use pim_tensor::Tensor;
+
+    fn net(seed: u64) -> CapsNet {
+        CapsNet::seeded(&CapsNetSpec::tiny_for_tests(), seed).unwrap()
+    }
+
+    #[test]
+    fn register_and_swap_bump_versions() {
+        let mut registry = ModelRegistry::new();
+        let idx = registry.register(ServedModel::new("m", net(1)));
+        assert_eq!(idx, 0);
+        assert_eq!(registry.len(), 1);
+        let v1 = registry.current(0).unwrap();
+        assert_eq!((v1.name(), v1.version()), ("m", 1));
+
+        let v2 = registry.swap_model(0, net(2)).unwrap();
+        assert_eq!(v2, 2);
+        let cur = registry.current(0).unwrap();
+        assert_eq!(cur.version(), 2);
+        // The old handle's Arc still serves the old weights.
+        let images = Tensor::uniform(&[1, 1, 12, 12], 0.0, 1.0, 3);
+        let old = net(1).forward(&images, &ExactMath).unwrap();
+        let held = v1.net().forward(&images, &ExactMath).unwrap();
+        assert_eq!(old.class_norms_sq, held.class_norms_sq);
+
+        assert!(registry.swap_model(7, net(3)).is_err());
+        assert!(registry.current(7).is_none());
+    }
+
+    #[test]
+    fn load_from_path_roundtrips_through_the_store() {
+        let dir = std::env::temp_dir().join(format!("pim_serve_reg_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("m.pimcaps");
+        let original = net(9);
+        ModelWriter::vault_aligned().save(&original, &path).unwrap();
+
+        let mut registry = ModelRegistry::new();
+        let idx = registry.load_from_path("from-disk", &path).unwrap();
+        let handle = registry.current(idx).unwrap();
+        assert_eq!(handle.name(), "from-disk");
+        let images = Tensor::uniform(&[2, 1, 12, 12], 0.0, 1.0, 5);
+        let a = original.forward(&images, &ExactMath).unwrap();
+        let b = handle.net().forward(&images, &ExactMath).unwrap();
+        for (x, y) in a
+            .class_norms_sq
+            .as_slice()
+            .iter()
+            .zip(b.class_norms_sq.as_slice())
+        {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+
+        // Swap from a new artifact.
+        let replacement = net(10);
+        ModelWriter::new().save(&replacement, &path).unwrap();
+        assert_eq!(registry.swap_from_path(idx, &path).unwrap(), 2);
+        assert!(registry
+            .load_from_path("nope", &dir.join("missing"))
+            .is_err());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -12,6 +12,7 @@ use pim_tensor::Tensor;
 use crate::config::{BatchExecution, ServeConfig};
 use crate::error::{ServeError, SubmitError};
 use crate::metrics::{MetricsRecorder, MetricsReport};
+use crate::registry::{ModelHandle, ModelRegistry};
 
 /// A registered model: a name plus the network that serves it. Only
 /// requests naming the same model coalesce into a batch.
@@ -46,9 +47,9 @@ impl ServedModel {
         &self.net
     }
 
-    /// `true` when requests for this model may share a dispatched batch.
-    fn coalescable(&self) -> bool {
-        !self.net.spec().batch_shared_routing
+    /// Decomposes into `(name, net)` (registry registration).
+    pub(crate) fn into_parts(self) -> (String, CapsNet) {
+        (self.name, self.net)
     }
 }
 
@@ -69,6 +70,9 @@ pub struct Request {
 pub struct Response {
     /// Predicted class per sample of the request.
     pub predictions: Vec<usize>,
+    /// Version of the model that served this request's batch (bumped by
+    /// every [`ServerHandle::swap_model`]; 1 before any swap).
+    pub model_version: u64,
     /// Squared class-capsule norms, `[n, H]` row-major.
     pub class_norms_sq: Vec<f32>,
     /// Samples in the dispatched batch this request rode in.
@@ -151,7 +155,7 @@ struct SchedState {
 
 /// Everything the workers and the handle share.
 struct Shared<'a, B: MathBackend + Sync + ?Sized> {
-    models: &'a [ServedModel],
+    models: &'a ModelRegistry,
     backend: &'a B,
     cfg: ServeConfig,
     state: Mutex<SchedState>,
@@ -162,20 +166,22 @@ struct Shared<'a, B: MathBackend + Sync + ?Sized> {
 /// The batched inference server. Construct with [`Server::new`], then open
 /// a serve window with [`Server::run`].
 pub struct Server<'a, B: MathBackend + Sync + ?Sized> {
-    models: &'a [ServedModel],
+    models: &'a ModelRegistry,
     backend: &'a B,
     cfg: ServeConfig,
 }
 
 impl<'a, B: MathBackend + Sync + ?Sized> Server<'a, B> {
-    /// Creates a server over registered models.
+    /// Creates a server over a model registry. The registry stays shared:
+    /// its contents can be hot-swapped mid-window through
+    /// [`ServerHandle::swap_model`].
     ///
     /// # Errors
     ///
     /// Returns [`ServeError::NoModels`] for an empty registry or
     /// [`ServeError::InvalidConfig`] for bad knobs.
     pub fn new(
-        models: &'a [ServedModel],
+        models: &'a ModelRegistry,
         backend: &'a B,
         cfg: ServeConfig,
     ) -> Result<Self, ServeError> {
@@ -244,7 +250,7 @@ impl<B: MathBackend + Sync + ?Sized> ServerHandle<'_, '_, B> {
     /// panicking.
     pub fn submit(&self, request: Request) -> Result<Ticket, SubmitError> {
         let shared = self.shared;
-        let model = shared.models.get(request.model).ok_or({
+        let model = shared.models.current(request.model).ok_or({
             SubmitError::UnknownModel {
                 model: request.model,
                 registered: shared.models.len(),
@@ -307,6 +313,53 @@ impl<B: MathBackend + Sync + ?Sized> ServerHandle<'_, '_, B> {
     pub fn queued_samples(&self) -> usize {
         self.shared.state.lock().expect("queue lock").queued_samples
     }
+
+    /// Atomically hot-swaps model slot `model` to `net`, returning the new
+    /// version.
+    ///
+    /// Sequencing, built on the scheduler's per-model **forming
+    /// reservation**:
+    ///
+    /// 1. take the scheduler lock and wait until no worker holds a forming
+    ///    batch for `model` (in-flight batches past formation keep serving
+    ///    the old version via their `Arc` — they drain naturally and their
+    ///    tickets are unaffected);
+    /// 2. swap the registry slot (version bump) while still holding the
+    ///    scheduler lock, so no batch can form between drain and swap;
+    /// 3. release and wake everyone: every batch formed from here on
+    ///    dispatches on the new epoch.
+    ///
+    /// Combined with batch-formation order this makes response
+    /// `model_version`s non-decreasing along `(batch_seq, batch_offset)`
+    /// order. The new network should keep the input geometry: queued
+    /// requests were validated against the old spec, and a geometry change
+    /// fails those batches (tickets resolve with [`ServeError::Forward`] —
+    /// still never dropped).
+    ///
+    /// # Errors
+    ///
+    /// [`SubmitError::UnknownModel`] for an out-of-range slot.
+    pub fn swap_model(&self, model: usize, net: CapsNet) -> Result<u64, SubmitError> {
+        let shared = self.shared;
+        if model >= shared.models.len() {
+            return Err(SubmitError::UnknownModel {
+                model,
+                registered: shared.models.len(),
+            });
+        }
+        let mut st = shared.state.lock().expect("queue lock");
+        while st.forming[model] > 0 {
+            st = shared.work_ready.wait(st).expect("queue wait");
+        }
+        let version = shared
+            .models
+            .swap_model(model, net)
+            .expect("index checked above");
+        drop(st);
+        shared.metrics.lock().expect("metrics lock").record_swap();
+        shared.work_ready.notify_all();
+        Ok(version)
+    }
 }
 
 /// One worker: form a batch under the latency budget, run it, fulfill its
@@ -314,17 +367,17 @@ impl<B: MathBackend + Sync + ?Sized> ServerHandle<'_, '_, B> {
 fn worker_loop<B: MathBackend + Sync + ?Sized>(shared: &Shared<'_, B>) {
     let mut arena = ForwardArena::new();
     loop {
-        let Some((batch, batch_seq)) = form_batch(shared) else {
+        let Some((batch, batch_seq, handle)) = form_batch(shared) else {
             return;
         };
-        run_batch(shared, batch, batch_seq, &mut arena);
+        run_batch(shared, batch, batch_seq, &handle, &mut arena);
     }
 }
 
 /// Blocks until a batch can be formed; `None` means closed-and-drained.
 fn form_batch<B: MathBackend + Sync + ?Sized>(
     shared: &Shared<'_, B>,
-) -> Option<(Vec<Pending>, u64)> {
+) -> Option<(Vec<Pending>, u64, Arc<ModelHandle>)> {
     let cfg = &shared.cfg;
     let mut st = shared.state.lock().expect("queue lock");
     // Wait for the oldest request of a model no other worker is currently
@@ -349,7 +402,15 @@ fn form_batch<B: MathBackend + Sync + ?Sized>(
     };
     let model = first.model;
     st.forming[model] += 1;
-    let coalescable = shared.models[model].coalescable();
+    // Resolve the model handle *while holding the scheduler lock*: a
+    // hot-swap also runs under this lock (after draining the forming
+    // reservation), so every batch observes exactly one version, and
+    // versions are monotone in batch-formation order.
+    let handle = shared
+        .models
+        .current(model)
+        .expect("validated at submit; registry slots are append-only");
+    let coalescable = handle.coalescable();
     let deadline = first.enqueued_at + cfg.max_wait;
     let mut samples = first.samples;
     let mut batch = vec![first];
@@ -408,10 +469,11 @@ fn form_batch<B: MathBackend + Sync + ?Sized>(
     st.next_batch_seq += 1;
     st.forming[model] -= 1;
     drop(st);
-    // Another worker may be waiting for queued work this one skipped over
-    // or for this model's forming reservation to clear.
+    // Another worker may be waiting for queued work this one skipped over,
+    // for this model's forming reservation to clear, or a swap may be
+    // draining that reservation.
     shared.work_ready.notify_all();
-    Some((batch, batch_seq))
+    Some((batch, batch_seq, handle))
 }
 
 /// Runs one formed batch and fulfills its tickets.
@@ -419,16 +481,17 @@ fn run_batch<B: MathBackend + Sync + ?Sized>(
     shared: &Shared<'_, B>,
     batch: Vec<Pending>,
     batch_seq: u64,
+    handle: &ModelHandle,
     arena: &mut ForwardArena,
 ) {
     let dispatched_at = Instant::now();
-    let model = &shared.models[batch[0].model];
-    let spec = model.net().spec();
+    let model_index = batch[0].model;
+    let spec = handle.net().spec();
     let batch_samples: usize = batch.iter().map(|p| p.samples).sum();
 
     let outcome = if batch.len() == 1 {
         // A lone request's tensor is already batch-shaped: zero-copy.
-        forward_batch(shared, model, &batch[0].images, arena)
+        forward_batch(shared, handle, &batch[0].images, arena)
     } else {
         let mut assembly = Vec::with_capacity(batch_samples * spec.input_pixels());
         for p in &batch {
@@ -442,7 +505,7 @@ fn run_batch<B: MathBackend + Sync + ?Sized>(
         ];
         Tensor::from_vec(assembly, &dims)
             .map_err(|e| ServeError::Forward(e.to_string()))
-            .and_then(|images| forward_batch(shared, model, &images, arena))
+            .and_then(|images| forward_batch(shared, handle, &images, arena))
     };
 
     match outcome {
@@ -455,6 +518,7 @@ fn run_batch<B: MathBackend + Sync + ?Sized>(
                 latencies.push(queue_us + service_us);
                 let response = Response {
                     predictions: predictions[offset..offset + p.samples].to_vec(),
+                    model_version: handle.version(),
                     class_norms_sq: norms[offset * h..(offset + p.samples) * h].to_vec(),
                     batch_samples,
                     batch_seq,
@@ -465,11 +529,12 @@ fn run_batch<B: MathBackend + Sync + ?Sized>(
                 offset += p.samples;
                 fulfill(&p.slot, Ok(response));
             }
-            shared
-                .metrics
-                .lock()
-                .expect("metrics lock")
-                .record_batch(batch_samples, &latencies);
+            shared.metrics.lock().expect("metrics lock").record_batch(
+                model_index,
+                handle.version(),
+                batch_samples,
+                &latencies,
+            );
         }
         Err(e) => {
             for p in batch {
@@ -483,11 +548,11 @@ fn run_batch<B: MathBackend + Sync + ?Sized>(
 /// `(predictions, class_norms_sq, h_caps)`.
 fn forward_batch<B: MathBackend + Sync + ?Sized>(
     shared: &Shared<'_, B>,
-    model: &ServedModel,
+    handle: &ModelHandle,
     images: &Tensor,
     arena: &mut ForwardArena,
 ) -> Result<(Vec<usize>, Vec<f32>, usize), ServeError> {
-    let net = model.net();
+    let net = handle.net();
     let parallel = match shared.cfg.execution {
         BatchExecution::Arena => false,
         BatchExecution::Parallel => true,
@@ -554,6 +619,7 @@ mod tests {
     #[test]
     fn responses_match_serial_forward_bitwise() {
         let models = [tiny_model().clone()];
+        let models = ModelRegistry::from_models(models);
         let server = Server::new(&models, &ExactMath, server_cfg()).unwrap();
         let (responses, metrics) = server.run(|h| {
             let tickets: Vec<Ticket> = (0..12)
@@ -594,7 +660,7 @@ mod tests {
 
     #[test]
     fn parallel_execution_matches_arena() {
-        let models = [tiny_model().clone()];
+        let models = ModelRegistry::from_models([tiny_model().clone()]);
         let run = |execution| {
             let cfg = ServeConfig {
                 execution,
@@ -630,6 +696,7 @@ mod tests {
             max_wait: Duration::from_millis(50),
             ..server_cfg()
         };
+        let models = ModelRegistry::from_models(models);
         let server = Server::new(&models, &ExactMath, cfg).unwrap();
         let ((), metrics) = server.run(|h| {
             // Burst far past capacity from a single thread; the queue bound
@@ -662,6 +729,7 @@ mod tests {
     #[test]
     fn bad_submissions_are_rejected() {
         let models = [tiny_model().clone()];
+        let models = ModelRegistry::from_models(models);
         let server = Server::new(&models, &ExactMath, server_cfg()).unwrap();
         server.run(|h| {
             let bad_model = h.submit(Request {
@@ -700,14 +768,13 @@ mod tests {
         // one request per batch so results still match per-request forward.
         let spec = CapsNetSpec::tiny_for_tests(); // batch_shared = true
         assert!(spec.batch_shared_routing);
-        let models = [ServedModel::new(
-            "shared",
-            CapsNet::seeded(&spec, 5).unwrap(),
-        )];
+        let shared_net = CapsNet::seeded(&spec, 5).unwrap();
+        let models = [ServedModel::new("shared", shared_net.clone())];
         let cfg = ServeConfig {
             max_wait: Duration::from_millis(20),
             ..server_cfg()
         };
+        let models = ModelRegistry::from_models(models);
         let server = Server::new(&models, &ExactMath, cfg).unwrap();
         let (responses, metrics) = server.run(|h| {
             let tickets: Vec<Ticket> = (0..6)
@@ -728,8 +795,7 @@ mod tests {
         assert_eq!(metrics.batches, 6, "one batch per request");
         for (i, r) in responses.iter().enumerate() {
             assert_eq!(r.batch_samples, 2);
-            let serial = models[0]
-                .net()
+            let serial = shared_net
                 .forward(&images(2, 100 + i as u64), &ExactMath)
                 .unwrap();
             for (a, b) in r
@@ -755,6 +821,7 @@ mod tests {
             max_wait: Duration::from_millis(10),
             ..server_cfg()
         };
+        let models = ModelRegistry::from_models(models);
         let server = Server::new(&models, &ExactMath, cfg).unwrap();
         let (responses, _) = server.run(|h| {
             let tickets: Vec<Ticket> = (0..10)
@@ -787,6 +854,7 @@ mod tests {
             max_wait: Duration::from_millis(200),
             ..server_cfg()
         };
+        let models = ModelRegistry::from_models(models);
         let server = Server::new(&models, &ExactMath, cfg).unwrap();
         // Submit and immediately leave the closure: shutdown must still
         // fulfill every admitted ticket (workers drain before exiting).
@@ -817,6 +885,7 @@ mod tests {
             workers: 1,
             execution: BatchExecution::Arena,
         };
+        let models = ModelRegistry::from_models(models);
         let server = Server::new(&models, &ExactMath, cfg).unwrap();
         let ((), metrics) = server.run(|h| {
             let tickets: Vec<Ticket> = (0..16)
@@ -853,7 +922,7 @@ mod tests {
         // (2 samples, instantly full at max_batch = 2). Without the
         // per-model forming reservation B closed first and took the lower
         // batch_seq, inverting tenant 0's dispatch order.
-        let models = [tiny_model().clone()];
+        let models = ModelRegistry::from_models([tiny_model().clone()]);
         let cfg = ServeConfig {
             max_batch: 2,
             max_wait: Duration::from_millis(5),
@@ -892,6 +961,7 @@ mod tests {
     #[test]
     fn try_wait_does_not_consume_the_result() {
         let models = [tiny_model().clone()];
+        let models = ModelRegistry::from_models(models);
         let server = Server::new(&models, &ExactMath, server_cfg()).unwrap();
         server.run(|h| {
             let t = h
@@ -916,6 +986,7 @@ mod tests {
     #[test]
     fn handle_reports_queue_depth_and_rejects_after_close() {
         let models = [tiny_model().clone()];
+        let models = ModelRegistry::from_models(models);
         let server = Server::new(&models, &ExactMath, server_cfg()).unwrap();
         server.run(|h| {
             assert_eq!(h.queued_samples(), 0);

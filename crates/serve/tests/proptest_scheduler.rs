@@ -21,7 +21,8 @@ use std::time::Duration;
 use capsnet::{CapsNet, CapsNetSpec, ExactMath};
 use capsnet_workloads::traffic::request_images;
 use pim_serve::{
-    BatchExecution, Request, Response, ServeConfig, ServedModel, Server, SubmitError, Ticket,
+    BatchExecution, ModelRegistry, Request, Response, ServeConfig, ServedModel, Server,
+    SubmitError, Ticket,
 };
 use proptest::prelude::*;
 
@@ -58,7 +59,8 @@ fn drive(
     subs: &[Sub],
     concurrent_tenants: bool,
 ) -> Vec<Result<Response, SubmitError>> {
-    let server = Server::new(models(), &ExactMath, cfg).unwrap();
+    let registry = ModelRegistry::from_models(models().iter().cloned());
+    let server = Server::new(&registry, &ExactMath, cfg).unwrap();
     let (outcomes, _metrics) = server.run(|handle| {
         if concurrent_tenants {
             // One submitting thread per tenant, preserving each tenant's
@@ -259,7 +261,8 @@ proptest! {
             workers: 1,
             execution: BatchExecution::Arena,
         };
-        let server = Server::new(models(), &ExactMath, cfg).unwrap();
+        let registry = ModelRegistry::from_models(models().iter().cloned());
+        let server = Server::new(&registry, &ExactMath, cfg).unwrap();
         let (tickets, _metrics) = server.run(|handle| {
             (0..n)
                 .map(|i| {

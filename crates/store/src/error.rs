@@ -1,0 +1,89 @@
+//! Typed errors for artifact writing, reading and mapping.
+
+use capsnet::CapsNetError;
+use pim_tensor::TensorError;
+
+/// Everything that can go wrong persisting or loading a model artifact.
+#[derive(Debug)]
+pub enum StoreError {
+    /// Underlying filesystem / syscall failure.
+    Io(std::io::Error),
+    /// The file does not start with the artifact magic.
+    BadMagic,
+    /// The artifact's format version is not one this reader understands.
+    UnsupportedVersion {
+        /// Version found in the header.
+        found: u32,
+    },
+    /// The file is shorter than its metadata commits to.
+    Truncated {
+        /// Bytes the metadata requires.
+        expected: u64,
+        /// Bytes actually present.
+        actual: u64,
+    },
+    /// Structural or checksum corruption (detail in the message).
+    Corrupt(String),
+    /// A tensor the model needs is not in the artifact.
+    MissingTensor(String),
+    /// Memory mapping is not available on this platform.
+    MmapUnsupported,
+    /// Rebuilding the network from loaded weights failed.
+    CapsNet(CapsNetError),
+    /// Tensor construction failed.
+    Tensor(TensorError),
+}
+
+impl std::fmt::Display for StoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StoreError::Io(e) => write!(f, "i/o error: {e}"),
+            StoreError::BadMagic => write!(f, "not a PIM-CapsNet model artifact (bad magic)"),
+            StoreError::UnsupportedVersion { found } => {
+                write!(f, "unsupported artifact format version {found}")
+            }
+            StoreError::Truncated { expected, actual } => {
+                write!(
+                    f,
+                    "artifact truncated: need {expected} bytes, have {actual}"
+                )
+            }
+            StoreError::Corrupt(msg) => write!(f, "artifact corrupt: {msg}"),
+            StoreError::MissingTensor(name) => write!(f, "artifact is missing tensor {name:?}"),
+            StoreError::MmapUnsupported => {
+                write!(f, "memory mapping unsupported on this platform")
+            }
+            StoreError::CapsNet(e) => write!(f, "model rebuild failed: {e}"),
+            StoreError::Tensor(e) => write!(f, "tensor error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StoreError::Io(e) => Some(e),
+            StoreError::CapsNet(e) => Some(e),
+            StoreError::Tensor(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for StoreError {
+    fn from(e: std::io::Error) -> Self {
+        StoreError::Io(e)
+    }
+}
+
+impl From<CapsNetError> for StoreError {
+    fn from(e: CapsNetError) -> Self {
+        StoreError::CapsNet(e)
+    }
+}
+
+impl From<TensorError> for StoreError {
+    fn from(e: TensorError) -> Self {
+        StoreError::Tensor(e)
+    }
+}

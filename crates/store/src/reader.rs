@@ -1,0 +1,469 @@
+//! Artifact readers: checksum-verified **owned** loading and **zero-copy
+//! mmap** loading.
+//!
+//! [`StoredModel`] reads the whole file and materializes owned tensors —
+//! the portable, always-works path. [`MappedModel`] maps the file and
+//! hands out [`Tensor::from_shared`] views straight over the page cache;
+//! tensors whose stored partitions are not contiguous (vault-aligned
+//! padding) or whose data cannot be viewed as aligned `f32`s fall back to
+//! owned copies per tensor, so the API never fails over alignment — it
+//! only loses the zero-copy property where the bytes make it impossible.
+
+use std::collections::BTreeMap;
+use std::path::Path;
+use std::sync::Arc;
+
+use capsnet::{CapsNet, CapsNetError, CapsNetSpec, WeightSource};
+use pim_tensor::{Tensor, TensorBuf};
+
+use crate::error::StoreError;
+use crate::format::{decode_spec, decode_table, Header, Layout, TensorRecord, HEADER_LEN};
+use crate::hash::Hasher;
+use crate::mmap::{map_file, Mmap};
+
+/// Parsed-and-verified artifact metadata, shared by both readers.
+#[derive(Debug)]
+struct Metadata {
+    header: Header,
+    spec: CapsNetSpec,
+    records: Vec<TensorRecord>,
+    by_name: BTreeMap<String, usize>,
+}
+
+/// Parses header, spec and section table out of the full file image and
+/// verifies **every** checksum (header, table, and each tensor's data).
+fn parse_and_verify(bytes: &[u8]) -> Result<Metadata, StoreError> {
+    let header = Header::decode(bytes)?;
+    if (bytes.len() as u64) < header.file_len {
+        return Err(StoreError::Truncated {
+            expected: header.file_len,
+            actual: bytes.len() as u64,
+        });
+    }
+    if (bytes.len() as u64) > header.file_len {
+        return Err(StoreError::Corrupt(format!(
+            "file has {} trailing bytes beyond the committed length",
+            bytes.len() as u64 - header.file_len
+        )));
+    }
+    let spec_end = (HEADER_LEN as u64)
+        .checked_add(header.spec_len)
+        .and_then(|e| e.checked_add(8).map(|with_sum| (e, with_sum)))
+        .filter(|&(_, with_sum)| with_sum <= header.file_len)
+        .map(|(e, _)| e)
+        .ok_or_else(|| StoreError::Corrupt("spec extends past end of file".into()))?;
+    if header.table_off < spec_end + 8 {
+        return Err(StoreError::Corrupt(
+            "section table overlaps the spec".into(),
+        ));
+    }
+    let spec_payload = &bytes[HEADER_LEN..spec_end as usize];
+    let stored_spec_sum = u64::from_le_bytes(
+        bytes[spec_end as usize..spec_end as usize + 8]
+            .try_into()
+            .expect("8 bytes"),
+    );
+    if crate::hash::hash64(spec_payload) != stored_spec_sum {
+        return Err(StoreError::Corrupt("spec checksum mismatch".into()));
+    }
+    let table_end = header
+        .table_off
+        .checked_add(header.table_len)
+        .filter(|&e| e <= header.file_len)
+        .ok_or_else(|| StoreError::Corrupt("section table extends past end of file".into()))?;
+    let spec = decode_spec(spec_payload)?;
+    spec.validate()?;
+    let records = decode_table(
+        &bytes[header.table_off as usize..table_end as usize],
+        header.tensor_count,
+    )?;
+
+    let mut by_name = BTreeMap::new();
+    for (i, r) in records.iter().enumerate() {
+        if by_name.insert(r.name.clone(), i).is_some() {
+            return Err(StoreError::Corrupt(format!(
+                "duplicate tensor name {:?}",
+                r.name
+            )));
+        }
+        let mut hasher = Hasher::new();
+        for p in &r.partitions {
+            if p.offset < table_end || p.offset % 4 != 0 {
+                return Err(StoreError::Corrupt(format!(
+                    "tensor {:?}: partition offset {} invalid (data area starts at {table_end})",
+                    r.name, p.offset
+                )));
+            }
+            let end = p
+                .offset
+                .checked_add(p.elems.checked_mul(4).ok_or_else(|| {
+                    StoreError::Corrupt(format!("tensor {:?}: element count overflow", r.name))
+                })?)
+                .filter(|&e| e <= header.file_len)
+                .ok_or(StoreError::Truncated {
+                    expected: p.offset.saturating_add(p.elems.saturating_mul(4)),
+                    actual: header.file_len,
+                })?;
+            hasher.update(&bytes[p.offset as usize..end as usize]);
+        }
+        if hasher.finish() != r.checksum {
+            return Err(StoreError::Corrupt(format!(
+                "tensor {:?}: data checksum mismatch",
+                r.name
+            )));
+        }
+    }
+    Ok(Metadata {
+        header,
+        spec,
+        records,
+        by_name,
+    })
+}
+
+/// Decodes a partition's bytes into `out` (fast memcpy path on aligned
+/// little-endian input, per-element decode otherwise).
+fn extend_f32_from_bytes(out: &mut Vec<f32>, bytes: &[u8]) {
+    debug_assert_eq!(bytes.len() % 4, 0);
+    let n = bytes.len() / 4;
+    #[cfg(target_endian = "little")]
+    if bytes.as_ptr().align_offset(std::mem::align_of::<f32>()) == 0 {
+        // SAFETY: pointer is 4-aligned (checked above), length n * 4 bytes
+        // is in bounds, and f32 has no invalid bit patterns.
+        let words = unsafe { std::slice::from_raw_parts(bytes.as_ptr().cast::<f32>(), n) };
+        out.extend_from_slice(words);
+        return;
+    }
+    out.extend(
+        bytes
+            .chunks_exact(4)
+            .map(|c| f32::from_bits(u32::from_le_bytes(c.try_into().expect("4 bytes")))),
+    );
+}
+
+/// Materializes one record's tensor as owned storage from the file image.
+fn gather_owned(bytes: &[u8], record: &TensorRecord) -> Result<Tensor, StoreError> {
+    let mut data = Vec::with_capacity(record.elems() as usize);
+    for p in &record.partitions {
+        let start = p.offset as usize;
+        extend_f32_from_bytes(&mut data, &bytes[start..start + p.elems as usize * 4]);
+    }
+    Ok(Tensor::from_vec(data, &record.dims)?)
+}
+
+// ── owned loading ───────────────────────────────────────────────────────
+
+/// A fully-materialized (owned) model artifact.
+#[derive(Debug)]
+pub struct StoredModel {
+    spec: CapsNetSpec,
+    layout: Layout,
+    tensors: BTreeMap<String, Tensor>,
+}
+
+impl StoredModel {
+    /// Reads and verifies `path`, materializing every tensor into owned
+    /// memory.
+    ///
+    /// # Errors
+    ///
+    /// Any [`StoreError`]: i/o, magic/version mismatch, truncation, or
+    /// checksum failure.
+    pub fn open(path: &Path) -> Result<Self, StoreError> {
+        let bytes = std::fs::read(path)?;
+        let meta = parse_and_verify(&bytes)?;
+        let mut tensors = BTreeMap::new();
+        for r in &meta.records {
+            tensors.insert(r.name.clone(), gather_owned(&bytes, r)?);
+        }
+        Ok(StoredModel {
+            spec: meta.spec,
+            layout: meta.header.layout,
+            tensors,
+        })
+    }
+
+    /// The stored network specification.
+    pub fn spec(&self) -> &CapsNetSpec {
+        &self.spec
+    }
+
+    /// The artifact's data layout.
+    pub fn layout(&self) -> Layout {
+        self.layout
+    }
+
+    /// A stored tensor by name.
+    pub fn tensor(&self, name: &str) -> Option<&Tensor> {
+        self.tensors.get(name)
+    }
+
+    /// Rebuilds the network from the stored spec and weights, moving each
+    /// tensor out (no second copy of multi-hundred-MB weights — the
+    /// `BTreeMap` `WeightSource` impl would clone).
+    ///
+    /// # Errors
+    ///
+    /// Propagates shape mismatches as [`StoreError::CapsNet`].
+    pub fn into_capsnet(self) -> Result<CapsNet, StoreError> {
+        struct TakeSource(BTreeMap<String, Tensor>);
+        impl WeightSource for TakeSource {
+            fn contains(&self, name: &str) -> bool {
+                self.0.contains_key(name)
+            }
+            fn tensor(&mut self, name: &str, dims: &[usize]) -> Result<Tensor, CapsNetError> {
+                let t = self
+                    .0
+                    .remove(name)
+                    .ok_or_else(|| CapsNetError::InvalidSpec(format!("missing weight {name:?}")))?;
+                if t.shape().dims() != dims {
+                    return Err(CapsNetError::InvalidSpec(format!(
+                        "stored tensor {name:?} has shape {:?}, model needs {dims:?}",
+                        t.shape().dims()
+                    )));
+                }
+                Ok(t)
+            }
+        }
+        Ok(CapsNet::from_views(
+            &self.spec,
+            &mut TakeSource(self.tensors),
+        )?)
+    }
+}
+
+// ── zero-copy mapped loading ────────────────────────────────────────────
+
+/// The backing storage of a [`MappedModel`]: the live mapping, or (on
+/// platforms/files where an aligned `f32` view is impossible) the file
+/// image copied into owned words.
+enum ArtifactBuf {
+    Mapped(Mmap),
+    OwnedWords(Vec<f32>),
+}
+
+impl TensorBuf for ArtifactBuf {
+    fn as_f32(&self) -> &[f32] {
+        match self {
+            ArtifactBuf::Mapped(m) => {
+                let bytes = m.as_bytes();
+                // Invariants established at open: 4-aligned base pointer,
+                // length a multiple of 4.
+                debug_assert_eq!(bytes.as_ptr().align_offset(4), 0);
+                debug_assert_eq!(bytes.len() % 4, 0);
+                // SAFETY: alignment and length verified at construction
+                // (misaligned mappings are converted to OwnedWords); f32
+                // has no invalid bit patterns; the mapping is immutable
+                // and lives as long as self.
+                unsafe { std::slice::from_raw_parts(bytes.as_ptr().cast::<f32>(), bytes.len() / 4) }
+            }
+            ArtifactBuf::OwnedWords(v) => v,
+        }
+    }
+}
+
+/// One vault's stored share of a vault-aligned weight tensor.
+#[derive(Debug, Clone)]
+pub struct VaultPartition {
+    /// Vault index (0-based).
+    pub vault: usize,
+    /// Rows of the tensor's leading dimension stored in this vault.
+    pub rows: usize,
+    /// The partition's data, shaped `[rows, trailing dims…]`. A shared
+    /// zero-copy view whenever the backing store allows it.
+    pub tensor: Tensor,
+}
+
+/// A model artifact opened for **zero-copy** access.
+///
+/// Weight tensors are handed out as [`Tensor::from_shared`] windows over
+/// the mapping — no per-tensor allocation, no copy, and repeated opens of
+/// the same artifact share the OS page cache. Every checksum (header,
+/// table, all tensor data) is verified at open.
+pub struct MappedModel {
+    buf: Arc<ArtifactBuf>,
+    spec: CapsNetSpec,
+    layout: Layout,
+    records: Vec<TensorRecord>,
+    by_name: BTreeMap<String, usize>,
+    mapped: bool,
+}
+
+impl std::fmt::Debug for MappedModel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MappedModel")
+            .field("spec", &self.spec.name)
+            .field("layout", &self.layout)
+            .field("tensors", &self.records.len())
+            .field("mapped", &self.mapped)
+            .finish()
+    }
+}
+
+impl MappedModel {
+    /// Maps and verifies the artifact at `path`.
+    ///
+    /// Falls back to an owned in-memory copy when the platform has no
+    /// mmap or the mapping cannot be viewed as aligned `f32`s — the
+    /// result is then identical in behavior, just not zero-copy (see
+    /// [`MappedModel::is_mapped`]).
+    ///
+    /// # Errors
+    ///
+    /// Any [`StoreError`]: i/o, magic/version mismatch, truncation, or
+    /// checksum failure.
+    pub fn open(path: &Path) -> Result<Self, StoreError> {
+        match map_file(path) {
+            Ok(mapping) => {
+                let meta = parse_and_verify(mapping.as_bytes())?;
+                let bytes = mapping.as_bytes();
+                let aligned = bytes.as_ptr().align_offset(std::mem::align_of::<f32>()) == 0
+                    && bytes.len() % 4 == 0;
+                let (buf, mapped) = if aligned {
+                    (ArtifactBuf::Mapped(mapping), true)
+                } else {
+                    // Misalignment fallback: copy the image into owned
+                    // words once; all tensor views then borrow that copy.
+                    let mut words = Vec::with_capacity(bytes.len() / 4);
+                    extend_f32_from_bytes(&mut words, &bytes[..bytes.len() - bytes.len() % 4]);
+                    (ArtifactBuf::OwnedWords(words), false)
+                };
+                Ok(MappedModel {
+                    buf: Arc::new(buf),
+                    spec: meta.spec,
+                    layout: meta.header.layout,
+                    records: meta.records,
+                    by_name: meta.by_name,
+                    mapped,
+                })
+            }
+            Err(StoreError::MmapUnsupported) => {
+                let bytes = std::fs::read(path)?;
+                let meta = parse_and_verify(&bytes)?;
+                let mut words = Vec::with_capacity(bytes.len() / 4);
+                extend_f32_from_bytes(&mut words, &bytes);
+                Ok(MappedModel {
+                    buf: Arc::new(ArtifactBuf::OwnedWords(words)),
+                    spec: meta.spec,
+                    layout: meta.header.layout,
+                    records: meta.records,
+                    by_name: meta.by_name,
+                    mapped: false,
+                })
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    /// The stored network specification.
+    pub fn spec(&self) -> &CapsNetSpec {
+        &self.spec
+    }
+
+    /// The artifact's data layout.
+    pub fn layout(&self) -> Layout {
+        self.layout
+    }
+
+    /// `true` when the artifact is served by a live memory mapping
+    /// (`false` after the owned fallback).
+    pub fn is_mapped(&self) -> bool {
+        self.mapped
+    }
+
+    /// Stored tensor names, in table order.
+    pub fn tensor_names(&self) -> impl Iterator<Item = &str> {
+        self.records.iter().map(|r| r.name.as_str())
+    }
+
+    fn record(&self, name: &str) -> Result<&TensorRecord, StoreError> {
+        self.by_name
+            .get(name)
+            .map(|&i| &self.records[i])
+            .ok_or_else(|| StoreError::MissingTensor(name.to_string()))
+    }
+
+    /// The tensor stored under `name`. Zero-copy (shared storage) when the
+    /// stored partitions are contiguous; an owned gather otherwise (the
+    /// vault-aligned padding case).
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::MissingTensor`] for unknown names.
+    pub fn tensor(&self, name: &str) -> Result<Tensor, StoreError> {
+        let record = self.record(name)?;
+        if record.is_contiguous() {
+            let offset_elems = record.partitions[0].offset as usize / 4;
+            let buf: Arc<dyn TensorBuf> = Arc::clone(&self.buf) as Arc<dyn TensorBuf>;
+            return Ok(Tensor::from_shared(buf, offset_elems, &record.dims)?);
+        }
+        // Non-contiguous (padded between vault partitions): gather owned.
+        let words = self.buf.as_f32();
+        let mut data = Vec::with_capacity(record.elems() as usize);
+        for p in &record.partitions {
+            let start = p.offset as usize / 4;
+            data.extend_from_slice(&words[start..start + p.elems as usize]);
+        }
+        Ok(Tensor::from_vec(data, &record.dims)?)
+    }
+
+    /// The per-vault shares of a stored tensor: one zero-copy view per
+    /// stored partition, shaped `[rows, trailing dims…]`. Tensors stored
+    /// whole return a single share on vault 0. This is the handle a
+    /// `hmc-sim` workload uses to drive per-vault traffic straight off
+    /// the artifact.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::MissingTensor`] for unknown names.
+    pub fn vault_partitions(&self, name: &str) -> Result<Vec<VaultPartition>, StoreError> {
+        let record = self.record(name)?;
+        let row_stride: usize = record.dims[1..].iter().product::<usize>().max(1);
+        let mut out = Vec::with_capacity(record.partitions.len());
+        for (vault, p) in record.partitions.iter().enumerate() {
+            let rows = p.elems as usize / row_stride;
+            let mut dims = record.dims.clone();
+            dims[0] = rows;
+            let buf: Arc<dyn TensorBuf> = Arc::clone(&self.buf) as Arc<dyn TensorBuf>;
+            out.push(VaultPartition {
+                vault,
+                rows,
+                tensor: Tensor::from_shared(buf, p.offset as usize / 4, &dims)?,
+            });
+        }
+        Ok(out)
+    }
+
+    /// Rebuilds a runnable [`CapsNet`] whose weights **borrow** this
+    /// mapping (zero-copy where the layout allows). The network holds an
+    /// `Arc` to the mapping, so it stays valid after the `MappedModel` is
+    /// dropped.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::MissingTensor`] / [`StoreError::CapsNet`] when the
+    /// artifact does not contain what the spec requires.
+    pub fn capsnet(&self) -> Result<CapsNet, StoreError> {
+        struct Source<'a>(&'a MappedModel);
+        impl WeightSource for Source<'_> {
+            fn contains(&self, name: &str) -> bool {
+                self.0.by_name.contains_key(name)
+            }
+            fn tensor(&mut self, name: &str, dims: &[usize]) -> Result<Tensor, CapsNetError> {
+                let t = self
+                    .0
+                    .tensor(name)
+                    .map_err(|e| CapsNetError::InvalidSpec(e.to_string()))?;
+                if t.shape().dims() != dims {
+                    return Err(CapsNetError::InvalidSpec(format!(
+                        "stored tensor {name:?} has shape {:?}, model needs {dims:?}",
+                        t.shape().dims()
+                    )));
+                }
+                Ok(t)
+            }
+        }
+        let spec = self.spec.clone();
+        Ok(CapsNet::from_views(&spec, &mut Source(self))?)
+    }
+}

@@ -1,0 +1,112 @@
+//! Property tests: `save → mmap → forward` is bit-identical to the
+//! in-memory model for randomized weights — including NaN, ±∞, negative
+//! zero and subnormals, which must survive the roundtrip bit-for-bit.
+
+use std::collections::BTreeMap;
+
+use capsnet::{CapsNet, CapsNetSpec, ExactMath};
+use pim_store::{Layout, MappedModel, ModelWriter};
+use pim_tensor::Tensor;
+use proptest::prelude::*;
+
+/// Special values a weight file must preserve exactly (the vendored
+/// proptest has no `prop_oneof`, so pick by index).
+fn special_f32() -> impl Strategy<Value = f32> {
+    (0usize..7, -10.0f32..10.0f32).prop_map(|(kind, x)| match kind {
+        0 => f32::NAN,
+        1 => f32::INFINITY,
+        2 => f32::NEG_INFINITY,
+        3 => -0.0f32,
+        4 => f32::MIN_POSITIVE / 2.0, // subnormal
+        5 => f32::MAX,
+        _ => x,
+    })
+}
+
+/// A seeded tiny net with `pokes` special values splattered into its
+/// weights (rebuilt through `from_views`, so the pokes are real weights).
+fn poked_net(seed: u64, pokes: &[(usize, f32)]) -> CapsNet {
+    let base = CapsNet::seeded(&CapsNetSpec::tiny_for_tests(), seed).unwrap();
+    let mut weights: Vec<(String, Tensor)> = base
+        .named_weights()
+        .into_iter()
+        .map(|(n, t)| (n, t.clone()))
+        .collect();
+    let total: usize = weights.iter().map(|(_, t)| t.len()).sum();
+    for &(pos, value) in pokes {
+        let mut idx = pos % total;
+        for (_, t) in &mut weights {
+            if idx < t.len() {
+                t.as_mut_slice()[idx] = value;
+                break;
+            }
+            idx -= t.len();
+        }
+    }
+    let mut source: BTreeMap<String, Tensor> = weights.into_iter().collect();
+    CapsNet::from_views(base.spec(), &mut source).unwrap()
+}
+
+fn roundtrip_dir() -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("pim_store_prop_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn save_mmap_forward_is_bit_identical(
+        seed in 0u64..1000,
+        pokes in proptest::collection::vec((0usize..100_000, special_f32()), 0..12),
+        vault_aligned in (0usize..2).prop_map(|b| b == 1),
+    ) {
+        let net = poked_net(seed, &pokes);
+        let dir = roundtrip_dir();
+        let path = dir.join(format!("prop_{seed}_{}.pimcaps", pokes.len()));
+        let writer = if vault_aligned {
+            ModelWriter::vault_aligned()
+        } else {
+            ModelWriter::new()
+        };
+        writer.save(&net, &path).unwrap();
+
+        let mapped = MappedModel::open(&path).unwrap();
+        prop_assert_eq!(mapped.layout() != Layout::Packed, vault_aligned);
+
+        // Every weight roundtrips bit-exactly (NaN payloads included).
+        for (name, original) in net.named_weights() {
+            let loaded = mapped.tensor(&name).unwrap();
+            prop_assert_eq!(loaded.shape().dims(), original.shape().dims());
+            for (x, y) in loaded.as_slice().iter().zip(original.as_slice()) {
+                prop_assert_eq!(x.to_bits(), y.to_bits(), "{} differs", name);
+            }
+        }
+
+        // Forward off the mapped weights is bit-identical — even when the
+        // outputs are NaN/∞, the bits must match (same math, same data).
+        let loaded_net = mapped.capsnet().unwrap();
+        let images = Tensor::uniform(&[2, 1, 12, 12], 0.0, 1.0, seed ^ 0xF00D);
+        let a = net.forward(&images, &ExactMath).unwrap();
+        let b = loaded_net.forward(&images, &ExactMath).unwrap();
+        for (x, y) in a
+            .class_norms_sq
+            .as_slice()
+            .iter()
+            .zip(b.class_norms_sq.as_slice())
+        {
+            prop_assert_eq!(x.to_bits(), y.to_bits());
+        }
+        for (x, y) in a
+            .class_capsules
+            .as_slice()
+            .iter()
+            .zip(b.class_capsules.as_slice())
+        {
+            prop_assert_eq!(x.to_bits(), y.to_bits());
+        }
+
+        let _ = std::fs::remove_file(&path);
+    }
+}

@@ -1,0 +1,210 @@
+//! End-to-end artifact roundtrips: save → (owned | mmap) load → forward,
+//! bit-identical to the in-memory network, in both layouts.
+
+use capsnet::{CapsNet, CapsNetSpec, ExactMath};
+use pim_store::{Layout, MappedModel, ModelWriter, StoredModel};
+use pim_tensor::Tensor;
+
+fn tmp_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("pim_store_{tag}_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn tiny_net(seed: u64) -> CapsNet {
+    CapsNet::seeded(&CapsNetSpec::tiny_for_tests(), seed).unwrap()
+}
+
+fn images(n: usize, seed: u64) -> Tensor {
+    Tensor::uniform(&[n, 1, 12, 12], 0.0, 1.0, seed)
+}
+
+/// Bitwise comparison of the full forward output (capsules + norms) and
+/// the decoder reconstruction.
+fn assert_forward_bitwise(a: &CapsNet, b: &CapsNet) {
+    let imgs = images(3, 17);
+    let oa = a.forward(&imgs, &ExactMath).unwrap();
+    let ob = b.forward(&imgs, &ExactMath).unwrap();
+    for (x, y) in oa
+        .class_capsules
+        .as_slice()
+        .iter()
+        .zip(ob.class_capsules.as_slice())
+    {
+        assert_eq!(x.to_bits(), y.to_bits());
+    }
+    for (x, y) in oa
+        .class_norms_sq
+        .as_slice()
+        .iter()
+        .zip(ob.class_norms_sq.as_slice())
+    {
+        assert_eq!(x.to_bits(), y.to_bits());
+    }
+    let ra = a.reconstruct(&oa, &[0, 1, 2]).unwrap();
+    let rb = b.reconstruct(&ob, &[0, 1, 2]).unwrap();
+    for (x, y) in ra.as_slice().iter().zip(rb.as_slice()) {
+        assert_eq!(x.to_bits(), y.to_bits());
+    }
+}
+
+#[test]
+fn packed_roundtrip_owned_and_mapped() {
+    let dir = tmp_dir("packed");
+    let path = dir.join("tiny.pimcaps");
+    let net = tiny_net(42);
+    let report = ModelWriter::new().save(&net, &path).unwrap();
+    assert_eq!(report.bytes, std::fs::metadata(&path).unwrap().len());
+    assert_eq!(report.tensors, net.named_weights().len());
+    assert_eq!(
+        report.partitions, report.tensors,
+        "packed: 1 partition each"
+    );
+
+    // Owned load.
+    let stored = StoredModel::open(&path).unwrap();
+    assert_eq!(stored.spec(), net.spec());
+    assert_eq!(stored.layout(), Layout::Packed);
+    assert_forward_bitwise(&net, &stored.into_capsnet().unwrap());
+
+    // Zero-copy mapped load.
+    let mapped = MappedModel::open(&path).unwrap();
+    assert!(mapped.is_mapped(), "unix hosts must really mmap");
+    assert_eq!(mapped.spec(), net.spec());
+    let loaded = mapped.capsnet().unwrap();
+    assert_forward_bitwise(&net, &loaded);
+
+    // Every stored tensor is byte-exact, and packed tensors are shared
+    // (zero-copy) views.
+    for (name, original) in net.named_weights() {
+        let t = mapped.tensor(&name).unwrap();
+        assert!(t.is_shared(), "{name} should be zero-copy in packed layout");
+        assert_eq!(t.shape().dims(), original.shape().dims());
+        for (x, y) in t.as_slice().iter().zip(original.as_slice()) {
+            assert_eq!(x.to_bits(), y.to_bits(), "{name}");
+        }
+    }
+
+    // The loaded network must survive the MappedModel being dropped (it
+    // holds the mapping via Arc).
+    drop(mapped);
+    assert_forward_bitwise(&net, &loaded);
+
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn vault_aligned_roundtrip_and_partitions() {
+    let dir = tmp_dir("vault");
+    let path = dir.join("tiny_vault.pimcaps");
+    let net = tiny_net(7);
+    let vaults = 16;
+    let report = ModelWriter::vault_aligned().save(&net, &path).unwrap();
+    // tiny caps.weight is [16, 4, 18]: exactly 16 rows → 16 partitions.
+    assert!(report.partitions > report.tensors);
+
+    let mapped = MappedModel::open(&path).unwrap();
+    assert_eq!(mapped.layout(), Layout::VaultAligned { vaults });
+
+    // Full-tensor reads still reproduce the exact weights (owned gather
+    // when padding broke contiguity), and forward is bit-identical.
+    assert_forward_bitwise(&net, &mapped.capsnet().unwrap());
+
+    // The per-vault shares tile the tensor exactly, in order, and each
+    // share is a zero-copy view of the mapping.
+    let caps_original = net
+        .named_weights()
+        .into_iter()
+        .find(|(n, _)| n == "caps.weight")
+        .unwrap()
+        .1
+        .clone();
+    let parts = mapped.vault_partitions("caps.weight").unwrap();
+    assert_eq!(parts.len(), vaults);
+    let mut reassembled: Vec<f32> = Vec::new();
+    for (i, p) in parts.iter().enumerate() {
+        assert_eq!(p.vault, i);
+        assert!(p.tensor.is_shared(), "vault {i} share must be zero-copy");
+        assert_eq!(p.tensor.shape().dims()[0], p.rows);
+        assert_eq!(p.tensor.shape().dims()[1..], [4, 18]);
+        reassembled.extend_from_slice(p.tensor.as_slice());
+    }
+    assert_eq!(reassembled.len(), caps_original.len());
+    for (x, y) in reassembled.iter().zip(caps_original.as_slice()) {
+        assert_eq!(x.to_bits(), y.to_bits());
+    }
+
+    // Shares follow the distributor's even-shares rule.
+    let shares: Vec<usize> = parts.iter().map(|p| p.rows).collect();
+    assert_eq!(shares, pim_capsnet::distribution::vault_shares(16, vaults));
+
+    // Single-partition tensors (biases) report one share on vault 0.
+    let bias_parts = mapped.vault_partitions("conv1.bias").unwrap();
+    assert_eq!(bias_parts.len(), 1);
+    assert_eq!(bias_parts[0].vault, 0);
+
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn em_and_sharpness_specs_roundtrip() {
+    let dir = tmp_dir("spec_variants");
+    let path = dir.join("em.pimcaps");
+    let mut spec = CapsNetSpec::tiny_for_tests();
+    spec.routing = capsnet::RoutingAlgorithm::Em;
+    spec.routing_sharpness = 1.75;
+    spec.batch_shared_routing = false;
+    let net = CapsNet::seeded(&spec, 3).unwrap();
+    ModelWriter::new().save(&net, &path).unwrap();
+    let mapped = MappedModel::open(&path).unwrap();
+    assert_eq!(mapped.spec(), &spec);
+    assert_forward_bitwise(&net, &mapped.capsnet().unwrap());
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn save_replaces_atomically_and_readers_see_whole_artifacts() {
+    let dir = tmp_dir("replace");
+    let path = dir.join("model.pimcaps");
+    let old = tiny_net(1);
+    let new = tiny_net(2);
+    ModelWriter::new().save(&old, &path).unwrap();
+    let before = MappedModel::open(&path).unwrap().capsnet().unwrap();
+    assert_forward_bitwise(&old, &before);
+
+    // Overwrite in place (rename over the open mapping is fine on unix —
+    // the old inode stays alive under the old mapping).
+    ModelWriter::vault_aligned().save(&new, &path).unwrap();
+    let after = MappedModel::open(&path).unwrap().capsnet().unwrap();
+    assert_forward_bitwise(&new, &after);
+    // The previously-loaded network is unaffected.
+    assert_forward_bitwise(&old, &before);
+
+    // No temp files left behind.
+    let leftovers: Vec<_> = std::fs::read_dir(&dir)
+        .unwrap()
+        .filter(|e| e.as_ref().unwrap().file_name() != "model.pimcaps")
+        .collect();
+    assert!(leftovers.is_empty(), "{leftovers:?}");
+
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn larger_model_with_uneven_vault_shares() {
+    // 12×12 functional front-end with 20 primary channels: L = 80 caps,
+    // 80 rows over 16 vaults = 5 each; conv1 weight rows (16) also split.
+    let dir = tmp_dir("uneven");
+    let path = dir.join("wide.pimcaps");
+    let mut spec = CapsNetSpec::tiny_for_tests();
+    spec.primary_channels = 20;
+    spec.h_caps = 5;
+    let net = CapsNet::seeded(&spec, 11).unwrap();
+    ModelWriter::vault_aligned().save(&net, &path).unwrap();
+    let mapped = MappedModel::open(&path).unwrap();
+    let parts = mapped.vault_partitions("caps.weight").unwrap();
+    let rows: Vec<usize> = parts.iter().map(|p| p.rows).collect();
+    assert_eq!(rows.iter().sum::<usize>(), spec.l_caps().unwrap());
+    assert_forward_bitwise(&net, &mapped.capsnet().unwrap());
+    std::fs::remove_dir_all(&dir).unwrap();
+}

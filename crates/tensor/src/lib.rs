@@ -39,7 +39,7 @@ pub use error::TensorError;
 pub use matmul::{batched_matmul_into, matmul_into, matvec_into};
 pub use shape::Shape;
 pub use simd::SimdLevel;
-pub use tensor::Tensor;
+pub use tensor::{Tensor, TensorBuf};
 
 /// Convenience alias for results produced by this crate.
 pub type Result<T> = std::result::Result<T, TensorError>;

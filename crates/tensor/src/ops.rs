@@ -81,7 +81,14 @@ impl Tensor {
     }
 
     /// Squared L2 norm of all elements (one SIMD-dispatched dot product).
+    ///
+    /// The empty tensor has norm 0 by definition — guaranteed explicitly
+    /// here rather than left to the kernels' empty-chunk behavior, so the
+    /// guarantee survives kernel rewrites.
     pub fn norm_sq(&self) -> f32 {
+        if self.is_empty() {
+            return 0.0;
+        }
         simd::dot(self.as_slice(), self.as_slice())
     }
 
@@ -250,6 +257,19 @@ mod tests {
         assert_eq!(a.argmax(), Some(2));
         assert_eq!(a.norm_sq(), 14.0);
         assert!((a.norm() - 14.0f32.sqrt()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn empty_tensor_norms_are_zero() {
+        // Regression (guard audit): reductions over the empty tensor must
+        // return 0, never NaN and never a debug assertion.
+        let e = Tensor::zeros(&[0]);
+        assert_eq!(e.norm_sq(), 0.0);
+        assert_eq!(e.norm(), 0.0);
+        assert_eq!(e.sum(), 0.0);
+        let e2 = Tensor::zeros(&[3, 0]);
+        assert_eq!(e2.norm_sq(), 0.0);
+        assert_eq!(e2.dot(&Tensor::zeros(&[3, 0])).unwrap(), 0.0);
     }
 
     #[test]

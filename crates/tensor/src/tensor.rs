@@ -1,3 +1,5 @@
+use std::sync::Arc;
+
 use rand::distributions::{Distribution, Uniform};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -5,11 +7,54 @@ use rand::SeedableRng;
 use crate::error::TensorError;
 use crate::shape::Shape;
 
-/// An owned, contiguous, row-major `f32` tensor.
+/// A backing buffer shared tensors borrow from without copying — e.g. an
+/// mmapped model artifact whose pages stay in the OS page cache.
+///
+/// Implementations must return a **stable** slice: the same pointer and
+/// length for the lifetime of the value (tensors cache nothing, but they
+/// index into the slice on every access, so a buffer that re-derives its
+/// view per call must do so consistently). The `Send + Sync` bound is what
+/// lets shared tensors cross the serving layer's scoped worker threads.
+pub trait TensorBuf: Send + Sync {
+    /// The buffer's contents viewed as `f32`s (already alignment-checked by
+    /// the provider).
+    fn as_f32(&self) -> &[f32];
+}
+
+/// A plain vector is a valid shared buffer (useful for tests and for the
+/// misalignment fallback path, where the store copies into owned memory
+/// but still hands out one buffer shared by many tensors).
+impl TensorBuf for Vec<f32> {
+    fn as_f32(&self) -> &[f32] {
+        self
+    }
+}
+
+/// The tensor's backing storage: owned elements, or a borrowed window into
+/// a shared [`TensorBuf`]. Cloning a shared tensor clones the `Arc`, not
+/// the data.
+#[derive(Clone)]
+enum Storage {
+    Owned(Vec<f32>),
+    Shared {
+        buf: Arc<dyn TensorBuf>,
+        offset: usize,
+        len: usize,
+    },
+}
+
+/// A contiguous, row-major `f32` tensor.
 ///
 /// All tensors in this crate are contiguous; views and broadcasting are not
 /// supported. This keeps the functional CapsNet implementation simple and
 /// makes per-operation byte accounting (used by the simulators) exact.
+///
+/// Storage is either **owned** (a `Vec<f32>`, the default for every
+/// constructor) or **shared** (a window into an [`Arc<dyn TensorBuf>`],
+/// created with [`Tensor::from_shared`] — the zero-copy path model loading
+/// uses). Reads are identical either way; the first mutation of a shared
+/// tensor copies it into owned storage (copy-on-write), so shared weights
+/// can never be corrupted through a tensor view.
 ///
 /// # Examples
 ///
@@ -23,10 +68,34 @@ use crate::shape::Shape;
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Clone)]
 pub struct Tensor {
-    data: Vec<f32>,
+    data: Storage,
     shape: Shape,
+}
+
+impl std::fmt::Debug for Tensor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Tensor")
+            .field("shape", &self.shape)
+            .field(
+                "storage",
+                &match &self.data {
+                    Storage::Owned(_) => "owned",
+                    Storage::Shared { .. } => "shared",
+                },
+            )
+            .field("data", &self.as_slice())
+            .finish()
+    }
+}
+
+impl PartialEq for Tensor {
+    /// Tensors compare by shape and element values, regardless of whether
+    /// the storage is owned or shared.
+    fn eq(&self, other: &Self) -> bool {
+        self.shape == other.shape && self.as_slice() == other.as_slice()
+    }
 }
 
 impl Tensor {
@@ -44,14 +113,17 @@ impl Tensor {
                 actual: data.len(),
             });
         }
-        Ok(Tensor { data, shape })
+        Ok(Tensor {
+            data: Storage::Owned(data),
+            shape,
+        })
     }
 
     /// Creates a zero-filled tensor.
     pub fn zeros(dims: &[usize]) -> Self {
         let shape = Shape::new(dims);
         Tensor {
-            data: vec![0.0; shape.volume()],
+            data: Storage::Owned(vec![0.0; shape.volume()]),
             shape,
         }
     }
@@ -65,7 +137,7 @@ impl Tensor {
     pub fn full(dims: &[usize], value: f32) -> Self {
         let shape = Shape::new(dims);
         Tensor {
-            data: vec![value; shape.volume()],
+            data: Storage::Owned(vec![value; shape.volume()]),
             shape,
         }
     }
@@ -74,7 +146,7 @@ impl Tensor {
     pub fn eye(n: usize) -> Self {
         let mut t = Tensor::zeros(&[n, n]);
         for i in 0..n {
-            t.data[i * n + i] = 1.0;
+            t.as_mut_slice()[i * n + i] = 1.0;
         }
         t
     }
@@ -91,7 +163,10 @@ impl Tensor {
         let mut rng = StdRng::seed_from_u64(seed);
         let dist = Uniform::new(lo, hi);
         let data = (0..shape.volume()).map(|_| dist.sample(&mut rng)).collect();
-        Tensor { data, shape }
+        Tensor {
+            data: Storage::Owned(data),
+            shape,
+        }
     }
 
     /// Creates a tensor with approximately normal elements
@@ -109,7 +184,10 @@ impl Tensor {
                 (s - 6.0) * std
             })
             .collect();
-        Tensor { data, shape }
+        Tensor {
+            data: Storage::Owned(data),
+            shape,
+        }
     }
 
     /// The tensor's shape.
@@ -117,35 +195,88 @@ impl Tensor {
         &self.shape
     }
 
+    /// Creates a **shared** tensor: a zero-copy window of `volume(dims)`
+    /// elements starting at `offset` inside `buf`. The data is borrowed —
+    /// cloning is an `Arc` clone, and the first mutation copies out
+    /// (copy-on-write).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::LengthMismatch`] when the window
+    /// `offset..offset + volume` does not fit inside `buf`.
+    pub fn from_shared(
+        buf: Arc<dyn TensorBuf>,
+        offset: usize,
+        dims: &[usize],
+    ) -> Result<Self, TensorError> {
+        let shape = Shape::new(dims);
+        let len = shape.volume();
+        let available = buf.as_f32().len();
+        if offset.checked_add(len).is_none_or(|end| end > available) {
+            return Err(TensorError::LengthMismatch {
+                expected: offset.saturating_add(len),
+                actual: available,
+            });
+        }
+        Ok(Tensor {
+            data: Storage::Shared { buf, offset, len },
+            shape,
+        })
+    }
+
+    /// `true` when this tensor borrows a shared [`TensorBuf`] window
+    /// (zero-copy) rather than owning its elements.
+    pub fn is_shared(&self) -> bool {
+        matches!(self.data, Storage::Shared { .. })
+    }
+
+    /// Replaces shared storage with an owned copy of the same elements
+    /// (no-op when already owned) and returns the owned vector.
+    fn owned_mut(&mut self) -> &mut Vec<f32> {
+        if let Storage::Shared { buf, offset, len } = &self.data {
+            let copied = buf.as_f32()[*offset..*offset + *len].to_vec();
+            self.data = Storage::Owned(copied);
+        }
+        match &mut self.data {
+            Storage::Owned(v) => v,
+            Storage::Shared { .. } => unreachable!("converted to owned above"),
+        }
+    }
+
     /// Number of elements.
     pub fn len(&self) -> usize {
-        self.data.len()
+        self.shape.volume()
     }
 
     /// `true` when the tensor holds no elements.
     pub fn is_empty(&self) -> bool {
-        self.data.is_empty()
+        self.len() == 0
     }
 
     /// Size of the tensor data in bytes (`4 * len`). Used pervasively by the
     /// simulators for traffic accounting.
     pub fn size_bytes(&self) -> usize {
-        self.data.len() * std::mem::size_of::<f32>()
+        self.len() * std::mem::size_of::<f32>()
     }
 
     /// Borrows the underlying buffer.
     pub fn as_slice(&self) -> &[f32] {
-        &self.data
+        match &self.data {
+            Storage::Owned(v) => v,
+            Storage::Shared { buf, offset, len } => &buf.as_f32()[*offset..*offset + *len],
+        }
     }
 
-    /// Mutably borrows the underlying buffer.
+    /// Mutably borrows the underlying buffer. On a shared tensor this is
+    /// the copy-on-write point: the window is copied into owned storage
+    /// first, so the shared buffer is never written through.
     pub fn as_mut_slice(&mut self) -> &mut [f32] {
-        &mut self.data
+        self.owned_mut()
     }
 
-    /// Consumes the tensor, returning its buffer.
-    pub fn into_vec(self) -> Vec<f32> {
-        self.data
+    /// Consumes the tensor, returning its buffer (copies when shared).
+    pub fn into_vec(mut self) -> Vec<f32> {
+        std::mem::take(self.owned_mut())
     }
 
     /// Element at a multi-dimensional index.
@@ -154,7 +285,7 @@ impl Tensor {
     ///
     /// Debug-asserts bounds; see [`Shape::offset`].
     pub fn at(&self, index: &[usize]) -> f32 {
-        self.data[self.shape.offset(index)]
+        self.as_slice()[self.shape.offset(index)]
     }
 
     /// Sets the element at a multi-dimensional index.
@@ -164,7 +295,7 @@ impl Tensor {
     /// Debug-asserts bounds; see [`Shape::offset`].
     pub fn set(&mut self, index: &[usize], value: f32) {
         let off = self.shape.offset(index);
-        self.data[off] = value;
+        self.as_mut_slice()[off] = value;
     }
 
     /// Returns a tensor with the same data and a new shape.
@@ -174,12 +305,14 @@ impl Tensor {
     /// Returns [`TensorError::LengthMismatch`] if the volumes differ.
     pub fn reshape(&self, dims: &[usize]) -> Result<Tensor, TensorError> {
         let shape = Shape::new(dims);
-        if shape.volume() != self.data.len() {
+        if shape.volume() != self.len() {
             return Err(TensorError::LengthMismatch {
                 expected: shape.volume(),
-                actual: self.data.len(),
+                actual: self.len(),
             });
         }
+        // Shared storage clones as an `Arc` bump: reshaping a mapped weight
+        // stays zero-copy.
         Ok(Tensor {
             data: self.data.clone(),
             shape,
@@ -196,8 +329,16 @@ impl Tensor {
         if self.shape.dims() != dims {
             self.shape = Shape::new(dims);
         }
-        self.data.clear();
-        self.data.resize(self.shape.volume(), 0.0);
+        let volume = self.shape.volume();
+        match &mut self.data {
+            Storage::Owned(v) => {
+                v.clear();
+                v.resize(volume, 0.0);
+            }
+            // A shared tensor repurposed as a scratch buffer drops its
+            // borrow and starts an owned buffer of its own.
+            Storage::Shared { .. } => self.data = Storage::Owned(vec![0.0; volume]),
+        }
     }
 
     /// In-place reshape (no data copy).
@@ -207,10 +348,10 @@ impl Tensor {
     /// Returns [`TensorError::LengthMismatch`] if the volumes differ.
     pub fn reshape_in_place(&mut self, dims: &[usize]) -> Result<(), TensorError> {
         let shape = Shape::new(dims);
-        if shape.volume() != self.data.len() {
+        if shape.volume() != self.len() {
             return Err(TensorError::LengthMismatch {
                 expected: shape.volume(),
-                actual: self.data.len(),
+                actual: self.len(),
             });
         }
         self.shape = shape;
@@ -220,14 +361,14 @@ impl Tensor {
     /// Applies `f` to every element, returning a new tensor.
     pub fn map(&self, f: impl Fn(f32) -> f32) -> Tensor {
         Tensor {
-            data: self.data.iter().map(|&x| f(x)).collect(),
+            data: Storage::Owned(self.as_slice().iter().map(|&x| f(x)).collect()),
             shape: self.shape.clone(),
         }
     }
 
-    /// Applies `f` to every element in place.
+    /// Applies `f` to every element in place (copy-on-write when shared).
     pub fn map_in_place(&mut self, f: impl Fn(f32) -> f32) {
-        for x in &mut self.data {
+        for x in self.as_mut_slice() {
             *x = f(*x);
         }
     }
@@ -249,12 +390,13 @@ impl Tensor {
             });
         }
         Ok(Tensor {
-            data: self
-                .data
-                .iter()
-                .zip(&other.data)
-                .map(|(&a, &b)| f(a, b))
-                .collect(),
+            data: Storage::Owned(
+                self.as_slice()
+                    .iter()
+                    .zip(other.as_slice())
+                    .map(|(&a, &b)| f(a, b))
+                    .collect(),
+            ),
             shape: self.shape.clone(),
         })
     }
@@ -272,7 +414,7 @@ impl std::fmt::Display for Tensor {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(f, "Tensor{} ", self.shape)?;
         let preview: Vec<String> = self
-            .data
+            .as_slice()
             .iter()
             .take(8)
             .map(|x| format!("{x:.4}"))
@@ -377,5 +519,71 @@ mod tests {
         let t = Tensor::from_vec(vec![1.0, -2.0], &[2]).unwrap();
         let m = t.map(|x| x.abs());
         assert_eq!(m.as_slice(), &[1.0, 2.0]);
+    }
+
+    fn shared_buf() -> Arc<dyn TensorBuf> {
+        Arc::new((0..12).map(|i| i as f32).collect::<Vec<f32>>())
+    }
+
+    #[test]
+    fn from_shared_is_a_zero_copy_window() {
+        let buf = shared_buf();
+        let t = Tensor::from_shared(Arc::clone(&buf), 2, &[2, 3]).unwrap();
+        assert!(t.is_shared());
+        assert_eq!(t.as_slice(), &[2.0, 3.0, 4.0, 5.0, 6.0, 7.0]);
+        assert_eq!(t.at(&[1, 2]), 7.0);
+        // Same pointer as the backing buffer: genuinely zero-copy.
+        assert!(std::ptr::eq(
+            t.as_slice().as_ptr(),
+            buf.as_f32()[2..].as_ptr()
+        ));
+        // Cloning and reshaping stay shared (Arc bumps, no copies).
+        assert!(t.clone().is_shared());
+        assert!(t.reshape(&[3, 2]).unwrap().is_shared());
+        // Equality is by value, not by storage kind.
+        let owned = Tensor::from_vec(vec![2.0, 3.0, 4.0, 5.0, 6.0, 7.0], &[2, 3]).unwrap();
+        assert_eq!(t, owned);
+    }
+
+    #[test]
+    fn from_shared_rejects_out_of_bounds_windows() {
+        let buf = shared_buf();
+        assert!(Tensor::from_shared(Arc::clone(&buf), 0, &[12]).is_ok());
+        assert!(Tensor::from_shared(Arc::clone(&buf), 1, &[12]).is_err());
+        assert!(Tensor::from_shared(Arc::clone(&buf), 13, &[0]).is_err());
+        assert!(Tensor::from_shared(buf, usize::MAX, &[2]).is_err());
+    }
+
+    #[test]
+    fn shared_mutation_copies_on_write() {
+        let buf = shared_buf();
+        let mut t = Tensor::from_shared(Arc::clone(&buf), 0, &[4]).unwrap();
+        t.set(&[1], 99.0);
+        assert!(!t.is_shared(), "first write must detach the borrow");
+        assert_eq!(t.as_slice(), &[0.0, 99.0, 2.0, 3.0]);
+        // The shared buffer is untouched.
+        assert_eq!(buf.as_f32()[1], 1.0);
+    }
+
+    #[test]
+    fn shared_resize_for_detaches() {
+        let buf = shared_buf();
+        let mut t = Tensor::from_shared(buf, 0, &[4]).unwrap();
+        t.resize_for(&[2, 2]);
+        assert!(!t.is_shared());
+        assert_eq!(t.as_slice(), &[0.0; 4]);
+    }
+
+    #[test]
+    fn shared_into_vec_copies_out() {
+        let buf = shared_buf();
+        let t = Tensor::from_shared(buf, 4, &[3]).unwrap();
+        assert_eq!(t.into_vec(), vec![4.0, 5.0, 6.0]);
+    }
+
+    #[test]
+    fn shared_tensors_are_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Tensor>();
     }
 }

@@ -53,8 +53,10 @@ pub mod prelude {
         evaluate, evaluate_with_dimension, DesignVariant, Dimension, EvalResult, Platform,
     };
     pub use pim_serve::{
-        MetricsReport, Request, Response, ServeConfig, ServedModel, Server, SubmitError,
+        MetricsReport, ModelRegistry, Request, Response, ServeConfig, ServedModel, Server,
+        SubmitError,
     };
+    pub use pim_store::{MappedModel, ModelWriter, StoredModel};
     pub use pim_tensor::Tensor;
 }
 
@@ -71,6 +73,7 @@ mod tests {
         let _ = HmcConfig::gen3();
         let _ = Platform::paper_default();
         let _ = ServeConfig::default();
+        let _ = ModelWriter::vault_aligned();
         assert_eq!(workload_benchmarks().len(), 12);
     }
 }
