@@ -6,6 +6,7 @@
 
 pub mod emit;
 pub mod jsonlite;
+pub mod replica_bench;
 pub mod serve_bench;
 
 use std::path::{Path, PathBuf};

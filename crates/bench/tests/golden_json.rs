@@ -1,7 +1,8 @@
 //! Golden-file schema tests for the perf-trajectory artifacts.
 //!
-//! `bench_results/BENCH_routing.json` and `bench_results/BENCH_serve.json`
-//! are committed so each PR leaves a comparable performance record; these
+//! The `bench_results/BENCH_*.json` artifacts (routing, serve, store,
+//! replica) are committed so each PR leaves a comparable performance
+//! record; these
 //! tests pin their **schema** (keys, types, value sanity) without pinning
 //! machine-dependent numbers, so the files cannot silently drift into a
 //! shape future tooling can't read.
@@ -161,6 +162,95 @@ fn bench_serve_schema() {
         Some(true),
         "batched serving must record bitwise equality with serial forward"
     );
+}
+
+#[test]
+fn bench_replica_schema() {
+    let doc = load("BENCH_replica.json");
+
+    let host = doc.get("host").expect("\"host\" object");
+    assert!(host.get("simd").and_then(Value::as_str).is_some());
+    let threads = f64_field(host, "threads", "host");
+    assert!(threads >= 1.0);
+
+    let model = doc.get("model").expect("\"model\" object");
+    assert!(model.get("name").and_then(Value::as_str).is_some());
+    assert!(
+        f64_field(model, "caps_weight_bytes", "model") > 200.0 * 1024.0 * 1024.0,
+        "the fleet must serve the weight-streaming model"
+    );
+
+    // Scaling sweep: ascending replica counts, positive throughputs,
+    // starting from a single replica.
+    let scaling = doc
+        .get("scaling")
+        .and_then(Value::as_array)
+        .expect("\"scaling\" array");
+    assert!(scaling.len() >= 2, "need at least two fleet sizes");
+    let mut last_replicas = 0.0;
+    for m in scaling {
+        let replicas = f64_field(m, "replicas", "scaling");
+        assert!(replicas > last_replicas, "replica counts must ascend");
+        last_replicas = replicas;
+        assert!(f64_field(m, "samples_per_s", "scaling") > 0.0);
+        assert!(f64_field(m, "requests", "scaling") >= 1.0);
+    }
+    assert_eq!(f64_field(&scaling[0], "replicas", "scaling"), 1.0);
+    let ratio = f64_field(&doc, "scaling_max_vs_one", "top level");
+    assert!(ratio.is_finite() && ratio > 0.0);
+    if threads >= 2.0 {
+        // With real cores available, replicas must buy throughput. On a
+        // single-core recorder host the fleet time-slices one core, so
+        // only sanity is asserted (the recorded host.threads says which
+        // regime the committed numbers are from).
+        assert!(ratio > 1.15, "replicas bought no throughput: {ratio}");
+    } else {
+        assert!(ratio > 0.5, "scaling collapsed even for one core: {ratio}");
+    }
+
+    // Shared-mapping accounting: one physical copy of the eligible
+    // weights, per-replica owned bytes negligible.
+    let sharing = doc
+        .get("shared_mapping")
+        .expect("\"shared_mapping\" object");
+    assert!(f64_field(sharing, "replicas", "sharing") >= 2.0);
+    let mapped = f64_field(sharing, "mapped_bytes_total", "sharing");
+    let shared = f64_field(sharing, "per_replica_shared_bytes", "sharing");
+    let owned = f64_field(sharing, "per_replica_owned_bytes", "sharing");
+    let caps_bytes = f64_field(model, "caps_weight_bytes", "model");
+    assert!(mapped >= caps_bytes, "mapping must contain the caps weight");
+    assert!(shared >= caps_bytes, "caps weight must be served shared");
+    assert!(
+        owned < caps_bytes / 1000.0,
+        "per-replica owned copies must be negligible: {owned}"
+    );
+    assert_eq!(
+        sharing.get("caps_weight_shared").and_then(Value::as_bool),
+        Some(true),
+        "eligible weights must be zero-copy views of the shared mapping"
+    );
+
+    // Rollout gate: zero drops, monotone versions, rollback exercised.
+    let rollout = doc.get("rollout").expect("\"rollout\" object");
+    assert!(f64_field(rollout, "replicas", "rollout") >= 3.0);
+    assert_eq!(f64_field(rollout, "dropped_tickets", "rollout"), 0.0);
+    assert_eq!(f64_field(rollout, "failed_requests", "rollout"), 0.0);
+    assert_eq!(
+        rollout.get("versions_monotone").and_then(Value::as_bool),
+        Some(true)
+    );
+    assert_eq!(
+        rollout.get("rollback_exercised").and_then(Value::as_bool),
+        Some(true)
+    );
+    assert_eq!(
+        f64_field(rollout, "good_rollout_updated", "rollout"),
+        f64_field(rollout, "replicas", "rollout"),
+        "the healthy rollout must update the whole fleet"
+    );
+    for key in ["good_rollout_max_pause_us", "poisoned_rollout_max_pause_us"] {
+        assert!(f64_field(rollout, key, "rollout") > 0.0);
+    }
 }
 
 #[test]

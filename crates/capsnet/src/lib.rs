@@ -47,7 +47,9 @@ pub use backend::{ApproxMath, ExactMath, MathBackend};
 pub use census::{EquationProfile, IntermediateSizes, NetworkCensus, RpCensus, RpEquation};
 pub use config::{CapsNetSpec, RoutingAlgorithm};
 pub use error::CapsNetError;
-pub use model::{CapsNet, ForwardArena, ForwardOutput, ForwardView, WeightSource};
+pub use model::{
+    CapsNet, ForwardArena, ForwardOutput, ForwardView, WeightSource, WeightStorageCensus,
+};
 // The routing drivers at the crate root: the serving layer (and any other
 // embedder) picks an execution strategy without reaching into the module
 // tree.

@@ -222,6 +222,21 @@ impl WeightSource for std::collections::BTreeMap<String, Tensor> {
     }
 }
 
+/// How a network's weight bytes are stored — see
+/// [`CapsNet::weight_storage`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WeightStorageCensus {
+    /// Bytes held as zero-copy shared views (one physical copy across all
+    /// holders of the same backing buffer).
+    pub shared_bytes: usize,
+    /// Bytes materialized in this network's own allocations.
+    pub owned_bytes: usize,
+    /// Total weight tensors.
+    pub tensors: usize,
+    /// Weight tensors with shared storage.
+    pub shared_tensors: usize,
+}
+
 /// A complete CapsNet with deterministic seeded weights.
 #[derive(Debug, Clone)]
 pub struct CapsNet {
@@ -395,6 +410,30 @@ impl CapsNet {
     /// The network's specification.
     pub fn spec(&self) -> &CapsNetSpec {
         &self.spec
+    }
+
+    /// Partitions the network's weight bytes by storage kind: **shared**
+    /// (zero-copy windows into an external buffer, e.g. a `pim-store`
+    /// mapping — one physical copy however many networks hold them) versus
+    /// **owned** (materialized per network).
+    ///
+    /// This is the accounting behind replicated serving's memory claim: a
+    /// replica pool built off one mapped artifact should report
+    /// `owned_bytes` near zero, because cloning a shared-backed network
+    /// only bumps reference counts ([`pim_tensor::Tensor`] clones of
+    /// shared storage are `Arc` clones, never byte copies).
+    pub fn weight_storage(&self) -> WeightStorageCensus {
+        let mut census = WeightStorageCensus::default();
+        for (_, t) in self.named_weights() {
+            census.tensors += 1;
+            if t.is_shared() {
+                census.shared_tensors += 1;
+                census.shared_bytes += t.size_bytes();
+            } else {
+                census.owned_bytes += t.size_bytes();
+            }
+        }
+        census
     }
 
     /// Encoder forward pass: images `[B, C, H, W]` → class capsules.
@@ -770,6 +809,68 @@ mod tests {
         {
             assert_eq!(x.to_bits(), y.to_bits());
         }
+    }
+
+    #[test]
+    fn weight_storage_census_and_cheap_shared_clone() {
+        use pim_tensor::TensorBuf;
+        use std::sync::Arc;
+
+        // A seeded network owns everything.
+        let net = tiny_net();
+        let owned = net.weight_storage();
+        assert_eq!(owned.shared_bytes, 0);
+        assert_eq!(owned.shared_tensors, 0);
+        assert_eq!(owned.tensors, net.named_weights().len());
+        let total_bytes: usize = net
+            .named_weights()
+            .iter()
+            .map(|(_, t)| t.size_bytes())
+            .sum();
+        assert_eq!(owned.owned_bytes, total_bytes);
+
+        // A shared-backed network (every weight a window into one buffer)
+        // reports everything shared…
+        let mut flat = Vec::new();
+        let mut index: std::collections::BTreeMap<String, (usize, Vec<usize>)> =
+            std::collections::BTreeMap::new();
+        for (name, t) in net.named_weights() {
+            index.insert(name, (flat.len(), t.shape().dims().to_vec()));
+            flat.extend_from_slice(t.as_slice());
+        }
+        struct Packed {
+            buf: Arc<dyn TensorBuf>,
+            index: std::collections::BTreeMap<String, (usize, Vec<usize>)>,
+        }
+        impl WeightSource for Packed {
+            fn contains(&self, name: &str) -> bool {
+                self.index.contains_key(name)
+            }
+            fn tensor(&mut self, name: &str, dims: &[usize]) -> Result<Tensor, CapsNetError> {
+                let (offset, _) = self.index.get(name).expect("packed source complete");
+                Tensor::from_shared(Arc::clone(&self.buf), *offset, dims)
+                    .map_err(CapsNetError::from)
+            }
+        }
+        let mut source = Packed {
+            buf: Arc::new(flat),
+            index,
+        };
+        let shared_net = CapsNet::from_views(net.spec(), &mut source).unwrap();
+        let shared = shared_net.weight_storage();
+        assert_eq!(shared.owned_bytes, 0);
+        assert_eq!(shared.shared_bytes, total_bytes);
+        assert_eq!(shared.shared_tensors, shared.tensors);
+
+        // …and cloning it (the per-replica operation) copies no weight
+        // bytes: the clone's views alias the original's backing buffer.
+        let replica = shared_net.clone();
+        assert_eq!(replica.weight_storage().owned_bytes, 0);
+        assert_eq!(
+            replica.caps.weight().as_slice().as_ptr(),
+            shared_net.caps.weight().as_slice().as_ptr(),
+            "clone must alias, not copy, shared weights"
+        );
     }
 
     #[test]

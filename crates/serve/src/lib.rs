@@ -21,7 +21,12 @@
 //!   warm [`capsnet::ForwardArena`] so steady-state batches allocate almost
 //!   nothing;
 //! * per-request and per-batch **metrics**: p50/p95/p99 latency,
-//!   throughput, and a batch-occupancy histogram.
+//!   throughput, failure counters, and a batch-occupancy histogram;
+//! * **replicated serving** ([`replica`]): a [`ReplicaSet`] supervisor
+//!   running N thread-isolated replicas that share one mapped `pim-store`
+//!   artifact (one physical copy of the weights), with pluggable routing
+//!   ([`RoutingPolicy`]) and **rolling version rollout** with canary +
+//!   rollback ([`rollout`]).
 //!
 //! Batched execution is **bit-identical** to calling [`capsnet::CapsNet::forward`]
 //! per request (models route per sample, so no information crosses request
@@ -64,10 +69,16 @@ mod config;
 mod error;
 mod metrics;
 mod registry;
+pub mod replica;
+pub mod rollout;
 mod server;
 
 pub use config::{BatchExecution, ServeConfig};
 pub use error::{ServeError, SubmitError};
 pub use metrics::{MetricsReport, ModelVersionCount};
 pub use registry::{ModelHandle, ModelRegistry};
+pub use replica::{
+    ReplicaSet, ReplicaSetConfig, ReplicaSetHandle, ReplicaSetReport, ReplicaTicket, RoutingPolicy,
+};
+pub use rollout::{ReplicaOutcome, ReplicaRollout, RolloutConfig, RolloutReport};
 pub use server::{Request, Response, ServedModel, Server, ServerHandle, Ticket};

@@ -14,6 +14,11 @@ pub(crate) struct MetricsRecorder {
     occupancy: Vec<u64>,
     samples: u64,
     rejected_full: u64,
+    /// Requests whose dispatched batch failed (tickets resolved with an
+    /// error). Disjoint from `latencies_us`.
+    failed_requests: u64,
+    /// Dispatched batches that failed. Disjoint from `occupancy`.
+    failed_batches: u64,
     /// `(model, version)` → requests/samples dispatched on that epoch.
     versions: BTreeMap<(usize, u64), (u64, u64)>,
     swaps: u64,
@@ -27,6 +32,8 @@ impl MetricsRecorder {
             occupancy: vec![0; max_batch + 1],
             samples: 0,
             rejected_full: 0,
+            failed_requests: 0,
+            failed_batches: 0,
             versions: BTreeMap::new(),
             swaps: 0,
         }
@@ -39,14 +46,29 @@ impl MetricsRecorder {
         batch_samples: usize,
         request_latencies_us: &[u64],
     ) {
-        if let Some(slot) = self.occupancy.get_mut(batch_samples) {
-            *slot += 1;
-        }
+        // Clamp into the top bucket rather than silently dropping the
+        // occupancy sample: `batches` is derived as `occupancy.sum()`, so a
+        // dropped sample would make it disagree with dispatched batches.
+        // (In-range is the invariant today — the scheduler never forms a
+        // batch above `max_batch` — but the recorder must stay consistent
+        // for any caller.)
+        let slot = batch_samples.min(self.occupancy.len() - 1);
+        self.occupancy[slot] += 1;
         self.samples += batch_samples as u64;
         self.latencies_us.extend_from_slice(request_latencies_us);
         let entry = self.versions.entry((model, version)).or_insert((0, 0));
         entry.0 += request_latencies_us.len() as u64;
         entry.1 += batch_samples as u64;
+    }
+
+    /// Records a dispatched batch whose forward failed: `requests` tickets
+    /// resolved with an error. Failed traffic is counted separately —
+    /// `requests`/`batches`/`samples` keep meaning *completed* work — but
+    /// it is never silent: the rollout canary (and any operator) needs a
+    /// failure signal.
+    pub(crate) fn record_failed_batch(&mut self, requests: usize) {
+        self.failed_batches += 1;
+        self.failed_requests += requests as u64;
     }
 
     pub(crate) fn record_reject_full(&mut self) {
@@ -71,6 +93,8 @@ impl MetricsRecorder {
             samples: self.samples,
             batches: self.occupancy.iter().sum(),
             rejected_full: self.rejected_full,
+            failed_requests: self.failed_requests,
+            failed_batches: self.failed_batches,
             p50_us: percentile(&sorted, 0.50),
             p95_us: percentile(&sorted, 0.95),
             p99_us: percentile(&sorted, 0.99),
@@ -129,6 +153,11 @@ pub struct MetricsReport {
     pub batches: u64,
     /// Submissions rejected with [`crate::SubmitError::QueueFull`].
     pub rejected_full: u64,
+    /// Requests whose dispatched batch failed (tickets resolved with
+    /// [`crate::ServeError::Forward`]). Disjoint from [`MetricsReport::requests`].
+    pub failed_requests: u64,
+    /// Dispatched batches that failed. Disjoint from [`MetricsReport::batches`].
+    pub failed_batches: u64,
     /// Median total (queue + service) request latency, microseconds.
     pub p50_us: u64,
     /// 95th-percentile latency, microseconds.
@@ -214,10 +243,89 @@ mod tests {
         assert_eq!(rep.samples, 4);
         assert_eq!(rep.batches, 2);
         assert_eq!(rep.rejected_full, 1);
+        assert_eq!(rep.failed_requests, 0);
+        assert_eq!(rep.failed_batches, 0);
         assert_eq!(rep.batch_occupancy[3], 1);
         assert_eq!(rep.batch_occupancy[1], 1);
         assert!((rep.mean_occupancy() - 2.0).abs() < 1e-12);
         assert_eq!(rep.p50_us, 20);
         assert!(rep.mean_us > 0.0);
+    }
+
+    #[test]
+    fn out_of_range_occupancy_clamps_into_top_bucket() {
+        // Regression: `record_batch` used to drop the occupancy sample for
+        // any `batch_samples > max_batch`, so `batches` (occupancy.sum())
+        // disagreed with dispatched batches.
+        let mut r = MetricsRecorder::new(4);
+        r.record_batch(0, 1, 9, &[10]); // above max_batch
+        r.record_batch(0, 1, 0, &[]); // below any real batch
+        let rep = r.report();
+        assert_eq!(rep.batches, 2, "every dispatched batch must be counted");
+        assert_eq!(rep.batch_occupancy[4], 1, "clamped into the top bucket");
+        assert_eq!(rep.batch_occupancy[0], 1);
+        assert_eq!(rep.samples, 9);
+    }
+
+    #[test]
+    fn failed_batches_are_counted_separately() {
+        let mut r = MetricsRecorder::new(4);
+        r.record_batch(0, 1, 2, &[10, 20]);
+        r.record_failed_batch(3);
+        r.record_failed_batch(1);
+        let rep = r.report();
+        assert_eq!(rep.requests, 2);
+        assert_eq!(rep.batches, 1);
+        assert_eq!(rep.failed_requests, 4);
+        assert_eq!(rep.failed_batches, 2);
+    }
+
+    mod props {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            /// Under arbitrary (even out-of-range) batch sizes and failure
+            /// interleavings, the derived report stays self-consistent:
+            /// `requests` equals latencies recorded, `batches` equals
+            /// dispatched successful batches (occupancy never leaks), and
+            /// failed traffic is fully attributed.
+            #[test]
+            fn recorder_is_consistent_under_random_batches(
+                max_batch in 1usize..12,
+                batches in proptest::collection::vec((0usize..24, 0usize..6, 0u32..2), 0..40),
+            ) {
+                let mut r = MetricsRecorder::new(max_batch);
+                let mut want_requests = 0u64;
+                let mut want_samples = 0u64;
+                let mut want_batches = 0u64;
+                let mut want_failed_requests = 0u64;
+                let mut want_failed_batches = 0u64;
+                for (i, &(batch_samples, requests, failed)) in batches.iter().enumerate() {
+                    if failed == 1 {
+                        r.record_failed_batch(requests);
+                        want_failed_requests += requests as u64;
+                        want_failed_batches += 1;
+                    } else {
+                        let latencies: Vec<u64> = (0..requests as u64).map(|k| 10 * k + i as u64).collect();
+                        r.record_batch(i % 3, 1 + (i % 2) as u64, batch_samples, &latencies);
+                        want_requests += requests as u64;
+                        want_samples += batch_samples as u64;
+                        want_batches += 1;
+                    }
+                }
+                let rep = r.report();
+                prop_assert_eq!(rep.requests, want_requests);
+                prop_assert_eq!(rep.samples, want_samples);
+                prop_assert_eq!(rep.batches, want_batches);
+                prop_assert_eq!(rep.batch_occupancy.iter().sum::<u64>(), want_batches);
+                prop_assert_eq!(rep.batch_occupancy.len(), max_batch + 1);
+                prop_assert_eq!(rep.failed_requests, want_failed_requests);
+                prop_assert_eq!(rep.failed_batches, want_failed_batches);
+                // Version attribution covers exactly the successful requests.
+                let attributed: u64 = rep.version_counts.iter().map(|v| v.requests).sum();
+                prop_assert_eq!(attributed, want_requests);
+            }
+        }
     }
 }

@@ -16,7 +16,7 @@ use std::path::Path;
 use std::sync::{Arc, Mutex};
 
 use capsnet::CapsNet;
-use pim_store::MappedModel;
+use pim_store::{MappedModel, SharedArtifact};
 
 use crate::error::ServeError;
 use crate::server::ServedModel;
@@ -106,6 +106,25 @@ impl ModelRegistry {
         Ok(self.register(ServedModel::new(name, net)))
     }
 
+    /// Registers a model backed by an already-open [`SharedArtifact`]: the
+    /// replica-pool path. Every registry (one per replica) wrapping clones
+    /// of the same handle serves networks whose weights are windows into
+    /// **one** mapping — N replicas, one physical copy of the weights,
+    /// instead of N owned copies (or even N separate mappings).
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Load`] when the artifact does not rebuild into a
+    /// network.
+    pub fn load_shared(
+        &mut self,
+        name: impl Into<String>,
+        artifact: &SharedArtifact,
+    ) -> Result<usize, ServeError> {
+        let net = rebuild_shared(artifact)?;
+        Ok(self.register(ServedModel::new(name, net)))
+    }
+
     /// Registered model count.
     pub fn len(&self) -> usize {
         self.slots.len()
@@ -162,6 +181,20 @@ impl ModelRegistry {
         let net = load_net(path)?;
         self.swap_model(model, net)
     }
+
+    /// [`Self::swap_model`] from an already-open [`SharedArtifact`] (see
+    /// [`Self::load_shared`] for the sharing semantics). Like
+    /// [`Self::swap_model`], this is the raw registry operation — inside a
+    /// serve window use [`crate::ServerHandle::swap_shared`], which drains
+    /// the forming reservation first.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Load`] on rebuild failure or bad index.
+    pub fn swap_shared(&self, model: usize, artifact: &SharedArtifact) -> Result<u64, ServeError> {
+        let net = rebuild_shared(artifact)?;
+        self.swap_model(model, net)
+    }
 }
 
 fn load_net(path: &Path) -> Result<CapsNet, ServeError> {
@@ -170,6 +203,15 @@ fn load_net(path: &Path) -> Result<CapsNet, ServeError> {
     mapped
         .capsnet()
         .map_err(|e| ServeError::Load(format!("{}: {e}", path.display())))
+}
+
+/// Rebuilds a network from a shared artifact, wrapping failures as
+/// [`ServeError::Load`] with the artifact's path — the one place this
+/// mapping lives (registry and server swap paths all route through it).
+pub(crate) fn rebuild_shared(artifact: &SharedArtifact) -> Result<CapsNet, ServeError> {
+    artifact
+        .capsnet()
+        .map_err(|e| ServeError::Load(format!("{}: {e}", artifact.path().display())))
 }
 
 #[cfg(test)]

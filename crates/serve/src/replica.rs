@@ -1,0 +1,737 @@
+//! The replica pool: N thread-isolated serving replicas sharing **one**
+//! mapped artifact, behind pluggable request routing.
+//!
+//! The PIM paper's premise is that the CapsNet's multi-hundred-MB weights
+//! should stay *resident near memory* instead of being re-streamed per
+//! consumer; the serving-tier analogue is that N replicas of a model must
+//! not hold N owned copies of the weights. A [`ReplicaSet`] therefore
+//! spawns N **independent** replicas — each with its own [`ModelRegistry`],
+//! its own scheduler, queue, workers and metrics, sharing *nothing* with
+//! its siblings except a [`pim_store::SharedArtifact`] handle — and the
+//! artifact's single mapping backs every replica's weight tensors (one
+//! physical copy via the page cache). This is the process model simulated
+//! with threads: replicas communicate with the supervisor only through
+//! per-replica mailboxes, exactly as N worker processes would through
+//! pipes, so promoting a replica to a real process later changes the
+//! transport, not the architecture.
+//!
+//! Traffic is routed across replicas by a [`RoutingPolicy`]:
+//!
+//! * [`RoutingPolicy::RoundRobin`] — uniform rotation;
+//! * [`RoutingPolicy::LeastQueued`] — the replica with the fewest
+//!   outstanding (submitted, unresolved) requests;
+//! * [`RoutingPolicy::TenantPinned`] — consistent per-tenant pinning
+//!   (a tenant's requests always land on the same replica while the fleet
+//!   is stable, preserving per-tenant FIFO across the whole pool).
+//!
+//! All policies skip replicas a rolling rollout (see [`crate::rollout`])
+//! has taken out of rotation, falling back to *any* replica when the whole
+//! fleet is draining — a drained replica still serves correctly, it is
+//! just mid-swap.
+
+use std::collections::VecDeque;
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+
+use capsnet::{CapsNet, MathBackend};
+use pim_store::SharedArtifact;
+
+use crate::config::ServeConfig;
+use crate::error::{ServeError, SubmitError};
+use crate::metrics::MetricsReport;
+use crate::registry::ModelRegistry;
+use crate::server::{Request, Response, ServedModel, Server, Ticket};
+
+/// How a [`ReplicaSet`] spreads submissions across its replicas.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RoutingPolicy {
+    /// Uniform rotation over the replicas.
+    #[default]
+    RoundRobin,
+    /// The replica with the fewest outstanding requests.
+    LeastQueued,
+    /// Consistent per-tenant pinning: a tenant's stream always targets the
+    /// same replica (while that replica is in rotation), so per-tenant
+    /// FIFO holds pool-wide, not just per replica.
+    TenantPinned,
+}
+
+/// Replica-pool knobs: fleet size, routing policy, and the per-replica
+/// scheduler configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ReplicaSetConfig {
+    /// Number of serving replicas.
+    pub replicas: usize,
+    /// Request routing policy.
+    pub policy: RoutingPolicy,
+    /// Scheduler knobs of **each** replica (every replica runs its own
+    /// queue and workers).
+    pub serve: ServeConfig,
+}
+
+impl Default for ReplicaSetConfig {
+    fn default() -> Self {
+        ReplicaSetConfig {
+            replicas: 2,
+            policy: RoutingPolicy::RoundRobin,
+            serve: ServeConfig::default(),
+        }
+    }
+}
+
+impl ReplicaSetConfig {
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::InvalidConfig`] when `replicas` is zero or the
+    /// per-replica scheduler config is invalid.
+    pub fn validate(&self) -> Result<(), ServeError> {
+        if self.replicas == 0 {
+            return Err(ServeError::InvalidConfig("replicas must be >= 1".into()));
+        }
+        self.serve.validate()
+    }
+}
+
+// ── supervisor ──────────────────────────────────────────────────────────
+
+/// The replica-pool supervisor. Construct with
+/// [`ReplicaSet::from_artifact`] (or [`ReplicaSet::from_net`] for
+/// in-memory tests), then open a serving window with [`ReplicaSet::run`].
+pub struct ReplicaSet<'a, B: MathBackend + Sync + ?Sized> {
+    backend: &'a B,
+    cfg: ReplicaSetConfig,
+    registries: Vec<ModelRegistry>,
+}
+
+impl<'a, B: MathBackend + Sync + ?Sized> ReplicaSet<'a, B> {
+    /// Builds a pool whose replicas all serve the model in `artifact`.
+    ///
+    /// The artifact is **not** re-opened per replica: every registry wraps
+    /// a clone of the one [`SharedArtifact`] handle, so all replicas'
+    /// weight tensors are windows into a single mapping — the pool holds
+    /// one physical copy of the eligible weights no matter how many
+    /// replicas serve them.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::InvalidConfig`] for bad knobs, [`ServeError::Load`]
+    /// when the artifact does not rebuild into a network.
+    pub fn from_shared(
+        name: impl Into<String>,
+        artifact: &SharedArtifact,
+        backend: &'a B,
+        cfg: ReplicaSetConfig,
+    ) -> Result<Self, ServeError> {
+        cfg.validate()?;
+        let name = name.into();
+        let mut registries = Vec::with_capacity(cfg.replicas);
+        for _ in 0..cfg.replicas {
+            let mut registry = ModelRegistry::new();
+            registry.load_shared(name.clone(), artifact)?;
+            registries.push(registry);
+        }
+        Ok(ReplicaSet {
+            backend,
+            cfg,
+            registries,
+        })
+    }
+
+    /// [`ReplicaSet::from_shared`] from a path: opens (and fully verifies)
+    /// the artifact **once**, then shares the mapping across all replicas.
+    ///
+    /// # Errors
+    ///
+    /// See [`ReplicaSet::from_shared`]; additionally any store error from
+    /// opening the artifact.
+    pub fn from_artifact(
+        name: impl Into<String>,
+        path: &Path,
+        backend: &'a B,
+        cfg: ReplicaSetConfig,
+    ) -> Result<Self, ServeError> {
+        let artifact = SharedArtifact::open(path)
+            .map_err(|e| ServeError::Load(format!("{}: {e}", path.display())))?;
+        Self::from_shared(name, &artifact, backend, cfg)
+    }
+
+    /// Builds a pool from an in-memory network (cloned per replica — cheap
+    /// when the network's weights are shared-storage views, a deep copy
+    /// otherwise). Mostly for tests; production pools should map an
+    /// artifact.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::InvalidConfig`] for bad knobs.
+    pub fn from_net(
+        name: impl Into<String>,
+        net: &CapsNet,
+        backend: &'a B,
+        cfg: ReplicaSetConfig,
+    ) -> Result<Self, ServeError> {
+        cfg.validate()?;
+        let name = name.into();
+        let mut registries = Vec::with_capacity(cfg.replicas);
+        for _ in 0..cfg.replicas {
+            let mut registry = ModelRegistry::new();
+            registry.register(ServedModel::new(name.clone(), net.clone()));
+            registries.push(registry);
+        }
+        Ok(ReplicaSet {
+            backend,
+            cfg,
+            registries,
+        })
+    }
+
+    /// Number of replicas.
+    pub fn replicas(&self) -> usize {
+        self.cfg.replicas
+    }
+
+    /// The pool configuration.
+    pub fn config(&self) -> &ReplicaSetConfig {
+        &self.cfg
+    }
+
+    /// A replica's registry (read-only observability; swaps inside a
+    /// window must go through [`ReplicaSetHandle`] so the replica's
+    /// forming reservation is drained first).
+    pub fn registry(&self, replica: usize) -> Option<&ModelRegistry> {
+        self.registries.get(replica)
+    }
+
+    /// Opens a serving window: spawns one supervisor-managed thread per
+    /// replica (each running its own [`Server::run`] window), hands `f` a
+    /// [`ReplicaSetHandle`] that routes submissions across the fleet, and
+    /// on return shuts every replica down (queues drained, zero tickets
+    /// dropped). Returns `f`'s result plus the pool's
+    /// [`ReplicaSetReport`].
+    pub fn run<R>(&self, f: impl FnOnce(&ReplicaSetHandle<'_>) -> R) -> (R, ReplicaSetReport) {
+        let n = self.cfg.replicas;
+        let pool = PoolShared {
+            mailboxes: (0..n).map(|_| Mailbox::new()).collect(),
+            outstanding: (0..n).map(|_| Arc::new(AtomicUsize::new(0))).collect(),
+            draining: (0..n).map(|_| AtomicBool::new(false)).collect(),
+            rr: AtomicUsize::new(0),
+        };
+        let (result, reports) = std::thread::scope(|scope| {
+            let replica_threads: Vec<_> = self
+                .registries
+                .iter()
+                .enumerate()
+                .map(|(i, registry)| {
+                    let mailbox = &pool.mailboxes[i];
+                    let backend = self.backend;
+                    let serve_cfg = self.cfg.serve;
+                    scope.spawn(move || {
+                        // If this replica dies mid-job, its supervisor must
+                        // not block forever on an unfilled reply slot: the
+                        // guard fails the in-flight reply, closes the
+                        // mailbox (later pushes see ShuttingDown), and
+                        // fails every queued job before the panic
+                        // propagates through the scope.
+                        let pending: std::cell::RefCell<Option<PendingReply>> =
+                            std::cell::RefCell::new(None);
+                        struct FailOnUnwind<'g> {
+                            mailbox: &'g Mailbox,
+                            pending: &'g std::cell::RefCell<Option<PendingReply>>,
+                        }
+                        impl Drop for FailOnUnwind<'_> {
+                            fn drop(&mut self) {
+                                if !std::thread::panicking() {
+                                    return;
+                                }
+                                if let Some(reply) = self.pending.borrow_mut().take() {
+                                    reply.fail();
+                                }
+                                self.mailbox.close();
+                                while let Some(job) = self.mailbox.pop() {
+                                    PendingReply::of(&job).fail();
+                                }
+                            }
+                        }
+                        let _guard = FailOnUnwind {
+                            mailbox,
+                            pending: &pending,
+                        };
+                        let server = Server::new(registry, backend, serve_cfg)
+                            .expect("config validated at pool construction");
+                        let ((), report) = server.run(|h| {
+                            // The replica's control loop: the only channel
+                            // between supervisor and replica (thread-
+                            // isolation stands in for process isolation).
+                            while let Some(job) = mailbox.pop() {
+                                *pending.borrow_mut() = Some(PendingReply::of(&job));
+                                match job {
+                                    Job::Submit { request, reply } => {
+                                        reply.put(h.submit(request));
+                                    }
+                                    Job::SwapShared { artifact, reply } => {
+                                        reply.put(h.swap_shared(0, &artifact));
+                                    }
+                                    Job::SwapNet { net, reply } => {
+                                        reply.put(
+                                            h.swap_model(0, *net)
+                                                .map_err(|e| ServeError::Load(e.to_string())),
+                                        );
+                                    }
+                                }
+                                *pending.borrow_mut() = None;
+                            }
+                        });
+                        report
+                    })
+                })
+                .collect();
+            let handle = ReplicaSetHandle {
+                pool: &pool,
+                registries: &self.registries,
+                policy: self.cfg.policy,
+            };
+            // Close the mailboxes on *every* exit from `f` — including an
+            // unwind. Without this, a panic inside the closure would leave
+            // the replica threads blocked in `Mailbox::pop` and the scope
+            // would deadlock joining them instead of propagating the
+            // panic.
+            struct CloseOnDrop<'m>(&'m [Mailbox]);
+            impl Drop for CloseOnDrop<'_> {
+                fn drop(&mut self) {
+                    for mailbox in self.0 {
+                        mailbox.close();
+                    }
+                }
+            }
+            let result = {
+                let _closer = CloseOnDrop(&pool.mailboxes);
+                f(&handle)
+            };
+            let reports: Vec<MetricsReport> = replica_threads
+                .into_iter()
+                .map(|t| t.join().expect("replica thread"))
+                .collect();
+            (result, reports)
+        });
+        (result, ReplicaSetReport::from_replicas(reports))
+    }
+}
+
+// ── supervisor ⇄ replica transport ──────────────────────────────────────
+
+/// One-shot rendezvous slot for a job's reply.
+struct ReplySlot<T> {
+    value: Mutex<Option<T>>,
+    ready: Condvar,
+}
+
+impl<T> ReplySlot<T> {
+    fn new() -> Arc<Self> {
+        Arc::new(ReplySlot {
+            value: Mutex::new(None),
+            ready: Condvar::new(),
+        })
+    }
+
+    fn put(&self, v: T) {
+        *self.value.lock().expect("reply lock") = Some(v);
+        self.ready.notify_all();
+    }
+
+    fn take(&self) -> T {
+        let mut guard = self.value.lock().expect("reply lock");
+        loop {
+            if let Some(v) = guard.take() {
+                return v;
+            }
+            guard = self.ready.wait(guard).expect("reply wait");
+        }
+    }
+}
+
+/// A control message to one replica.
+enum Job {
+    Submit {
+        request: Request,
+        reply: Arc<ReplySlot<Result<Ticket, SubmitError>>>,
+    },
+    SwapShared {
+        artifact: SharedArtifact,
+        reply: Arc<ReplySlot<Result<u64, ServeError>>>,
+    },
+    SwapNet {
+        net: Box<CapsNet>,
+        reply: Arc<ReplySlot<Result<u64, ServeError>>>,
+    },
+}
+
+/// The reply slot of a job, held where a replica's unwind path can still
+/// reach it — see the `FailOnUnwind` guard in [`ReplicaSet::run`].
+enum PendingReply {
+    Submit(Arc<ReplySlot<Result<Ticket, SubmitError>>>),
+    Swap(Arc<ReplySlot<Result<u64, ServeError>>>),
+}
+
+impl PendingReply {
+    /// The reply slot a job will answer through.
+    fn of(job: &Job) -> PendingReply {
+        match job {
+            Job::Submit { reply, .. } => PendingReply::Submit(Arc::clone(reply)),
+            Job::SwapShared { reply, .. } | Job::SwapNet { reply, .. } => {
+                PendingReply::Swap(Arc::clone(reply))
+            }
+        }
+    }
+
+    /// Resolves the reply with a replica-died error so the waiting
+    /// supervisor unblocks instead of hanging.
+    fn fail(self) {
+        match self {
+            PendingReply::Submit(slot) => slot.put(Err(SubmitError::ShuttingDown)),
+            PendingReply::Swap(slot) => {
+                slot.put(Err(ServeError::Load("replica serving thread died".into())));
+            }
+        }
+    }
+}
+
+/// A replica's mailbox: FIFO jobs plus a closed flag.
+struct Mailbox {
+    queue: Mutex<(VecDeque<Job>, bool)>,
+    ready: Condvar,
+}
+
+impl Mailbox {
+    fn new() -> Self {
+        Mailbox {
+            queue: Mutex::new((VecDeque::new(), false)),
+            ready: Condvar::new(),
+        }
+    }
+
+    /// Enqueues a job; `false` when the mailbox is closed (the job is
+    /// dropped — callers surface [`SubmitError::ShuttingDown`]).
+    fn push(&self, job: Job) -> bool {
+        let mut guard = self.queue.lock().expect("mailbox lock");
+        if guard.1 {
+            return false;
+        }
+        guard.0.push_back(job);
+        drop(guard);
+        self.ready.notify_all();
+        true
+    }
+
+    fn close(&self) {
+        self.queue.lock().expect("mailbox lock").1 = true;
+        self.ready.notify_all();
+    }
+
+    /// Blocks for the next job; `None` once closed and drained.
+    fn pop(&self) -> Option<Job> {
+        let mut guard = self.queue.lock().expect("mailbox lock");
+        loop {
+            if let Some(job) = guard.0.pop_front() {
+                return Some(job);
+            }
+            if guard.1 {
+                return None;
+            }
+            guard = self.ready.wait(guard).expect("mailbox wait");
+        }
+    }
+}
+
+/// State shared between the pool handle and the replica threads.
+struct PoolShared {
+    mailboxes: Vec<Mailbox>,
+    /// Per replica: requests submitted through the pool and not yet
+    /// resolved (the `LeastQueued` signal).
+    outstanding: Vec<Arc<AtomicUsize>>,
+    /// Per replica: temporarily out of routing rotation (mid-rollout).
+    draining: Vec<AtomicBool>,
+    rr: AtomicUsize,
+}
+
+// ── the pool handle ─────────────────────────────────────────────────────
+
+/// Submission/supervision handle passed to the [`ReplicaSet::run`]
+/// closure. `Sync`: the closure may fan submissions out over its own
+/// scoped threads.
+pub struct ReplicaSetHandle<'p> {
+    pool: &'p PoolShared,
+    registries: &'p [ModelRegistry],
+    policy: RoutingPolicy,
+}
+
+impl ReplicaSetHandle<'_> {
+    /// Number of replicas in the pool.
+    pub fn replicas(&self) -> usize {
+        self.pool.mailboxes.len()
+    }
+
+    /// Outstanding (submitted, unresolved) requests on one replica.
+    pub fn outstanding(&self, replica: usize) -> usize {
+        self.pool.outstanding[replica].load(Ordering::Relaxed)
+    }
+
+    /// `true` while `replica` is out of routing rotation (mid-rollout).
+    pub fn is_draining(&self, replica: usize) -> bool {
+        self.pool.draining[replica].load(Ordering::Relaxed)
+    }
+
+    /// The current model version a replica serves.
+    pub fn version(&self, replica: usize) -> u64 {
+        self.registries[replica]
+            .current(0)
+            .expect("every replica registry holds slot 0")
+            .version()
+    }
+
+    /// Routes a request to a replica per the pool's [`RoutingPolicy`] and
+    /// submits it there.
+    ///
+    /// # Errors
+    ///
+    /// The chosen replica's typed [`SubmitError`] — backpressure is per
+    /// replica, so `QueueFull` names the queue that pushed back.
+    pub fn submit(&self, request: Request) -> Result<ReplicaTicket, SubmitError> {
+        let replica = self.pick_replica(request.tenant);
+        self.submit_to(replica, request)
+    }
+
+    /// Submits to a specific replica, bypassing the routing policy (used
+    /// by rollout canaries to target a drained replica).
+    ///
+    /// # Errors
+    ///
+    /// The replica's typed [`SubmitError`].
+    pub fn submit_to(
+        &self,
+        replica: usize,
+        request: Request,
+    ) -> Result<ReplicaTicket, SubmitError> {
+        let reply = ReplySlot::new();
+        if !self.pool.mailboxes[replica].push(Job::Submit {
+            request,
+            reply: Arc::clone(&reply),
+        }) {
+            return Err(SubmitError::ShuttingDown);
+        }
+        let ticket = reply.take()?;
+        let counter = Arc::clone(&self.pool.outstanding[replica]);
+        counter.fetch_add(1, Ordering::Relaxed);
+        Ok(ReplicaTicket {
+            ticket,
+            replica,
+            _guard: OutstandingGuard { counter },
+        })
+    }
+
+    /// Atomically hot-swaps one replica to the model in `artifact`
+    /// (through the replica's own [`crate::ServerHandle::swap_shared`], so
+    /// its forming reservation drains first). Returns the replica's new
+    /// version.
+    ///
+    /// Prefer [`crate::rollout`]'s rolling rollout for fleet-wide version
+    /// changes — it sequences drains and canaries; this is the single-
+    /// replica primitive underneath it.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Load`] when the artifact does not rebuild, or
+    /// [`ServeError::InvalidConfig`] when the pool is shutting down.
+    pub fn swap_replica_shared(
+        &self,
+        replica: usize,
+        artifact: &SharedArtifact,
+    ) -> Result<u64, ServeError> {
+        let reply = ReplySlot::new();
+        if !self.pool.mailboxes[replica].push(Job::SwapShared {
+            artifact: artifact.clone(),
+            reply: Arc::clone(&reply),
+        }) {
+            return Err(ServeError::InvalidConfig("pool is shutting down".into()));
+        }
+        reply.take()
+    }
+
+    /// [`ReplicaSetHandle::swap_replica_shared`] with an in-memory network
+    /// (the rollback path restores a replica's previous network this way).
+    ///
+    /// # Errors
+    ///
+    /// See [`ReplicaSetHandle::swap_replica_shared`].
+    pub fn swap_replica_net(&self, replica: usize, net: CapsNet) -> Result<u64, ServeError> {
+        let reply = ReplySlot::new();
+        if !self.pool.mailboxes[replica].push(Job::SwapNet {
+            net: Box::new(net),
+            reply: Arc::clone(&reply),
+        }) {
+            return Err(ServeError::InvalidConfig("pool is shutting down".into()));
+        }
+        reply.take()
+    }
+
+    /// A clone of the network replica `replica` currently serves (cheap —
+    /// reference-count bumps — when the weights are shared-storage views).
+    pub(crate) fn current_net(&self, replica: usize) -> CapsNet {
+        self.registries[replica]
+            .current(0)
+            .expect("every replica registry holds slot 0")
+            .net()
+            .clone()
+    }
+
+    /// Takes a replica out of (or returns it to) routing rotation.
+    pub(crate) fn set_draining(&self, replica: usize, draining: bool) {
+        self.pool.draining[replica].store(draining, Ordering::Relaxed);
+    }
+
+    /// Policy dispatch. Draining replicas are skipped; if the whole fleet
+    /// is draining the policy's first pick stands (a draining replica
+    /// still serves correctly — it is only *preferably* avoided).
+    fn pick_replica(&self, tenant: usize) -> usize {
+        let n = self.replicas();
+        let in_rotation = |i: usize| !self.pool.draining[i].load(Ordering::Relaxed);
+        match self.policy {
+            RoutingPolicy::RoundRobin => {
+                for _ in 0..n {
+                    let i = self.pool.rr.fetch_add(1, Ordering::Relaxed) % n;
+                    if in_rotation(i) {
+                        return i;
+                    }
+                }
+                self.pool.rr.fetch_add(1, Ordering::Relaxed) % n
+            }
+            RoutingPolicy::LeastQueued => (0..n)
+                .filter(|&i| in_rotation(i))
+                .min_by_key(|&i| self.pool.outstanding[i].load(Ordering::Relaxed))
+                .unwrap_or_else(|| {
+                    (0..n)
+                        .min_by_key(|&i| self.pool.outstanding[i].load(Ordering::Relaxed))
+                        .expect("replicas >= 1")
+                }),
+            RoutingPolicy::TenantPinned => {
+                let h = splitmix(tenant as u64) as usize;
+                for k in 0..n {
+                    let i = (h + k) % n;
+                    if in_rotation(i) {
+                        return i;
+                    }
+                }
+                h % n
+            }
+        }
+    }
+}
+
+/// SplitMix64 finalizer — spreads consecutive tenant ids across replicas.
+fn splitmix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Decrements a replica's outstanding count when its ticket resolves (or
+/// is dropped unresolved).
+struct OutstandingGuard {
+    counter: Arc<AtomicUsize>,
+}
+
+impl Drop for OutstandingGuard {
+    fn drop(&mut self) {
+        self.counter.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
+/// A [`Ticket`] plus the replica that holds it. Fully owned: it may
+/// outlive the closure that submitted it (the pool drains before
+/// [`ReplicaSet::run`] returns, so every ticket still resolves).
+pub struct ReplicaTicket {
+    ticket: Ticket,
+    replica: usize,
+    _guard: OutstandingGuard,
+}
+
+impl ReplicaTicket {
+    /// The replica serving this request.
+    pub fn replica(&self) -> usize {
+        self.replica
+    }
+
+    /// Blocks until the response (or the batch's error) is available.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Forward`] when inference failed for the dispatched
+    /// batch.
+    pub fn wait(self) -> Result<Response, ServeError> {
+        self.ticket.wait()
+    }
+
+    /// Non-blocking probe — see [`Ticket::try_wait`].
+    pub fn try_wait(&self) -> Option<Result<Response, ServeError>> {
+        self.ticket.try_wait()
+    }
+}
+
+// ── aggregated metrics ──────────────────────────────────────────────────
+
+/// Cross-replica metrics for one [`ReplicaSet::run`] window: the
+/// per-replica [`MetricsReport`]s plus fleet-wide sums.
+#[derive(Debug, Clone)]
+pub struct ReplicaSetReport {
+    /// Each replica's own serve-window report, in replica order.
+    pub per_replica: Vec<MetricsReport>,
+    /// Completed requests across the fleet.
+    pub requests: u64,
+    /// Completed samples across the fleet.
+    pub samples: u64,
+    /// Dispatched batches across the fleet.
+    pub batches: u64,
+    /// Failed requests across the fleet.
+    pub failed_requests: u64,
+    /// Failed batches across the fleet.
+    pub failed_batches: u64,
+    /// `QueueFull` rejects across the fleet.
+    pub rejected_full: u64,
+    /// Hot swaps across the fleet (every rollout step counts one per
+    /// touched replica).
+    pub swaps: u64,
+}
+
+impl ReplicaSetReport {
+    fn from_replicas(per_replica: Vec<MetricsReport>) -> Self {
+        let sum = |f: fn(&MetricsReport) -> u64| per_replica.iter().map(f).sum();
+        ReplicaSetReport {
+            requests: sum(|r| r.requests),
+            samples: sum(|r| r.samples),
+            batches: sum(|r| r.batches),
+            failed_requests: sum(|r| r.failed_requests),
+            failed_batches: sum(|r| r.failed_batches),
+            rejected_full: sum(|r| r.rejected_full),
+            swaps: sum(|r| r.swaps),
+            per_replica,
+        }
+    }
+
+    /// Fleet throughput: completed samples over the longest replica
+    /// window (replica windows open and close together, so the max is the
+    /// pool's wall-clock).
+    pub fn samples_per_s(&self) -> f64 {
+        let elapsed = self
+            .per_replica
+            .iter()
+            .map(|r| r.elapsed_s)
+            .fold(0.0f64, f64::max);
+        if elapsed <= 0.0 {
+            0.0
+        } else {
+            self.samples as f64 / elapsed
+        }
+    }
+}

@@ -1,0 +1,350 @@
+//! Rolling version rollout across a [`crate::ReplicaSet`], with canary
+//! health checks and automatic rollback.
+//!
+//! The rollout state machine walks the fleet one replica at a time:
+//!
+//! 1. **drain** — take the replica out of routing rotation (new traffic
+//!    flows to its siblings; its queued work keeps draining normally);
+//! 2. **swap** — hot-swap it to the new artifact through the replica's own
+//!    scheduler (`ServerHandle::swap_shared` waits out the forming
+//!    reservation, so in-flight batches finish on the old version and zero
+//!    tickets drop);
+//! 3. **canary** — run one forward on the swapped replica and compare its
+//!    class-norm outputs against the *old* fleet's output on the same
+//!    input;
+//! 4. **verdict** — within [`RolloutConfig::tolerance`], return the
+//!    replica to rotation and move to the next one; beyond it (or if the
+//!    canary outright fails — the failed-batch/reject signals the metrics
+//!    now carry), **roll back**: restore this replica *and every replica
+//!    already updated* to the version they served before the rollout, and
+//!    stop.
+//!
+//! Version numbers are per replica and only ever increase (a rollback is
+//! itself a forward swap to the old *weights*), so every replica's
+//! response stream stays version-monotone in dispatch order throughout.
+//!
+//! Artifacts handed to a rollout must come from `pim-store`'s atomic
+//! temp+rename writer; rewriting an artifact in place under live readers
+//! voids the mapping-safety contract (`pim_store` validates what it can,
+//! but only rename-replacement is race-free).
+
+use std::time::Instant;
+
+use capsnet::CapsNet;
+use pim_store::SharedArtifact;
+use pim_tensor::Tensor;
+
+use crate::error::{ServeError, SubmitError};
+use crate::replica::ReplicaSetHandle;
+use crate::server::Request;
+
+/// Rollout knobs.
+#[derive(Debug, Clone)]
+pub struct RolloutConfig {
+    /// Canary input, `[n, C, H, W]` in the served model's geometry.
+    pub canary: Tensor,
+    /// Maximum allowed relative divergence between the new version's
+    /// canary class-norms and the old version's. Zero forces rollback on
+    /// any output change; `f32::INFINITY` disables the divergence
+    /// comparison — but a canary that fails to *execute* (submit reject,
+    /// failed batch, non-finite output) always rolls back, at any
+    /// tolerance: a replica that cannot answer its tenants is unhealthy
+    /// regardless of how permissive the divergence gate is.
+    pub tolerance: f32,
+    /// Tenant tag used for canary requests (canaries ride the normal
+    /// serving path, so they appear in metrics like any request).
+    pub canary_tenant: usize,
+}
+
+impl RolloutConfig {
+    /// A rollout gated at `tolerance` with the given canary input.
+    pub fn new(canary: Tensor, tolerance: f32) -> Self {
+        RolloutConfig {
+            canary,
+            tolerance,
+            canary_tenant: 0,
+        }
+    }
+}
+
+/// What happened to one replica during a rollout.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReplicaOutcome {
+    /// Swapped to the new version and passed its canary.
+    Updated,
+    /// Swapped, failed its canary, and was restored to the old weights.
+    RolledBack,
+    /// Restored to the old weights because a *later* replica's canary
+    /// failed (the fleet rolls back as a unit).
+    RevertedWithFleet,
+}
+
+/// One replica's rollout step.
+#[derive(Debug, Clone)]
+pub struct ReplicaRollout {
+    /// Replica index.
+    pub replica: usize,
+    /// Version served before this rollout touched the replica.
+    pub from_version: u64,
+    /// Version served after the step (the rollback bump included —
+    /// versions never move backwards).
+    pub to_version: u64,
+    /// Measured canary divergence (`None` when the canary failed before
+    /// producing output — submit reject or failed batch).
+    pub divergence: Option<f32>,
+    /// The step's outcome.
+    pub outcome: ReplicaOutcome,
+    /// Time the replica spent out of routing rotation, microseconds.
+    pub pause_us: u64,
+}
+
+/// The full rollout's report.
+#[derive(Debug, Clone)]
+pub struct RolloutReport {
+    /// Per-replica steps, in the order the rollout visited them (fleet
+    /// reverts appended at the end).
+    pub steps: Vec<ReplicaRollout>,
+    /// `true` when a canary failure rolled the fleet back.
+    pub rolled_back: bool,
+}
+
+impl RolloutReport {
+    /// Longest out-of-rotation pause any replica saw, microseconds.
+    pub fn max_pause_us(&self) -> u64 {
+        self.steps.iter().map(|s| s.pause_us).max().unwrap_or(0)
+    }
+
+    /// Replicas left serving the new version. A replica's *last* step is
+    /// its final state: an `Updated` step superseded by a
+    /// `RevertedWithFleet` step does not count.
+    pub fn updated(&self) -> usize {
+        let mut last: std::collections::BTreeMap<usize, ReplicaOutcome> =
+            std::collections::BTreeMap::new();
+        for s in &self.steps {
+            last.insert(s.replica, s.outcome);
+        }
+        last.values()
+            .filter(|o| **o == ReplicaOutcome::Updated)
+            .count()
+    }
+}
+
+/// Maximum relative element divergence between two class-norm vectors;
+/// infinite when the shapes disagree (a geometry change is maximal
+/// divergence by definition).
+fn max_rel_divergence(new: &[f32], old: &[f32]) -> f32 {
+    if new.len() != old.len() {
+        return f32::INFINITY;
+    }
+    new.iter()
+        .zip(old)
+        .map(|(&a, &b)| {
+            // Any non-finite canary element is maximal divergence: NaN
+            // would otherwise slip through every comparison (NaN fails
+            // `==`, and `f32::max` discards NaN operands), promoting a
+            // NaN-serving model — the exact corruption the canary exists
+            // to catch.
+            if !a.is_finite() || !b.is_finite() {
+                return f32::INFINITY;
+            }
+            let diff = (a - b).abs();
+            if diff == 0.0 {
+                0.0
+            } else {
+                diff / (b.abs() + 1e-9)
+            }
+        })
+        .fold(0.0f32, f32::max)
+}
+
+impl ReplicaSetHandle<'_> {
+    /// Canary forward on one replica: submits through the normal serving
+    /// path (so it batches, meters and fails exactly like user traffic)
+    /// and returns the class norms. Retries per-replica backpressure.
+    fn canary_forward(&self, replica: usize, cfg: &RolloutConfig) -> Result<Vec<f32>, ServeError> {
+        let ticket = loop {
+            match self.submit_to(
+                replica,
+                Request {
+                    tenant: cfg.canary_tenant,
+                    model: 0,
+                    images: cfg.canary.clone(),
+                },
+            ) {
+                Ok(t) => break t,
+                Err(SubmitError::QueueFull { .. }) => std::thread::yield_now(),
+                Err(e) => return Err(ServeError::Forward(format!("canary rejected: {e}"))),
+            }
+        };
+        Ok(ticket.wait()?.class_norms_sq)
+    }
+
+    /// Performs a **rolling rollout** of the fleet to `new`.
+    ///
+    /// See the [module docs](crate::rollout) for the state machine. On a
+    /// canary failure the fleet is restored to its pre-rollout weights and
+    /// the report says [`RolloutReport::rolled_back`]; traffic keeps
+    /// flowing throughout (at most one replica is ever out of rotation).
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError`] only for *infrastructure* failures — the baseline
+    /// canary not serving, the new artifact not rebuilding, or a rollback
+    /// swap failing. A failing canary on the new version is not an error;
+    /// it is the rollback path.
+    pub fn rolling_rollout(
+        &self,
+        new: &SharedArtifact,
+        cfg: &RolloutConfig,
+    ) -> Result<RolloutReport, ServeError> {
+        // The old fleet's reference output. Replica 0 serves it now;
+        // every replica serves the same version pre-rollout.
+        let baseline = self.canary_forward(0, cfg)?;
+
+        let mut steps: Vec<ReplicaRollout> = Vec::with_capacity(self.replicas());
+        // Old networks of successfully-updated replicas, kept for a
+        // potential fleet rollback (cheap clones: shared-storage weights
+        // are reference-counted views).
+        let mut updated: Vec<(usize, CapsNet)> = Vec::new();
+
+        for replica in 0..self.replicas() {
+            let old_net = self.current_net(replica);
+            let from_version = self.version(replica);
+            let paused_at = Instant::now();
+            self.set_draining(replica, true);
+
+            let step = (|| -> Result<ReplicaRollout, ServeError> {
+                let new_version = self.swap_replica_shared(replica, new)?;
+                let (divergence, healthy) = match self.canary_forward(replica, cfg) {
+                    Ok(norms) => {
+                        let d = max_rel_divergence(&norms, &baseline);
+                        // Non-finite divergence (shape change, NaN/∞
+                        // output) is unhealthy at ANY tolerance —
+                        // `∞ <= ∞` must not count as a pass.
+                        (Some(d), d.is_finite() && d <= cfg.tolerance)
+                    }
+                    // The canary itself failed (geometry reject, failed
+                    // batch): maximal divergence, no measurement.
+                    Err(_) => (None, false),
+                };
+                if healthy {
+                    Ok(ReplicaRollout {
+                        replica,
+                        from_version,
+                        to_version: new_version,
+                        divergence,
+                        outcome: ReplicaOutcome::Updated,
+                        pause_us: us_since(paused_at),
+                    })
+                } else {
+                    let to_version = self.swap_replica_net(replica, old_net.clone())?;
+                    Ok(ReplicaRollout {
+                        replica,
+                        from_version,
+                        to_version,
+                        divergence,
+                        outcome: ReplicaOutcome::RolledBack,
+                        pause_us: us_since(paused_at),
+                    })
+                }
+            })();
+            self.set_draining(replica, false);
+            let step = step?;
+            let failed = step.outcome == ReplicaOutcome::RolledBack;
+            steps.push(step);
+
+            if failed {
+                // Fleet rollback: restore every already-updated replica to
+                // its pre-rollout weights (a forward swap — versions keep
+                // increasing).
+                while let Some((j, old)) = updated.pop() {
+                    let paused_at = Instant::now();
+                    self.set_draining(j, true);
+                    let revert = self.swap_replica_net(j, old);
+                    self.set_draining(j, false);
+                    let to_version = revert?;
+                    let from_version = steps
+                        .iter()
+                        .find(|s| s.replica == j)
+                        .map(|s| s.to_version)
+                        .unwrap_or(to_version);
+                    steps.push(ReplicaRollout {
+                        replica: j,
+                        from_version,
+                        to_version,
+                        divergence: None,
+                        outcome: ReplicaOutcome::RevertedWithFleet,
+                        pause_us: us_since(paused_at),
+                    });
+                }
+                return Ok(RolloutReport {
+                    steps,
+                    rolled_back: true,
+                });
+            }
+            updated.push((replica, old_net));
+        }
+        Ok(RolloutReport {
+            steps,
+            rolled_back: false,
+        })
+    }
+}
+
+fn us_since(t: Instant) -> u64 {
+    u64::try_from(t.elapsed().as_micros()).unwrap_or(u64::MAX)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn updated_counts_final_state_not_intermediate_steps() {
+        // Replicas 0 and 1 update, replica 2 trips the canary, the fleet
+        // reverts: nobody is left on the new version.
+        let step = |replica, outcome, to_version| ReplicaRollout {
+            replica,
+            from_version: 1,
+            to_version,
+            divergence: Some(0.0),
+            outcome,
+            pause_us: 1,
+        };
+        let report = RolloutReport {
+            steps: vec![
+                step(0, ReplicaOutcome::Updated, 2),
+                step(1, ReplicaOutcome::Updated, 2),
+                step(2, ReplicaOutcome::RolledBack, 3),
+                step(1, ReplicaOutcome::RevertedWithFleet, 3),
+                step(0, ReplicaOutcome::RevertedWithFleet, 3),
+            ],
+            rolled_back: true,
+        };
+        assert_eq!(report.updated(), 0, "reverted replicas must not count");
+
+        let clean = RolloutReport {
+            steps: vec![
+                step(0, ReplicaOutcome::Updated, 2),
+                step(1, ReplicaOutcome::Updated, 2),
+            ],
+            rolled_back: false,
+        };
+        assert_eq!(clean.updated(), 2);
+    }
+
+    #[test]
+    fn divergence_metric() {
+        assert_eq!(max_rel_divergence(&[1.0, 2.0], &[1.0, 2.0]), 0.0);
+        assert!(max_rel_divergence(&[1.0], &[1.0, 2.0]).is_infinite());
+        let d = max_rel_divergence(&[1.1, 2.0], &[1.0, 2.0]);
+        assert!((d - 0.1).abs() < 1e-5, "{d}");
+        // Exact-zero elements don't explode the ratio.
+        assert_eq!(max_rel_divergence(&[0.0], &[0.0]), 0.0);
+        // Non-finite canary output is maximal divergence, never a pass:
+        // NaN slips through == and f32::max, so it is guarded explicitly.
+        assert!(max_rel_divergence(&[f32::NAN, 1.0], &[1.0, 1.0]).is_infinite());
+        assert!(max_rel_divergence(&[1.0], &[f32::NAN]).is_infinite());
+        assert!(max_rel_divergence(&[f32::INFINITY], &[1.0]).is_infinite());
+    }
+}

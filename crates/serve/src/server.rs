@@ -221,13 +221,26 @@ impl<'a, B: MathBackend + Sync + ?Sized> Server<'a, B> {
                 scope.spawn(|| worker_loop(&shared));
             }
             let handle = ServerHandle { shared: &shared };
-            let result = f(&handle);
-            {
-                let mut st = shared.state.lock().expect("queue lock");
-                st.closed = true;
+            // Close the window on *every* exit from `f`, including an
+            // unwind: otherwise a panicking closure would leave the
+            // workers parked on the queue condvar and the scope would
+            // deadlock joining them instead of propagating the panic.
+            struct CloseOnDrop<'s, 'a, B: MathBackend + Sync + ?Sized>(&'s Shared<'a, B>);
+            impl<B: MathBackend + Sync + ?Sized> Drop for CloseOnDrop<'_, '_, B> {
+                fn drop(&mut self) {
+                    // Tolerate a poisoned lock: this may run mid-unwind.
+                    let mut st = self
+                        .0
+                        .state
+                        .lock()
+                        .unwrap_or_else(std::sync::PoisonError::into_inner);
+                    st.closed = true;
+                    drop(st);
+                    self.0.work_ready.notify_all();
+                }
             }
-            shared.work_ready.notify_all();
-            result
+            let _closer = CloseOnDrop(&shared);
+            f(&handle)
         });
         let report = shared.metrics.lock().expect("metrics lock").report();
         (result, report)
@@ -359,6 +372,41 @@ impl<B: MathBackend + Sync + ?Sized> ServerHandle<'_, '_, B> {
         shared.metrics.lock().expect("metrics lock").record_swap();
         shared.work_ready.notify_all();
         Ok(version)
+    }
+
+    /// [`ServerHandle::swap_model`] from an artifact on disk: loads and
+    /// verifies the artifact (zero-copy mmap where possible) **outside**
+    /// the scheduler lock, then performs the drained swap. Artifacts must
+    /// only ever be replaced via `pim-store`'s atomic temp+rename writer —
+    /// never rewritten in place under a reader.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Load`] when the artifact cannot be loaded or the slot
+    /// is out of range.
+    pub fn swap_from_path(&self, model: usize, path: &std::path::Path) -> Result<u64, ServeError> {
+        let artifact = pim_store::SharedArtifact::open(path)
+            .map_err(|e| ServeError::Load(format!("{}: {e}", path.display())))?;
+        self.swap_shared(model, &artifact)
+    }
+
+    /// [`ServerHandle::swap_model`] from an already-open shared artifact:
+    /// the replica-pool path, where one [`pim_store::SharedArtifact`] is
+    /// opened (and checksum-verified) once and every replica swaps to a
+    /// network borrowing that single mapping.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Load`] when the network cannot be rebuilt from the
+    /// artifact or the slot is out of range.
+    pub fn swap_shared(
+        &self,
+        model: usize,
+        artifact: &pim_store::SharedArtifact,
+    ) -> Result<u64, ServeError> {
+        let net = crate::registry::rebuild_shared(artifact)?;
+        self.swap_model(model, net)
+            .map_err(|e| ServeError::Load(e.to_string()))
     }
 }
 
@@ -510,11 +558,16 @@ fn run_batch<B: MathBackend + Sync + ?Sized>(
 
     match outcome {
         Ok((predictions, norms, h)) => {
+            // One completion timestamp for the whole batch: the batch *is*
+            // the unit of service, so every rider reports the same service
+            // time. (Regression: `dispatched_at.elapsed()` per request
+            // inside this loop inflated later tickets' service time with
+            // the cost of fulfilling earlier ones.)
+            let service_us = duration_us(dispatched_at.elapsed());
             let mut offset = 0usize;
             let mut latencies = Vec::with_capacity(batch.len());
             for p in batch {
                 let queue_us = duration_us(dispatched_at.saturating_duration_since(p.enqueued_at));
-                let service_us = duration_us(dispatched_at.elapsed());
                 latencies.push(queue_us + service_us);
                 let response = Response {
                     predictions: predictions[offset..offset + p.samples].to_vec(),
@@ -537,9 +590,19 @@ fn run_batch<B: MathBackend + Sync + ?Sized>(
             );
         }
         Err(e) => {
+            // Failed batches resolve every ticket with the error AND leave
+            // a metrics trace: `failed_requests`/`failed_batches` is the
+            // signal a rollout canary (or an operator) watches. The
+            // successful-work counters stay untouched.
+            let failed_requests = batch.len();
             for p in batch {
                 fulfill(&p.slot, Err(e.clone()));
             }
+            shared
+                .metrics
+                .lock()
+                .expect("metrics lock")
+                .record_failed_batch(failed_requests);
         }
     }
 }
@@ -959,6 +1022,113 @@ mod tests {
     }
 
     #[test]
+    fn all_requests_in_one_batch_report_identical_service_time() {
+        // Regression: service_us was computed per request *inside* the
+        // fulfillment loop, so later tickets of one batch reported service
+        // time inflated by the fulfillment of earlier tickets.
+        let models = ModelRegistry::from_models([tiny_model().clone()]);
+        let cfg = ServeConfig {
+            max_batch: 4,
+            max_wait: Duration::from_millis(500),
+            queue_capacity: 64,
+            workers: 1,
+            execution: BatchExecution::Arena,
+        };
+        let server = Server::new(&models, &ExactMath, cfg).unwrap();
+        let (responses, _) = server.run(|h| {
+            // Four single-sample requests: the forming batch closes exactly
+            // when it reaches max_batch, far inside the 500 ms budget.
+            let tickets: Vec<Ticket> = (0..4)
+                .map(|i| {
+                    h.submit(Request {
+                        tenant: i,
+                        model: 0,
+                        images: images(1, i as u64),
+                    })
+                    .unwrap()
+                })
+                .collect();
+            tickets
+                .into_iter()
+                .map(|t| t.wait().unwrap())
+                .collect::<Vec<Response>>()
+        });
+        assert!(
+            responses.iter().all(|r| r.batch_samples == 4),
+            "all four requests must ride one batch: {:?}",
+            responses
+                .iter()
+                .map(|r| r.batch_samples)
+                .collect::<Vec<_>>()
+        );
+        let seq = responses[0].batch_seq;
+        let service = responses[0].service_us;
+        for r in &responses {
+            assert_eq!(r.batch_seq, seq);
+            assert_eq!(
+                r.service_us, service,
+                "same batch, same service time (batch is the unit of service)"
+            );
+        }
+    }
+
+    #[test]
+    fn failed_batches_are_visible_in_metrics() {
+        // A geometry-changing swap fails every request that was admitted
+        // (validated against the old spec) but not yet dispatched. Those
+        // failures must be counted — the rollout canary relies on it.
+        let models = ModelRegistry::from_models([tiny_model().clone()]);
+        let cfg = ServeConfig {
+            max_batch: 2,
+            max_wait: Duration::ZERO,
+            queue_capacity: 256,
+            workers: 1,
+            execution: BatchExecution::Arena,
+        };
+        let server = Server::new(&models, &ExactMath, cfg).unwrap();
+        let ((ok, failed), metrics) = server.run(|h| {
+            // Burst far faster than the worker drains (submits are µs,
+            // forwards are ms), so most of these are still queued when the
+            // swap lands.
+            let tickets: Vec<Ticket> = (0..64)
+                .map(|i| {
+                    h.submit(Request {
+                        tenant: 0,
+                        model: 0,
+                        images: images(1, i),
+                    })
+                    .unwrap()
+                })
+                .collect();
+            // Swap to a network with a *different input geometry*: queued
+            // requests no longer match and their batches fail.
+            let mut spec = CapsNetSpec::tiny_for_tests();
+            spec.batch_shared_routing = false;
+            spec.input_hw = (14, 14);
+            h.swap_model(0, CapsNet::seeded(&spec, 9).unwrap()).unwrap();
+            let mut ok = 0u64;
+            let mut failed = 0u64;
+            for t in tickets {
+                match t.wait() {
+                    Ok(_) => ok += 1,
+                    Err(ServeError::Forward(_)) => failed += 1,
+                    Err(e) => panic!("unexpected error {e}"),
+                }
+            }
+            (ok, failed)
+        });
+        assert_eq!(ok + failed, 64, "zero dropped tickets even on failure");
+        assert!(failed > 0, "the swap must have failed some queued batches");
+        assert_eq!(metrics.requests, ok, "requests counts completed work only");
+        assert_eq!(metrics.failed_requests, failed);
+        assert!(metrics.failed_batches > 0);
+        assert!(
+            metrics.failed_batches <= metrics.failed_requests,
+            "a failed batch holds at least one request"
+        );
+    }
+
+    #[test]
     fn try_wait_does_not_consume_the_result() {
         let models = [tiny_model().clone()];
         let models = ModelRegistry::from_models(models);
@@ -981,6 +1151,36 @@ mod tests {
             let waited = t.wait().unwrap();
             assert_eq!(polled, waited);
         });
+    }
+
+    #[test]
+    fn panicking_run_closure_drains_and_propagates() {
+        // Regression: the window must close on unwind (drop guard), so a
+        // panic in the closure propagates instead of deadlocking the
+        // scope on workers parked at the queue condvar — and admitted
+        // tickets still get fulfilled by the drain.
+        let models = ModelRegistry::from_models([tiny_model().clone()]);
+        let server = Server::new(&models, &ExactMath, server_cfg()).unwrap();
+        let slot_probe = std::sync::Mutex::new(None::<Ticket>);
+        let outcome = std::thread::scope(|s| {
+            s.spawn(|| {
+                let _ = server.run(|h| {
+                    let t = h
+                        .submit(Request {
+                            tenant: 0,
+                            model: 0,
+                            images: images(1, 3),
+                        })
+                        .unwrap();
+                    *slot_probe.lock().unwrap() = Some(t);
+                    panic!("closure failed");
+                });
+            })
+            .join()
+        });
+        assert!(outcome.is_err(), "the closure's panic must propagate");
+        let ticket = slot_probe.into_inner().unwrap().expect("ticket submitted");
+        ticket.wait().expect("admitted work drains even on unwind");
     }
 
     #[test]

@@ -1,0 +1,430 @@
+//! Replica-pool integration: routing policies, shared-mapping weight
+//! residency, and the rolling rollout state machine (update + rollback).
+
+use std::collections::BTreeMap;
+use std::time::Duration;
+
+use capsnet::{CapsNet, CapsNetSpec, ExactMath};
+use pim_serve::{
+    BatchExecution, ReplicaOutcome, ReplicaSet, ReplicaSetConfig, Request, RolloutConfig,
+    RoutingPolicy, ServeConfig,
+};
+use pim_store::{ModelWriter, SharedArtifact};
+use pim_tensor::Tensor;
+
+fn tmp_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("pim_serve_pool_{tag}_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn per_sample_spec() -> CapsNetSpec {
+    let mut spec = CapsNetSpec::tiny_for_tests();
+    spec.batch_shared_routing = false;
+    spec
+}
+
+fn tiny_net(seed: u64) -> CapsNet {
+    CapsNet::seeded(&per_sample_spec(), seed).unwrap()
+}
+
+fn images(n: usize, seed: u64) -> Tensor {
+    Tensor::uniform(&[n, 1, 12, 12], 0.0, 1.0, seed)
+}
+
+fn pool_cfg(replicas: usize, policy: RoutingPolicy) -> ReplicaSetConfig {
+    ReplicaSetConfig {
+        replicas,
+        policy,
+        serve: ServeConfig {
+            max_batch: 4,
+            max_wait: Duration::from_micros(300),
+            queue_capacity: 64,
+            workers: 1,
+            execution: BatchExecution::Arena,
+        },
+    }
+}
+
+/// A copy of `net` with every weight element nudged by a small relative
+/// factor — the "honest new version" whose canary divergence is small.
+fn perturbed(net: &CapsNet, factor: f32) -> CapsNet {
+    let mut weights: BTreeMap<String, Tensor> = net
+        .named_weights()
+        .into_iter()
+        .map(|(name, t)| (name, t.map(|x| x * (1.0 + factor))))
+        .collect();
+    CapsNet::from_views(net.spec(), &mut weights).unwrap()
+}
+
+#[test]
+fn round_robin_spreads_traffic_and_stays_bitwise() {
+    let net = tiny_net(1);
+    let set = ReplicaSet::from_net(
+        "rr",
+        &net,
+        &ExactMath,
+        pool_cfg(3, RoutingPolicy::RoundRobin),
+    )
+    .unwrap();
+    let (outcomes, report) = set.run(|pool| {
+        let tickets: Vec<_> = (0..12)
+            .map(|i| {
+                let t = pool
+                    .submit(Request {
+                        tenant: i % 4,
+                        model: 0,
+                        images: images(1, i as u64),
+                    })
+                    .unwrap();
+                (i as u64, t)
+            })
+            .collect();
+        tickets
+            .into_iter()
+            .map(|(seed, t)| (seed, t.replica(), t.wait().unwrap()))
+            .collect::<Vec<_>>()
+    });
+    assert_eq!(outcomes.len(), 12);
+    assert_eq!(report.requests, 12);
+    assert_eq!(report.failed_requests, 0);
+    // Round-robin over 3 replicas must touch all of them.
+    let mut used = [false; 3];
+    for (_, replica, _) in &outcomes {
+        used[*replica] = true;
+    }
+    assert_eq!(used, [true, true, true], "round robin must use the fleet");
+    // Every response is bit-identical to a direct forward.
+    for (seed, _, response) in &outcomes {
+        let serial = net.forward(&images(1, *seed), &ExactMath).unwrap();
+        assert_eq!(response.predictions, serial.predictions());
+        for (a, b) in response
+            .class_norms_sq
+            .iter()
+            .zip(serial.class_norms_sq.as_slice())
+        {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+}
+
+#[test]
+fn tenant_pinning_is_sticky() {
+    let net = tiny_net(2);
+    let set = ReplicaSet::from_net(
+        "pin",
+        &net,
+        &ExactMath,
+        pool_cfg(3, RoutingPolicy::TenantPinned),
+    )
+    .unwrap();
+    let (placements, _) = set.run(|pool| {
+        let mut placements: Vec<(usize, usize)> = Vec::new();
+        for round in 0..4u64 {
+            for tenant in 0..6 {
+                let t = pool
+                    .submit(Request {
+                        tenant,
+                        model: 0,
+                        images: images(1, round * 10 + tenant as u64),
+                    })
+                    .unwrap();
+                placements.push((tenant, t.replica()));
+                t.wait().unwrap();
+            }
+        }
+        placements
+    });
+    let mut pinned: BTreeMap<usize, usize> = BTreeMap::new();
+    for (tenant, replica) in placements {
+        let slot = pinned.entry(tenant).or_insert(replica);
+        assert_eq!(*slot, replica, "tenant {tenant} moved replicas");
+    }
+    // 6 tenants over 3 replicas: the hash must not collapse to one.
+    let distinct: std::collections::BTreeSet<usize> = pinned.values().copied().collect();
+    assert!(distinct.len() >= 2, "pinning degenerated: {pinned:?}");
+}
+
+#[test]
+fn least_queued_routes_and_completes() {
+    let net = tiny_net(3);
+    let set = ReplicaSet::from_net(
+        "lq",
+        &net,
+        &ExactMath,
+        pool_cfg(2, RoutingPolicy::LeastQueued),
+    )
+    .unwrap();
+    let ((), report) = set.run(|pool| {
+        let tickets: Vec<_> = (0..16)
+            .map(|i| {
+                pool.submit(Request {
+                    tenant: 0,
+                    model: 0,
+                    images: images(1, i),
+                })
+                .unwrap()
+            })
+            .collect();
+        for t in tickets {
+            t.wait().unwrap();
+        }
+        assert_eq!(pool.outstanding(0) + pool.outstanding(1), 0);
+    });
+    assert_eq!(report.requests, 16);
+}
+
+#[test]
+fn artifact_pool_shares_one_mapping_across_replicas() {
+    let dir = tmp_dir("share");
+    let path = dir.join("m.pimcaps");
+    let net = tiny_net(4);
+    ModelWriter::new().save(&net, &path).unwrap();
+
+    let set = ReplicaSet::from_artifact(
+        "shared",
+        &path,
+        &ExactMath,
+        pool_cfg(3, RoutingPolicy::RoundRobin),
+    )
+    .unwrap();
+
+    // Every replica's weights are zero-copy views of ONE mapping: no
+    // owned copies, and the big caps weight aliases the same bytes.
+    let mut caps_ptrs = Vec::new();
+    for i in 0..3 {
+        let handle = set.registry(i).unwrap().current(0).unwrap();
+        let census = handle.net().weight_storage();
+        assert_eq!(
+            census.owned_bytes, 0,
+            "replica {i} owns weight bytes: {census:?}"
+        );
+        let (_, caps) = handle
+            .net()
+            .named_weights()
+            .into_iter()
+            .find(|(n, _)| n == "caps.weight")
+            .unwrap();
+        caps_ptrs.push(caps.as_slice().as_ptr());
+    }
+    assert!(
+        caps_ptrs.windows(2).all(|w| w[0] == w[1]),
+        "replicas must read weights from the same physical bytes"
+    );
+
+    // And the pool serves bit-identically to the source network.
+    let (ok, _) = set.run(|pool| {
+        (0..9u64).all(|i| {
+            let response = pool
+                .submit(Request {
+                    tenant: i as usize % 3,
+                    model: 0,
+                    images: images(1, i),
+                })
+                .unwrap()
+                .wait()
+                .unwrap();
+            let serial = net.forward(&images(1, i), &ExactMath).unwrap();
+            response
+                .class_norms_sq
+                .iter()
+                .zip(serial.class_norms_sq.as_slice())
+                .all(|(a, b)| a.to_bits() == b.to_bits())
+        })
+    });
+    assert!(ok);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn rolling_rollout_updates_every_replica() {
+    let dir = tmp_dir("rollout_ok");
+    let v1 = tiny_net(5);
+    let v2 = perturbed(&v1, 1e-4);
+    let v1_path = dir.join("v1.pimcaps");
+    let v2_path = dir.join("v2.pimcaps");
+    ModelWriter::vault_aligned().save(&v1, &v1_path).unwrap();
+    ModelWriter::vault_aligned().save(&v2, &v2_path).unwrap();
+
+    let set = ReplicaSet::from_artifact(
+        "roll",
+        &v1_path,
+        &ExactMath,
+        pool_cfg(3, RoutingPolicy::RoundRobin),
+    )
+    .unwrap();
+    let (report, metrics) = set.run(|pool| {
+        let new = SharedArtifact::open(&v2_path).unwrap();
+        let cfg = RolloutConfig::new(images(1, 99), 0.05);
+        let report = pool.rolling_rollout(&new, &cfg).unwrap();
+        // Post-rollout traffic serves the new weights.
+        for i in 0..6u64 {
+            let r = pool
+                .submit(Request {
+                    tenant: i as usize,
+                    model: 0,
+                    images: images(1, i),
+                })
+                .unwrap()
+                .wait()
+                .unwrap();
+            assert_eq!(r.model_version, 2, "fleet must serve version 2");
+            let serial = v2.forward(&images(1, i), &ExactMath).unwrap();
+            for (a, b) in r
+                .class_norms_sq
+                .iter()
+                .zip(serial.class_norms_sq.as_slice())
+            {
+                assert_eq!(a.to_bits(), b.to_bits());
+            }
+        }
+        report
+    });
+    assert!(!report.rolled_back);
+    assert_eq!(report.updated(), 3);
+    assert_eq!(report.steps.len(), 3);
+    for step in &report.steps {
+        assert_eq!(step.outcome, ReplicaOutcome::Updated);
+        assert_eq!(step.from_version, 1);
+        assert_eq!(step.to_version, 2);
+        let d = step.divergence.expect("canary measured");
+        assert!(d > 0.0 && d <= 0.05, "divergence {d}");
+        assert!(step.pause_us > 0);
+    }
+    assert_eq!(metrics.swaps, 3, "one drained swap per replica");
+    assert_eq!(metrics.failed_requests, 0);
+}
+
+#[test]
+fn canary_divergence_rolls_the_fleet_back() {
+    let dir = tmp_dir("rollout_back");
+    let v1 = tiny_net(6);
+    let bad = tiny_net(777); // unrelated weights: maximal divergence
+    let v1_path = dir.join("v1.pimcaps");
+    let bad_path = dir.join("bad.pimcaps");
+    ModelWriter::vault_aligned().save(&v1, &v1_path).unwrap();
+    ModelWriter::vault_aligned().save(&bad, &bad_path).unwrap();
+
+    let set = ReplicaSet::from_artifact(
+        "guard",
+        &v1_path,
+        &ExactMath,
+        pool_cfg(3, RoutingPolicy::RoundRobin),
+    )
+    .unwrap();
+    let (report, _) = set.run(|pool| {
+        let new = SharedArtifact::open(&bad_path).unwrap();
+        let cfg = RolloutConfig::new(images(2, 55), 0.05);
+        let report = pool.rolling_rollout(&new, &cfg).unwrap();
+        // The fleet still serves v1's *weights* (versions moved forward:
+        // swap in, roll back = two bumps on the touched replica).
+        for i in 0..6u64 {
+            let r = pool
+                .submit(Request {
+                    tenant: i as usize,
+                    model: 0,
+                    images: images(1, i),
+                })
+                .unwrap()
+                .wait()
+                .unwrap();
+            let serial = v1.forward(&images(1, i), &ExactMath).unwrap();
+            for (a, b) in r
+                .class_norms_sq
+                .iter()
+                .zip(serial.class_norms_sq.as_slice())
+            {
+                assert_eq!(a.to_bits(), b.to_bits(), "fleet must be back on v1");
+            }
+        }
+        // Versions never went backwards on any replica.
+        for i in 0..pool.replicas() {
+            assert!(pool.version(i) >= 1);
+        }
+        report
+    });
+    assert!(report.rolled_back, "canary must have tripped");
+    assert_eq!(
+        report.updated(),
+        0,
+        "no replica may stay on the bad version"
+    );
+    // Replica 0 swapped (v2) then rolled back (v3); versions are monotone.
+    let first = &report.steps[0];
+    assert_eq!(first.outcome, ReplicaOutcome::RolledBack);
+    assert_eq!(first.from_version, 1);
+    assert_eq!(first.to_version, 3);
+    assert!(first.divergence.unwrap() > 0.05);
+    // Untouched replicas were never visited: the rollout stopped.
+    assert_eq!(report.steps.len(), 1);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn geometry_changing_rollout_is_caught_by_the_canary() {
+    // The canary for the old geometry is rejected at submit on the new
+    // spec — treated as maximal divergence, so the rollout rolls back
+    // rather than leaving a replica serving a model its tenants cannot
+    // call.
+    let dir = tmp_dir("rollout_geom");
+    let v1 = tiny_net(7);
+    let mut other_spec = per_sample_spec();
+    other_spec.input_hw = (14, 14);
+    let other = CapsNet::seeded(&other_spec, 8).unwrap();
+    let v1_path = dir.join("v1.pimcaps");
+    let other_path = dir.join("other.pimcaps");
+    ModelWriter::new().save(&v1, &v1_path).unwrap();
+    ModelWriter::new().save(&other, &other_path).unwrap();
+
+    let set = ReplicaSet::from_artifact(
+        "geom",
+        &v1_path,
+        &ExactMath,
+        pool_cfg(2, RoutingPolicy::RoundRobin),
+    )
+    .unwrap();
+    let (report, _) = set.run(|pool| {
+        let new = SharedArtifact::open(&other_path).unwrap();
+        let cfg = RolloutConfig::new(images(1, 1), 0.5);
+        pool.rolling_rollout(&new, &cfg).unwrap()
+    });
+    assert!(report.rolled_back);
+    assert_eq!(report.steps[0].outcome, ReplicaOutcome::RolledBack);
+    assert_eq!(report.steps[0].divergence, None, "canary failed outright");
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn zero_replica_pools_are_rejected() {
+    let net = tiny_net(9);
+    let err = ReplicaSet::from_net(
+        "bad",
+        &net,
+        &ExactMath,
+        pool_cfg(0, RoutingPolicy::RoundRobin),
+    );
+    assert!(err.is_err());
+}
+
+#[test]
+fn panicking_closure_propagates_instead_of_hanging() {
+    // Regression: a panic inside the run closure must close the replica
+    // mailboxes on the way out (drop guard). Before the fix the replica
+    // threads slept forever in their mailbox waits and the scope hung
+    // joining them instead of propagating the panic.
+    let net = tiny_net(10);
+    let set = ReplicaSet::from_net(
+        "boom",
+        &net,
+        &ExactMath,
+        pool_cfg(2, RoutingPolicy::RoundRobin),
+    )
+    .unwrap();
+    let outcome = std::thread::scope(|s| {
+        s.spawn(|| {
+            let _ = set.run(|_pool| panic!("closure failed"));
+        })
+        .join()
+    });
+    assert!(outcome.is_err(), "the closure's panic must propagate");
+}

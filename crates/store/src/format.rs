@@ -464,14 +464,26 @@ pub fn decode_table(bytes: &[u8], tensor_count: u32) -> Result<Vec<TensorRecord>
             partitions,
             checksum,
         };
-        let volume: u64 = record.dims.iter().map(|&d| d as u64).product();
-        if volume != record.elems() {
-            return Err(StoreError::Corrupt(format!(
-                "tensor {:?}: dims {:?} ({volume} elems) disagree with stored partitions ({})",
-                record.name,
-                record.dims,
-                record.elems()
-            )));
+        // Both reductions are over forgeable values: a crafted table can
+        // carry dims or partition element counts near u64::MAX, so plain
+        // product/sum would abort debug builds on overflow instead of
+        // returning the typed error.
+        let volume = record
+            .dims
+            .iter()
+            .try_fold(1u64, |acc, &d| acc.checked_mul(d as u64));
+        let elems = record
+            .partitions
+            .iter()
+            .try_fold(0u64, |acc, p| acc.checked_add(p.elems));
+        match (volume, elems) {
+            (Some(v), Some(e)) if v == e => {}
+            _ => {
+                return Err(StoreError::Corrupt(format!(
+                    "tensor {:?}: dims {:?} disagree with stored partitions (or overflow)",
+                    record.name, record.dims,
+                )));
+            }
         }
         records.push(record);
     }

@@ -15,7 +15,10 @@
 //!   network off [`pim_tensor::Tensor::from_shared`] views borrowing the
 //!   page cache — cold loads are bounded by checksum bandwidth rather than
 //!   RNG throughput, warm loads by page-table work, and N processes
-//!   serving the same model share one physical copy of the weights.
+//!   serving the same model share one physical copy of the weights, or
+//! * **shared** ([`SharedArtifact`]): a cheaply cloneable handle over one
+//!   [`MappedModel`], so N in-process serve replicas wrap a *single*
+//!   mapping (verified once) instead of N mappings of the same file.
 //!
 //! The optional **vault-aligned layout** ([`Layout::VaultAligned`]) stores
 //! eligible weight tensors pre-partitioned along their leading dimension
@@ -63,7 +66,7 @@ mod writer;
 
 pub use error::StoreError;
 pub use format::{Layout, Partition, TensorRecord, DATA_ALIGN, DEFAULT_VAULT_WAYS, FORMAT_VERSION};
-pub use reader::{MappedModel, StoredModel, VaultPartition};
+pub use reader::{MappedModel, SharedArtifact, StoredModel, VaultPartition};
 pub use writer::{ModelWriter, SaveReport};
 
 /// Convenience alias for results produced by this crate.

@@ -112,11 +112,50 @@ impl Drop for Mmap {
     }
 }
 
+/// Rejects a mapping whose file changed size between the pre-map stat and
+/// the post-map re-stat.
+///
+/// A mapping is sized from `metadata().len()`, but nothing stops another
+/// process from truncating or rewriting the file between that stat and the
+/// `mmap` call. A mapping that extends past the file's real end SIGBUSes
+/// the first reader that touches the missing pages — with a multi-replica
+/// supervisor mapping one artifact N times, that is every replica at once.
+/// Re-statting the *open descriptor* after the map closes that window: the
+/// mapping's extent is fixed at map time, so a post-map length equal to the
+/// pre-map length proves the bytes behind the mapping all exist.
+///
+/// Mutations *after* this check are excluded by the writer contract
+/// instead: artifacts are only ever replaced via `ModelWriter`'s atomic
+/// temp-file + `rename` (see `crates/store/src/writer.rs`), which swaps the
+/// directory entry and never touches the mapped inode — a reader's mapping
+/// keeps the old file alive until unmapped. Rollout code must never rewrite
+/// an artifact in place.
+///
+/// # Errors
+///
+/// [`StoreError::Corrupt`] when the lengths disagree.
+pub(crate) fn ensure_len_stable(mapped_len: usize, len_after_map: u64) -> Result<(), StoreError> {
+    if mapped_len as u64 != len_after_map {
+        return Err(StoreError::Corrupt(format!(
+            "file resized during mapping: mapped {mapped_len} bytes, file now {len_after_map} \
+             (artifact replaced non-atomically? writers must use atomic temp+rename)"
+        )));
+    }
+    Ok(())
+}
+
 /// Maps `path` read-only in its entirety.
+///
+/// The mapped length is validated against a re-stat of the open descriptor
+/// **after** the map (see [`ensure_len_stable`]), so a concurrently
+/// truncated or non-atomically overwritten artifact surfaces as a typed
+/// [`StoreError::Corrupt`] instead of a SIGBUS in whoever reads the
+/// mapping first.
 ///
 /// # Errors
 ///
 /// [`StoreError::Io`] when the file cannot be opened, statted, or mapped;
+/// [`StoreError::Corrupt`] when the file's length changed while mapping;
 /// [`StoreError::MmapUnsupported`] on non-Unix targets (callers fall back
 /// to owned reads).
 pub fn map_file(path: &std::path::Path) -> Result<Mmap, StoreError> {
@@ -125,7 +164,9 @@ pub fn map_file(path: &std::path::Path) -> Result<Mmap, StoreError> {
         let file = std::fs::File::open(path)?;
         let len = usize::try_from(file.metadata()?.len())
             .map_err(|_| StoreError::Corrupt("file larger than address space".into()))?;
-        sys::map(&file, len)
+        let mapping = sys::map(&file, len)?;
+        ensure_len_stable(mapping.len(), file.metadata()?.len())?;
+        Ok(mapping)
     }
     #[cfg(not(unix))]
     {
@@ -153,5 +194,21 @@ mod tests {
     fn missing_file_is_io_error() {
         let err = map_file(std::path::Path::new("/nonexistent/pim_store_nope")).unwrap_err();
         assert!(matches!(err, StoreError::Io(_)));
+    }
+
+    #[test]
+    fn length_instability_is_corrupt_not_a_crash() {
+        // The race itself (truncation between stat and map) cannot be
+        // provoked deterministically from a test, so the check is factored
+        // out and pinned here: any disagreement between the mapped length
+        // and the post-map file length must surface as a typed Corrupt.
+        ensure_len_stable(4096, 4096).unwrap();
+        ensure_len_stable(0, 0).unwrap();
+        let err = ensure_len_stable(4096, 1024).unwrap_err();
+        assert!(matches!(err, StoreError::Corrupt(_)));
+        assert!(err.to_string().contains("resized during mapping"));
+        // Growth is just as fatal: the header's committed file_len no
+        // longer describes the inode either way.
+        assert!(ensure_len_stable(1024, 4096).is_err());
     }
 }

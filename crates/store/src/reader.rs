@@ -371,6 +371,15 @@ impl MappedModel {
         self.mapped
     }
 
+    /// Length of the backing file image in bytes (the mapped extent, or
+    /// the owned copy's size after a fallback).
+    pub fn image_len(&self) -> usize {
+        match &*self.buf {
+            ArtifactBuf::Mapped(m) => m.len(),
+            ArtifactBuf::OwnedWords(v) => v.len() * 4,
+        }
+    }
+
     /// Stored tensor names, in table order.
     pub fn tensor_names(&self) -> impl Iterator<Item = &str> {
         self.records.iter().map(|r| r.name.as_str())
@@ -465,5 +474,85 @@ impl MappedModel {
         }
         let spec = self.spec.clone();
         Ok(CapsNet::from_views(&spec, &mut Source(self))?)
+    }
+}
+
+// ── shared artifact handle ──────────────────────────────────────────────
+
+/// A cheaply cloneable handle letting **many consumers wrap one mapping**.
+///
+/// `MappedModel::open` creates one `mmap` per call; N serve replicas each
+/// opening the same path would hold N mappings (the page cache still
+/// dedups the physical pages, but each handle re-verifies every checksum
+/// and owns its own VMA). A `SharedArtifact` opens and verifies the
+/// artifact **once** and shares the single [`MappedModel`] behind an
+/// `Arc`: every [`SharedArtifact::capsnet`] call hands out networks whose
+/// weight tensors are windows into the *same* buffer, so a whole replica
+/// pool serves one physical copy of the weights.
+///
+/// The handle records the path it was opened from so supervisors can
+/// re-open (or roll back to) the same artifact later.
+#[derive(Debug, Clone)]
+pub struct SharedArtifact {
+    model: Arc<MappedModel>,
+    path: std::path::PathBuf,
+}
+
+impl SharedArtifact {
+    /// Opens and fully verifies the artifact at `path` once; clones of the
+    /// returned handle share the mapping.
+    ///
+    /// # Errors
+    ///
+    /// Any [`StoreError`] from [`MappedModel::open`].
+    pub fn open(path: &Path) -> Result<Self, StoreError> {
+        Ok(SharedArtifact {
+            model: Arc::new(MappedModel::open(path)?),
+            path: path.to_path_buf(),
+        })
+    }
+
+    /// The shared mapped model.
+    pub fn model(&self) -> &MappedModel {
+        &self.model
+    }
+
+    /// The path the artifact was opened from.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// The stored network specification.
+    pub fn spec(&self) -> &CapsNetSpec {
+        self.model.spec()
+    }
+
+    /// `true` when the shared image is a live memory mapping.
+    pub fn is_mapped(&self) -> bool {
+        self.model.is_mapped()
+    }
+
+    /// Bytes of the single shared file image (counted **once**, however
+    /// many handles or networks wrap it).
+    pub fn image_len(&self) -> usize {
+        self.model.image_len()
+    }
+
+    /// How many `SharedArtifact` handles currently share this mapping.
+    /// Networks built by [`SharedArtifact::capsnet`] keep the underlying
+    /// buffer alive independently of this count.
+    pub fn handles(&self) -> usize {
+        Arc::strong_count(&self.model)
+    }
+
+    /// Builds a runnable network off the shared mapping — same semantics
+    /// as [`MappedModel::capsnet`], but every network from every clone of
+    /// this handle shares one backing buffer.
+    ///
+    /// # Errors
+    ///
+    /// See [`MappedModel::capsnet`].
+    pub fn capsnet(&self) -> Result<CapsNet, StoreError> {
+        self.model.capsnet()
     }
 }

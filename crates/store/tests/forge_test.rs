@@ -1,12 +1,20 @@
-// drop into crates/store/tests/ temporarily
-use pim_store::format::{encode_table, decode_table, TensorRecord, Partition};
+//! Forged-section-table regression tests: `decode_table` must reject a
+//! table whose dims or partition element counts are crafted near
+//! `u64::MAX` with a typed `StoreError`, never an arithmetic-overflow
+//! abort (debug builds panic on overflow, so the dims product and
+//! partition sum are reduced with checked arithmetic).
+
+use pim_store::format::{decode_table, encode_table, Partition, TensorRecord};
 
 #[test]
 fn forged_overflow_dims_no_panic() {
     let records = vec![TensorRecord {
         name: "w".into(),
         dims: vec![usize::MAX, 4],
-        partitions: vec![Partition { offset: 64, elems: 1 }],
+        partitions: vec![Partition {
+            offset: 64,
+            elems: 1,
+        }],
         checksum: 0,
     }];
     let bytes = encode_table(&records);

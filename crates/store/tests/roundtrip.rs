@@ -208,3 +208,75 @@ fn larger_model_with_uneven_vault_shares() {
     assert_forward_bitwise(&net, &mapped.capsnet().unwrap());
     std::fs::remove_dir_all(&dir).unwrap();
 }
+
+#[test]
+fn shared_artifact_backs_many_networks_with_one_mapping() {
+    let dir = tmp_dir("shared_artifact");
+    let path = dir.join("shared.pimcaps");
+    let net = tiny_net(31);
+    ModelWriter::new().save(&net, &path).unwrap();
+
+    let artifact = pim_store::SharedArtifact::open(&path).unwrap();
+    assert_eq!(artifact.path(), path.as_path());
+    assert!(artifact.image_len() > 0);
+    #[cfg(unix)]
+    assert!(artifact.is_mapped());
+
+    // Clones share the one mapping (no re-open, no re-verify).
+    let replica_handles: Vec<pim_store::SharedArtifact> =
+        (0..3).map(|_| artifact.clone()).collect();
+    assert_eq!(artifact.handles(), 1 + replica_handles.len());
+
+    // Every network built from any handle reads the caps weight from the
+    // same physical bytes: identical backing pointers, zero owned copies
+    // of the packed-layout tensors.
+    let nets: Vec<CapsNet> = replica_handles
+        .iter()
+        .map(|h| h.capsnet().unwrap())
+        .collect();
+    let base_ptr = nets[0]
+        .named_weights()
+        .iter()
+        .find(|(n, _)| n == "caps.weight")
+        .map(|(_, t)| t.as_slice().as_ptr())
+        .unwrap();
+    for net_i in &nets {
+        for (name, t) in net_i.named_weights() {
+            assert!(t.is_shared(), "{name} should borrow the shared mapping");
+            if name == "caps.weight" {
+                assert_eq!(t.as_slice().as_ptr(), base_ptr, "replicas must share bytes");
+            }
+        }
+    }
+    for n in &nets {
+        assert_forward_bitwise(&net, n);
+    }
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn in_place_truncation_is_a_typed_error_not_a_crash() {
+    // The rollout contract says artifacts are only replaced via the atomic
+    // temp+rename writer. If something violates that and truncates the
+    // file in place, readers opening it afterwards must get a typed error
+    // (the header commits to the full length), never a SIGBUS or panic.
+    let dir = tmp_dir("truncate_in_place");
+    let path = dir.join("t.pimcaps");
+    ModelWriter::vault_aligned()
+        .save(&tiny_net(5), &path)
+        .unwrap();
+    let full = std::fs::metadata(&path).unwrap().len();
+    let f = std::fs::OpenOptions::new().write(true).open(&path).unwrap();
+    f.set_len(full - 64).unwrap();
+    drop(f);
+    assert!(matches!(
+        MappedModel::open(&path),
+        Err(pim_store::StoreError::Truncated { .. })
+    ));
+    assert!(matches!(
+        StoredModel::open(&path),
+        Err(pim_store::StoreError::Truncated { .. })
+    ));
+    assert!(pim_store::SharedArtifact::open(&path).is_err());
+    std::fs::remove_dir_all(&dir).unwrap();
+}

@@ -14,6 +14,7 @@
 pub mod accuracy;
 pub mod persist;
 pub mod report;
+pub mod rollout;
 mod suite;
 pub mod synth;
 pub mod traffic;

@@ -35,6 +35,7 @@ pub use hmc_sim as hmc;
 pub use pim_approx as approx;
 pub use pim_capsnet as pim;
 pub use pim_serve as serve;
+pub use pim_store as store;
 pub use pim_tensor as tensor;
 
 /// Convenience prelude with the most-used types across the suite.
@@ -53,10 +54,10 @@ pub mod prelude {
         evaluate, evaluate_with_dimension, DesignVariant, Dimension, EvalResult, Platform,
     };
     pub use pim_serve::{
-        MetricsReport, ModelRegistry, Request, Response, ServeConfig, ServedModel, Server,
-        SubmitError,
+        MetricsReport, ModelRegistry, ReplicaSet, ReplicaSetConfig, Request, Response,
+        RolloutConfig, RoutingPolicy, ServeConfig, ServedModel, Server, SubmitError,
     };
-    pub use pim_store::{MappedModel, ModelWriter, StoredModel};
+    pub use pim_store::{MappedModel, ModelWriter, SharedArtifact, StoredModel};
     pub use pim_tensor::Tensor;
 }
 
