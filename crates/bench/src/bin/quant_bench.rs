@@ -1,0 +1,29 @@
+//! `quant_bench` — measures batch-1 streaming throughput off f32 vs int8
+//! vs fp16 artifacts of the streaming model, runs the Table 5 accuracy
+//! gate on the quantized reloads, and emits
+//! `bench_results/BENCH_quant.json`.
+//!
+//! Exits non-zero if the accuracy gate fails — the quantized artifacts
+//! must not ship numbers alongside broken classifications.
+
+use std::process::ExitCode;
+
+use pim_bench::quant_bench::{default_gate_benchmark, run_quant_bench};
+
+fn main() -> ExitCode {
+    // Enough batch-1 requests that each measurement streams the caps
+    // weights for a second or more, keeping the samples/s stable.
+    const REQUESTS: usize = 24;
+
+    let gate_benchmark = default_gate_benchmark();
+    let result = run_quant_bench(REQUESTS, &gate_benchmark);
+    result.report_and_write();
+
+    let inputs = result.to_inputs();
+    if !inputs.gate_passed {
+        eprintln!("[quant_bench] accuracy gate FAILED — see BENCH_quant.json rows");
+        return ExitCode::FAILURE;
+    }
+    println!("[quant_bench] accuracy gate passed");
+    ExitCode::SUCCESS
+}

@@ -11,7 +11,10 @@
 //! 4. `load_mmap`  — `MappedModel::open` + rebuild (verify + zero-copy
 //!    views);
 //! 5. a short serve window off the mapped weights, cross-checked bitwise
-//!    against the in-memory network (`persist_roundtrip`).
+//!    against the in-memory network (`persist_roundtrip`);
+//! 6. `quant_artifacts` — the same model saved as int8 and fp16
+//!    (`QuantSpec::weights`), timing quantize+save and mmap-open+rebuild
+//!    and recording the on-disk shrink.
 //!
 //! The headline number is `speedup_mmap_vs_rebuild`; the acceptance bar
 //! (≥ 10×) is pinned by the golden schema test.
@@ -22,9 +25,11 @@ use capsnet::CapsNet;
 use capsnet_workloads::persist::persist_roundtrip;
 use capsnet_workloads::traffic::streaming_spec;
 use pim_bench::emit::{
-    store_json, write_json_artifact, BenchHost, StoreBenchInputs, StoreMeasurement,
+    store_json, write_json_artifact, BenchHost, QuantArtifactRow, StoreBenchInputs,
+    StoreMeasurement,
 };
-use pim_store::{MappedModel, ModelWriter, StoredModel};
+use pim_store::{MappedModel, ModelWriter, QuantSpec, StoredModel};
+use pim_tensor::QuantDType;
 
 fn ms(t: Instant) -> f64 {
     t.elapsed().as_secs_f64() * 1e3
@@ -92,6 +97,34 @@ fn main() {
         "mapped serving must be bit-identical"
     );
 
+    // Quantized variants of the same artifact (tentpole companions).
+    let mut quant_artifacts = Vec::new();
+    for (dtype, label) in [(QuantDType::I8, "int8"), (QuantDType::F16, "fp16")] {
+        let qpath = dir.join(format!("streaming_{label}.pimcaps"));
+        let t = Instant::now();
+        let qreport = ModelWriter::vault_aligned()
+            .with_quant(QuantSpec::weights(dtype))
+            .save(&net, &qpath)
+            .expect("save quantized model");
+        let qsave_ms = ms(t);
+        let t = Instant::now();
+        let qmapped = MappedModel::open(&qpath).expect("mmap quantized");
+        let qloaded = qmapped.capsnet().expect("rebuild quantized");
+        let qload_ms = ms(t);
+        drop(qloaded);
+        println!(
+            "[store_load] {label}: save {qsave_ms:.0} ms, load_mmap {qload_ms:.0} ms, {} MB ({}x smaller)",
+            qreport.bytes >> 20,
+            report.bytes / qreport.bytes.max(1)
+        );
+        quant_artifacts.push(QuantArtifactRow {
+            dtype: label,
+            artifact_bytes: qreport.bytes,
+            save_ms: qsave_ms,
+            load_mmap_ms: qload_ms,
+        });
+    }
+
     let speedup = rebuild_ms / mmap_ms;
     println!("[store_load] speedup mmap vs rebuild: {speedup:.1}x");
 
@@ -117,6 +150,7 @@ fn main() {
                 ms: mmap_ms,
             },
         ],
+        quant_artifacts,
         speedup_mmap_vs_rebuild: speedup,
         mapped: was_mapped,
         bitwise_identical: roundtrip.bitwise_identical,

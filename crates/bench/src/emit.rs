@@ -75,6 +75,19 @@ pub struct StoreMeasurement {
     pub ms: f64,
 }
 
+/// One quantized-artifact row in `BENCH_store.json`: the same model saved
+/// with every eligible weight quantized, next to the f32 baseline.
+pub struct QuantArtifactRow {
+    /// Stored dtype label (`int8` / `fp16`).
+    pub dtype: &'static str,
+    /// Artifact size on disk, bytes.
+    pub artifact_bytes: u64,
+    /// Wall milliseconds to quantize + save.
+    pub save_ms: f64,
+    /// Wall milliseconds to mmap-open + rebuild the network.
+    pub load_mmap_ms: f64,
+}
+
 /// Everything `BENCH_store.json` records about the persistence tier.
 pub struct StoreBenchInputs {
     /// Served model name.
@@ -85,6 +98,8 @@ pub struct StoreBenchInputs {
     pub caps_weight_bytes: u64,
     /// The timed steps, in execution order.
     pub measurements: Vec<StoreMeasurement>,
+    /// The quantized variants of the same artifact (int8, fp16).
+    pub quant_artifacts: Vec<QuantArtifactRow>,
     /// `rebuild_rng ms / load_mmap ms` — the headline: loading beats
     /// rebuilding.
     pub speedup_mmap_vs_rebuild: f64,
@@ -113,9 +128,121 @@ pub fn store_json(host: &BenchHost, inputs: &StoreBenchInputs) -> String {
             }
         ));
     }
+    json.push_str("  ],\n  \"quant_artifacts\": [\n");
+    for (i, q) in inputs.quant_artifacts.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"dtype\": \"{}\", \"artifact_bytes\": {}, \"save_ms\": {:.3}, \"load_mmap_ms\": {:.3}}}{}\n",
+            q.dtype,
+            q.artifact_bytes,
+            q.save_ms,
+            q.load_mmap_ms,
+            if i + 1 == inputs.quant_artifacts.len() {
+                ""
+            } else {
+                ","
+            }
+        ));
+    }
     json.push_str(&format!(
         "  ],\n  \"speedup_mmap_vs_rebuild\": {:.2},\n  \"mapped\": {},\n  \"bitwise_identical\": {}\n}}\n",
         inputs.speedup_mmap_vs_rebuild, inputs.mapped, inputs.bitwise_identical
+    ));
+    json
+}
+
+/// One dtype row in `BENCH_quant.json`: the streaming model stored and
+/// served as this element type.
+pub struct QuantDtypeRow {
+    /// Stored dtype label (`f32` / `int8` / `fp16`).
+    pub dtype: &'static str,
+    /// Artifact size on disk, bytes.
+    pub artifact_bytes: u64,
+    /// Batch-1 streaming throughput off this artifact.
+    pub samples_per_s: f64,
+    /// Max |Δ| on squared class norms vs the f32 row (0 for f32 itself).
+    pub max_norm_divergence: f32,
+}
+
+/// One accuracy-gate row in `BENCH_quant.json` (see
+/// `capsnet_workloads::quant_gate`).
+pub struct QuantGateRow {
+    /// Quantized dtype label.
+    pub dtype: &'static str,
+    /// Fraction of harness samples with identical top-1 prediction.
+    pub agreement: f64,
+    /// Max |Δ| on squared class norms on the harness.
+    pub max_norm_divergence: f32,
+    /// Calibrated harness accuracy, f32 network.
+    pub f32_accuracy: f64,
+    /// Calibrated harness accuracy, quantized reload.
+    pub quant_accuracy: f64,
+    /// `"pass"` / `"fail"`.
+    pub verdict: &'static str,
+}
+
+/// Everything `BENCH_quant.json` records.
+pub struct QuantBenchInputs {
+    /// Streaming model name.
+    pub model: String,
+    /// Caps-layer weight footprint, bytes (f32).
+    pub caps_weight_bytes: u64,
+    /// Batch-1 requests per throughput measurement.
+    pub requests: usize,
+    /// One row per stored dtype; the `f32` row is the baseline.
+    pub dtypes: Vec<QuantDtypeRow>,
+    /// Accuracy-gate benchmark name (Table 1).
+    pub gate_benchmark: String,
+    /// Harness samples the gate evaluated.
+    pub gate_samples: usize,
+    /// One gate row per quantized dtype.
+    pub gate: Vec<QuantGateRow>,
+    /// Whether every gate row passed.
+    pub gate_passed: bool,
+}
+
+/// Renders `BENCH_quant.json`: per-dtype artifact sizes and streaming
+/// throughputs (with speedup over the f32 row) plus the accuracy gate.
+pub fn quant_json(host: &BenchHost, inputs: &QuantBenchInputs) -> String {
+    let f32_sps = inputs
+        .dtypes
+        .iter()
+        .find(|d| d.dtype == "f32")
+        .map(|d| d.samples_per_s)
+        .unwrap_or(f64::NAN);
+    let mut json = format!(
+        "{{\n  \"host\": {{\"simd\": \"{}\", \"threads\": {}}},\n  \"model\": {{\"name\": \"{}\", \"caps_weight_bytes\": {}, \"requests\": {}}},\n  \"dtypes\": [\n",
+        host.simd, host.threads, inputs.model, inputs.caps_weight_bytes, inputs.requests
+    );
+    for (i, d) in inputs.dtypes.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"dtype\": \"{}\", \"artifact_bytes\": {}, \"samples_per_s\": {:.2}, \"speedup_vs_f32\": {:.4}, \"max_norm_divergence\": {:e}}}{}\n",
+            d.dtype,
+            d.artifact_bytes,
+            d.samples_per_s,
+            d.samples_per_s / f32_sps,
+            d.max_norm_divergence,
+            if i + 1 == inputs.dtypes.len() { "" } else { "," }
+        ));
+    }
+    json.push_str(&format!(
+        "  ],\n  \"accuracy_gate\": {{\n    \"benchmark\": \"{}\", \"samples\": {},\n    \"rows\": [\n",
+        inputs.gate_benchmark, inputs.gate_samples
+    ));
+    for (i, g) in inputs.gate.iter().enumerate() {
+        json.push_str(&format!(
+            "      {{\"dtype\": \"{}\", \"agreement\": {:.4}, \"max_norm_divergence\": {:e}, \"f32_accuracy\": {:.4}, \"quant_accuracy\": {:.4}, \"verdict\": \"{}\"}}{}\n",
+            g.dtype,
+            g.agreement,
+            g.max_norm_divergence,
+            g.f32_accuracy,
+            g.quant_accuracy,
+            g.verdict,
+            if i + 1 == inputs.gate.len() { "" } else { "," }
+        ));
+    }
+    json.push_str(&format!(
+        "    ]\n  }},\n  \"gate_passed\": {}\n}}\n",
+        inputs.gate_passed
     ));
     json
 }

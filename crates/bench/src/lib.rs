@@ -6,6 +6,7 @@
 
 pub mod emit;
 pub mod jsonlite;
+pub mod quant_bench;
 pub mod replica_bench;
 pub mod serve_bench;
 

@@ -9,7 +9,7 @@ use capsnet::{CapsNet, ExactMath};
 use capsnet_workloads::traffic::{request_images, streaming_spec, Arrival, TrafficConfig};
 use pim_serve::{BatchExecution, ModelRegistry, Request, ServeConfig, ServedModel, Server, Ticket};
 
-use crate::emit::{histogram_json, write_json_artifact};
+use crate::emit::{histogram_json, write_json_artifact, BenchHost};
 
 /// Everything one serve-throughput run measured.
 pub struct ServeBenchResult {
@@ -42,6 +42,8 @@ pub struct ServeBenchResult {
     pub cfg: ServeConfig,
     /// Caps-layer weight footprint of the served model, bytes.
     pub caps_weight_bytes: usize,
+    /// The measurement host (SIMD path + threads) the numbers came from.
+    pub host: BenchHost,
 }
 
 /// The scheduler configuration the bench exercises. Spelled out field by
@@ -138,6 +140,7 @@ pub fn run_serve_bench(requests: usize) -> ServeBenchResult {
         occupancy: median.metrics.batch_occupancy,
         cfg,
         caps_weight_bytes,
+        host: BenchHost::detect(),
     }
 }
 
@@ -222,6 +225,7 @@ impl ServeBenchResult {
         format!(
             concat!(
                 "{{\n",
+                "  \"host\": {{\"simd\": \"{simd}\", \"threads\": {threads}}},\n",
                 "  \"model\": {{\"name\": \"{name}\", \"l_caps\": {l}, \"cl_dim\": {cl}, ",
                 "\"h_caps\": {h}, \"ch_dim\": {ch}, \"caps_weight_mb\": {wmb:.1}}},\n",
                 "  \"scheduler\": {{\"max_batch\": {mb}, \"max_wait_us\": {mw}, ",
@@ -235,6 +239,8 @@ impl ServeBenchResult {
                 "  \"outputs_bitwise_equal\": {eq}\n",
                 "}}\n",
             ),
+            simd = self.host.simd,
+            threads = self.host.threads,
             name = spec.name,
             l = spec.l_caps().expect("valid"),
             cl = spec.cl_dim,
@@ -307,8 +313,15 @@ mod tests {
             occupancy: vec![0, 1, 0, 0, 1],
             cfg: bench_serve_config(),
             caps_weight_bytes: 292 << 20,
+            host: BenchHost {
+                simd: "avx2+fma",
+                threads: 4,
+            },
         };
         let v = crate::jsonlite::parse(&result.to_json()).unwrap();
+        let h = v.get("host").expect("host object");
+        assert_eq!(h.get("simd").unwrap().as_str(), Some("avx2+fma"));
+        assert_eq!(h.get("threads").unwrap().as_f64(), Some(4.0));
         assert_eq!(
             v.get("speedup_batched_vs_serial").unwrap().as_f64(),
             Some(2.5)

@@ -1,8 +1,8 @@
 //! Golden-file schema tests for the perf-trajectory artifacts.
 //!
 //! The `bench_results/BENCH_*.json` artifacts (routing, serve, store,
-//! replica) are committed so each PR leaves a comparable performance
-//! record; these
+//! replica, quant) are committed so each PR leaves a comparable
+//! performance record; these
 //! tests pin their **schema** (keys, types, value sanity) without pinning
 //! machine-dependent numbers, so the files cannot silently drift into a
 //! shape future tooling can't read.
@@ -95,6 +95,20 @@ fn bench_routing_schema() {
 #[test]
 fn bench_serve_schema() {
     let doc = load("BENCH_serve.json");
+
+    // The measurement host: serve throughputs are only comparable across
+    // PRs knowing which SIMD path ran and how many threads were available.
+    let host = doc.get("host").expect("top-level \"host\" object");
+    let simd = host
+        .get("simd")
+        .and_then(Value::as_str)
+        .expect("host.simd string");
+    assert!(!simd.is_empty(), "host.simd must name the kernel path");
+    let threads = f64_field(host, "threads", "host");
+    assert!(
+        threads >= 1.0 && threads.fract() == 0.0,
+        "host.threads {threads}"
+    );
 
     let model = doc.get("model").expect("\"model\" object");
     for key in [
@@ -295,6 +309,31 @@ fn bench_store_schema() {
         assert!(ms > 0.0 && ms.is_finite(), "{name}: ms {ms}");
     }
 
+    // Quantized variants of the same artifact: int8 and fp16, each
+    // smaller on disk than the f32 baseline, with positive timings.
+    let quant = doc
+        .get("quant_artifacts")
+        .and_then(Value::as_array)
+        .expect("\"quant_artifacts\" array");
+    let f32_bytes = f64_field(model, "artifact_bytes", "model");
+    let dtypes: Vec<&str> = quant
+        .iter()
+        .map(|q| q.get("dtype").and_then(Value::as_str).expect("quant dtype"))
+        .collect();
+    assert_eq!(dtypes, ["int8", "fp16"], "quantized artifact rows changed");
+    for q in quant {
+        let dtype = q.get("dtype").and_then(Value::as_str).unwrap();
+        let bytes = f64_field(q, "artifact_bytes", dtype);
+        assert!(
+            bytes > 0.0 && bytes < f32_bytes,
+            "{dtype}: artifact {bytes} B not smaller than f32 ({f32_bytes} B)"
+        );
+        for key in ["save_ms", "load_mmap_ms"] {
+            let ms = f64_field(q, key, dtype);
+            assert!(ms > 0.0 && ms.is_finite(), "{dtype}: {key} {ms}");
+        }
+    }
+
     // Acceptance bar: mmap loading beats rebuilding from RNG by ≥ 10×.
     let speedup = f64_field(&doc, "speedup_mmap_vs_rebuild", "top level");
     assert!(
@@ -310,5 +349,99 @@ fn bench_store_schema() {
         doc.get("bitwise_identical").and_then(Value::as_bool),
         Some(true),
         "serving off the mapping must record bitwise equality"
+    );
+}
+
+#[test]
+fn bench_quant_schema() {
+    let doc = load("BENCH_quant.json");
+
+    let host = doc.get("host").expect("\"host\" object");
+    assert!(host.get("simd").and_then(Value::as_str).is_some());
+    assert!(f64_field(host, "threads", "host") >= 1.0);
+
+    let model = doc.get("model").expect("\"model\" object");
+    assert!(model.get("name").and_then(Value::as_str).is_some());
+    assert!(
+        f64_field(model, "caps_weight_bytes", "model") > 200.0 * 1024.0 * 1024.0,
+        "quant bench must serve the weight-streaming model"
+    );
+    assert!(f64_field(model, "requests", "model") >= 1.0);
+
+    // One throughput row per stored dtype, f32 first as the baseline.
+    let dtypes = doc
+        .get("dtypes")
+        .and_then(Value::as_array)
+        .expect("\"dtypes\" array");
+    let labels: Vec<&str> = dtypes
+        .iter()
+        .map(|d| d.get("dtype").and_then(Value::as_str).expect("dtype label"))
+        .collect();
+    assert_eq!(labels, ["f32", "int8", "fp16"], "dtype rows changed");
+    let row = |label: &str| {
+        dtypes
+            .iter()
+            .find(|d| d.get("dtype").and_then(Value::as_str) == Some(label))
+            .unwrap()
+    };
+    let f32_row = row("f32");
+    let f32_bytes = f64_field(f32_row, "artifact_bytes", "f32");
+    for d in dtypes {
+        let label = d.get("dtype").and_then(Value::as_str).unwrap();
+        assert!(f64_field(d, "samples_per_s", label) > 0.0);
+        assert!(f64_field(d, "artifact_bytes", label) > 0.0);
+        let div = f64_field(d, "max_norm_divergence", label);
+        assert!(div >= 0.0 && div.is_finite(), "{label}: divergence {div}");
+        let speedup = f64_field(d, "speedup_vs_f32", label);
+        assert!(speedup > 0.0 && speedup.is_finite());
+    }
+    assert_eq!(f64_field(f32_row, "speedup_vs_f32", "f32"), 1.0);
+    assert!(
+        f64_field(row("int8"), "artifact_bytes", "int8") < f32_bytes / 3.0,
+        "int8 artifact must shrink close to 4x"
+    );
+    assert!(
+        f64_field(row("fp16"), "artifact_bytes", "fp16") < f32_bytes / 1.8,
+        "fp16 artifact must shrink close to 2x"
+    );
+    // The tentpole acceptance bar: int8 streaming at >= 2x f32 samples/s.
+    let int8_speedup = f64_field(row("int8"), "speedup_vs_f32", "int8");
+    assert!(
+        int8_speedup >= 2.0,
+        "int8 streaming only {int8_speedup}x over f32 (bar: 2x)"
+    );
+
+    // Accuracy gate: both quantized dtypes, every row passing.
+    let gate = doc.get("accuracy_gate").expect("\"accuracy_gate\" object");
+    assert!(gate.get("benchmark").and_then(Value::as_str).is_some());
+    assert!(f64_field(gate, "samples", "gate") >= 1.0);
+    let rows = gate
+        .get("rows")
+        .and_then(Value::as_array)
+        .expect("gate \"rows\" array");
+    let gate_dtypes: Vec<&str> = rows
+        .iter()
+        .map(|r| r.get("dtype").and_then(Value::as_str).expect("gate dtype"))
+        .collect();
+    assert_eq!(gate_dtypes, ["int8", "fp16"], "gate rows changed");
+    for r in rows {
+        let label = r.get("dtype").and_then(Value::as_str).unwrap();
+        let agreement = f64_field(r, "agreement", label);
+        assert!((0.0..=1.0).contains(&agreement));
+        assert!(f64_field(r, "max_norm_divergence", label) >= 0.0);
+        for key in ["f32_accuracy", "quant_accuracy"] {
+            let acc = f64_field(r, key, label);
+            assert!((0.0..=1.0).contains(&acc), "{label}: {key} {acc}");
+        }
+        assert_eq!(
+            r.get("verdict").and_then(Value::as_str),
+            Some("pass"),
+            "{label}: committed gate row must pass"
+        );
+    }
+    assert_eq!(
+        doc.get("gate_passed").and_then(Value::as_bool),
+        Some(true),
+        "the committed quant record must have passed the accuracy gate"
     );
 }

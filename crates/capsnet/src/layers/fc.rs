@@ -1,15 +1,16 @@
 //! Fully-connected decoder layers (Fig 2's reconstruction stack).
 
-use pim_tensor::{matmul_into, Tensor};
+use pim_tensor::{matmul_into, simd, QuantDType, Tensor};
 
 use crate::error::CapsNetError;
 use crate::layers::conv::Activation;
+use crate::weights::{WeightRef, WeightView};
 
 /// A dense layer `y = act(x·W + b)`.
 #[derive(Debug, Clone)]
 pub struct DenseLayer {
-    weight: Tensor, // [in, out]
-    bias: Tensor,   // [out]
+    weight: WeightView, // [in, out]
+    bias: Tensor,       // [out]
     activation: Activation,
 }
 
@@ -18,7 +19,7 @@ impl DenseLayer {
     pub fn seeded(input: usize, output: usize, activation: Activation, seed: u64) -> Self {
         let std = (1.0 / input as f32).sqrt();
         DenseLayer {
-            weight: Tensor::randn(&[input, output], std, seed),
+            weight: WeightView::F32(Tensor::randn(&[input, output], std, seed)),
             bias: Tensor::zeros(&[output]),
             activation,
         }
@@ -35,7 +36,23 @@ impl DenseLayer {
         bias: Tensor,
         activation: Activation,
     ) -> Result<Self, CapsNetError> {
-        let dims = weight.shape().dims().to_vec();
+        Self::from_weight_view(WeightView::F32(weight), bias, activation)
+    }
+
+    /// [`Self::from_weights`] over a typed [`WeightView`] — the path
+    /// quantized artifacts load through. Quantized weights stay in byte
+    /// form and dequantize on the fly inside [`Self::forward_into`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CapsNetError::InvalidSpec`] when the weight is not a
+    /// matrix or the bias length does not match its output width.
+    pub fn from_weight_view(
+        weight: WeightView,
+        bias: Tensor,
+        activation: Activation,
+    ) -> Result<Self, CapsNetError> {
+        let dims = weight.dims().to_vec();
         if dims.len() != 2 {
             return Err(CapsNetError::InvalidSpec(format!(
                 "dense weight must be [in, out], got {dims:?}"
@@ -56,7 +73,7 @@ impl DenseLayer {
     }
 
     /// The weight matrix `[in, out]`.
-    pub fn weight(&self) -> &Tensor {
+    pub fn weight(&self) -> &WeightView {
         &self.weight
     }
 
@@ -72,12 +89,12 @@ impl DenseLayer {
 
     /// Input width.
     pub fn input_dim(&self) -> usize {
-        self.weight.shape().dims()[0]
+        self.weight.dims()[0]
     }
 
     /// Output width.
     pub fn output_dim(&self) -> usize {
-        self.weight.shape().dims()[1]
+        self.weight.dims()[1]
     }
 
     /// Forward pass `[B, in] -> [B, out]`.
@@ -110,14 +127,51 @@ impl DenseLayer {
         }
         let rows = dims[0];
         out.resize_for(&[rows, output_dim]);
-        matmul_into(
-            input.as_slice(),
-            self.weight.as_slice(),
-            out.as_mut_slice(),
-            rows,
-            input_dim,
-            output_dim,
-        );
+        match self.weight.as_ref() {
+            WeightRef::F32(w) => {
+                matmul_into(
+                    input.as_slice(),
+                    w.as_slice(),
+                    out.as_mut_slice(),
+                    rows,
+                    input_dim,
+                    output_dim,
+                );
+            }
+            WeightRef::Quant(q) => {
+                // Row-major W [in, out]: accumulate x[r][k] · W[k, :] into
+                // out[r, :] through the fused dequantize kernels — the
+                // quantized rows stream straight from the stored bytes.
+                let bytes = q.bytes();
+                let eb = q.dtype().elem_bytes();
+                let x = input.as_slice();
+                let data = out.as_mut_slice();
+                data.fill(0.0);
+                for r in 0..rows {
+                    let orow = &mut data[r * output_dim..(r + 1) * output_dim];
+                    for k in 0..input_dim {
+                        let xv = x[r * input_dim + k];
+                        if xv == 0.0 {
+                            continue;
+                        }
+                        let block = q.block_at(k * output_dim);
+                        let off = k * output_dim * eb;
+                        match q.dtype() {
+                            QuantDType::I8 => simd::axpy_i8(
+                                xv,
+                                &bytes[off..off + output_dim],
+                                block.scale,
+                                block.zero_point,
+                                orow,
+                            ),
+                            QuantDType::F16 => {
+                                simd::axpy_f16(xv, &bytes[off..off + output_dim * 2], orow)
+                            }
+                        }
+                    }
+                }
+            }
+        }
         let bias = self.bias.as_slice();
         let data = out.as_mut_slice();
         for r in 0..rows {
@@ -166,6 +220,48 @@ mod tests {
         let layer = DenseLayer::seeded(8, 4, Activation::Linear, 1);
         let x = Tensor::zeros(&[3, 7]);
         assert!(layer.forward(&x).is_err());
+    }
+
+    #[test]
+    fn quantized_weight_forward_tracks_dequantized_f32() {
+        use pim_tensor::QuantTensor;
+        let layer = DenseLayer::seeded(8, 4, Activation::Sigmoid, 5);
+        let x = Tensor::uniform(&[3, 8], -1.0, 1.0, 6);
+        let w = layer.weight().expect_f32();
+        for dtype in [QuantDType::I8, QuantDType::F16] {
+            let q = QuantTensor::quantize(dtype, w.as_slice(), w.shape().dims(), &[5, 3]).unwrap();
+            let deq =
+                DenseLayer::from_weights(q.dequantize(), layer.bias().clone(), Activation::Sigmoid)
+                    .unwrap();
+            let ql = DenseLayer::from_weight_view(
+                crate::WeightView::Quant(q),
+                layer.bias().clone(),
+                Activation::Sigmoid,
+            )
+            .unwrap();
+            assert_eq!(ql.input_dim(), 8);
+            assert_eq!(ql.output_dim(), 4);
+            let want = deq.forward(&x).unwrap();
+            let got = ql.forward(&x).unwrap();
+            for (g, w_) in got.as_slice().iter().zip(want.as_slice()) {
+                assert!(
+                    (g - w_).abs() <= 1e-5,
+                    "fused dequant dense diverged: {g} vs {w_} ({dtype:?})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn quantized_weight_rejects_bias_mismatch() {
+        use pim_tensor::QuantTensor;
+        let q = QuantTensor::quantize(QuantDType::F16, &[0.25; 32], &[8, 4], &[8]).unwrap();
+        assert!(DenseLayer::from_weight_view(
+            crate::WeightView::Quant(q),
+            Tensor::zeros(&[3]),
+            Activation::Linear
+        )
+        .is_err());
     }
 
     #[test]

@@ -42,6 +42,7 @@ pub mod layers;
 mod model;
 pub mod routing;
 mod squash;
+mod weights;
 
 pub use backend::{ApproxMath, ExactMath, MathBackend};
 pub use census::{EquationProfile, IntermediateSizes, NetworkCensus, RpCensus, RpEquation};
@@ -50,6 +51,7 @@ pub use error::CapsNetError;
 pub use model::{
     CapsNet, ForwardArena, ForwardOutput, ForwardView, WeightSource, WeightStorageCensus,
 };
+pub use weights::{WeightRef, WeightView};
 // The routing drivers at the crate root: the serving layer (and any other
 // embedder) picks an execution strategy without reaching into the module
 // tree.

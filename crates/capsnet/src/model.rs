@@ -17,6 +17,7 @@ use crate::config::{CapsNetSpec, RoutingAlgorithm};
 use crate::error::CapsNetError;
 use crate::layers::{Activation, CapsLayer, Conv2dLayer, DenseLayer, PrimaryCapsLayer};
 use crate::routing::RoutingScratch;
+use crate::weights::{WeightRef, WeightView};
 
 /// Everything the encoder produces for a batch.
 #[derive(Debug, Clone)]
@@ -193,12 +194,28 @@ pub trait WeightSource {
     fn contains(&self, name: &str) -> bool;
 
     /// The tensor stored under `name`, which must have exactly `dims`.
+    /// Sources holding quantized storage dequantize here (this is the
+    /// path for small tensors — conv kernels and biases — where an `f32`
+    /// copy is cheap).
     ///
     /// # Errors
     ///
     /// Implementations return an error for unknown names or shape
     /// mismatches.
     fn tensor(&mut self, name: &str, dims: &[usize]) -> Result<Tensor, CapsNetError>;
+
+    /// The weight stored under `name` as a typed [`WeightView`] — the path
+    /// the large streamed weights (`caps.weight`, decoder matrices) load
+    /// through, so quantized artifacts reach the fused kernels without an
+    /// `f32` materialization. The default wraps [`WeightSource::tensor`],
+    /// keeping plain `f32` sources source-compatible.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`WeightSource::tensor`].
+    fn weight(&mut self, name: &str, dims: &[usize]) -> Result<WeightView, CapsNetError> {
+        self.tensor(name, dims).map(WeightView::F32)
+    }
 }
 
 /// A `BTreeMap` of tensors is a valid weight source (used by tests and by
@@ -353,8 +370,8 @@ impl CapsNet {
             PrimaryCapsLayer::from_conv(primary_conv, spec.primary_channels, spec.cl_dim)?;
 
         let l = spec.l_caps()?;
-        let caps_w = source.tensor("caps.weight", &[l, spec.cl_dim, spec.h_caps * spec.ch_dim])?;
-        let caps = CapsLayer::from_weights(
+        let caps_w = source.weight("caps.weight", &[l, spec.cl_dim, spec.h_caps * spec.ch_dim])?;
+        let caps = CapsLayer::from_weight_view(
             caps_w,
             l,
             spec.cl_dim,
@@ -373,9 +390,9 @@ impl CapsNet {
             } else {
                 Activation::Relu
             };
-            let w = source.tensor(&format!("decoder.{li}.weight"), &[in_dim, out_dim])?;
+            let w = source.weight(&format!("decoder.{li}.weight"), &[in_dim, out_dim])?;
             let b = source.tensor(&format!("decoder.{li}.bias"), &[out_dim])?;
-            decoder.push(DenseLayer::from_weights(w, b, act)?);
+            decoder.push(DenseLayer::from_weight_view(w, b, act)?);
             in_dim = out_dim;
         }
         Ok(CapsNet {
@@ -387,22 +404,29 @@ impl CapsNet {
         })
     }
 
-    /// Every weight tensor with its canonical name, in a fixed order (the
-    /// order model writers persist them in). Names round-trip through
-    /// [`CapsNet::from_views`].
-    pub fn named_weights(&self) -> Vec<(String, &Tensor)> {
-        let mut out: Vec<(String, &Tensor)> = vec![("conv1.weight".into(), self.conv1.weight())];
+    /// Every weight with its canonical name, in a fixed order (the order
+    /// model writers persist them in). Names round-trip through
+    /// [`CapsNet::from_views`]. Conv kernels and biases are always dense
+    /// [`WeightRef::F32`]; the capsule and decoder matrices are
+    /// [`WeightRef::Quant`] when the network was loaded from a quantized
+    /// artifact.
+    pub fn named_weights(&self) -> Vec<(String, WeightRef<'_>)> {
+        let mut out: Vec<(String, WeightRef<'_>)> =
+            vec![("conv1.weight".into(), WeightRef::F32(self.conv1.weight()))];
         if let Some(b) = self.conv1.bias() {
-            out.push(("conv1.bias".into(), b));
+            out.push(("conv1.bias".into(), WeightRef::F32(b)));
         }
-        out.push(("primary.weight".into(), self.primary.conv().weight()));
+        out.push((
+            "primary.weight".into(),
+            WeightRef::F32(self.primary.conv().weight()),
+        ));
         if let Some(b) = self.primary.conv().bias() {
-            out.push(("primary.bias".into(), b));
+            out.push(("primary.bias".into(), WeightRef::F32(b)));
         }
-        out.push(("caps.weight".into(), self.caps.weight()));
+        out.push(("caps.weight".into(), self.caps.weight().as_ref()));
         for (li, layer) in self.decoder.iter().enumerate() {
-            out.push((format!("decoder.{li}.weight"), layer.weight()));
-            out.push((format!("decoder.{li}.bias"), layer.bias()));
+            out.push((format!("decoder.{li}.weight"), layer.weight().as_ref()));
+            out.push((format!("decoder.{li}.bias"), WeightRef::F32(layer.bias())));
         }
         out
     }
@@ -705,7 +729,7 @@ mod tests {
         let mut source: std::collections::BTreeMap<String, Tensor> = net
             .named_weights()
             .into_iter()
-            .map(|(name, t)| (name, t.clone()))
+            .map(|(name, t)| (name, t.expect_f32().clone()))
             .collect();
         assert!(source.contains_key("caps.weight"));
         assert!(source.contains_key("decoder.2.bias"));
@@ -742,7 +766,7 @@ mod tests {
         let weights: Vec<(String, Tensor)> = net
             .named_weights()
             .into_iter()
-            .map(|(n, t)| (n, t.clone()))
+            .map(|(n, t)| (n, t.expect_f32().clone()))
             .collect();
 
         let mut missing: std::collections::BTreeMap<String, Tensor> = weights
@@ -787,8 +811,8 @@ mod tests {
         let mut flat = Vec::new();
         let mut index = std::collections::BTreeMap::new();
         for (name, t) in net.named_weights() {
-            index.insert(name, (flat.len(), t.shape().dims().to_vec()));
-            flat.extend_from_slice(t.as_slice());
+            index.insert(name, (flat.len(), t.dims().to_vec()));
+            flat.extend_from_slice(t.expect_f32().as_slice());
         }
         let mut source = Packed {
             buf: Arc::new(flat),
@@ -835,8 +859,8 @@ mod tests {
         let mut index: std::collections::BTreeMap<String, (usize, Vec<usize>)> =
             std::collections::BTreeMap::new();
         for (name, t) in net.named_weights() {
-            index.insert(name, (flat.len(), t.shape().dims().to_vec()));
-            flat.extend_from_slice(t.as_slice());
+            index.insert(name, (flat.len(), t.dims().to_vec()));
+            flat.extend_from_slice(t.expect_f32().as_slice());
         }
         struct Packed {
             buf: Arc<dyn TensorBuf>,

@@ -52,7 +52,7 @@ fn perturbed(net: &CapsNet, factor: f32) -> CapsNet {
     let mut weights: BTreeMap<String, Tensor> = net
         .named_weights()
         .into_iter()
-        .map(|(name, t)| (name, t.map(|x| x * (1.0 + factor))))
+        .map(|(name, t)| (name, t.expect_f32().map(|x| x * (1.0 + factor))))
         .collect();
     CapsNet::from_views(net.spec(), &mut weights).unwrap()
 }
@@ -205,7 +205,7 @@ fn artifact_pool_shares_one_mapping_across_replicas() {
             .into_iter()
             .find(|(n, _)| n == "caps.weight")
             .unwrap();
-        caps_ptrs.push(caps.as_slice().as_ptr());
+        caps_ptrs.push(caps.expect_f32().as_slice().as_ptr());
     }
     assert!(
         caps_ptrs.windows(2).all(|w| w[0] == w[1]),

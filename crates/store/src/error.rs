@@ -24,6 +24,15 @@ pub enum StoreError {
     },
     /// Structural or checksum corruption (detail in the message).
     Corrupt(String),
+    /// A (format-valid) tensor section declares an element type this
+    /// reader does not implement — a future format's artifact, not
+    /// corruption.
+    UnsupportedDtype {
+        /// Tensor whose section carries the unknown dtype.
+        name: String,
+        /// The dtype code found.
+        code: u8,
+    },
     /// A tensor the model needs is not in the artifact.
     MissingTensor(String),
     /// Memory mapping is not available on this platform.
@@ -49,6 +58,9 @@ impl std::fmt::Display for StoreError {
                 )
             }
             StoreError::Corrupt(msg) => write!(f, "artifact corrupt: {msg}"),
+            StoreError::UnsupportedDtype { name, code } => {
+                write!(f, "tensor {name:?} uses unsupported dtype code {code}")
+            }
             StoreError::MissingTensor(name) => write!(f, "artifact is missing tensor {name:?}"),
             StoreError::MmapUnsupported => {
                 write!(f, "memory mapping unsupported on this platform")

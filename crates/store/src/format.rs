@@ -10,10 +10,11 @@
 //! │       followed by an 8-byte spec checksum                    │
 //! ├──────────────────────────────────────────────────────────────┤
 //! │ section table: per tensor — name · dtype · dims ·            │
-//! │                partitions (offset, elems)… · data checksum   │
-//! │                … then a table checksum                       │
+//! │                partitions (offset, elems[, scale, zp])… ·    │
+//! │                data checksum … then a table checksum         │
 //! ├──────────────────────────────────────────────────────────────┤
-//! │ data sections: raw f32 little-endian, every partition        │
+//! │ data sections: little-endian payloads (f32 words, int8       │
+//! │                bytes, or binary16 pairs), every partition    │
 //! │                64-byte aligned (zero padding between)        │
 //! └──────────────────────────────────────────────────────────────┘
 //! ```
@@ -22,15 +23,29 @@
 //! and multiples of [`DATA_ALIGN`], so an mmapped file can hand out `&[f32]`
 //! views directly (the mapping base is page-aligned). Checksums are the
 //! [`crate::hash`] 64-bit digest.
+//!
+//! # Versions
+//!
+//! * **v1** — every section is `f32`. Still written whenever no tensor is
+//!   quantized, so unquantized artifacts stay byte-identical to what v1
+//!   writers produced, and still read by this crate.
+//! * **v2** — adds quantized section dtypes: `int8` (affine, with a
+//!   per-partition `scale`/`zero_point` pair inline in the table record,
+//!   so every vault shard stays self-contained) and `fp16` (IEEE binary16,
+//!   no parameters). `f32` records encode identically in both versions.
 
 use capsnet::{CapsNetSpec, RoutingAlgorithm};
+use pim_tensor::QuantDType;
 
 use crate::error::StoreError;
 
 /// Artifact magic bytes.
 pub const MAGIC: [u8; 8] = *b"PIMCAPS\0";
-/// Current format version.
-pub const FORMAT_VERSION: u32 = 1;
+/// Current format version (v2: quantized section dtypes).
+pub const FORMAT_VERSION: u32 = 2;
+/// The original all-`f32` format version, still emitted for unquantized
+/// artifacts (byte-identical output keeps old readers working).
+pub const FORMAT_VERSION_F32: u32 = 1;
 /// Fixed header length in bytes.
 pub const HEADER_LEN: usize = 64;
 /// Alignment of every tensor-partition data offset (and of the total file
@@ -80,8 +95,67 @@ pub struct Partition {
     /// Absolute file offset of the partition's first byte (multiple of
     /// [`DATA_ALIGN`]).
     pub offset: u64,
-    /// Elements (`f32`s) in the partition.
+    /// Elements in the partition (element size per [`SectionDtype`]).
     pub elems: u64,
+}
+
+/// Element type of a stored tensor section.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SectionDtype {
+    /// IEEE-754 single precision — the only v1 dtype.
+    F32,
+    /// Affine int8 with per-partition scale/zero-point (v2+).
+    I8,
+    /// IEEE-754 binary16 (v2+).
+    F16,
+}
+
+impl SectionDtype {
+    /// Wire code of the dtype.
+    pub fn code(self) -> u8 {
+        match self {
+            SectionDtype::F32 => DTYPE_F32,
+            SectionDtype::I8 => DTYPE_I8,
+            SectionDtype::F16 => DTYPE_F16,
+        }
+    }
+
+    /// Stored bytes per element.
+    pub fn elem_bytes(self) -> usize {
+        match self {
+            SectionDtype::F32 => 4,
+            SectionDtype::I8 => 1,
+            SectionDtype::F16 => 2,
+        }
+    }
+
+    /// The quantized element type, when this section is quantized.
+    pub fn quant(self) -> Option<QuantDType> {
+        match self {
+            SectionDtype::F32 => None,
+            SectionDtype::I8 => Some(QuantDType::I8),
+            SectionDtype::F16 => Some(QuantDType::F16),
+        }
+    }
+}
+
+impl From<QuantDType> for SectionDtype {
+    fn from(d: QuantDType) -> Self {
+        match d {
+            QuantDType::I8 => SectionDtype::I8,
+            QuantDType::F16 => SectionDtype::F16,
+        }
+    }
+}
+
+/// The affine dequantization parameters of one stored int8 partition
+/// (inline in its table record, so a vault shard is self-contained).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QuantParams {
+    /// Affine scale.
+    pub scale: f32,
+    /// Affine zero point.
+    pub zero_point: i32,
 }
 
 /// One tensor's section-table record.
@@ -89,11 +163,16 @@ pub struct Partition {
 pub struct TensorRecord {
     /// Canonical weight name (see `CapsNet::named_weights`).
     pub name: String,
+    /// Stored element type.
+    pub dtype: SectionDtype,
     /// Logical tensor dims (padding lives between partitions, never inside
     /// the recorded element counts).
     pub dims: Vec<usize>,
     /// The stored partitions, in logical element order.
     pub partitions: Vec<Partition>,
+    /// Per-partition affine parameters — parallel to `partitions` for
+    /// [`SectionDtype::I8`], empty otherwise.
+    pub quant: Vec<QuantParams>,
     /// Checksum over the tensor's logical data bytes (partitions
     /// concatenated, padding excluded).
     pub checksum: u64,
@@ -105,12 +184,17 @@ impl TensorRecord {
         self.partitions.iter().map(|p| p.elems).sum()
     }
 
+    /// Stored bytes per element.
+    pub fn elem_bytes(&self) -> u64 {
+        self.dtype.elem_bytes() as u64
+    }
+
     /// `true` when the partitions tile one contiguous byte range (so the
     /// whole tensor can be viewed zero-copy, not just its partitions).
     pub fn is_contiguous(&self) -> bool {
         self.partitions
             .windows(2)
-            .all(|w| w[0].offset + w[0].elems * 4 == w[1].offset)
+            .all(|w| w[0].offset + w[0].elems * self.elem_bytes() == w[1].offset)
     }
 }
 
@@ -178,7 +262,7 @@ impl Header {
             return Err(StoreError::Corrupt("header checksum mismatch".into()));
         }
         let version = u32::from_le_bytes(bytes[8..12].try_into().expect("4 bytes"));
-        if version != FORMAT_VERSION {
+        if version == 0 || version > FORMAT_VERSION {
             return Err(StoreError::UnsupportedVersion { found: version });
         }
         let layout_code = u32::from_le_bytes(bytes[12..16].try_into().expect("4 bytes"));
@@ -367,8 +451,14 @@ pub fn decode_spec(bytes: &[u8]) -> Result<CapsNetSpec, StoreError> {
 
 /// dtype code for `f32` (the only supported element type in v1).
 const DTYPE_F32: u8 = 1;
+/// dtype code for affine int8 sections (v2+).
+const DTYPE_I8: u8 = 2;
+/// dtype code for binary16 sections (v2+).
+const DTYPE_F16: u8 = 3;
 
-/// Serializes the section table (records then table checksum).
+/// Serializes the section table (records then table checksum). `f32`
+/// records encode byte-identically in every version; int8 records carry a
+/// `(scale, zero_point)` pair after each partition's `(offset, elems)`.
 pub fn encode_table(records: &[TensorRecord]) -> Vec<u8> {
     let mut out = Vec::new();
     for r in records {
@@ -378,7 +468,7 @@ pub fn encode_table(records: &[TensorRecord]) -> Vec<u8> {
                 .to_le_bytes(),
         );
         out.extend_from_slice(r.name.as_bytes());
-        out.push(DTYPE_F32);
+        out.push(r.dtype.code());
         out.push(u8::try_from(r.dims.len()).expect("rank fits u8"));
         for &d in &r.dims {
             out.extend_from_slice(&(d as u64).to_le_bytes());
@@ -388,9 +478,20 @@ pub fn encode_table(records: &[TensorRecord]) -> Vec<u8> {
                 .expect("partition count fits u32")
                 .to_le_bytes(),
         );
-        for p in &r.partitions {
+        if r.dtype == SectionDtype::I8 {
+            assert_eq!(
+                r.quant.len(),
+                r.partitions.len(),
+                "int8 record needs one affine parameter pair per partition"
+            );
+        }
+        for (i, p) in r.partitions.iter().enumerate() {
             out.extend_from_slice(&p.offset.to_le_bytes());
             out.extend_from_slice(&p.elems.to_le_bytes());
+            if r.dtype == SectionDtype::I8 {
+                out.extend_from_slice(&r.quant[i].scale.to_bits().to_le_bytes());
+                out.extend_from_slice(&r.quant[i].zero_point.to_le_bytes());
+            }
         }
         out.extend_from_slice(&r.checksum.to_le_bytes());
     }
@@ -399,13 +500,22 @@ pub fn encode_table(records: &[TensorRecord]) -> Vec<u8> {
     out
 }
 
-/// Parses and validates the section table.
+/// Parses and validates the section table. `version` gates which dtype
+/// codes are admissible: v1 tables may only hold `f32` sections (anything
+/// else is corruption, exactly as the v1 reader judged it), while v2
+/// tables admit the quantized dtypes and report genuinely unknown codes as
+/// the typed [`StoreError::UnsupportedDtype`] — a checksum-valid artifact
+/// from a future format version is not "corrupt".
 ///
 /// # Errors
 ///
-/// [`StoreError::Truncated`] / [`StoreError::Corrupt`] on malformed or
-/// checksum-failing input.
-pub fn decode_table(bytes: &[u8], tensor_count: u32) -> Result<Vec<TensorRecord>, StoreError> {
+/// [`StoreError::Truncated`] / [`StoreError::Corrupt`] /
+/// [`StoreError::UnsupportedDtype`] on malformed input.
+pub fn decode_table(
+    bytes: &[u8],
+    tensor_count: u32,
+    version: u32,
+) -> Result<Vec<TensorRecord>, StoreError> {
     if bytes.len() < 8 {
         return Err(StoreError::Truncated {
             expected: 8,
@@ -433,12 +543,25 @@ pub fn decode_table(bytes: &[u8], tensor_count: u32) -> Result<Vec<TensorRecord>
     for _ in 0..tensor_count {
         let name_len = c.u16()? as usize;
         let name = c.str(name_len)?;
-        let dtype = c.u8()?;
-        if dtype != DTYPE_F32 {
-            return Err(StoreError::Corrupt(format!(
-                "tensor {name:?}: unsupported dtype code {dtype}"
-            )));
-        }
+        let code = c.u8()?;
+        let dtype = match code {
+            DTYPE_F32 => SectionDtype::F32,
+            DTYPE_I8 | DTYPE_F16 if version >= 2 => {
+                if code == DTYPE_I8 {
+                    SectionDtype::I8
+                } else {
+                    SectionDtype::F16
+                }
+            }
+            _ if version == 1 => {
+                // v1 committed to f32-only; any other code means the table
+                // bytes are lying about their version.
+                return Err(StoreError::Corrupt(format!(
+                    "tensor {name:?}: unsupported dtype code {code}"
+                )));
+            }
+            _ => return Err(StoreError::UnsupportedDtype { name, code }),
+        };
         let rank = c.u8()? as usize;
         let mut dims = Vec::with_capacity(rank);
         for _ in 0..rank {
@@ -451,17 +574,35 @@ pub fn decode_table(bytes: &[u8], tensor_count: u32) -> Result<Vec<TensorRecord>
             )));
         }
         let mut partitions = Vec::with_capacity(parts);
+        let mut quant = Vec::new();
         for _ in 0..parts {
             partitions.push(Partition {
                 offset: c.u64()?,
                 elems: c.u64()?,
             });
+            if dtype == SectionDtype::I8 {
+                let scale = c.f32()?;
+                if !(scale.is_finite() && scale > 0.0) {
+                    return Err(StoreError::Corrupt(format!(
+                        "tensor {name:?}: non-positive int8 scale {scale}"
+                    )));
+                }
+                let zero_point = c.u32()? as i32;
+                if !(-128..=127).contains(&zero_point) {
+                    return Err(StoreError::Corrupt(format!(
+                        "tensor {name:?}: int8 zero point {zero_point} out of range"
+                    )));
+                }
+                quant.push(QuantParams { scale, zero_point });
+            }
         }
         let checksum = c.u64()?;
         let record = TensorRecord {
             name,
+            dtype,
             dims,
             partitions,
+            quant,
             checksum,
         };
         // Both reductions are over forgeable values: a crafted table can
@@ -575,6 +716,7 @@ mod tests {
         let records = vec![
             TensorRecord {
                 name: "caps.weight".into(),
+                dtype: SectionDtype::F32,
                 dims: vec![16, 4, 18],
                 partitions: vec![
                     Partition {
@@ -586,26 +728,155 @@ mod tests {
                         elems: 576,
                     },
                 ],
+                quant: vec![],
                 checksum: 0xDEAD_BEEF,
             },
             TensorRecord {
                 name: "conv1.bias".into(),
+                dtype: SectionDtype::F32,
                 dims: vec![8],
                 partitions: vec![Partition {
                     offset: 5120,
                     elems: 8,
                 }],
+                quant: vec![],
                 checksum: 7,
             },
         ];
         let bytes = encode_table(&records);
-        assert_eq!(decode_table(&bytes, 2).unwrap(), records);
+        // f32-only tables decode identically under both format versions.
+        assert_eq!(decode_table(&bytes, 2, 1).unwrap(), records);
+        assert_eq!(decode_table(&bytes, 2, 2).unwrap(), records);
         assert!(records[0].is_contiguous());
         // Flip one byte anywhere: the table checksum must catch it.
         for i in 0..bytes.len() {
             let mut bad = bytes.clone();
             bad[i] ^= 0x10;
-            assert!(decode_table(&bad, 2).is_err(), "flip at byte {i} accepted");
+            assert!(
+                decode_table(&bad, 2, 2).is_err(),
+                "flip at byte {i} accepted"
+            );
+        }
+    }
+
+    #[test]
+    fn quantized_table_roundtrip() {
+        let records = vec![
+            TensorRecord {
+                name: "caps.weight".into(),
+                dtype: SectionDtype::I8,
+                dims: vec![16, 4, 18],
+                partitions: vec![
+                    Partition {
+                        offset: 512,
+                        elems: 576,
+                    },
+                    Partition {
+                        offset: 512 + 576,
+                        elems: 576,
+                    },
+                ],
+                quant: vec![
+                    QuantParams {
+                        scale: 0.01,
+                        zero_point: -3,
+                    },
+                    QuantParams {
+                        scale: 0.02,
+                        zero_point: 17,
+                    },
+                ],
+                checksum: 0xFEED,
+            },
+            TensorRecord {
+                name: "decoder.0.weight".into(),
+                dtype: SectionDtype::F16,
+                dims: vec![8, 4],
+                partitions: vec![Partition {
+                    offset: 2048,
+                    elems: 32,
+                }],
+                quant: vec![],
+                checksum: 9,
+            },
+        ];
+        let bytes = encode_table(&records);
+        let decoded = decode_table(&bytes, 2, 2).unwrap();
+        assert_eq!(decoded, records);
+        // int8 partitions tile contiguously at 1 byte/elem.
+        assert!(decoded[0].is_contiguous());
+        assert_eq!(decoded[0].elem_bytes(), 1);
+        assert_eq!(decoded[1].elem_bytes(), 2);
+        // A v1 reader judges quantized dtypes as corruption (v1 committed
+        // to f32-only)…
+        assert!(matches!(
+            decode_table(&bytes, 2, 1),
+            Err(StoreError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn unknown_future_dtype_is_typed_not_corrupt() {
+        // A checksum-valid v2 table declaring a dtype this reader has
+        // never heard of: typed UnsupportedDtype, not Corrupt.
+        let records = vec![TensorRecord {
+            name: "w".into(),
+            dtype: SectionDtype::F32,
+            dims: vec![4],
+            partitions: vec![Partition {
+                offset: 64,
+                elems: 4,
+            }],
+            quant: vec![],
+            checksum: 0,
+        }];
+        let mut bytes = encode_table(&records);
+        // name_len(2) + "w"(1) → dtype at offset 3; re-seal the checksum.
+        bytes[3] = 9;
+        let body_len = bytes.len() - 8;
+        let sum = crate::hash::hash64(&bytes[..body_len]);
+        bytes[body_len..].copy_from_slice(&sum.to_le_bytes());
+        match decode_table(&bytes, 1, 2) {
+            Err(StoreError::UnsupportedDtype { name, code }) => {
+                assert_eq!(name, "w");
+                assert_eq!(code, 9);
+            }
+            other => panic!("expected UnsupportedDtype, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn int8_table_rejects_garbage_affine_params() {
+        let mk = |scale: f32, zp: i32| {
+            let records = vec![TensorRecord {
+                name: "w".into(),
+                dtype: SectionDtype::I8,
+                dims: vec![4],
+                partitions: vec![Partition {
+                    offset: 64,
+                    elems: 4,
+                }],
+                quant: vec![QuantParams {
+                    scale,
+                    zero_point: zp,
+                }],
+                checksum: 0,
+            }];
+            decode_table(&encode_table(&records), 1, 2)
+        };
+        assert!(mk(0.5, 0).is_ok());
+        for (scale, zp) in [
+            (0.0, 0),
+            (-1.0, 0),
+            (f32::NAN, 0),
+            (f32::INFINITY, 0),
+            (0.5, 128),
+            (0.5, -129),
+        ] {
+            assert!(
+                matches!(mk(scale, zp), Err(StoreError::Corrupt(_))),
+                "scale {scale} zp {zp} accepted"
+            );
         }
     }
 
@@ -613,16 +884,18 @@ mod tests {
     fn table_rejects_dim_partition_disagreement() {
         let records = vec![TensorRecord {
             name: "w".into(),
+            dtype: SectionDtype::F32,
             dims: vec![4, 4],
             partitions: vec![Partition {
                 offset: 64,
                 elems: 15,
             }],
+            quant: vec![],
             checksum: 0,
         }];
         let bytes = encode_table(&records);
         assert!(matches!(
-            decode_table(&bytes, 1),
+            decode_table(&bytes, 1, 2),
             Err(StoreError::Corrupt(_))
         ));
     }

@@ -65,9 +65,12 @@ mod reader;
 mod writer;
 
 pub use error::StoreError;
-pub use format::{Layout, Partition, TensorRecord, DATA_ALIGN, DEFAULT_VAULT_WAYS, FORMAT_VERSION};
+pub use format::{
+    Layout, Partition, QuantParams, SectionDtype, TensorRecord, DATA_ALIGN, DEFAULT_VAULT_WAYS,
+    FORMAT_VERSION, FORMAT_VERSION_F32,
+};
 pub use reader::{MappedModel, SharedArtifact, StoredModel, VaultPartition};
-pub use writer::{ModelWriter, SaveReport};
+pub use writer::{ModelWriter, QuantSpec, SaveReport};
 
 /// Convenience alias for results produced by this crate.
 pub type Result<T> = std::result::Result<T, StoreError>;

@@ -13,11 +13,13 @@ use std::collections::BTreeMap;
 use std::path::Path;
 use std::sync::Arc;
 
-use capsnet::{CapsNet, CapsNetError, CapsNetSpec, WeightSource};
-use pim_tensor::{Tensor, TensorBuf};
+use capsnet::{CapsNet, CapsNetError, CapsNetSpec, WeightSource, WeightView};
+use pim_tensor::{ByteBuf, QuantBlock, QuantTensor, Tensor, TensorBuf};
 
 use crate::error::StoreError;
-use crate::format::{decode_spec, decode_table, Header, Layout, TensorRecord, HEADER_LEN};
+use crate::format::{
+    decode_spec, decode_table, Header, Layout, SectionDtype, TensorRecord, HEADER_LEN,
+};
 use crate::hash::Hasher;
 use crate::mmap::{map_file, Mmap};
 
@@ -76,6 +78,7 @@ fn parse_and_verify(bytes: &[u8]) -> Result<Metadata, StoreError> {
     let records = decode_table(
         &bytes[header.table_off as usize..table_end as usize],
         header.tensor_count,
+        header.version,
     )?;
 
     let mut by_name = BTreeMap::new();
@@ -87,6 +90,7 @@ fn parse_and_verify(bytes: &[u8]) -> Result<Metadata, StoreError> {
             )));
         }
         let mut hasher = Hasher::new();
+        let elem_bytes = r.elem_bytes();
         for p in &r.partitions {
             if p.offset < table_end || p.offset % 4 != 0 {
                 return Err(StoreError::Corrupt(format!(
@@ -96,12 +100,12 @@ fn parse_and_verify(bytes: &[u8]) -> Result<Metadata, StoreError> {
             }
             let end = p
                 .offset
-                .checked_add(p.elems.checked_mul(4).ok_or_else(|| {
+                .checked_add(p.elems.checked_mul(elem_bytes).ok_or_else(|| {
                     StoreError::Corrupt(format!("tensor {:?}: element count overflow", r.name))
                 })?)
                 .filter(|&e| e <= header.file_len)
                 .ok_or(StoreError::Truncated {
-                    expected: p.offset.saturating_add(p.elems.saturating_mul(4)),
+                    expected: p.offset.saturating_add(p.elems.saturating_mul(elem_bytes)),
                     actual: header.file_len,
                 })?;
             hasher.update(&bytes[p.offset as usize..end as usize]);
@@ -141,7 +145,8 @@ fn extend_f32_from_bytes(out: &mut Vec<f32>, bytes: &[u8]) {
     );
 }
 
-/// Materializes one record's tensor as owned storage from the file image.
+/// Materializes one f32 record's tensor as owned storage from the file
+/// image.
 fn gather_owned(bytes: &[u8], record: &TensorRecord) -> Result<Tensor, StoreError> {
     let mut data = Vec::with_capacity(record.elems() as usize);
     for p in &record.partitions {
@@ -151,14 +156,75 @@ fn gather_owned(bytes: &[u8], record: &TensorRecord) -> Result<Tensor, StoreErro
     Ok(Tensor::from_vec(data, &record.dims)?)
 }
 
+/// The quantization blocks of a quantized record: one per stored
+/// partition, carrying that partition's inline affine parameters (int8) or
+/// the neutral pair (f16).
+fn record_blocks(record: &TensorRecord) -> Vec<QuantBlock> {
+    let mut start = 0usize;
+    record
+        .partitions
+        .iter()
+        .enumerate()
+        .map(|(i, p)| {
+            let (scale, zero_point) = match record.dtype {
+                SectionDtype::I8 => (record.quant[i].scale, record.quant[i].zero_point),
+                _ => (1.0, 0),
+            };
+            let block = QuantBlock {
+                start,
+                elems: p.elems as usize,
+                scale,
+                zero_point,
+            };
+            start += p.elems as usize;
+            block
+        })
+        .collect()
+}
+
+/// Materializes one record as an owned [`WeightView`] from the file image
+/// — f32 records become dense tensors, quantized records keep their byte
+/// payloads (and per-partition affine parameters).
+fn gather_owned_weight(bytes: &[u8], record: &TensorRecord) -> Result<WeightView, StoreError> {
+    let Some(dtype) = record.dtype.quant() else {
+        return Ok(WeightView::F32(gather_owned(bytes, record)?));
+    };
+    let eb = dtype.elem_bytes();
+    let mut data = Vec::with_capacity(record.elems() as usize * eb);
+    for p in &record.partitions {
+        let start = p.offset as usize;
+        data.extend_from_slice(&bytes[start..start + p.elems as usize * eb]);
+    }
+    Ok(WeightView::Quant(QuantTensor::from_bytes(
+        dtype,
+        data,
+        &record.dims,
+        record_blocks(record),
+    )?))
+}
+
+/// Shape-checks a loaded view against what the model spec requires.
+fn check_dims(name: &str, view: &WeightView, dims: &[usize]) -> Result<(), CapsNetError> {
+    if view.dims() != dims {
+        return Err(CapsNetError::InvalidSpec(format!(
+            "stored tensor {name:?} has shape {:?}, model needs {dims:?}",
+            view.dims()
+        )));
+    }
+    Ok(())
+}
+
 // ── owned loading ───────────────────────────────────────────────────────
 
-/// A fully-materialized (owned) model artifact.
+/// A fully-materialized (owned) model artifact. Quantized sections stay
+/// in their stored byte form (a [`WeightView::Quant`]); use
+/// [`StoredModel::tensor`] only for `f32` sections and
+/// [`StoredModel::weight`] for the typed view.
 #[derive(Debug)]
 pub struct StoredModel {
     spec: CapsNetSpec,
     layout: Layout,
-    tensors: BTreeMap<String, Tensor>,
+    tensors: BTreeMap<String, WeightView>,
 }
 
 impl StoredModel {
@@ -174,7 +240,7 @@ impl StoredModel {
         let meta = parse_and_verify(&bytes)?;
         let mut tensors = BTreeMap::new();
         for r in &meta.records {
-            tensors.insert(r.name.clone(), gather_owned(&bytes, r)?);
+            tensors.insert(r.name.clone(), gather_owned_weight(&bytes, r)?);
         }
         Ok(StoredModel {
             spec: meta.spec,
@@ -193,36 +259,53 @@ impl StoredModel {
         self.layout
     }
 
-    /// A stored tensor by name.
+    /// A stored `f32` tensor by name (`None` for unknown names **and** for
+    /// quantized sections — those have no dense tensor to borrow; see
+    /// [`StoredModel::weight`]).
     pub fn tensor(&self, name: &str) -> Option<&Tensor> {
+        self.tensors.get(name).and_then(WeightView::as_f32)
+    }
+
+    /// A stored weight's typed view by name.
+    pub fn weight(&self, name: &str) -> Option<&WeightView> {
         self.tensors.get(name)
     }
 
     /// Rebuilds the network from the stored spec and weights, moving each
     /// tensor out (no second copy of multi-hundred-MB weights — the
-    /// `BTreeMap` `WeightSource` impl would clone).
+    /// `BTreeMap` `WeightSource` impl would clone). Quantized weights move
+    /// straight into the network's fused dequant-on-the-fly path for the
+    /// layers that stream them; small quantized tensors requested as dense
+    /// `f32` (conv kernels, biases) are dequantized here.
     ///
     /// # Errors
     ///
     /// Propagates shape mismatches as [`StoreError::CapsNet`].
     pub fn into_capsnet(self) -> Result<CapsNet, StoreError> {
-        struct TakeSource(BTreeMap<String, Tensor>);
+        struct TakeSource(BTreeMap<String, WeightView>);
+        impl TakeSource {
+            fn take(&mut self, name: &str) -> Result<WeightView, CapsNetError> {
+                self.0
+                    .remove(name)
+                    .ok_or_else(|| CapsNetError::InvalidSpec(format!("missing weight {name:?}")))
+            }
+        }
         impl WeightSource for TakeSource {
             fn contains(&self, name: &str) -> bool {
                 self.0.contains_key(name)
             }
             fn tensor(&mut self, name: &str, dims: &[usize]) -> Result<Tensor, CapsNetError> {
-                let t = self
-                    .0
-                    .remove(name)
-                    .ok_or_else(|| CapsNetError::InvalidSpec(format!("missing weight {name:?}")))?;
-                if t.shape().dims() != dims {
-                    return Err(CapsNetError::InvalidSpec(format!(
-                        "stored tensor {name:?} has shape {:?}, model needs {dims:?}",
-                        t.shape().dims()
-                    )));
-                }
-                Ok(t)
+                let view = self.take(name)?;
+                check_dims(name, &view, dims)?;
+                Ok(match view {
+                    WeightView::F32(t) => t,
+                    WeightView::Quant(q) => q.dequantize(),
+                })
+            }
+            fn weight(&mut self, name: &str, dims: &[usize]) -> Result<WeightView, CapsNetError> {
+                let view = self.take(name)?;
+                check_dims(name, &view, dims)?;
+                Ok(view)
             }
         }
         Ok(CapsNet::from_views(
@@ -240,6 +323,21 @@ impl StoredModel {
 enum ArtifactBuf {
     Mapped(Mmap),
     OwnedWords(Vec<f32>),
+}
+
+impl ByteBuf for ArtifactBuf {
+    fn as_bytes(&self) -> &[u8] {
+        match self {
+            ArtifactBuf::Mapped(m) => m.as_bytes(),
+            // SAFETY: any &[f32] is a valid &[u8] view of the same memory
+            // (alignment 1 ≤ 4, length v.len() * 4 in bounds, u8 has no
+            // invalid bit patterns); the artifact image is byte-exact in
+            // the owned words because the file length is 64-byte aligned.
+            ArtifactBuf::OwnedWords(v) => unsafe {
+                std::slice::from_raw_parts(v.as_ptr().cast::<u8>(), v.len() * 4)
+            },
+        }
+    }
 }
 
 impl TensorBuf for ArtifactBuf {
@@ -392,28 +490,69 @@ impl MappedModel {
             .ok_or_else(|| StoreError::MissingTensor(name.to_string()))
     }
 
-    /// The tensor stored under `name`. Zero-copy (shared storage) when the
-    /// stored partitions are contiguous; an owned gather otherwise (the
-    /// vault-aligned padding case).
+    /// The tensor stored under `name` as dense `f32`. Zero-copy (shared
+    /// storage) when the section is `f32` with contiguous partitions; an
+    /// owned gather otherwise. **Quantized sections are dequantized into an
+    /// owned copy** — use [`MappedModel::weight_view`] to keep them in
+    /// byte form (and zero-copy).
     ///
     /// # Errors
     ///
     /// [`StoreError::MissingTensor`] for unknown names.
     pub fn tensor(&self, name: &str) -> Result<Tensor, StoreError> {
+        match self.weight_view(name)? {
+            WeightView::F32(t) => Ok(t),
+            WeightView::Quant(q) => Ok(q.dequantize()),
+        }
+    }
+
+    /// The typed weight view stored under `name`: dense `f32`, or the
+    /// quantized bytes with their per-partition affine parameters. Both
+    /// kinds are zero-copy windows over the mapping when the stored
+    /// partitions are contiguous; the vault-aligned padding case gathers
+    /// owned (still without dequantizing).
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::MissingTensor`] for unknown names.
+    pub fn weight_view(&self, name: &str) -> Result<WeightView, StoreError> {
         let record = self.record(name)?;
-        if record.is_contiguous() {
-            let offset_elems = record.partitions[0].offset as usize / 4;
-            let buf: Arc<dyn TensorBuf> = Arc::clone(&self.buf) as Arc<dyn TensorBuf>;
-            return Ok(Tensor::from_shared(buf, offset_elems, &record.dims)?);
+        match record.dtype.quant() {
+            None => {
+                if record.is_contiguous() {
+                    let offset_elems = record.partitions[0].offset as usize / 4;
+                    let buf: Arc<dyn TensorBuf> = Arc::clone(&self.buf) as Arc<dyn TensorBuf>;
+                    return Ok(WeightView::F32(Tensor::from_shared(
+                        buf,
+                        offset_elems,
+                        &record.dims,
+                    )?));
+                }
+                // Non-contiguous (padded between vault partitions): gather
+                // owned.
+                let words = self.buf.as_f32();
+                let mut data = Vec::with_capacity(record.elems() as usize);
+                for p in &record.partitions {
+                    let start = p.offset as usize / 4;
+                    data.extend_from_slice(&words[start..start + p.elems as usize]);
+                }
+                Ok(WeightView::F32(Tensor::from_vec(data, &record.dims)?))
+            }
+            Some(dtype) => {
+                if record.is_contiguous() {
+                    let offset = record.partitions[0].offset as usize;
+                    let buf: Arc<dyn ByteBuf> = Arc::clone(&self.buf) as Arc<dyn ByteBuf>;
+                    return Ok(WeightView::Quant(QuantTensor::from_shared(
+                        dtype,
+                        buf,
+                        offset,
+                        &record.dims,
+                        record_blocks(record),
+                    )?));
+                }
+                Ok(gather_owned_weight(self.buf.as_bytes(), record)?)
+            }
         }
-        // Non-contiguous (padded between vault partitions): gather owned.
-        let words = self.buf.as_f32();
-        let mut data = Vec::with_capacity(record.elems() as usize);
-        for p in &record.partitions {
-            let start = p.offset as usize / 4;
-            data.extend_from_slice(&words[start..start + p.elems as usize]);
-        }
-        Ok(Tensor::from_vec(data, &record.dims)?)
     }
 
     /// The per-vault shares of a stored tensor: one zero-copy view per
@@ -428,23 +567,44 @@ impl MappedModel {
     pub fn vault_partitions(&self, name: &str) -> Result<Vec<VaultPartition>, StoreError> {
         let record = self.record(name)?;
         let row_stride: usize = record.dims[1..].iter().product::<usize>().max(1);
+        let blocks = record_blocks(record);
         let mut out = Vec::with_capacity(record.partitions.len());
         for (vault, p) in record.partitions.iter().enumerate() {
             let rows = p.elems as usize / row_stride;
             let mut dims = record.dims.clone();
             dims[0] = rows;
-            let buf: Arc<dyn TensorBuf> = Arc::clone(&self.buf) as Arc<dyn TensorBuf>;
+            let tensor = match record.dtype.quant() {
+                None => {
+                    let buf: Arc<dyn TensorBuf> = Arc::clone(&self.buf) as Arc<dyn TensorBuf>;
+                    Tensor::from_shared(buf, p.offset as usize / 4, &dims)?
+                }
+                Some(dtype) => {
+                    // One self-contained shard: its own bytes, its own
+                    // affine parameters. Dequantized per partition (the
+                    // per-vault consumers want dense rows).
+                    let buf: Arc<dyn ByteBuf> = Arc::clone(&self.buf) as Arc<dyn ByteBuf>;
+                    let block = QuantBlock {
+                        start: 0,
+                        ..blocks[vault]
+                    };
+                    QuantTensor::from_shared(dtype, buf, p.offset as usize, &dims, vec![block])?
+                        .dequantize()
+                }
+            };
             out.push(VaultPartition {
                 vault,
                 rows,
-                tensor: Tensor::from_shared(buf, p.offset as usize / 4, &dims)?,
+                tensor,
             });
         }
         Ok(out)
     }
 
     /// Rebuilds a runnable [`CapsNet`] whose weights **borrow** this
-    /// mapping (zero-copy where the layout allows). The network holds an
+    /// mapping (zero-copy where the layout allows). Quantized sections are
+    /// handed to the network in byte form — the capsule and decoder layers
+    /// dequantize them on the fly inside the fused kernels, so no f32 copy
+    /// of a quantized weight is ever materialized. The network holds an
     /// `Arc` to the mapping, so it stays valid after the `MappedModel` is
     /// dropped.
     ///
@@ -470,6 +630,14 @@ impl MappedModel {
                     )));
                 }
                 Ok(t)
+            }
+            fn weight(&mut self, name: &str, dims: &[usize]) -> Result<WeightView, CapsNetError> {
+                let view = self
+                    .0
+                    .weight_view(name)
+                    .map_err(|e| CapsNetError::InvalidSpec(e.to_string()))?;
+                check_dims(name, &view, dims)?;
+                Ok(view)
             }
         }
         let spec = self.spec.clone();

@@ -4,18 +4,85 @@
 //! observes a half-written artifact.
 
 use std::borrow::Cow;
+use std::collections::BTreeMap;
 use std::io::Write;
 use std::path::Path;
 
-use capsnet::CapsNet;
+use capsnet::{CapsNet, WeightRef};
 use pim_capsnet::distribution::vault_shares;
+use pim_tensor::{encode_block_f16, quantize_block_i8, QuantDType};
 
 use crate::error::StoreError;
 use crate::format::{
-    align_up, encode_spec, encode_table, Header, Layout, Partition, TensorRecord,
-    DEFAULT_VAULT_WAYS, FORMAT_VERSION, HEADER_LEN,
+    align_up, encode_spec, encode_table, Header, Layout, Partition, QuantParams, SectionDtype,
+    TensorRecord, DEFAULT_VAULT_WAYS, FORMAT_VERSION, FORMAT_VERSION_F32, HEADER_LEN,
 };
 use crate::hash::Hasher;
+
+/// Which weights to quantize at save time, and how.
+///
+/// Quantization happens **per stored vault partition**: each partition of
+/// an int8 section gets its own affine `scale`/`zero_point` fitted over
+/// just its rows (recorded inline in the section table), so every vault
+/// shard dequantizes without touching any other shard's metadata.
+///
+/// # Examples
+///
+/// ```
+/// use pim_store::QuantSpec;
+/// use pim_tensor::QuantDType;
+///
+/// // Blanket: every rank ≥ 2 `*.weight` tensor becomes int8…
+/// let all_i8 = QuantSpec::weights(QuantDType::I8);
+/// // …or pick per name, e.g. only the streamed caps weight as fp16.
+/// let caps_f16 = QuantSpec::new().with_weight("caps.weight", QuantDType::F16);
+/// assert!(all_i8.resolve("decoder.0.weight", &[16, 144]).is_some());
+/// assert!(caps_f16.resolve("decoder.0.weight", &[16, 144]).is_none());
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct QuantSpec {
+    per_name: BTreeMap<String, QuantDType>,
+    blanket: Option<QuantDType>,
+}
+
+impl QuantSpec {
+    /// An empty spec: nothing is quantized (pure-f32, v1 artifact).
+    pub fn new() -> Self {
+        QuantSpec::default()
+    }
+
+    /// A blanket spec: every `*.weight` tensor of rank ≥ 2 is stored as
+    /// `dtype`. Biases and other vectors always stay f32 — they are tiny,
+    /// and keeping them exact costs nothing.
+    pub fn weights(dtype: QuantDType) -> Self {
+        QuantSpec {
+            per_name: BTreeMap::new(),
+            blanket: Some(dtype),
+        }
+    }
+
+    /// Adds (or overrides) the stored dtype for one named weight.
+    pub fn with_weight(mut self, name: &str, dtype: QuantDType) -> Self {
+        self.per_name.insert(name.to_string(), dtype);
+        self
+    }
+
+    /// `true` when no weight would be quantized.
+    pub fn is_empty(&self) -> bool {
+        self.per_name.is_empty() && self.blanket.is_none()
+    }
+
+    /// The stored dtype for `name` with logical `dims`, if quantized.
+    pub fn resolve(&self, name: &str, dims: &[usize]) -> Option<QuantDType> {
+        if let Some(&d) = self.per_name.get(name) {
+            return Some(d);
+        }
+        match self.blanket {
+            Some(d) if name.ends_with(".weight") && dims.len() >= 2 => Some(d),
+            _ => None,
+        }
+    }
+}
 
 /// What one [`ModelWriter::save`] produced.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -39,9 +106,10 @@ pub struct SaveReport {
 /// let net = CapsNet::seeded(&CapsNetSpec::tiny_for_tests(), 1).unwrap();
 /// ModelWriter::new().save(&net, "model.pimcaps".as_ref()).unwrap();
 /// ```
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct ModelWriter {
     layout: Layout,
+    quant: QuantSpec,
 }
 
 impl Default for ModelWriter {
@@ -56,6 +124,7 @@ impl ModelWriter {
     pub fn new() -> Self {
         ModelWriter {
             layout: Layout::Packed,
+            quant: QuantSpec::new(),
         }
     }
 
@@ -74,9 +143,22 @@ impl ModelWriter {
         self
     }
 
+    /// Quantizes weights at save time per `spec`. With a non-empty spec
+    /// the artifact is written as format v2; an empty spec keeps the
+    /// byte-identical v1 output.
+    pub fn with_quant(mut self, spec: QuantSpec) -> Self {
+        self.quant = spec;
+        self
+    }
+
     /// The layout this writer produces.
     pub fn layout(&self) -> Layout {
         self.layout
+    }
+
+    /// The quantization spec applied at save time.
+    pub fn quant(&self) -> &QuantSpec {
+        &self.quant
     }
 
     /// Serializes `net` (spec + every weight) to `path`, atomically: the
@@ -86,7 +168,9 @@ impl ModelWriter {
     /// # Errors
     ///
     /// [`StoreError::Io`] on filesystem failures; [`StoreError::Corrupt`]
-    /// if the vault count is zero.
+    /// if the vault count is zero, or when `net` holds weights that are
+    /// *already* quantized (quantization is lossy — a faithful re-save
+    /// needs the f32 source model).
     pub fn save(&self, net: &CapsNet, path: &Path) -> Result<SaveReport, StoreError> {
         if let Layout::VaultAligned { vaults } = self.layout {
             if vaults == 0 {
@@ -98,20 +182,78 @@ impl ModelWriter {
 
         // Plan partition element counts (offsets come after we know the
         // table length, which is itself independent of the offset values —
-        // offsets are fixed-width).
+        // offsets are fixed-width). Quantized payloads are produced here
+        // too: partition boundaries are also quantization-block
+        // boundaries, so each vault shard is fitted (and later
+        // dequantized) independently.
         let mut records: Vec<TensorRecord> = Vec::with_capacity(weights.len());
-        for (name, tensor) in &weights {
+        let mut payloads: Vec<Option<Vec<Vec<u8>>>> = Vec::with_capacity(weights.len());
+        for (name, weight) in &weights {
+            let tensor = match weight {
+                WeightRef::F32(t) => t,
+                WeightRef::Quant(q) => {
+                    return Err(StoreError::Corrupt(format!(
+                        "weight {name:?} is held as {} quantized bytes; saving a                          quantized network would re-quantize lossy data — save from                          the f32 source model instead",
+                        q.dtype().label()
+                    )))
+                }
+            };
             let dims = tensor.shape().dims().to_vec();
             let partitions = plan_partitions(&dims, self.layout);
-            let mut hasher = Hasher::new();
-            hasher.update(&f32_le_bytes(tensor.as_slice()));
-            records.push(TensorRecord {
-                name: name.to_string(),
-                dims,
-                partitions,
-                checksum: hasher.finish(),
-            });
+            match self.quant.resolve(name, &dims) {
+                None => {
+                    let mut hasher = Hasher::new();
+                    hasher.update(&f32_le_bytes(tensor.as_slice()));
+                    records.push(TensorRecord {
+                        name: name.to_string(),
+                        dtype: SectionDtype::F32,
+                        dims,
+                        partitions,
+                        quant: vec![],
+                        checksum: hasher.finish(),
+                    });
+                    payloads.push(None);
+                }
+                Some(dtype) => {
+                    let data = tensor.as_slice();
+                    let mut hasher = Hasher::new();
+                    let mut parts = Vec::with_capacity(partitions.len());
+                    let mut params = Vec::new();
+                    let mut consumed = 0usize;
+                    for p in &partitions {
+                        let values = &data[consumed..consumed + p.elems as usize];
+                        consumed += values.len();
+                        let bytes = match dtype {
+                            QuantDType::I8 => {
+                                let (bytes, scale, zero_point) = quantize_block_i8(values);
+                                params.push(QuantParams { scale, zero_point });
+                                bytes
+                            }
+                            QuantDType::F16 => encode_block_f16(values),
+                        };
+                        hasher.update(&bytes);
+                        parts.push(bytes);
+                    }
+                    records.push(TensorRecord {
+                        name: name.to_string(),
+                        dtype: dtype.into(),
+                        dims,
+                        partitions,
+                        quant: params,
+                        checksum: hasher.finish(),
+                    });
+                    payloads.push(Some(parts));
+                }
+            }
         }
+        // Unquantized artifacts keep the v1 wire format bit-for-bit (f32
+        // records encode identically in both versions); any quantized
+        // section bumps the artifact to v2.
+        let version = if records.iter().any(|r| r.dtype != SectionDtype::F32) {
+            FORMAT_VERSION
+        } else {
+            FORMAT_VERSION_F32
+        };
 
         // Assign aligned data offsets. The spec section carries an 8-byte
         // trailing checksum (header and table have their own).
@@ -120,17 +262,18 @@ impl ModelWriter {
         let mut offset = align_up(table_off + table_len);
         let mut partitions = 0usize;
         for r in &mut records {
+            let elem_bytes = r.dtype.elem_bytes();
             for p in &mut r.partitions {
                 offset = align_up(offset);
                 p.offset = offset as u64;
-                offset += p.elems as usize * 4;
+                offset += p.elems as usize * elem_bytes;
                 partitions += 1;
             }
         }
         let file_len = align_up(offset);
 
         let header = Header {
-            version: FORMAT_VERSION,
+            version,
             layout: self.layout,
             tensor_count: records.len() as u32,
             spec_len: spec_bytes.len() as u64,
@@ -151,16 +294,28 @@ impl ModelWriter {
             debug_assert_eq!(table.len(), table_len);
             w.write_all(&table)?;
             let mut written = table_off + table_len;
-            for (r, (_, tensor)) in records.iter().zip(&weights) {
-                let data = tensor.as_slice();
-                let mut consumed = 0usize;
-                for p in &r.partitions {
-                    let pad = p.offset as usize - written;
-                    w.write_all(&vec![0u8; pad])?;
-                    let part = &data[consumed..consumed + p.elems as usize];
-                    w.write_all(&f32_le_bytes(part))?;
-                    written = p.offset as usize + part.len() * 4;
-                    consumed += part.len();
+            for ((r, (_, weight)), payload) in records.iter().zip(&weights).zip(&payloads) {
+                match payload {
+                    Some(parts) => {
+                        for (p, bytes) in r.partitions.iter().zip(parts) {
+                            let pad = p.offset as usize - written;
+                            w.write_all(&vec![0u8; pad])?;
+                            w.write_all(bytes)?;
+                            written = p.offset as usize + bytes.len();
+                        }
+                    }
+                    None => {
+                        let data = weight.expect_f32().as_slice();
+                        let mut consumed = 0usize;
+                        for p in &r.partitions {
+                            let pad = p.offset as usize - written;
+                            w.write_all(&vec![0u8; pad])?;
+                            let part = &data[consumed..consumed + p.elems as usize];
+                            w.write_all(&f32_le_bytes(part))?;
+                            written = p.offset as usize + part.len() * 4;
+                            consumed += part.len();
+                        }
+                    }
                 }
             }
             w.write_all(&vec![0u8; file_len - written])?;

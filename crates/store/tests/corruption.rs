@@ -3,7 +3,7 @@
 //! panic, never a silently-wrong model.
 
 use capsnet::{CapsNet, CapsNetSpec};
-use pim_store::format::{Header, HEADER_LEN};
+use pim_store::format::{Header, FORMAT_VERSION, HEADER_LEN};
 use pim_store::{MappedModel, ModelWriter, StoreError, StoredModel};
 
 fn tmp_dir(tag: &str) -> std::path::PathBuf {
@@ -107,7 +107,7 @@ fn wrong_version_is_a_typed_error() {
     // Re-encode the header with a future version and a *valid* checksum:
     // the reader must refuse on the version, not on corruption.
     let mut header = Header::decode(&bytes).unwrap();
-    header.version += 1;
+    header.version = FORMAT_VERSION + 1;
     bytes[..HEADER_LEN].copy_from_slice(&header.encode());
     std::fs::write(&path, &bytes).unwrap();
     assert!(matches!(

@@ -4,21 +4,25 @@
 //! abort (debug builds panic on overflow, so the dims product and
 //! partition sum are reduced with checked arithmetic).
 
-use pim_store::format::{decode_table, encode_table, Partition, TensorRecord};
+use pim_store::format::{
+    decode_table, encode_table, Partition, SectionDtype, TensorRecord, FORMAT_VERSION,
+};
 
 #[test]
 fn forged_overflow_dims_no_panic() {
     let records = vec![TensorRecord {
         name: "w".into(),
         dims: vec![usize::MAX, 4],
+        dtype: SectionDtype::F32,
         partitions: vec![Partition {
             offset: 64,
             elems: 1,
         }],
+        quant: vec![],
         checksum: 0,
     }];
     let bytes = encode_table(&records);
-    let r = decode_table(&bytes, 1);
+    let r = decode_table(&bytes, 1, FORMAT_VERSION);
     assert!(r.is_err());
 }
 

@@ -30,7 +30,7 @@ fn poked_net(seed: u64, pokes: &[(usize, f32)]) -> CapsNet {
     let mut weights: Vec<(String, Tensor)> = base
         .named_weights()
         .into_iter()
-        .map(|(n, t)| (n, t.clone()))
+        .map(|(n, t)| (n, t.expect_f32().clone()))
         .collect();
     let total: usize = weights.iter().map(|(_, t)| t.len()).sum();
     for &(pos, value) in pokes {
@@ -78,8 +78,8 @@ proptest! {
         // Every weight roundtrips bit-exactly (NaN payloads included).
         for (name, original) in net.named_weights() {
             let loaded = mapped.tensor(&name).unwrap();
-            prop_assert_eq!(loaded.shape().dims(), original.shape().dims());
-            for (x, y) in loaded.as_slice().iter().zip(original.as_slice()) {
+            prop_assert_eq!(loaded.shape().dims(), original.dims());
+            for (x, y) in loaded.as_slice().iter().zip(original.expect_f32().as_slice()) {
                 prop_assert_eq!(x.to_bits(), y.to_bits(), "{} differs", name);
             }
         }

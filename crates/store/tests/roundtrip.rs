@@ -79,8 +79,8 @@ fn packed_roundtrip_owned_and_mapped() {
     for (name, original) in net.named_weights() {
         let t = mapped.tensor(&name).unwrap();
         assert!(t.is_shared(), "{name} should be zero-copy in packed layout");
-        assert_eq!(t.shape().dims(), original.shape().dims());
-        for (x, y) in t.as_slice().iter().zip(original.as_slice()) {
+        assert_eq!(t.shape().dims(), original.dims());
+        for (x, y) in t.as_slice().iter().zip(original.expect_f32().as_slice()) {
             assert_eq!(x.to_bits(), y.to_bits(), "{name}");
         }
     }
@@ -118,6 +118,7 @@ fn vault_aligned_roundtrip_and_partitions() {
         .find(|(n, _)| n == "caps.weight")
         .unwrap()
         .1
+        .expect_f32()
         .clone();
     let parts = mapped.vault_partitions("caps.weight").unwrap();
     assert_eq!(parts.len(), vaults);
@@ -238,13 +239,17 @@ fn shared_artifact_backs_many_networks_with_one_mapping() {
         .named_weights()
         .iter()
         .find(|(n, _)| n == "caps.weight")
-        .map(|(_, t)| t.as_slice().as_ptr())
+        .map(|(_, t)| t.expect_f32().as_slice().as_ptr())
         .unwrap();
     for net_i in &nets {
         for (name, t) in net_i.named_weights() {
             assert!(t.is_shared(), "{name} should borrow the shared mapping");
             if name == "caps.weight" {
-                assert_eq!(t.as_slice().as_ptr(), base_ptr, "replicas must share bytes");
+                assert_eq!(
+                    t.expect_f32().as_slice().as_ptr(),
+                    base_ptr,
+                    "replicas must share bytes"
+                );
             }
         }
     }

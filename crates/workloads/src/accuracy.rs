@@ -175,6 +175,13 @@ impl AccuracyExperiment {
     /// [`ForwardArena`] across its batches. Results are bit-identical to a
     /// serial evaluation.
     pub fn accuracy<B: MathBackend + Sync + ?Sized>(&self, backend: &B) -> f64 {
+        self.accuracy_of(&self.net, backend)
+    }
+
+    /// Evaluates an *external* network — e.g. a quantized reload of the
+    /// experiment's own network — against the calibrated labels, batched
+    /// and sharded exactly like [`Self::accuracy`].
+    pub fn accuracy_of<B: MathBackend + Sync + ?Sized>(&self, net: &CapsNet, backend: &B) -> f64 {
         let n = self.labels.len();
         let chunks: Vec<std::ops::Range<usize>> = batch_ranges(n, self.batch).collect();
         let threads = plan_threads(chunks.len(), self.forward_cost_per_batch());
@@ -183,12 +190,54 @@ impl AccuracyExperiment {
             let mut preds = Vec::new();
             chunks[group]
                 .iter()
-                .map(|chunk| self.correct_in_chunk(chunk.clone(), backend, &mut arena, &mut preds))
+                .map(|chunk| {
+                    self.correct_in_chunk(net, chunk.clone(), backend, &mut arena, &mut preds)
+                })
                 .sum::<usize>()
         })
         .into_iter()
         .sum();
         correct as f64 / n as f64
+    }
+
+    /// Per-sample comparison of `other` against the experiment's own f32
+    /// network under exact math: returns the fraction of samples whose
+    /// top-1 prediction matches, and the max |Δ| over squared class
+    /// norms. The raw material of the quantization accuracy gate.
+    pub fn agreement_with(&self, other: &CapsNet) -> (f64, f32) {
+        let n = self.labels.len();
+        let mut matching = 0usize;
+        let mut max_div = 0.0f32;
+        for chunk in batch_ranges(n, self.batch) {
+            let imgs = slice_images(&self.images, chunk);
+            let a = self.net.forward(&imgs, &ExactMath).expect("f32 forward");
+            let b = other.forward(&imgs, &ExactMath).expect("other forward");
+            matching += a
+                .predictions()
+                .iter()
+                .zip(b.predictions())
+                .filter(|(x, y)| **x == *y)
+                .count();
+            for (x, y) in a
+                .class_norms_sq
+                .as_slice()
+                .iter()
+                .zip(b.class_norms_sq.as_slice())
+            {
+                max_div = max_div.max((x - y).abs());
+            }
+        }
+        (matching as f64 / n as f64, max_div)
+    }
+
+    /// The experiment's own (f32, exact-math) network.
+    pub fn net(&self) -> &CapsNet {
+        &self.net
+    }
+
+    /// Number of (margin-filtered) harness samples.
+    pub fn samples(&self) -> usize {
+        self.labels.len()
     }
 
     /// Thin object-safe wrapper over [`Self::accuracy`] for callers holding
@@ -201,14 +250,14 @@ impl AccuracyExperiment {
     /// forward, allocation-free when warm).
     fn correct_in_chunk<B: MathBackend + ?Sized>(
         &self,
+        net: &CapsNet,
         chunk: std::ops::Range<usize>,
         backend: &B,
         arena: &mut ForwardArena,
         preds: &mut Vec<usize>,
     ) -> usize {
         let imgs = slice_images(&self.images, chunk.clone());
-        let view = self
-            .net
+        let view = net
             .forward_with(&imgs, backend, arena)
             .expect("forward on generated images");
         view.predictions_into(preds);

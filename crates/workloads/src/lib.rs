@@ -13,6 +13,7 @@
 
 pub mod accuracy;
 pub mod persist;
+pub mod quant_gate;
 pub mod report;
 pub mod rollout;
 mod suite;

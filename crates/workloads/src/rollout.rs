@@ -121,7 +121,7 @@ pub fn perturbed(net: &CapsNet, factor: f32) -> CapsNet {
     let mut weights: std::collections::BTreeMap<String, Tensor> = net
         .named_weights()
         .into_iter()
-        .map(|(name, t)| (name, t.map(|x| x * (1.0 + factor))))
+        .map(|(name, t)| (name, t.expect_f32().map(|x| x * (1.0 + factor))))
         .collect();
     CapsNet::from_views(net.spec(), &mut weights).expect("same spec, same shapes")
 }
