@@ -9,6 +9,7 @@ pub mod jsonlite;
 pub mod quant_bench;
 pub mod replica_bench;
 pub mod serve_bench;
+pub mod soak_bench;
 
 use std::path::{Path, PathBuf};
 

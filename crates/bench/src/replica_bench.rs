@@ -69,6 +69,7 @@ pub fn scaling_serve_config() -> ServeConfig {
         queue_capacity: 256,
         workers: 1,
         execution: BatchExecution::Arena,
+        admission: pim_serve::AdmissionPolicy::QueueBound,
     }
 }
 
@@ -86,11 +87,11 @@ fn measure_fleet(artifact: &SharedArtifact, n: usize, requests: usize) -> Replic
     let ((), report) = set.run(|pool| {
         let tickets: Vec<_> = (0..requests)
             .map(|i| loop {
-                match pool.submit(Request {
-                    tenant: i % 4,
-                    model: 0,
-                    images: request_images(&spec, 1, 0xF1EE7 ^ i as u64),
-                }) {
+                match pool.submit(Request::new(
+                    i % 4,
+                    0,
+                    request_images(&spec, 1, 0xF1EE7 ^ i as u64),
+                )) {
                     Ok(t) => break t,
                     Err(SubmitError::QueueFull { .. }) => std::thread::yield_now(),
                     Err(e) => panic!("unexpected reject: {e}"),
@@ -178,6 +179,7 @@ pub fn bench_rollout_config() -> RolloutScenarioConfig {
             queue_capacity: 256,
             workers: 1,
             execution: BatchExecution::Arena,
+            admission: pim_serve::AdmissionPolicy::QueueBound,
         },
     }
 }

@@ -57,6 +57,7 @@ pub fn bench_serve_config() -> ServeConfig {
         queue_capacity: 256,
         workers: 1,
         execution: BatchExecution::Auto,
+        admission: pim_serve::AdmissionPolicy::QueueBound,
     }
 }
 
@@ -182,11 +183,7 @@ fn measure_pass(
                 // queue will push back; spin-resubmit keeps the stream
                 // open-loop while honoring backpressure.
                 loop {
-                    match handle.submit(Request {
-                        tenant: a.tenant,
-                        model: 0,
-                        images: images.clone(),
-                    }) {
+                    match handle.submit(Request::new(a.tenant, 0, images.clone())) {
                         Ok(t) => break t,
                         Err(pim_serve::SubmitError::QueueFull { .. }) => {
                             std::thread::yield_now();

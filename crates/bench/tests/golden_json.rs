@@ -445,3 +445,116 @@ fn bench_quant_schema() {
         "the committed quant record must have passed the accuracy gate"
     );
 }
+
+#[test]
+fn bench_soak_schema() {
+    let doc = load("BENCH_soak.json");
+    let host = doc.get("host").expect("top-level \"host\" object");
+    assert!(host.get("simd").and_then(Value::as_str).is_some());
+    assert!(f64_field(host, "threads", "host") >= 1.0);
+    assert_eq!(
+        doc.get("model").and_then(Value::as_str),
+        Some("caps-soak-micro")
+    );
+    assert!(
+        f64_field(&doc, "tenants", "soak") >= 100.0,
+        "100s of tenants"
+    );
+
+    // The scheduler ran the SLO-aware admission policy, not the bare
+    // queue bound.
+    let sched = doc.get("scheduler").expect("\"scheduler\" object");
+    assert_eq!(
+        sched.get("admission").and_then(Value::as_str),
+        Some("slo_aware")
+    );
+    let ceilings = sched
+        .get("shed_wait_us")
+        .and_then(Value::as_array)
+        .expect("scheduler.shed_wait_us array");
+    let ceilings: Vec<f64> = ceilings
+        .iter()
+        .map(|c| c.as_f64().expect("ceiling is numeric"))
+        .collect();
+    assert_eq!(ceilings.len(), 3, "one ceiling per tier");
+    assert!(
+        ceilings.windows(2).all(|w| w[0] >= w[1]),
+        "lower tiers must have tighter ceilings: {ceilings:?}"
+    );
+    assert!(f64_field(sched, "tenant_quota", "scheduler") >= 1.0);
+
+    let capacity = f64_field(&doc, "capacity_hz", "soak");
+    assert!(capacity > 0.0 && capacity.is_finite());
+    let total = f64_field(&doc, "total_requests", "soak");
+    assert!(total >= 1e6, "committed soak must cover >= 1M requests");
+    let per_phase = f64_field(&doc, "requests_per_phase", "soak");
+
+    let phases = doc
+        .get("phases")
+        .and_then(Value::as_array)
+        .expect("\"phases\" array");
+    let multipliers: Vec<f64> = phases
+        .iter()
+        .map(|p| f64_field(p, "multiplier", "phase"))
+        .collect();
+    assert_eq!(multipliers, [0.8, 1.0, 1.2], "capacity sweep changed");
+    assert_eq!(total, per_phase * phases.len() as f64);
+
+    for (p, m) in phases.iter().zip(&multipliers) {
+        let ctx = format!("phase {m}");
+        let submitted = f64_field(p, "submitted", &ctx);
+        assert_eq!(submitted, per_phase, "{ctx}");
+        let shed = p.get("shed").expect("phase \"shed\" object");
+        let shed_total = f64_field(shed, "high", &ctx)
+            + f64_field(shed, "normal", &ctx)
+            + f64_field(shed, "low", &ctx);
+        // Zero dropped tickets, recomputed from the raw fields rather
+        // than trusted from the flag.
+        let accounted = f64_field(p, "completed", &ctx)
+            + f64_field(p, "failed", &ctx)
+            + shed_total
+            + f64_field(p, "rejected_full", &ctx)
+            + f64_field(p, "rejected_quota", &ctx);
+        assert_eq!(submitted, accounted, "{ctx}: submissions unaccounted");
+        assert_eq!(p.get("reconciled").and_then(Value::as_bool), Some(true));
+        assert!(f64_field(p, "offered_hz", &ctx) > 0.0);
+        assert!(f64_field(p, "achieved_hz", &ctx) > 0.0);
+
+        let tiers = p
+            .get("tiers")
+            .and_then(Value::as_array)
+            .expect("phase \"tiers\" array");
+        let labels: Vec<&str> = tiers
+            .iter()
+            .map(|t| t.get("priority").and_then(Value::as_str).expect("tier"))
+            .collect();
+        assert_eq!(labels, ["high", "normal", "low"]);
+        for t in tiers {
+            let label = t.get("priority").and_then(Value::as_str).unwrap();
+            let p50 = f64_field(t, "p50_us", label);
+            let p95 = f64_field(t, "p95_us", label);
+            let p99 = f64_field(t, "p99_us", label);
+            assert!(p50 <= p95 && p95 <= p99, "{ctx} {label}: {p50}/{p95}/{p99}");
+            assert!(f64_field(t, "requests", label) >= 0.0);
+            assert!(f64_field(t, "shed", label) >= 0.0);
+        }
+    }
+
+    // The overload phase sheds best-effort traffic, never the high tier.
+    let overload = phases.last().unwrap();
+    let shed = overload.get("shed").unwrap();
+    assert!(
+        f64_field(shed, "low", "overload") > 0.0,
+        "1.2x must shed the low tier"
+    );
+    assert_eq!(f64_field(shed, "high", "overload"), 0.0);
+
+    // The in-process gates must have passed when the artifact was cut.
+    for flag in ["zero_dropped", "high_p99_bounded", "low_shed_at_overload"] {
+        assert_eq!(
+            doc.get(flag).and_then(Value::as_bool),
+            Some(true),
+            "committed soak record must pass gate {flag}"
+        );
+    }
+}

@@ -1,0 +1,267 @@
+//! SLO-aware admission control: priority tiers, per-tenant fairness
+//! quotas, and predicted-wait overload shedding.
+//!
+//! Under sustained overload a bounded queue alone is a blunt instrument:
+//! `QueueFull` fires only once the backlog is already `queue_capacity`
+//! samples deep, which at production rates means *every* tenant — including
+//! the latency-critical ones — is already waiting out the whole queue. The
+//! admission layer here makes the overload decision **before** the queue
+//! saturates, from a queue-delay estimate:
+//!
+//! * every request carries a [`Priority`] tier; the scheduler dispatches
+//!   higher tiers first, so a tier's queue delay depends only on the
+//!   backlog at its own tier and above;
+//! * the server maintains an EWMA of per-sample service time and predicts
+//!   each arriving request's queue delay as
+//!   `backlog_at_or_above_tier × est / workers`;
+//! * [`SloConfig::shed_wait_us`] gives each tier a predicted-wait ceiling:
+//!   a request whose tier ceiling is exceeded is **shed** with the typed,
+//!   metered [`crate::SubmitError::Shed`] — low tiers (small ceilings)
+//!   shed first, which is exactly what keeps high-tier p99 bounded at
+//!   1.2x capacity;
+//! * [`SloConfig::tenant_quota`] bounds any one tenant's queued samples,
+//!   so a single hot tenant cannot consume the whole admission budget
+//!   ([`crate::SubmitError::TenantQuotaExceeded`]).
+//!
+//! The decision itself ([`decide`]) is a pure function of the observable
+//! queue state, so the deterministic soak simulation in
+//! `capsnet-workloads` exercises byte-for-byte the same policy the live
+//! server runs.
+
+/// Request priority tier. Lower [`Priority::index`] = more important; the
+/// scheduler forms batches from the highest-priority queued work first,
+/// and shed ceilings are typically smallest for [`Priority::Low`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub enum Priority {
+    /// Latency-critical traffic; shed last, dispatched first.
+    High,
+    /// The default tier.
+    #[default]
+    Normal,
+    /// Best-effort traffic; shed first under overload.
+    Low,
+}
+
+/// Number of priority tiers.
+pub const TIERS: usize = 3;
+
+impl Priority {
+    /// All tiers, dispatch order (most important first).
+    pub const ALL: [Priority; TIERS] = [Priority::High, Priority::Normal, Priority::Low];
+
+    /// Stable tier index: `High = 0`, `Normal = 1`, `Low = 2`.
+    pub fn index(self) -> usize {
+        match self {
+            Priority::High => 0,
+            Priority::Normal => 1,
+            Priority::Low => 2,
+        }
+    }
+
+    /// Lower-case tier name (metrics/report labels).
+    pub fn label(self) -> &'static str {
+        match self {
+            Priority::High => "high",
+            Priority::Normal => "normal",
+            Priority::Low => "low",
+        }
+    }
+}
+
+impl std::fmt::Display for Priority {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Knobs of the SLO-aware admission policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SloConfig {
+    /// Per-tier predicted-wait ceilings, microseconds, indexed by
+    /// [`Priority::index`]. A request is shed when the predicted queue
+    /// delay *for its tier* exceeds its ceiling. Smaller ceilings for
+    /// lower tiers make overload shed best-effort traffic first.
+    pub shed_wait_us: [u64; TIERS],
+    /// Maximum samples any single tenant may have queued at once
+    /// (fairness: one hot tenant cannot monopolize admission).
+    pub tenant_quota: usize,
+}
+
+impl Default for SloConfig {
+    fn default() -> Self {
+        SloConfig {
+            shed_wait_us: [50_000, 20_000, 5_000],
+            tenant_quota: 64,
+        }
+    }
+}
+
+/// How the server decides admission.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum AdmissionPolicy {
+    /// Legacy behavior: admit until the queue bound, then
+    /// [`crate::SubmitError::QueueFull`]. Priority tiers still order
+    /// dispatch, but nothing is shed early.
+    #[default]
+    QueueBound,
+    /// Queue bound **plus** per-tenant quotas and per-tier predicted-wait
+    /// shedding.
+    SloAware(SloConfig),
+}
+
+/// Outcome of one admission decision (see [`decide`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AdmissionVerdict {
+    /// Admit to the queue.
+    Admit,
+    /// Reject: the queue bound cannot hold the request's samples.
+    Full,
+    /// Reject: the tenant's queued samples would exceed its quota.
+    Quota {
+        /// The configured per-tenant quota.
+        quota: usize,
+    },
+    /// Shed: the predicted queue delay for the request's tier exceeds its
+    /// ceiling.
+    Shed {
+        /// The tier's configured ceiling, microseconds.
+        limit_us: u64,
+    },
+}
+
+/// The pure admission decision. `queued_samples` is the total queued
+/// backlog (the queue-bound input), `tenant_queued` the requesting
+/// tenant's share of it, and `predicted_wait_us` the caller's queue-delay
+/// estimate *for the request's tier* (backlog at or above the tier times
+/// estimated per-sample service time, divided by workers).
+///
+/// Check order: queue bound, then tenant quota, then the tier's shed
+/// ceiling — the hard capacity limit always wins, and a quota'd tenant is
+/// reported as such even when the queue is also slow.
+pub fn decide(
+    policy: &AdmissionPolicy,
+    queue_capacity: usize,
+    queued_samples: usize,
+    samples: usize,
+    tenant_queued: usize,
+    predicted_wait_us: u64,
+    priority: Priority,
+) -> AdmissionVerdict {
+    if queued_samples + samples > queue_capacity {
+        return AdmissionVerdict::Full;
+    }
+    let AdmissionPolicy::SloAware(slo) = policy else {
+        return AdmissionVerdict::Admit;
+    };
+    if tenant_queued + samples > slo.tenant_quota {
+        return AdmissionVerdict::Quota {
+            quota: slo.tenant_quota,
+        };
+    }
+    let limit_us = slo.shed_wait_us[priority.index()];
+    if predicted_wait_us > limit_us {
+        return AdmissionVerdict::Shed { limit_us };
+    }
+    AdmissionVerdict::Admit
+}
+
+/// Predicted queue delay, microseconds, for a request that would wait
+/// behind `backlog_samples` samples served at `est_ns_per_sample` by
+/// `workers` workers. Saturating; zero while the estimator is cold
+/// (`est_ns_per_sample == 0`), so warm-up admits everything.
+pub fn predicted_wait_us(backlog_samples: usize, est_ns_per_sample: u64, workers: usize) -> u64 {
+    let total_ns = (backlog_samples as u128) * (est_ns_per_sample as u128);
+    u64::try_from(total_ns / 1_000 / (workers.max(1) as u128)).unwrap_or(u64::MAX)
+}
+
+/// One EWMA step of the per-sample service-time estimator (weight 1/4 on
+/// the new observation; the first observation seeds the estimate).
+pub(crate) fn ewma_ns(old: u64, observed: u64) -> u64 {
+    if old == 0 {
+        observed
+    } else {
+        (3 * (old as u128) + observed as u128).div_ceil(4) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn priority_indices_are_stable_and_ordered() {
+        assert_eq!(Priority::High.index(), 0);
+        assert_eq!(Priority::Normal.index(), 1);
+        assert_eq!(Priority::Low.index(), 2);
+        assert_eq!(Priority::default(), Priority::Normal);
+        for (i, p) in Priority::ALL.iter().enumerate() {
+            assert_eq!(p.index(), i);
+        }
+        assert_eq!(Priority::High.label(), "high");
+        assert_eq!(Priority::Low.to_string(), "low");
+    }
+
+    #[test]
+    fn queue_bound_policy_only_checks_capacity() {
+        let p = AdmissionPolicy::QueueBound;
+        assert_eq!(
+            decide(&p, 10, 8, 2, 8, u64::MAX, Priority::Low),
+            AdmissionVerdict::Admit
+        );
+        assert_eq!(
+            decide(&p, 10, 9, 2, 0, 0, Priority::High),
+            AdmissionVerdict::Full
+        );
+    }
+
+    #[test]
+    fn slo_policy_checks_capacity_then_quota_then_shed() {
+        let slo = SloConfig {
+            shed_wait_us: [1000, 100, 10],
+            tenant_quota: 4,
+        };
+        let p = AdmissionPolicy::SloAware(slo);
+        // Capacity dominates everything.
+        assert_eq!(
+            decide(&p, 8, 8, 1, 0, 0, Priority::High),
+            AdmissionVerdict::Full
+        );
+        // Quota next.
+        assert_eq!(
+            decide(&p, 100, 8, 2, 3, 0, Priority::High),
+            AdmissionVerdict::Quota { quota: 4 }
+        );
+        // Then per-tier shed ceilings: the same wait sheds Low, not High.
+        assert_eq!(
+            decide(&p, 100, 8, 1, 0, 500, Priority::Low),
+            AdmissionVerdict::Shed { limit_us: 10 }
+        );
+        assert_eq!(
+            decide(&p, 100, 8, 1, 0, 500, Priority::High),
+            AdmissionVerdict::Admit
+        );
+        assert_eq!(
+            decide(&p, 100, 8, 1, 0, 1001, Priority::High),
+            AdmissionVerdict::Shed { limit_us: 1000 }
+        );
+    }
+
+    #[test]
+    fn predicted_wait_scales_and_saturates() {
+        assert_eq!(predicted_wait_us(0, 1_000_000, 1), 0);
+        assert_eq!(predicted_wait_us(10, 0, 1), 0, "cold estimator admits");
+        assert_eq!(predicted_wait_us(10, 1_000_000, 1), 10_000);
+        assert_eq!(predicted_wait_us(10, 1_000_000, 2), 5_000);
+        assert_eq!(predicted_wait_us(usize::MAX, u64::MAX, 1), u64::MAX);
+    }
+
+    #[test]
+    fn ewma_seeds_then_smooths() {
+        assert_eq!(ewma_ns(0, 400), 400);
+        assert_eq!(ewma_ns(400, 400), 400);
+        assert_eq!(ewma_ns(400, 800), 500);
+        // Rounds up, so a nonzero observation can never decay the estimate
+        // to zero (zero means "cold").
+        assert!(ewma_ns(1, 1) >= 1);
+    }
+}

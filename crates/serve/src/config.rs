@@ -2,6 +2,7 @@
 
 use std::time::Duration;
 
+use crate::admission::AdmissionPolicy;
 use crate::error::ServeError;
 
 /// How a worker executes a coalesced batch. Every mode produces
@@ -44,6 +45,9 @@ pub struct ServeConfig {
     pub workers: usize,
     /// Batch execution strategy.
     pub execution: BatchExecution,
+    /// Admission policy: the legacy queue bound, or SLO-aware shedding
+    /// with priority tiers and per-tenant quotas (see [`crate::admission`]).
+    pub admission: AdmissionPolicy,
 }
 
 impl Default for ServeConfig {
@@ -54,6 +58,7 @@ impl Default for ServeConfig {
             queue_capacity: 256,
             workers: 1,
             execution: BatchExecution::Auto,
+            admission: AdmissionPolicy::QueueBound,
         }
     }
 }
@@ -77,6 +82,13 @@ impl ServeConfig {
                 "queue_capacity {} cannot hold one max_batch {}",
                 self.queue_capacity, self.max_batch
             )));
+        }
+        if let AdmissionPolicy::SloAware(slo) = &self.admission {
+            if slo.tenant_quota == 0 {
+                return Err(ServeError::InvalidConfig(
+                    "tenant_quota must be >= 1".into(),
+                ));
+            }
         }
         Ok(())
     }
@@ -110,5 +122,22 @@ mod tests {
             ..ServeConfig::default()
         };
         assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn zero_tenant_quota_is_rejected() {
+        let c = ServeConfig {
+            admission: AdmissionPolicy::SloAware(crate::SloConfig {
+                tenant_quota: 0,
+                ..crate::SloConfig::default()
+            }),
+            ..ServeConfig::default()
+        };
+        assert!(c.validate().is_err());
+        let c = ServeConfig {
+            admission: AdmissionPolicy::SloAware(crate::SloConfig::default()),
+            ..ServeConfig::default()
+        };
+        c.validate().unwrap();
     }
 }

@@ -2,6 +2,8 @@
 
 use std::fmt;
 
+use crate::admission::Priority;
+
 /// Why a submission was rejected at admission time. Rejection is the
 /// backpressure mechanism — the queue never grows past its bound and the
 /// server never panics on overload.
@@ -13,6 +15,33 @@ pub enum SubmitError {
         capacity: usize,
         /// Samples already queued.
         queued: usize,
+        /// Samples the rejected request carried.
+        requested: usize,
+    },
+    /// The SLO-aware admission layer shed this request: the predicted
+    /// queue delay for its tier exceeded the tier's configured ceiling
+    /// ([`crate::SloConfig::shed_wait_us`]). Shedding fires *before* the
+    /// queue is full — it is the overload valve that keeps higher-tier
+    /// latency bounded.
+    Shed {
+        /// The shedding tenant.
+        tenant: usize,
+        /// The request's priority tier.
+        priority: Priority,
+        /// Predicted queue delay at admission time, microseconds.
+        predicted_wait_us: u64,
+        /// The tier's configured ceiling, microseconds.
+        limit_us: u64,
+    },
+    /// The tenant already has its full fairness quota of samples queued
+    /// ([`crate::SloConfig::tenant_quota`]).
+    TenantQuotaExceeded {
+        /// The over-quota tenant.
+        tenant: usize,
+        /// Samples the tenant has queued.
+        queued: usize,
+        /// The configured per-tenant quota.
+        quota: usize,
         /// Samples the rejected request carried.
         requested: usize,
     },
@@ -46,6 +75,26 @@ impl fmt::Display for SubmitError {
                 f,
                 "queue full: {queued}/{capacity} samples queued, request adds {requested}"
             ),
+            SubmitError::Shed {
+                tenant,
+                priority,
+                predicted_wait_us,
+                limit_us,
+            } => write!(
+                f,
+                "shed: tenant {tenant} ({priority}) predicted wait {predicted_wait_us}us exceeds \
+                 {limit_us}us ceiling"
+            ),
+            SubmitError::TenantQuotaExceeded {
+                tenant,
+                queued,
+                quota,
+                requested,
+            } => write!(
+                f,
+                "tenant {tenant} over quota: {queued}/{quota} samples queued, request adds \
+                 {requested}"
+            ),
             SubmitError::ShuttingDown => write!(f, "server is shutting down"),
             SubmitError::UnknownModel { model, registered } => {
                 write!(f, "unknown model {model} ({registered} registered)")
@@ -72,6 +121,15 @@ pub enum ServeError {
     /// A model artifact could not be loaded into (or swapped within) the
     /// registry.
     Load(String),
+    /// A control-plane operation (e.g. a rollout canary) exhausted its
+    /// bounded retry budget against a saturated replica. Carries how hard
+    /// it tried so the operator can tell a blip from a stall.
+    Overloaded {
+        /// Admission attempts made before giving up.
+        attempts: u32,
+        /// Total time spent retrying, microseconds.
+        waited_us: u64,
+    },
 }
 
 impl fmt::Display for ServeError {
@@ -81,6 +139,14 @@ impl fmt::Display for ServeError {
             ServeError::NoModels => write!(f, "no models registered"),
             ServeError::Forward(msg) => write!(f, "forward pass failed: {msg}"),
             ServeError::Load(msg) => write!(f, "model load failed: {msg}"),
+            ServeError::Overloaded {
+                attempts,
+                waited_us,
+            } => write!(
+                f,
+                "target overloaded: retry budget exhausted after {attempts} attempts over \
+                 {waited_us}us"
+            ),
         }
     }
 }
@@ -100,6 +166,28 @@ mod tests {
         };
         assert!(e.to_string().contains("7/8"));
         assert!(SubmitError::ShuttingDown.to_string().contains("shutting"));
+        let shed = SubmitError::Shed {
+            tenant: 9,
+            priority: Priority::Low,
+            predicted_wait_us: 7000,
+            limit_us: 5000,
+        };
+        assert!(shed.to_string().contains("tenant 9"));
+        assert!(shed.to_string().contains("low"));
+        assert!(shed.to_string().contains("7000"));
+        let quota = SubmitError::TenantQuotaExceeded {
+            tenant: 3,
+            queued: 64,
+            quota: 64,
+            requested: 2,
+        };
+        assert!(quota.to_string().contains("64/64"));
+        assert!(ServeError::Overloaded {
+            attempts: 8,
+            waited_us: 123,
+        }
+        .to_string()
+        .contains("8 attempts"));
         assert!(ServeError::InvalidConfig("x".into())
             .to_string()
             .contains("x"));

@@ -20,8 +20,13 @@
 //! * plain `std::thread::scope` workers — no async runtime — each owning a
 //!   warm [`capsnet::ForwardArena`] so steady-state batches allocate almost
 //!   nothing;
+//! * **SLO-aware admission control** ([`admission`]): priority tiers
+//!   ([`Priority`]), per-tenant fairness quotas, and predicted-wait
+//!   overload shedding ([`SubmitError::Shed`]) so high-priority p99 stays
+//!   bounded while best-effort load is shed under sustained overload;
 //! * per-request and per-batch **metrics**: p50/p95/p99 latency,
-//!   throughput, failure counters, and a batch-occupancy histogram;
+//!   throughput, failure counters, per-priority-tier latency/shed
+//!   accounting, and a batch-occupancy histogram;
 //! * **replicated serving** ([`replica`]): a [`ReplicaSet`] supervisor
 //!   running N thread-isolated replicas that share one mapped `pim-store`
 //!   artifact (one physical copy of the weights), with pluggable routing
@@ -52,7 +57,7 @@
 //!         .map(|tenant| {
 //!             let images = Tensor::uniform(&[1, 1, 12, 12], 0.0, 1.0, tenant as u64);
 //!             handle
-//!                 .submit(Request { tenant, model: 0, images })
+//!                 .submit(Request::new(tenant, 0, images))
 //!                 .expect("queue has room")
 //!         })
 //!         .collect();
@@ -65,6 +70,7 @@
 //! assert_eq!(metrics.requests, 4);
 //! ```
 
+pub mod admission;
 mod config;
 mod error;
 mod metrics;
@@ -73,12 +79,15 @@ pub mod replica;
 pub mod rollout;
 mod server;
 
+pub use admission::{AdmissionPolicy, AdmissionVerdict, Priority, SloConfig, TIERS};
 pub use config::{BatchExecution, ServeConfig};
 pub use error::{ServeError, SubmitError};
-pub use metrics::{MetricsReport, ModelVersionCount};
+pub use metrics::{MetricsReport, ModelVersionCount, TierReport};
 pub use registry::{ModelHandle, ModelRegistry};
 pub use replica::{
     ReplicaSet, ReplicaSetConfig, ReplicaSetHandle, ReplicaSetReport, ReplicaTicket, RoutingPolicy,
 };
-pub use rollout::{ReplicaOutcome, ReplicaRollout, RolloutConfig, RolloutReport};
+pub use rollout::{
+    ReplicaOutcome, ReplicaRollout, RetryBudget, RolloutConfig, RolloutError, RolloutReport,
+};
 pub use server::{Request, Response, ServedModel, Server, ServerHandle, Ticket};

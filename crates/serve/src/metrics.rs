@@ -1,8 +1,11 @@
-//! Service metrics: request latencies, batch occupancy, throughput, and
-//! per-(model, version) dispatch counters for hot-swap observability.
+//! Service metrics: request latencies, batch occupancy, throughput,
+//! per-priority-tier latency/shed accounting, and per-(model, version)
+//! dispatch counters for hot-swap observability.
 
 use std::collections::BTreeMap;
 use std::time::Instant;
+
+use crate::admission::{Priority, TIERS};
 
 /// Mutable recorder the workers feed; lives behind a mutex in the server.
 #[derive(Debug)]
@@ -10,10 +13,17 @@ pub(crate) struct MetricsRecorder {
     started: Instant,
     /// Total (queue + service) latency per completed request, microseconds.
     latencies_us: Vec<u64>,
+    /// Per-tier completed-request latencies (same samples as
+    /// `latencies_us`, attributed to the request's priority tier).
+    tier_latencies_us: [Vec<u64>; TIERS],
     /// `occupancy[s]` = number of dispatched batches holding `s` samples.
     occupancy: Vec<u64>,
     samples: u64,
     rejected_full: u64,
+    /// Submissions rejected over the tenant fairness quota.
+    rejected_quota: u64,
+    /// Per-tier submissions shed by the SLO-aware admission layer.
+    shed: [u64; TIERS],
     /// Requests whose dispatched batch failed (tickets resolved with an
     /// error). Disjoint from `latencies_us`.
     failed_requests: u64,
@@ -29,9 +39,12 @@ impl MetricsRecorder {
         MetricsRecorder {
             started: Instant::now(),
             latencies_us: Vec::new(),
+            tier_latencies_us: [Vec::new(), Vec::new(), Vec::new()],
             occupancy: vec![0; max_batch + 1],
             samples: 0,
             rejected_full: 0,
+            rejected_quota: 0,
+            shed: [0; TIERS],
             failed_requests: 0,
             failed_batches: 0,
             versions: BTreeMap::new(),
@@ -39,12 +52,14 @@ impl MetricsRecorder {
         }
     }
 
+    /// Records a completed batch; `request_latencies_us` carries one
+    /// `(priority, total latency)` entry per request the batch held.
     pub(crate) fn record_batch(
         &mut self,
         model: usize,
         version: u64,
         batch_samples: usize,
-        request_latencies_us: &[u64],
+        request_latencies_us: &[(Priority, u64)],
     ) {
         // Clamp into the top bucket rather than silently dropping the
         // occupancy sample: `batches` is derived as `occupancy.sum()`, so a
@@ -55,7 +70,10 @@ impl MetricsRecorder {
         let slot = batch_samples.min(self.occupancy.len() - 1);
         self.occupancy[slot] += 1;
         self.samples += batch_samples as u64;
-        self.latencies_us.extend_from_slice(request_latencies_us);
+        for &(priority, latency_us) in request_latencies_us {
+            self.latencies_us.push(latency_us);
+            self.tier_latencies_us[priority.index()].push(latency_us);
+        }
         let entry = self.versions.entry((model, version)).or_insert((0, 0));
         entry.0 += request_latencies_us.len() as u64;
         entry.1 += batch_samples as u64;
@@ -75,6 +93,14 @@ impl MetricsRecorder {
         self.rejected_full += 1;
     }
 
+    pub(crate) fn record_reject_quota(&mut self) {
+        self.rejected_quota += 1;
+    }
+
+    pub(crate) fn record_shed(&mut self, priority: Priority) {
+        self.shed[priority.index()] += 1;
+    }
+
     pub(crate) fn record_swap(&mut self) {
         self.swaps += 1;
     }
@@ -88,11 +114,24 @@ impl MetricsRecorder {
         } else {
             sorted.iter().sum::<u64>() as f64 / sorted.len() as f64
         };
+        let tiers = Priority::ALL.map(|priority| {
+            let mut tier_sorted = self.tier_latencies_us[priority.index()].clone();
+            tier_sorted.sort_unstable();
+            TierReport {
+                priority,
+                requests: tier_sorted.len() as u64,
+                shed: self.shed[priority.index()],
+                p50_us: percentile(&tier_sorted, 0.50),
+                p95_us: percentile(&tier_sorted, 0.95),
+                p99_us: percentile(&tier_sorted, 0.99),
+            }
+        });
         MetricsReport {
             requests: sorted.len() as u64,
             samples: self.samples,
             batches: self.occupancy.iter().sum(),
             rejected_full: self.rejected_full,
+            rejected_quota: self.rejected_quota,
             failed_requests: self.failed_requests,
             failed_batches: self.failed_batches,
             p50_us: percentile(&sorted, 0.50),
@@ -101,6 +140,7 @@ impl MetricsRecorder {
             mean_us,
             batch_occupancy: self.occupancy.clone(),
             elapsed_s,
+            tiers,
             version_counts: self
                 .versions
                 .iter()
@@ -131,6 +171,25 @@ pub struct ModelVersionCount {
     pub samples: u64,
 }
 
+/// One priority tier's view of a serve window: its completed volume, its
+/// shed count, and its own latency percentiles (the SLO the tier's
+/// shed ceiling exists to protect).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TierReport {
+    /// The tier.
+    pub priority: Priority,
+    /// Requests of this tier completed.
+    pub requests: u64,
+    /// Submissions of this tier shed by admission control.
+    pub shed: u64,
+    /// Median total latency of the tier's completed requests, µs.
+    pub p50_us: u64,
+    /// 95th-percentile latency, µs.
+    pub p95_us: u64,
+    /// 99th-percentile latency, µs.
+    pub p99_us: u64,
+}
+
 /// Nearest-rank percentile (`ceil(q·n) − 1`) over an ascending-sorted
 /// slice (0 when empty).
 pub(crate) fn percentile(sorted_us: &[u64], q: f64) -> u64 {
@@ -153,6 +212,8 @@ pub struct MetricsReport {
     pub batches: u64,
     /// Submissions rejected with [`crate::SubmitError::QueueFull`].
     pub rejected_full: u64,
+    /// Submissions rejected with [`crate::SubmitError::TenantQuotaExceeded`].
+    pub rejected_quota: u64,
     /// Requests whose dispatched batch failed (tickets resolved with
     /// [`crate::ServeError::Forward`]). Disjoint from [`MetricsReport::requests`].
     pub failed_requests: u64,
@@ -171,6 +232,12 @@ pub struct MetricsReport {
     pub batch_occupancy: Vec<u64>,
     /// Wall-clock seconds the serve window was open.
     pub elapsed_s: f64,
+    /// Per-priority-tier latency and shed accounting, in
+    /// [`Priority::ALL`] order (High, Normal, Low). Every completed
+    /// request appears in exactly one tier, so
+    /// `tiers.map(requests).sum() == requests` and
+    /// `tiers.map(shed).sum()` is the window's total shed count.
+    pub tiers: [TierReport; 3],
     /// Dispatch volume per `(model, version)` — every batch is attributed
     /// to the version it formed under, so a hot-swap splits a model's
     /// traffic across exactly the epochs that served it.
@@ -197,11 +264,25 @@ impl MetricsReport {
             self.samples as f64 / self.batches as f64
         }
     }
+
+    /// Total submissions shed across all tiers.
+    pub fn shed_total(&self) -> u64 {
+        self.tiers.iter().map(|t| t.shed).sum()
+    }
+
+    /// One tier's report.
+    pub fn tier(&self, priority: Priority) -> &TierReport {
+        &self.tiers[priority.index()]
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    fn normal(latencies: &[u64]) -> Vec<(Priority, u64)> {
+        latencies.iter().map(|&l| (Priority::Normal, l)).collect()
+    }
 
     #[test]
     fn percentiles_nearest_rank() {
@@ -216,9 +297,9 @@ mod tests {
     #[test]
     fn recorder_aggregates() {
         let mut r = MetricsRecorder::new(4);
-        r.record_batch(0, 1, 3, &[10, 20, 30]);
+        r.record_batch(0, 1, 3, &normal(&[10, 20, 30]));
         r.record_swap();
-        r.record_batch(0, 2, 1, &[40]);
+        r.record_batch(0, 2, 1, &normal(&[40]));
         r.record_reject_full();
         let rep = r.report();
         assert_eq!(rep.swaps, 1);
@@ -258,7 +339,7 @@ mod tests {
         // any `batch_samples > max_batch`, so `batches` (occupancy.sum())
         // disagreed with dispatched batches.
         let mut r = MetricsRecorder::new(4);
-        r.record_batch(0, 1, 9, &[10]); // above max_batch
+        r.record_batch(0, 1, 9, &normal(&[10])); // above max_batch
         r.record_batch(0, 1, 0, &[]); // below any real batch
         let rep = r.report();
         assert_eq!(rep.batches, 2, "every dispatched batch must be counted");
@@ -270,7 +351,7 @@ mod tests {
     #[test]
     fn failed_batches_are_counted_separately() {
         let mut r = MetricsRecorder::new(4);
-        r.record_batch(0, 1, 2, &[10, 20]);
+        r.record_batch(0, 1, 2, &normal(&[10, 20]));
         r.record_failed_batch(3);
         r.record_failed_batch(1);
         let rep = r.report();
@@ -280,20 +361,57 @@ mod tests {
         assert_eq!(rep.failed_batches, 2);
     }
 
+    #[test]
+    fn tiers_partition_latencies_and_count_sheds() {
+        let mut r = MetricsRecorder::new(8);
+        r.record_batch(
+            0,
+            1,
+            4,
+            &[
+                (Priority::High, 10),
+                (Priority::Low, 400),
+                (Priority::High, 20),
+                (Priority::Normal, 50),
+            ],
+        );
+        r.record_shed(Priority::Low);
+        r.record_shed(Priority::Low);
+        r.record_shed(Priority::Normal);
+        r.record_reject_quota();
+        let rep = r.report();
+        assert_eq!(rep.tier(Priority::High).requests, 2);
+        assert_eq!(rep.tier(Priority::Normal).requests, 1);
+        assert_eq!(rep.tier(Priority::Low).requests, 1);
+        assert_eq!(rep.tier(Priority::High).p99_us, 20);
+        assert_eq!(rep.tier(Priority::Low).p50_us, 400);
+        assert_eq!(rep.tier(Priority::Low).shed, 2);
+        assert_eq!(rep.tier(Priority::Normal).shed, 1);
+        assert_eq!(rep.tier(Priority::High).shed, 0);
+        assert_eq!(rep.shed_total(), 3);
+        assert_eq!(rep.rejected_quota, 1);
+        let tier_requests: u64 = rep.tiers.iter().map(|t| t.requests).sum();
+        assert_eq!(tier_requests, rep.requests);
+    }
+
     mod props {
         use super::*;
         use proptest::prelude::*;
 
         proptest! {
-            /// Under arbitrary (even out-of-range) batch sizes and failure
-            /// interleavings, the derived report stays self-consistent:
-            /// `requests` equals latencies recorded, `batches` equals
-            /// dispatched successful batches (occupancy never leaks), and
-            /// failed traffic is fully attributed.
+            /// Under arbitrary (even out-of-range) batch sizes, failure
+            /// interleavings, and admission events (sheds, quota rejects,
+            /// queue-full rejects), the derived report stays
+            /// self-consistent — and **every submission is accounted for
+            /// exactly once**:
+            /// `requests + failed_requests + shed + rejected_full +
+            /// rejected_quota == submissions`.
             #[test]
             fn recorder_is_consistent_under_random_batches(
                 max_batch in 1usize..12,
-                batches in proptest::collection::vec((0usize..24, 0usize..6, 0u32..2), 0..40),
+                batches in proptest::collection::vec(
+                    (0usize..24, 0usize..6, 0u32..2, 0usize..3), 0..40),
+                admission_events in proptest::collection::vec(0usize..5, 0..60),
             ) {
                 let mut r = MetricsRecorder::new(max_batch);
                 let mut want_requests = 0u64;
@@ -301,17 +419,41 @@ mod tests {
                 let mut want_batches = 0u64;
                 let mut want_failed_requests = 0u64;
                 let mut want_failed_batches = 0u64;
-                for (i, &(batch_samples, requests, failed)) in batches.iter().enumerate() {
+                let mut want_shed = [0u64; 3];
+                let mut want_rejected_full = 0u64;
+                let mut want_rejected_quota = 0u64;
+                let mut submissions = 0u64;
+                for (i, &(batch_samples, requests, failed, tier)) in batches.iter().enumerate() {
+                    submissions += requests as u64;
                     if failed == 1 {
                         r.record_failed_batch(requests);
                         want_failed_requests += requests as u64;
                         want_failed_batches += 1;
                     } else {
-                        let latencies: Vec<u64> = (0..requests as u64).map(|k| 10 * k + i as u64).collect();
+                        let priority = Priority::ALL[tier];
+                        let latencies: Vec<(Priority, u64)> =
+                            (0..requests as u64).map(|k| (priority, 10 * k + i as u64)).collect();
                         r.record_batch(i % 3, 1 + (i % 2) as u64, batch_samples, &latencies);
                         want_requests += requests as u64;
                         want_samples += batch_samples as u64;
                         want_batches += 1;
+                    }
+                }
+                for &e in &admission_events {
+                    submissions += 1;
+                    match e {
+                        0..=2 => {
+                            r.record_shed(Priority::ALL[e]);
+                            want_shed[e] += 1;
+                        }
+                        3 => {
+                            r.record_reject_full();
+                            want_rejected_full += 1;
+                        }
+                        _ => {
+                            r.record_reject_quota();
+                            want_rejected_quota += 1;
+                        }
                     }
                 }
                 let rep = r.report();
@@ -322,9 +464,23 @@ mod tests {
                 prop_assert_eq!(rep.batch_occupancy.len(), max_batch + 1);
                 prop_assert_eq!(rep.failed_requests, want_failed_requests);
                 prop_assert_eq!(rep.failed_batches, want_failed_batches);
+                prop_assert_eq!(rep.rejected_full, want_rejected_full);
+                prop_assert_eq!(rep.rejected_quota, want_rejected_quota);
+                for p in Priority::ALL {
+                    prop_assert_eq!(rep.tier(p).shed, want_shed[p.index()]);
+                }
+                // The tiers partition completed requests.
+                prop_assert_eq!(rep.tiers.iter().map(|t| t.requests).sum::<u64>(), rep.requests);
                 // Version attribution covers exactly the successful requests.
                 let attributed: u64 = rep.version_counts.iter().map(|v| v.requests).sum();
                 prop_assert_eq!(attributed, want_requests);
+                // The shed-accounting identity: every submission resolves
+                // exactly once as completed, failed, shed, or rejected.
+                prop_assert_eq!(
+                    rep.requests + rep.failed_requests + rep.shed_total()
+                        + rep.rejected_full + rep.rejected_quota,
+                    submissions
+                );
             }
         }
     }

@@ -472,7 +472,8 @@ impl ReplicaSetHandle<'_> {
         self.pool.mailboxes.len()
     }
 
-    /// Outstanding (submitted, unresolved) requests on one replica.
+    /// Outstanding requests on one replica: submitted (or mid-submission —
+    /// routing reserves the slot before the mailbox push) and unresolved.
     pub fn outstanding(&self, replica: usize) -> usize {
         self.pool.outstanding[replica].load(Ordering::Relaxed)
     }
@@ -498,8 +499,8 @@ impl ReplicaSetHandle<'_> {
     /// The chosen replica's typed [`SubmitError`] — backpressure is per
     /// replica, so `QueueFull` names the queue that pushed back.
     pub fn submit(&self, request: Request) -> Result<ReplicaTicket, SubmitError> {
-        let replica = self.pick_replica(request.tenant);
-        self.submit_to(replica, request)
+        let (replica, guard) = self.pick_and_reserve(request.tenant);
+        self.submit_reserved(replica, request, guard)
     }
 
     /// Submits to a specific replica, bypassing the routing policy (used
@@ -513,6 +514,32 @@ impl ReplicaSetHandle<'_> {
         replica: usize,
         request: Request,
     ) -> Result<ReplicaTicket, SubmitError> {
+        let guard = self.reserve(replica);
+        self.submit_reserved(replica, request, guard)
+    }
+
+    /// Reserves one outstanding slot on `replica` **before** any job is
+    /// pushed. Reservation-first is what makes `LeastQueued` routing sound
+    /// under concurrency: a submitter's pick is visible to every other
+    /// submitter immediately, not only after its mailbox rendezvous
+    /// completes — otherwise a burst of concurrent submitters all read the
+    /// same stale counts and herd onto one replica. The guard releases the
+    /// slot on drop, so a rejected submission never leaks a reservation.
+    fn reserve(&self, replica: usize) -> OutstandingGuard {
+        let counter = Arc::clone(&self.pool.outstanding[replica]);
+        counter.fetch_add(1, Ordering::Relaxed);
+        OutstandingGuard { counter }
+    }
+
+    /// The submit path proper: push the job, rendezvous for the replica's
+    /// verdict. `guard` already holds this replica's reservation; any
+    /// early return drops it, releasing the slot.
+    fn submit_reserved(
+        &self,
+        replica: usize,
+        request: Request,
+        guard: OutstandingGuard,
+    ) -> Result<ReplicaTicket, SubmitError> {
         let reply = ReplySlot::new();
         if !self.pool.mailboxes[replica].push(Job::Submit {
             request,
@@ -521,13 +548,55 @@ impl ReplicaSetHandle<'_> {
             return Err(SubmitError::ShuttingDown);
         }
         let ticket = reply.take()?;
-        let counter = Arc::clone(&self.pool.outstanding[replica]);
-        counter.fetch_add(1, Ordering::Relaxed);
         Ok(ReplicaTicket {
             ticket,
             replica,
-            _guard: OutstandingGuard { counter },
+            _guard: guard,
         })
+    }
+
+    /// Picks a replica and atomically reserves its outstanding slot.
+    ///
+    /// For [`RoutingPolicy::LeastQueued`] the pick and the reservation
+    /// must be one atomic step: read all counts, then `compare_exchange`
+    /// the argmin from the exact count observed. A failed CAS means some
+    /// concurrent submitter landed on that replica first — re-read and
+    /// re-pick. The committed invariant is that the chosen replica's count
+    /// was `<=` every other's at commit time, so concurrent bursts spread
+    /// instead of herding.
+    fn pick_and_reserve(&self, tenant: usize) -> (usize, OutstandingGuard) {
+        if self.policy != RoutingPolicy::LeastQueued {
+            let replica = self.pick_replica(tenant);
+            return (replica, self.reserve(replica));
+        }
+        let n = self.replicas();
+        let in_rotation = |i: usize| !self.pool.draining[i].load(Ordering::Relaxed);
+        loop {
+            let load = |i: usize| (self.pool.outstanding[i].load(Ordering::Relaxed), i);
+            let (count, replica) = (0..n)
+                .filter(|&i| in_rotation(i))
+                .map(load)
+                .min()
+                .unwrap_or_else(|| (0..n).map(load).min().expect("replicas >= 1"));
+            if self.pool.outstanding[replica]
+                .compare_exchange(count, count + 1, Ordering::Relaxed, Ordering::Relaxed)
+                .is_ok()
+            {
+                let counter = Arc::clone(&self.pool.outstanding[replica]);
+                return (replica, OutstandingGuard { counter });
+            }
+        }
+    }
+
+    /// Permanently decommissions a replica mid-window: takes it out of
+    /// routing rotation **and** closes its mailbox, so every later job —
+    /// submits and swaps alike — is rejected as shutting down. The
+    /// replica's server drains its admitted queue and exits normally; its
+    /// metrics still appear in the final report. There is no way to
+    /// un-quarantine within the window.
+    pub fn quarantine(&self, replica: usize) {
+        self.set_draining(replica, true);
+        self.pool.mailboxes[replica].close();
     }
 
     /// Atomically hot-swaps one replica to the model in `artifact`
@@ -699,6 +768,10 @@ pub struct ReplicaSetReport {
     pub failed_batches: u64,
     /// `QueueFull` rejects across the fleet.
     pub rejected_full: u64,
+    /// Tenant-quota rejects across the fleet.
+    pub rejected_quota: u64,
+    /// SLO sheds across the fleet (all tiers).
+    pub shed: u64,
     /// Hot swaps across the fleet (every rollout step counts one per
     /// touched replica).
     pub swaps: u64,
@@ -714,6 +787,8 @@ impl ReplicaSetReport {
             failed_requests: sum(|r| r.failed_requests),
             failed_batches: sum(|r| r.failed_batches),
             rejected_full: sum(|r| r.rejected_full),
+            rejected_quota: sum(|r| r.rejected_quota),
+            shed: sum(|r| r.shed_total()),
             swaps: sum(|r| r.swaps),
             per_replica,
         }

@@ -23,20 +23,49 @@
 //! itself a forward swap to the old *weights*), so every replica's
 //! response stream stays version-monotone in dispatch order throughout.
 //!
+//! Infrastructure failures (a swap that does not complete, a canary that
+//! exhausts its [`RetryBudget`] against a saturated replica) surface as
+//! [`RolloutError`], which **carries the partial per-replica report**:
+//! every attempted step — including failed swaps and failed reverts — is
+//! recorded, so the report never misrepresents what the fleet serves.
+//!
 //! Artifacts handed to a rollout must come from `pim-store`'s atomic
 //! temp+rename writer; rewriting an artifact in place under live readers
 //! voids the mapping-safety contract (`pim_store` validates what it can,
 //! but only rename-replacement is race-free).
 
-use std::time::Instant;
+use std::fmt;
+use std::time::{Duration, Instant};
 
 use capsnet::CapsNet;
 use pim_store::SharedArtifact;
 use pim_tensor::Tensor;
 
+use crate::admission::Priority;
 use crate::error::{ServeError, SubmitError};
 use crate::replica::ReplicaSetHandle;
 use crate::server::Request;
+
+/// Bounded retry budget for control-plane operations that contend with
+/// live traffic (the rollout canary).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryBudget {
+    /// Maximum admission attempts before giving up with
+    /// [`ServeError::Overloaded`].
+    pub attempts: u32,
+    /// Sleep between attempts (a real sleep, not a spin — the contended
+    /// replica needs the core to drain its queue).
+    pub backoff: Duration,
+}
+
+impl Default for RetryBudget {
+    fn default() -> Self {
+        RetryBudget {
+            attempts: 200,
+            backoff: Duration::from_millis(2),
+        }
+    }
+}
 
 /// Rollout knobs.
 #[derive(Debug, Clone)]
@@ -54,6 +83,10 @@ pub struct RolloutConfig {
     /// Tenant tag used for canary requests (canaries ride the normal
     /// serving path, so they appear in metrics like any request).
     pub canary_tenant: usize,
+    /// Retry budget for canary submissions against a busy replica.
+    /// Exhausting it fails the rollout with [`ServeError::Overloaded`]
+    /// instead of spinning forever.
+    pub canary_retry: RetryBudget,
 }
 
 impl RolloutConfig {
@@ -63,6 +96,7 @@ impl RolloutConfig {
             canary,
             tolerance,
             canary_tenant: 0,
+            canary_retry: RetryBudget::default(),
         }
     }
 }
@@ -77,6 +111,13 @@ pub enum ReplicaOutcome {
     /// Restored to the old weights because a *later* replica's canary
     /// failed (the fleet rolls back as a unit).
     RevertedWithFleet,
+    /// The swap to the new version failed; the replica still serves its
+    /// old weights (`to_version == from_version`).
+    SwapFailed,
+    /// A rollback/revert swap failed; the replica is **stuck on the new
+    /// version** while the rest of the fleet reverted. The rollout's
+    /// [`RolloutError`] carries the infrastructure error.
+    RevertFailed,
 }
 
 /// One replica's rollout step.
@@ -87,7 +128,8 @@ pub struct ReplicaRollout {
     /// Version served before this rollout touched the replica.
     pub from_version: u64,
     /// Version served after the step (the rollback bump included —
-    /// versions never move backwards).
+    /// versions never move backwards). For failed steps this is the
+    /// version the replica is *actually left serving*.
     pub to_version: u64,
     /// Measured canary divergence (`None` when the canary failed before
     /// producing output — submit reject or failed batch).
@@ -116,7 +158,8 @@ impl RolloutReport {
 
     /// Replicas left serving the new version. A replica's *last* step is
     /// its final state: an `Updated` step superseded by a
-    /// `RevertedWithFleet` step does not count.
+    /// `RevertedWithFleet` step does not count, while a `RevertFailed`
+    /// step leaves the replica on the new version and does.
     pub fn updated(&self) -> usize {
         let mut last: std::collections::BTreeMap<usize, ReplicaOutcome> =
             std::collections::BTreeMap::new();
@@ -124,8 +167,49 @@ impl RolloutReport {
             last.insert(s.replica, s.outcome);
         }
         last.values()
-            .filter(|o| **o == ReplicaOutcome::Updated)
+            .filter(|o| matches!(o, ReplicaOutcome::Updated | ReplicaOutcome::RevertFailed))
             .count()
+    }
+
+    /// Fleet-revert swaps that failed (replicas stuck on the new version
+    /// after a rollback). Nonzero only on the [`RolloutError`] path.
+    pub fn failed_reverts(&self) -> usize {
+        self.steps
+            .iter()
+            .filter(|s| s.outcome == ReplicaOutcome::RevertFailed)
+            .count()
+    }
+}
+
+/// A rollout interrupted by an infrastructure failure. Unlike a canary
+/// rollback (which is the mechanism *working*), this means the fleet may
+/// be in a mixed state — `report` records exactly which replicas were
+/// updated, reverted, or left stuck, so the caller can see what the fleet
+/// actually serves.
+#[derive(Debug, Clone)]
+pub struct RolloutError {
+    /// The first infrastructure failure the rollout hit.
+    pub error: ServeError,
+    /// Partial per-replica state at the time of failure, failed steps
+    /// included.
+    pub report: RolloutReport,
+}
+
+impl fmt::Display for RolloutError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "rollout failed: {} ({} steps recorded, {} failed reverts)",
+            self.error,
+            self.report.steps.len(),
+            self.report.failed_reverts()
+        )
+    }
+}
+
+impl std::error::Error for RolloutError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        Some(&self.error)
     }
 }
 
@@ -160,19 +244,36 @@ fn max_rel_divergence(new: &[f32], old: &[f32]) -> f32 {
 impl ReplicaSetHandle<'_> {
     /// Canary forward on one replica: submits through the normal serving
     /// path (so it batches, meters and fails exactly like user traffic)
-    /// and returns the class norms. Retries per-replica backpressure.
+    /// and returns the class norms. Canaries ride [`Priority::High`] —
+    /// the control plane must not be shed behind best-effort load.
+    ///
+    /// Per-replica backpressure (queue full) and admission throttling
+    /// (shed, tenant quota) are retried under `cfg.canary_retry` with a
+    /// sleeping backoff. (Regression: this used to be an unbounded
+    /// `yield_now` loop, which pegged a core and could spin forever
+    /// against a saturated replica — the exact soak scenario.)
     fn canary_forward(&self, replica: usize, cfg: &RolloutConfig) -> Result<Vec<f32>, ServeError> {
+        let started = Instant::now();
+        let mut attempts = 0u32;
         let ticket = loop {
-            match self.submit_to(
-                replica,
-                Request {
-                    tenant: cfg.canary_tenant,
-                    model: 0,
-                    images: cfg.canary.clone(),
-                },
-            ) {
+            attempts += 1;
+            let request = Request::new(cfg.canary_tenant, 0, cfg.canary.clone())
+                .with_priority(Priority::High);
+            match self.submit_to(replica, request) {
                 Ok(t) => break t,
-                Err(SubmitError::QueueFull { .. }) => std::thread::yield_now(),
+                Err(
+                    SubmitError::QueueFull { .. }
+                    | SubmitError::Shed { .. }
+                    | SubmitError::TenantQuotaExceeded { .. },
+                ) => {
+                    if attempts >= cfg.canary_retry.attempts {
+                        return Err(ServeError::Overloaded {
+                            attempts,
+                            waited_us: us_since(started),
+                        });
+                    }
+                    std::thread::sleep(cfg.canary_retry.backoff);
+                }
                 Err(e) => return Err(ServeError::Forward(format!("canary rejected: {e}"))),
             }
         };
@@ -188,18 +289,52 @@ impl ReplicaSetHandle<'_> {
     ///
     /// # Errors
     ///
-    /// [`ServeError`] only for *infrastructure* failures — the baseline
-    /// canary not serving, the new artifact not rebuilding, or a rollback
-    /// swap failing. A failing canary on the new version is not an error;
-    /// it is the rollback path.
+    /// [`RolloutError`] only for *infrastructure* failures — the baseline
+    /// canary not serving (e.g. [`ServeError::Overloaded`] after the
+    /// retry budget), the new artifact not rebuilding, or a rollback swap
+    /// failing. A failing canary on the new version is not an error; it
+    /// is the rollback path. The error's `report` records every step that
+    /// was attempted, failed reverts included.
     pub fn rolling_rollout(
         &self,
         new: &SharedArtifact,
         cfg: &RolloutConfig,
-    ) -> Result<RolloutReport, ServeError> {
-        // The old fleet's reference output. Replica 0 serves it now;
-        // every replica serves the same version pre-rollout.
-        let baseline = self.canary_forward(0, cfg)?;
+    ) -> Result<RolloutReport, RolloutError> {
+        self.rolling_rollout_observed(new, cfg, |_| {})
+    }
+
+    /// [`ReplicaSetHandle::rolling_rollout`] with a step observer:
+    /// `observe` is called after each per-replica step is decided (fleet
+    /// reverts included), in order. Useful for live rollout dashboards —
+    /// and for fault-injection tests that need to act mid-rollout.
+    pub fn rolling_rollout_observed(
+        &self,
+        new: &SharedArtifact,
+        cfg: &RolloutConfig,
+        mut observe: impl FnMut(&ReplicaRollout),
+    ) -> Result<RolloutReport, RolloutError> {
+        // The old fleet's reference output, taken from replica 0.
+        //
+        // ASSUMPTION: the whole fleet serves *identical weights* before
+        // the rollout starts — true for pools built via
+        // `ReplicaSet::from_shared`/`from_artifact`/`from_net` and kept
+        // true by every complete rollout (success or full rollback). If
+        // replicas had diverged (e.g. a prior `RolloutError` left a
+        // replica stuck), replica 0's output is not a valid baseline for
+        // its siblings and the canary verdicts would be meaningless;
+        // resolve the mixed state first.
+        let baseline = match self.canary_forward(0, cfg) {
+            Ok(b) => b,
+            Err(error) => {
+                return Err(RolloutError {
+                    error,
+                    report: RolloutReport {
+                        steps: Vec::new(),
+                        rolled_back: false,
+                    },
+                })
+            }
+        };
 
         let mut steps: Vec<ReplicaRollout> = Vec::with_capacity(self.replicas());
         // Old networks of successfully-updated replicas, kept for a
@@ -213,8 +348,29 @@ impl ReplicaSetHandle<'_> {
             let paused_at = Instant::now();
             self.set_draining(replica, true);
 
-            let step = (|| -> Result<ReplicaRollout, ServeError> {
-                let new_version = self.swap_replica_shared(replica, new)?;
+            // The step's outcome plus the infrastructure error (if any)
+            // that produced it. Every path yields a recorded step — a
+            // failed swap must not vanish from the report.
+            let (step, infra) = (|| {
+                let new_version = match self.swap_replica_shared(replica, new) {
+                    Ok(v) => v,
+                    Err(e) => {
+                        // Swap failed: the replica still serves its old
+                        // weights. Record it, then let the caller revert
+                        // the fleet.
+                        return (
+                            ReplicaRollout {
+                                replica,
+                                from_version,
+                                to_version: from_version,
+                                divergence: None,
+                                outcome: ReplicaOutcome::SwapFailed,
+                                pause_us: us_since(paused_at),
+                            },
+                            Some(e),
+                        );
+                    }
+                };
                 let (divergence, healthy) = match self.canary_forward(replica, cfg) {
                     Ok(norms) => {
                         let d = max_rel_divergence(&norms, &baseline);
@@ -224,70 +380,129 @@ impl ReplicaSetHandle<'_> {
                         (Some(d), d.is_finite() && d <= cfg.tolerance)
                     }
                     // The canary itself failed (geometry reject, failed
-                    // batch): maximal divergence, no measurement.
+                    // batch, retry budget): maximal divergence, no
+                    // measurement.
                     Err(_) => (None, false),
                 };
                 if healthy {
-                    Ok(ReplicaRollout {
-                        replica,
-                        from_version,
-                        to_version: new_version,
-                        divergence,
-                        outcome: ReplicaOutcome::Updated,
-                        pause_us: us_since(paused_at),
-                    })
-                } else {
-                    let to_version = self.swap_replica_net(replica, old_net.clone())?;
-                    Ok(ReplicaRollout {
-                        replica,
-                        from_version,
-                        to_version,
-                        divergence,
-                        outcome: ReplicaOutcome::RolledBack,
-                        pause_us: us_since(paused_at),
-                    })
+                    return (
+                        ReplicaRollout {
+                            replica,
+                            from_version,
+                            to_version: new_version,
+                            divergence,
+                            outcome: ReplicaOutcome::Updated,
+                            pause_us: us_since(paused_at),
+                        },
+                        None,
+                    );
+                }
+                match self.swap_replica_net(replica, old_net.clone()) {
+                    Ok(to_version) => (
+                        ReplicaRollout {
+                            replica,
+                            from_version,
+                            to_version,
+                            divergence,
+                            outcome: ReplicaOutcome::RolledBack,
+                            pause_us: us_since(paused_at),
+                        },
+                        None,
+                    ),
+                    Err(e) => (
+                        // The rollback swap failed: the replica is stuck
+                        // on the new version it just failed the canary
+                        // on. Record the truth rather than aborting.
+                        ReplicaRollout {
+                            replica,
+                            from_version,
+                            to_version: new_version,
+                            divergence,
+                            outcome: ReplicaOutcome::RevertFailed,
+                            pause_us: us_since(paused_at),
+                        },
+                        Some(e),
+                    ),
                 }
             })();
             self.set_draining(replica, false);
-            let step = step?;
-            let failed = step.outcome == ReplicaOutcome::RolledBack;
+            let outcome = step.outcome;
+            observe(&step);
             steps.push(step);
 
-            if failed {
-                // Fleet rollback: restore every already-updated replica to
-                // its pre-rollout weights (a forward swap — versions keep
-                // increasing).
-                while let Some((j, old)) = updated.pop() {
-                    let paused_at = Instant::now();
-                    self.set_draining(j, true);
-                    let revert = self.swap_replica_net(j, old);
-                    self.set_draining(j, false);
-                    let to_version = revert?;
-                    let from_version = steps
-                        .iter()
-                        .find(|s| s.replica == j)
-                        .map(|s| s.to_version)
-                        .unwrap_or(to_version);
-                    steps.push(ReplicaRollout {
-                        replica: j,
-                        from_version,
-                        to_version,
-                        divergence: None,
-                        outcome: ReplicaOutcome::RevertedWithFleet,
-                        pause_us: us_since(paused_at),
-                    });
-                }
-                return Ok(RolloutReport {
-                    steps,
-                    rolled_back: true,
-                });
+            if outcome == ReplicaOutcome::Updated {
+                updated.push((replica, old_net));
+                continue;
             }
-            updated.push((replica, old_net));
+            // Canary rollback or infrastructure failure: restore every
+            // already-updated replica, recording each attempt.
+            let revert_err = self.revert_fleet(&mut updated, &mut steps, &mut observe);
+            let report = RolloutReport {
+                steps,
+                rolled_back: true,
+            };
+            return match infra.or(revert_err) {
+                Some(error) => Err(RolloutError { error, report }),
+                None => Ok(report),
+            };
         }
         Ok(RolloutReport {
             steps,
             rolled_back: false,
         })
+    }
+
+    /// Fleet rollback: restores every already-updated replica to its
+    /// pre-rollout weights (a forward swap — versions keep increasing).
+    /// Never aborts midway: a failed revert is recorded as a
+    /// [`ReplicaOutcome::RevertFailed`] step (the replica stays on the
+    /// new version) and the walk continues, so the report always covers
+    /// the whole fleet. Returns the first revert error, if any.
+    fn revert_fleet(
+        &self,
+        updated: &mut Vec<(usize, CapsNet)>,
+        steps: &mut Vec<ReplicaRollout>,
+        observe: &mut impl FnMut(&ReplicaRollout),
+    ) -> Option<ServeError> {
+        let mut first_err = None;
+        while let Some((j, old)) = updated.pop() {
+            let paused_at = Instant::now();
+            self.set_draining(j, true);
+            let revert = self.swap_replica_net(j, old);
+            self.set_draining(j, false);
+            // The version this replica was left on by its Updated step.
+            let new_version = steps
+                .iter()
+                .find(|s| s.replica == j)
+                .map(|s| s.to_version)
+                .unwrap_or(0);
+            let step = match revert {
+                Ok(to_version) => ReplicaRollout {
+                    replica: j,
+                    from_version: new_version,
+                    to_version,
+                    divergence: None,
+                    outcome: ReplicaOutcome::RevertedWithFleet,
+                    pause_us: us_since(paused_at),
+                },
+                Err(e) => {
+                    if first_err.is_none() {
+                        first_err = Some(e);
+                    }
+                    ReplicaRollout {
+                        replica: j,
+                        from_version: new_version,
+                        to_version: new_version,
+                        divergence: None,
+                        outcome: ReplicaOutcome::RevertFailed,
+                        pause_us: us_since(paused_at),
+                    }
+                }
+            };
+            observe(&step);
+            steps.push(step);
+        }
+        first_err
     }
 }
 
@@ -299,18 +514,21 @@ fn us_since(t: Instant) -> u64 {
 mod tests {
     use super::*;
 
-    #[test]
-    fn updated_counts_final_state_not_intermediate_steps() {
-        // Replicas 0 and 1 update, replica 2 trips the canary, the fleet
-        // reverts: nobody is left on the new version.
-        let step = |replica, outcome, to_version| ReplicaRollout {
+    fn step(replica: usize, outcome: ReplicaOutcome, to_version: u64) -> ReplicaRollout {
+        ReplicaRollout {
             replica,
             from_version: 1,
             to_version,
             divergence: Some(0.0),
             outcome,
             pause_us: 1,
-        };
+        }
+    }
+
+    #[test]
+    fn updated_counts_final_state_not_intermediate_steps() {
+        // Replicas 0 and 1 update, replica 2 trips the canary, the fleet
+        // reverts: nobody is left on the new version.
         let report = RolloutReport {
             steps: vec![
                 step(0, ReplicaOutcome::Updated, 2),
@@ -322,6 +540,7 @@ mod tests {
             rolled_back: true,
         };
         assert_eq!(report.updated(), 0, "reverted replicas must not count");
+        assert_eq!(report.failed_reverts(), 0);
 
         let clean = RolloutReport {
             steps: vec![
@@ -331,6 +550,30 @@ mod tests {
             rolled_back: false,
         };
         assert_eq!(clean.updated(), 2);
+    }
+
+    #[test]
+    fn failed_reverts_count_as_still_updated() {
+        // Replica 1's revert failed: it is stuck serving the new version
+        // and the report must say so.
+        let report = RolloutReport {
+            steps: vec![
+                step(0, ReplicaOutcome::Updated, 2),
+                step(1, ReplicaOutcome::Updated, 2),
+                step(2, ReplicaOutcome::SwapFailed, 1),
+                step(1, ReplicaOutcome::RevertFailed, 2),
+                step(0, ReplicaOutcome::RevertedWithFleet, 3),
+            ],
+            rolled_back: true,
+        };
+        assert_eq!(report.failed_reverts(), 1);
+        assert_eq!(report.updated(), 1, "a stuck replica still serves v2");
+        let err = RolloutError {
+            error: ServeError::Load("x".into()),
+            report,
+        };
+        assert!(err.to_string().contains("1 failed reverts"));
+        assert!(std::error::Error::source(&err).is_some());
     }
 
     #[test]

@@ -1,7 +1,9 @@
-//! The batched inference server: bounded queue, latency-aware coalescing,
-//! scoped worker threads, ticket-based responses.
+//! The batched inference server: bounded queue with SLO-aware admission,
+//! priority-tiered latency-aware coalescing, scoped worker threads,
+//! ticket-based responses.
 
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
@@ -9,6 +11,7 @@ use capsnet::{CapsNet, ForwardArena, MathBackend};
 use pim_tensor::par::available_threads;
 use pim_tensor::Tensor;
 
+use crate::admission::{self, AdmissionVerdict, Priority, TIERS};
 use crate::config::{BatchExecution, ServeConfig};
 use crate::error::{ServeError, SubmitError};
 use crate::metrics::{MetricsRecorder, MetricsReport};
@@ -56,13 +59,35 @@ impl ServedModel {
 /// One inference request.
 #[derive(Debug, Clone)]
 pub struct Request {
-    /// Tenant tag (per-tenant FIFO dispatch order is preserved).
+    /// Tenant tag (per-`(tenant, model, priority)` FIFO dispatch order is
+    /// preserved; also the unit of the admission layer's fairness quota).
     pub tenant: usize,
     /// Index into the server's registered models.
     pub model: usize,
     /// Input images, `[n, C, H, W]` with `n >= 1` samples matching the
     /// model's geometry.
     pub images: Tensor,
+    /// Priority tier: higher tiers dispatch first and are shed last under
+    /// overload (see [`crate::admission`]).
+    pub priority: Priority,
+}
+
+impl Request {
+    /// A [`Priority::Normal`] request.
+    pub fn new(tenant: usize, model: usize, images: Tensor) -> Self {
+        Request {
+            tenant,
+            model,
+            images,
+            priority: Priority::Normal,
+        }
+    }
+
+    /// Builder: sets the priority tier.
+    pub fn with_priority(mut self, priority: Priority) -> Self {
+        self.priority = priority;
+        self
+    }
 }
 
 /// The server's answer to one request.
@@ -131,7 +156,9 @@ impl Ticket {
 /// An admitted, not-yet-dispatched request.
 #[derive(Debug)]
 struct Pending {
+    tenant: usize,
     model: usize,
+    priority: Priority,
     images: Tensor,
     samples: usize,
     enqueued_at: Instant,
@@ -141,16 +168,46 @@ struct Pending {
 /// Scheduler state behind the queue mutex.
 #[derive(Debug)]
 struct SchedState {
-    queue: VecDeque<Pending>,
-    queued_samples: usize,
+    /// One FIFO queue per priority tier, indexed by [`Priority::index`].
+    /// Workers always pick from the highest non-empty dispatchable tier,
+    /// so a tier's queue delay depends only on backlog at its tier and
+    /// above.
+    queues: [VecDeque<Pending>; TIERS],
+    /// Queued samples per tier (`tier_samples[t]` matches `queues[t]`).
+    tier_samples: [usize; TIERS],
+    /// Queued samples per tenant (the admission layer's fairness-quota
+    /// input). Entries are removed when they reach zero.
+    tenant_queued: HashMap<usize, usize>,
     closed: bool,
     next_batch_seq: u64,
     /// Per-model count of batches currently being *formed*. While one
     /// worker holds a forming batch for model `m` open across a coalescing
     /// wait, other workers must not start a later model-`m` batch: it
     /// would close first, take the lower `batch_seq`, and invert the
-    /// per-`(tenant, model)` FIFO guarantee.
+    /// per-`(tenant, model, priority)` FIFO guarantee.
     forming: Vec<u32>,
+}
+
+impl SchedState {
+    /// Total queued (admitted, not yet taken into a forming batch) samples.
+    fn queued_samples(&self) -> usize {
+        self.tier_samples.iter().sum()
+    }
+
+    /// Removes `queues[tier][idx]`, keeping every counter consistent.
+    fn take(&mut self, tier: usize, idx: usize) -> Pending {
+        let p = self.queues[tier].remove(idx).expect("index in bounds");
+        self.tier_samples[tier] -= p.samples;
+        let count = self
+            .tenant_queued
+            .get_mut(&p.tenant)
+            .expect("queued tenants are counted");
+        *count -= p.samples;
+        if *count == 0 {
+            self.tenant_queued.remove(&p.tenant);
+        }
+        p
+    }
 }
 
 /// Everything the workers and the handle share.
@@ -161,6 +218,9 @@ struct Shared<'a, B: MathBackend + Sync + ?Sized> {
     state: Mutex<SchedState>,
     work_ready: Condvar,
     metrics: Mutex<MetricsRecorder>,
+    /// EWMA of per-sample service time, nanoseconds; 0 = cold. Feeds the
+    /// admission layer's queue-delay prediction.
+    est_ns_per_sample: AtomicU64,
 }
 
 /// The batched inference server. Construct with [`Server::new`], then open
@@ -207,14 +267,16 @@ impl<'a, B: MathBackend + Sync + ?Sized> Server<'a, B> {
             backend: self.backend,
             cfg: self.cfg,
             state: Mutex::new(SchedState {
-                queue: VecDeque::new(),
-                queued_samples: 0,
+                queues: std::array::from_fn(|_| VecDeque::new()),
+                tier_samples: [0; TIERS],
+                tenant_queued: HashMap::new(),
                 closed: false,
                 next_batch_seq: 0,
                 forming: vec![0; self.models.len()],
             }),
             work_ready: Condvar::new(),
             metrics: Mutex::new(MetricsRecorder::new(self.cfg.max_batch)),
+            est_ns_per_sample: AtomicU64::new(0),
         };
         let result = std::thread::scope(|scope| {
             for _ in 0..self.cfg.workers {
@@ -254,13 +316,20 @@ pub struct ServerHandle<'s, 'a, B: MathBackend + Sync + ?Sized> {
 }
 
 impl<B: MathBackend + Sync + ?Sized> ServerHandle<'_, '_, B> {
-    /// Admits a request to the bounded queue.
+    /// Admits a request to the bounded queue, subject to the configured
+    /// [`crate::AdmissionPolicy`].
+    ///
+    /// Note on the bound: `queue_capacity` limits **waiting** samples only.
+    /// Samples a worker has already taken into a *forming* batch (up to
+    /// `workers × max_batch`) have left the queue and no longer count
+    /// against it, so total admitted-but-unserved samples can transiently
+    /// exceed `queue_capacity` by that much.
     ///
     /// # Errors
     ///
-    /// Returns a typed [`SubmitError`] — queue full (backpressure), unknown
-    /// model, geometry mismatch, or shutdown — without ever blocking or
-    /// panicking.
+    /// Returns a typed [`SubmitError`] — queue full (backpressure), SLO
+    /// shed, tenant over quota, unknown model, geometry mismatch, or
+    /// shutdown — without ever blocking or panicking.
     pub fn submit(&self, request: Request) -> Result<Ticket, SubmitError> {
         let shared = self.shared;
         let model = shared.models.current(request.model).ok_or({
@@ -295,23 +364,75 @@ impl<B: MathBackend + Sync + ?Sized> ServerHandle<'_, '_, B> {
             if st.closed {
                 return Err(SubmitError::ShuttingDown);
             }
-            if st.queued_samples + samples > shared.cfg.queue_capacity {
-                let queued = st.queued_samples;
-                drop(st);
-                shared
-                    .metrics
-                    .lock()
-                    .expect("metrics lock")
-                    .record_reject_full();
-                return Err(SubmitError::QueueFull {
-                    capacity: shared.cfg.queue_capacity,
-                    queued,
-                    requested: samples,
-                });
+            let tier = request.priority.index();
+            // A request waits behind the backlog at its tier and above
+            // (workers always serve higher tiers first).
+            let backlog: usize = st.tier_samples[..=tier].iter().sum();
+            let predicted_wait_us = admission::predicted_wait_us(
+                backlog,
+                shared.est_ns_per_sample.load(Ordering::Relaxed),
+                shared.cfg.workers,
+            );
+            let tenant_queued = st.tenant_queued.get(&request.tenant).copied().unwrap_or(0);
+            match admission::decide(
+                &shared.cfg.admission,
+                shared.cfg.queue_capacity,
+                st.queued_samples(),
+                samples,
+                tenant_queued,
+                predicted_wait_us,
+                request.priority,
+            ) {
+                AdmissionVerdict::Admit => {}
+                AdmissionVerdict::Full => {
+                    let queued = st.queued_samples();
+                    drop(st);
+                    shared
+                        .metrics
+                        .lock()
+                        .expect("metrics lock")
+                        .record_reject_full();
+                    return Err(SubmitError::QueueFull {
+                        capacity: shared.cfg.queue_capacity,
+                        queued,
+                        requested: samples,
+                    });
+                }
+                AdmissionVerdict::Quota { quota } => {
+                    drop(st);
+                    shared
+                        .metrics
+                        .lock()
+                        .expect("metrics lock")
+                        .record_reject_quota();
+                    return Err(SubmitError::TenantQuotaExceeded {
+                        tenant: request.tenant,
+                        queued: tenant_queued,
+                        quota,
+                        requested: samples,
+                    });
+                }
+                AdmissionVerdict::Shed { limit_us } => {
+                    drop(st);
+                    shared
+                        .metrics
+                        .lock()
+                        .expect("metrics lock")
+                        .record_shed(request.priority);
+                    return Err(SubmitError::Shed {
+                        tenant: request.tenant,
+                        priority: request.priority,
+                        predicted_wait_us,
+                        limit_us,
+                    });
+                }
             }
-            st.queued_samples += samples;
-            st.queue.push_back(Pending {
+            st.tier_samples[tier] += samples;
+            *st.tenant_queued.entry(request.tenant).or_insert(0) += samples;
+            st.queues[tier].push_back(Pending {
+                tenant: request.tenant,
                 model: request.model,
+                priority: request.priority,
                 images: request.images,
                 samples,
                 enqueued_at: Instant::now(),
@@ -324,7 +445,11 @@ impl<B: MathBackend + Sync + ?Sized> ServerHandle<'_, '_, B> {
 
     /// Samples currently queued (admitted, not yet dispatched).
     pub fn queued_samples(&self) -> usize {
-        self.shared.state.lock().expect("queue lock").queued_samples
+        self.shared
+            .state
+            .lock()
+            .expect("queue lock")
+            .queued_samples()
     }
 
     /// Atomically hot-swaps model slot `model` to `net`, returning the new
@@ -428,22 +553,27 @@ fn form_batch<B: MathBackend + Sync + ?Sized>(
 ) -> Option<(Vec<Pending>, u64, Arc<ModelHandle>)> {
     let cfg = &shared.cfg;
     let mut st = shared.state.lock().expect("queue lock");
-    // Wait for the oldest request of a model no other worker is currently
-    // forming a batch for (or closed + drained). Skipping models with an
-    // open batch keeps per-(tenant, model) dispatch order intact: that
-    // open batch must close (and take its batch_seq) before a later
-    // same-model batch may form.
+    // Wait for a dispatchable request (or closed + drained): scan tiers in
+    // priority order, and within a tier pick the oldest request of a model
+    // no other worker is currently forming a batch for. Skipping models
+    // with an open batch keeps per-(tenant, model, priority) dispatch
+    // order intact: that open batch must close (and take its batch_seq)
+    // before a later same-model batch may form.
     let first = loop {
         let pick = {
             let state = &*st;
-            state.queue.iter().position(|p| state.forming[p.model] == 0)
+            Priority::ALL.iter().find_map(|p| {
+                let tier = p.index();
+                state.queues[tier]
+                    .iter()
+                    .position(|r| state.forming[r.model] == 0)
+                    .map(|i| (tier, i))
+            })
         };
-        if let Some(i) = pick {
-            let p = st.queue.remove(i).expect("index in bounds");
-            st.queued_samples -= p.samples;
-            break p;
+        if let Some((tier, i)) = pick {
+            break st.take(tier, i);
         }
-        if st.closed && st.queue.is_empty() {
+        if st.closed && st.queues.iter().all(|q| q.is_empty()) {
             return None;
         }
         st = shared.work_ready.wait(st).expect("queue wait");
@@ -464,23 +594,8 @@ fn form_batch<B: MathBackend + Sync + ?Sized>(
     let mut batch = vec![first];
 
     while coalescable && samples < cfg.max_batch {
-        // Take same-model requests in FIFO order. Stop at the first
-        // same-model request that does not fit — taking a later one instead
-        // would reorder a tenant's stream.
-        let mut idx = 0;
-        while idx < st.queue.len() && samples < cfg.max_batch {
-            if st.queue[idx].model != model {
-                idx += 1;
-                continue;
-            }
-            if samples + st.queue[idx].samples > cfg.max_batch {
-                samples = cfg.max_batch; // close the batch
-                break;
-            }
-            let p = st.queue.remove(idx).expect("index in bounds");
-            st.queued_samples -= p.samples;
-            samples += p.samples;
-            batch.push(p);
+        if sweep_coalesce(&mut st, model, cfg.max_batch, &mut samples, &mut batch) {
+            samples = cfg.max_batch; // close the batch
         }
         if samples >= cfg.max_batch || st.closed {
             break;
@@ -496,20 +611,7 @@ fn form_batch<B: MathBackend + Sync + ?Sized>(
         st = guard;
         if timeout.timed_out() {
             // One last sweep below the loop condition, then dispatch.
-            let mut idx = 0;
-            while idx < st.queue.len() && samples < cfg.max_batch {
-                if st.queue[idx].model != model {
-                    idx += 1;
-                    continue;
-                }
-                if samples + st.queue[idx].samples > cfg.max_batch {
-                    break;
-                }
-                let p = st.queue.remove(idx).expect("index in bounds");
-                st.queued_samples -= p.samples;
-                samples += p.samples;
-                batch.push(p);
-            }
+            sweep_coalesce(&mut st, model, cfg.max_batch, &mut samples, &mut batch);
             break;
         }
     }
@@ -522,6 +624,39 @@ fn form_batch<B: MathBackend + Sync + ?Sized>(
     // draining that reservation.
     shared.work_ready.notify_all();
     Some((batch, batch_seq, handle))
+}
+
+/// One coalescing sweep: takes fitting same-model requests in FIFO order,
+/// scanning tiers in priority order. Within each tier it stops at the
+/// first same-model request that does not fit — taking a later one instead
+/// would reorder a tenant's stream — and returns `true` in that case so
+/// the caller can close the batch (a full companion is already waiting).
+fn sweep_coalesce(
+    st: &mut SchedState,
+    model: usize,
+    max_batch: usize,
+    samples: &mut usize,
+    batch: &mut Vec<Pending>,
+) -> bool {
+    for tier in 0..TIERS {
+        let mut idx = 0;
+        while idx < st.queues[tier].len() && *samples < max_batch {
+            if st.queues[tier][idx].model != model {
+                idx += 1;
+                continue;
+            }
+            if *samples + st.queues[tier][idx].samples > max_batch {
+                return true;
+            }
+            let p = st.take(tier, idx);
+            *samples += p.samples;
+            batch.push(p);
+        }
+        if *samples >= max_batch {
+            break;
+        }
+    }
+    false
 }
 
 /// Runs one formed batch and fulfills its tickets.
@@ -564,11 +699,23 @@ fn run_batch<B: MathBackend + Sync + ?Sized>(
             // inside this loop inflated later tickets' service time with
             // the cost of fulfilling earlier ones.)
             let service_us = duration_us(dispatched_at.elapsed());
+            // Feed the admission layer's queue-delay estimator *before*
+            // fulfilling any ticket: a client that has seen its response
+            // must be able to rely on the estimator being at least as
+            // fresh (the SLO tests warm the estimator this way). The
+            // read-modify-write is intentionally unsynchronized across
+            // workers: a lost update is one skipped EWMA step on an
+            // estimate, not an accounting error.
+            let observed_ns = service_us.saturating_mul(1_000) / batch_samples.max(1) as u64;
+            let old = shared.est_ns_per_sample.load(Ordering::Relaxed);
+            shared
+                .est_ns_per_sample
+                .store(admission::ewma_ns(old, observed_ns), Ordering::Relaxed);
             let mut offset = 0usize;
             let mut latencies = Vec::with_capacity(batch.len());
             for p in batch {
                 let queue_us = duration_us(dispatched_at.saturating_duration_since(p.enqueued_at));
-                latencies.push(queue_us + service_us);
+                latencies.push((p.priority, queue_us + service_us));
                 let response = Response {
                     predictions: predictions[offset..offset + p.samples].to_vec(),
                     model_version: handle.version(),
@@ -676,6 +823,7 @@ mod tests {
             queue_capacity: 64,
             workers: 1,
             execution: BatchExecution::Arena,
+            admission: crate::AdmissionPolicy::QueueBound,
         }
     }
 
@@ -687,12 +835,8 @@ mod tests {
         let (responses, metrics) = server.run(|h| {
             let tickets: Vec<Ticket> = (0..12)
                 .map(|i| {
-                    h.submit(Request {
-                        tenant: i % 3,
-                        model: 0,
-                        images: images(1 + i % 2, i as u64),
-                    })
-                    .unwrap()
+                    h.submit(Request::new(i % 3, 0, images(1 + i % 2, i as u64)))
+                        .unwrap()
                 })
                 .collect();
             tickets
@@ -731,13 +875,7 @@ mod tests {
             };
             let server = Server::new(&models, &ExactMath, cfg).unwrap();
             let (out, _) = server.run(|h| {
-                let t = h
-                    .submit(Request {
-                        tenant: 0,
-                        model: 0,
-                        images: images(4, 9),
-                    })
-                    .unwrap();
+                let t = h.submit(Request::new(0, 0, images(4, 9))).unwrap();
                 t.wait().unwrap()
             });
             out
@@ -767,11 +905,7 @@ mod tests {
             let mut accepted = Vec::new();
             let mut rejected = 0usize;
             for i in 0..64 {
-                match h.submit(Request {
-                    tenant: 0,
-                    model: 0,
-                    images: images(1, i),
-                }) {
+                match h.submit(Request::new(0, 0, images(1, i))) {
                     Ok(t) => accepted.push(t),
                     Err(SubmitError::QueueFull { capacity, .. }) => {
                         assert_eq!(capacity, 2);
@@ -795,32 +929,16 @@ mod tests {
         let models = ModelRegistry::from_models(models);
         let server = Server::new(&models, &ExactMath, server_cfg()).unwrap();
         server.run(|h| {
-            let bad_model = h.submit(Request {
-                tenant: 0,
-                model: 7,
-                images: images(1, 1),
-            });
+            let bad_model = h.submit(Request::new(0, 7, images(1, 1)));
             assert!(matches!(
                 bad_model,
                 Err(SubmitError::UnknownModel { model: 7, .. })
             ));
-            let bad_shape = h.submit(Request {
-                tenant: 0,
-                model: 0,
-                images: Tensor::zeros(&[1, 1, 10, 10]),
-            });
+            let bad_shape = h.submit(Request::new(0, 0, Tensor::zeros(&[1, 1, 10, 10])));
             assert!(matches!(bad_shape, Err(SubmitError::ShapeMismatch { .. })));
-            let empty = h.submit(Request {
-                tenant: 0,
-                model: 0,
-                images: Tensor::zeros(&[0, 1, 12, 12]),
-            });
+            let empty = h.submit(Request::new(0, 0, Tensor::zeros(&[0, 1, 12, 12])));
             assert!(matches!(empty, Err(SubmitError::ShapeMismatch { .. })));
-            let oversize = h.submit(Request {
-                tenant: 0,
-                model: 0,
-                images: images(9, 2), // max_batch is 8
-            });
+            let oversize = h.submit(Request::new(0, 0, images(9, 2))); // max_batch is 8
             assert!(matches!(oversize, Err(SubmitError::ShapeMismatch { .. })));
         });
     }
@@ -841,14 +959,7 @@ mod tests {
         let server = Server::new(&models, &ExactMath, cfg).unwrap();
         let (responses, metrics) = server.run(|h| {
             let tickets: Vec<Ticket> = (0..6)
-                .map(|i| {
-                    h.submit(Request {
-                        tenant: 0,
-                        model: 0,
-                        images: images(2, 100 + i),
-                    })
-                    .unwrap()
-                })
+                .map(|i| h.submit(Request::new(0, 0, images(2, 100 + i))).unwrap())
                 .collect();
             tickets
                 .into_iter()
@@ -889,12 +1000,8 @@ mod tests {
         let (responses, _) = server.run(|h| {
             let tickets: Vec<Ticket> = (0..10)
                 .map(|i| {
-                    h.submit(Request {
-                        tenant: i,
-                        model: i % 2,
-                        images: images(1, i as u64),
-                    })
-                    .unwrap()
+                    h.submit(Request::new(i, i % 2, images(1, i as u64)))
+                        .unwrap()
                 })
                 .collect();
             tickets
@@ -923,14 +1030,7 @@ mod tests {
         // fulfill every admitted ticket (workers drain before exiting).
         let (tickets, _) = server.run(|h| {
             (0..5)
-                .map(|i| {
-                    h.submit(Request {
-                        tenant: 0,
-                        model: 0,
-                        images: images(1, i),
-                    })
-                    .unwrap()
-                })
+                .map(|i| h.submit(Request::new(0, 0, images(1, i))).unwrap())
                 .collect::<Vec<Ticket>>()
         });
         for t in tickets {
@@ -944,22 +1044,13 @@ mod tests {
         let cfg = ServeConfig {
             max_batch: 4,
             max_wait: Duration::from_millis(100),
-            queue_capacity: 64,
-            workers: 1,
-            execution: BatchExecution::Arena,
+            ..server_cfg()
         };
         let models = ModelRegistry::from_models(models);
         let server = Server::new(&models, &ExactMath, cfg).unwrap();
         let ((), metrics) = server.run(|h| {
             let tickets: Vec<Ticket> = (0..16)
-                .map(|i| {
-                    h.submit(Request {
-                        tenant: 0,
-                        model: 0,
-                        images: images(1, i),
-                    })
-                    .unwrap()
-                })
+                .map(|i| h.submit(Request::new(0, 0, images(1, i))).unwrap())
                 .collect();
             for t in tickets {
                 t.wait().unwrap();
@@ -989,26 +1080,15 @@ mod tests {
         let cfg = ServeConfig {
             max_batch: 2,
             max_wait: Duration::from_millis(5),
-            queue_capacity: 64,
             workers: 2,
-            execution: BatchExecution::Arena,
+            ..server_cfg()
         };
         for round in 0..20 {
             let server = Server::new(&models, &ExactMath, cfg).unwrap();
             let ((r1, r2), _) = server.run(|h| {
-                let t1 = h
-                    .submit(Request {
-                        tenant: 0,
-                        model: 0,
-                        images: images(1, round),
-                    })
-                    .unwrap();
+                let t1 = h.submit(Request::new(0, 0, images(1, round))).unwrap();
                 let t2 = h
-                    .submit(Request {
-                        tenant: 0,
-                        model: 0,
-                        images: images(2, round + 100),
-                    })
+                    .submit(Request::new(0, 0, images(2, round + 100)))
                     .unwrap();
                 (t1.wait().unwrap(), t2.wait().unwrap())
             });
@@ -1030,23 +1110,14 @@ mod tests {
         let cfg = ServeConfig {
             max_batch: 4,
             max_wait: Duration::from_millis(500),
-            queue_capacity: 64,
-            workers: 1,
-            execution: BatchExecution::Arena,
+            ..server_cfg()
         };
         let server = Server::new(&models, &ExactMath, cfg).unwrap();
         let (responses, _) = server.run(|h| {
             // Four single-sample requests: the forming batch closes exactly
             // when it reaches max_batch, far inside the 500 ms budget.
             let tickets: Vec<Ticket> = (0..4)
-                .map(|i| {
-                    h.submit(Request {
-                        tenant: i,
-                        model: 0,
-                        images: images(1, i as u64),
-                    })
-                    .unwrap()
-                })
+                .map(|i| h.submit(Request::new(i, 0, images(1, i as u64))).unwrap())
                 .collect();
             tickets
                 .into_iter()
@@ -1082,8 +1153,7 @@ mod tests {
             max_batch: 2,
             max_wait: Duration::ZERO,
             queue_capacity: 256,
-            workers: 1,
-            execution: BatchExecution::Arena,
+            ..server_cfg()
         };
         let server = Server::new(&models, &ExactMath, cfg).unwrap();
         let ((ok, failed), metrics) = server.run(|h| {
@@ -1091,14 +1161,7 @@ mod tests {
             // forwards are ms), so most of these are still queued when the
             // swap lands.
             let tickets: Vec<Ticket> = (0..64)
-                .map(|i| {
-                    h.submit(Request {
-                        tenant: 0,
-                        model: 0,
-                        images: images(1, i),
-                    })
-                    .unwrap()
-                })
+                .map(|i| h.submit(Request::new(0, 0, images(1, i))).unwrap())
                 .collect();
             // Swap to a network with a *different input geometry*: queued
             // requests no longer match and their batches fail.
@@ -1134,13 +1197,7 @@ mod tests {
         let models = ModelRegistry::from_models(models);
         let server = Server::new(&models, &ExactMath, server_cfg()).unwrap();
         server.run(|h| {
-            let t = h
-                .submit(Request {
-                    tenant: 0,
-                    model: 0,
-                    images: images(1, 1),
-                })
-                .unwrap();
+            let t = h.submit(Request::new(0, 0, images(1, 1))).unwrap();
             // Poll until complete, then wait() must still return it.
             let polled = loop {
                 if let Some(r) = t.try_wait() {
@@ -1165,13 +1222,7 @@ mod tests {
         let outcome = std::thread::scope(|s| {
             s.spawn(|| {
                 let _ = server.run(|h| {
-                    let t = h
-                        .submit(Request {
-                            tenant: 0,
-                            model: 0,
-                            images: images(1, 3),
-                        })
-                        .unwrap();
+                    let t = h.submit(Request::new(0, 0, images(1, 3))).unwrap();
                     *slot_probe.lock().unwrap() = Some(t);
                     panic!("closure failed");
                 });
@@ -1194,5 +1245,191 @@ mod tests {
         // After run() returns the server is gone; nothing to assert beyond
         // the window — ShuttingDown is covered by the proptest suite, which
         // races submitters against close.
+    }
+
+    #[test]
+    fn slo_shed_is_typed_and_metered() {
+        use crate::{AdmissionPolicy, SloConfig};
+        let models = ModelRegistry::from_models([tiny_model().clone()]);
+        let cfg = ServeConfig {
+            max_batch: 2,
+            max_wait: Duration::ZERO,
+            queue_capacity: 256,
+            // Low sheds at any positive predicted wait; High/Normal never.
+            admission: AdmissionPolicy::SloAware(SloConfig {
+                shed_wait_us: [u64::MAX, u64::MAX, 0],
+                tenant_quota: 256,
+            }),
+            ..server_cfg()
+        };
+        let server = Server::new(&models, &ExactMath, cfg).unwrap();
+        let ((), metrics) = server.run(|h| {
+            // Warm the service-time estimator: one completed batch seeds
+            // the EWMA; while cold, nothing is ever shed.
+            h.submit(Request::new(0, 0, images(1, 0)))
+                .unwrap()
+                .wait()
+                .unwrap();
+            // Build a backlog far faster than the worker drains (submits
+            // are µs, forwards are ms).
+            let tickets: Vec<Ticket> = (0..32)
+                .map(|i| {
+                    h.submit(Request::new(i % 8, 0, images(1, i as u64)))
+                        .unwrap()
+                })
+                .collect();
+            let shed = h.submit(Request::new(9, 0, images(1, 99)).with_priority(Priority::Low));
+            match shed {
+                Err(SubmitError::Shed {
+                    tenant,
+                    priority,
+                    predicted_wait_us,
+                    limit_us,
+                }) => {
+                    assert_eq!(tenant, 9);
+                    assert_eq!(priority, Priority::Low);
+                    assert_eq!(limit_us, 0);
+                    assert!(predicted_wait_us > 0, "warm estimator, queued backlog");
+                }
+                other => panic!("expected a shed, got {other:?}"),
+            }
+            // The same instant, a High request sails through: its ceiling
+            // is effectively infinite.
+            let high = h
+                .submit(Request::new(9, 0, images(1, 100)).with_priority(Priority::High))
+                .expect("high priority is not shed");
+            for t in tickets {
+                t.wait().unwrap();
+            }
+            high.wait().unwrap();
+        });
+        assert_eq!(metrics.tier(Priority::Low).shed, 1);
+        assert_eq!(metrics.shed_total(), 1);
+        assert_eq!(metrics.tier(Priority::High).requests, 1);
+        assert_eq!(
+            metrics.requests + metrics.shed_total(),
+            35,
+            "every submission resolved exactly once"
+        );
+    }
+
+    #[test]
+    fn tenant_quota_is_typed_and_per_tenant() {
+        use crate::{AdmissionPolicy, SloConfig};
+        let models = ModelRegistry::from_models([tiny_model().clone()]);
+        let cfg = ServeConfig {
+            max_batch: 2,
+            max_wait: Duration::ZERO,
+            queue_capacity: 256,
+            admission: AdmissionPolicy::SloAware(SloConfig {
+                shed_wait_us: [u64::MAX; 3],
+                tenant_quota: 2,
+            }),
+            ..server_cfg()
+        };
+        let server = Server::new(&models, &ExactMath, cfg).unwrap();
+        let ((), metrics) = server.run(|h| {
+            // One tenant bursts 8 single-sample requests. The worker can
+            // pull at most one forming batch (2 samples) out of the queue
+            // before its ms-scale forward, so the burst (µs) drives the
+            // tenant's queued count to the quota and beyond.
+            let mut admitted = Vec::new();
+            let mut over_quota = 0u64;
+            for i in 0..8 {
+                match h.submit(Request::new(7, 0, images(1, i))) {
+                    Ok(t) => admitted.push(t),
+                    Err(SubmitError::TenantQuotaExceeded { tenant, quota, .. }) => {
+                        assert_eq!(tenant, 7);
+                        assert_eq!(quota, 2);
+                        over_quota += 1;
+                    }
+                    Err(e) => panic!("unexpected reject {e}"),
+                }
+            }
+            assert!(over_quota > 0, "the burst must exceed the tenant quota");
+            // A different tenant is unaffected — that is the fairness
+            // property the quota exists for.
+            h.submit(Request::new(8, 0, images(1, 50)))
+                .expect("other tenants keep their own quota")
+                .wait()
+                .unwrap();
+            for t in admitted {
+                t.wait().unwrap();
+            }
+        });
+        assert!(metrics.rejected_quota > 0);
+        assert_eq!(metrics.rejected_full, 0);
+        assert_eq!(metrics.shed_total(), 0);
+    }
+
+    /// Blocks the worker inside its current forward until released, so a
+    /// test can queue requests while the single worker is provably busy.
+    struct GatedMath {
+        entered: std::sync::atomic::AtomicBool,
+        release: std::sync::atomic::AtomicBool,
+    }
+
+    impl MathBackend for GatedMath {
+        fn name(&self) -> &'static str {
+            "gated-exact"
+        }
+        fn exp(&self, x: f32) -> f32 {
+            use std::sync::atomic::Ordering::SeqCst;
+            self.entered.store(true, SeqCst);
+            while !self.release.load(SeqCst) {
+                std::thread::sleep(Duration::from_micros(50));
+            }
+            ExactMath.exp(x)
+        }
+        fn inv_sqrt(&self, x: f32) -> f32 {
+            ExactMath.inv_sqrt(x)
+        }
+        fn div(&self, a: f32, b: f32) -> f32 {
+            ExactMath.div(a, b)
+        }
+    }
+
+    #[test]
+    fn high_priority_dispatches_before_earlier_low() {
+        use std::sync::atomic::Ordering::SeqCst;
+        // Non-coalescable model: one request per batch, so batch_seq gives
+        // the exact dispatch order.
+        let spec = CapsNetSpec::tiny_for_tests(); // batch_shared = true
+        let net = CapsNet::seeded(&spec, 5).unwrap();
+        let models = ModelRegistry::from_models([ServedModel::new("shared", net)]);
+        let cfg = ServeConfig {
+            max_wait: Duration::ZERO,
+            ..server_cfg()
+        };
+        let gate = GatedMath {
+            entered: std::sync::atomic::AtomicBool::new(false),
+            release: std::sync::atomic::AtomicBool::new(false),
+        };
+        let server = Server::new(&models, &gate, cfg).unwrap();
+        let ((low, high), _) = server.run(|h| {
+            // r1 occupies the single worker, which the gate holds inside
+            // r1's forward until both follow-ups are queued — r2 (Low) then
+            // r3 (High), in that arrival order. No timing assumption: the
+            // worker cannot reach r2 before r3 exists.
+            let r1 = h.submit(Request::new(0, 0, images(8, 1))).unwrap();
+            while !gate.entered.load(SeqCst) {
+                std::thread::yield_now();
+            }
+            let r2 = h
+                .submit(Request::new(1, 0, images(1, 2)).with_priority(Priority::Low))
+                .unwrap();
+            let r3 = h
+                .submit(Request::new(2, 0, images(1, 3)).with_priority(Priority::High))
+                .unwrap();
+            gate.release.store(true, SeqCst);
+            r1.wait().unwrap();
+            (r2.wait().unwrap(), r3.wait().unwrap())
+        });
+        assert!(
+            high.batch_seq < low.batch_seq,
+            "High (seq {}) must dispatch before the earlier-arrived Low (seq {})",
+            high.batch_seq,
+            low.batch_seq
+        );
     }
 }

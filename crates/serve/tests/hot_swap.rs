@@ -40,6 +40,7 @@ fn hot_swap_under_concurrent_load_loses_nothing_and_versions_are_monotone() {
         queue_capacity: 1024,
         workers: 2,
         execution: BatchExecution::Arena,
+        admission: pim_serve::AdmissionPolicy::QueueBound,
     };
     let server = Server::new(&registry, &ExactMath, cfg).unwrap();
 
@@ -55,11 +56,7 @@ fn hot_swap_under_concurrent_load_loses_nothing_and_versions_are_monotone() {
                         let mut responses: Vec<(u64, Response)> = Vec::new();
                         for i in 0..REQUESTS_PER_TENANT {
                             let seed = (tenant * 10_000 + i) as u64;
-                            let request = || Request {
-                                tenant,
-                                model: 0,
-                                images: images(1 + i % 2, seed),
-                            };
+                            let request = || Request::new(tenant, 0, images(1 + i % 2, seed));
                             // Retry QueueFull: backpressure must never turn
                             // into a lost request in this test.
                             let ticket = loop {
@@ -182,15 +179,12 @@ fn swap_from_artifact_path_mid_window() {
         queue_capacity: 64,
         workers: 1,
         execution: BatchExecution::Arena,
+        admission: pim_serve::AdmissionPolicy::QueueBound,
     };
     let server = Server::new(&registry, &ExactMath, cfg).unwrap();
     let ((before, after), metrics) = server.run(|handle| {
         let before = handle
-            .submit(Request {
-                tenant: 0,
-                model: 0,
-                images: images(2, 5),
-            })
+            .submit(Request::new(0, 0, images(2, 5)))
             .unwrap()
             .wait()
             .unwrap();
@@ -202,11 +196,7 @@ fn swap_from_artifact_path_mid_window() {
         let version = handle.swap_model(0, loaded).unwrap();
         assert_eq!(version, 2);
         let after = handle
-            .submit(Request {
-                tenant: 0,
-                model: 0,
-                images: images(2, 5),
-            })
+            .submit(Request::new(0, 0, images(2, 5)))
             .unwrap()
             .wait()
             .unwrap();
@@ -273,6 +263,7 @@ fn quantized_artifact_hot_swap_under_load_drops_nothing() {
         queue_capacity: 256,
         workers: 2,
         execution: BatchExecution::Arena,
+        admission: pim_serve::AdmissionPolicy::QueueBound,
     };
     let server = Server::new(&registry, &ExactMath, cfg).unwrap();
     let (responses, metrics) = server.run(|handle| {
@@ -282,11 +273,7 @@ fn quantized_artifact_hot_swap_under_load_drops_nothing() {
                 for i in 0..REQUESTS {
                     let seed = 7_000 + i as u64;
                     let ticket = loop {
-                        match handle.submit(Request {
-                            tenant: 0,
-                            model: 0,
-                            images: images(1 + i % 2, seed),
-                        }) {
+                        match handle.submit(Request::new(0, 0, images(1 + i % 2, seed))) {
                             Ok(t) => break t,
                             Err(SubmitError::QueueFull { .. }) => std::thread::yield_now(),
                             Err(e) => panic!("unexpected reject: {e}"),

@@ -82,11 +82,12 @@ fn drive(
                                 subs.iter().enumerate().filter(|(_, s)| s.tenant == tenant)
                             {
                                 let spec = models()[sub.model].net().spec();
-                                let ticket: Result<Ticket, SubmitError> = handle.submit(Request {
-                                    tenant: sub.tenant,
-                                    model: sub.model,
-                                    images: request_images(spec, sub.samples, sub.seed),
-                                });
+                                let ticket: Result<Ticket, SubmitError> =
+                                    handle.submit(Request::new(
+                                        sub.tenant,
+                                        sub.model,
+                                        request_images(spec, sub.samples, sub.seed),
+                                    ));
                                 got.push((i, ticket.map(|t| t.wait().unwrap())));
                             }
                             got
@@ -107,11 +108,11 @@ fn drive(
                 .iter()
                 .map(|sub| {
                     let spec = models()[sub.model].net().spec();
-                    handle.submit(Request {
-                        tenant: sub.tenant,
-                        model: sub.model,
-                        images: request_images(spec, sub.samples, sub.seed),
-                    })
+                    handle.submit(Request::new(
+                        sub.tenant,
+                        sub.model,
+                        request_images(spec, sub.samples, sub.seed),
+                    ))
                 })
                 .collect();
             tickets
@@ -218,6 +219,7 @@ proptest! {
             queue_capacity: max_batch.max(6), // small: QueueFull is reachable
             workers,
             execution: BatchExecution::Arena,
+            admission: pim_serve::AdmissionPolicy::QueueBound,
         };
         // Requests wider than max_batch are rejected at submit; keep the
         // generated stream admissible.
@@ -238,6 +240,7 @@ proptest! {
             queue_capacity: 64, // roomy: concurrent path tests ordering, not rejects
             workers: 1,
             execution: BatchExecution::Arena,
+            admission: pim_serve::AdmissionPolicy::QueueBound,
         };
         let subs: Vec<Sub> = subs.into_iter().map(|mut s| { s.samples = s.samples.min(max_batch); s }).collect();
         let outcomes = drive(cfg, &subs, true);
@@ -260,6 +263,7 @@ proptest! {
             queue_capacity: 64,
             workers: 1,
             execution: BatchExecution::Arena,
+            admission: pim_serve::AdmissionPolicy::QueueBound,
         };
         let registry = ModelRegistry::from_models(models().iter().cloned());
         let server = Server::new(&registry, &ExactMath, cfg).unwrap();
@@ -268,11 +272,7 @@ proptest! {
                 .map(|i| {
                     let spec = models()[i % 2].net().spec();
                     handle
-                        .submit(Request {
-                            tenant: i,
-                            model: i % 2,
-                            images: request_images(spec, 1, i as u64),
-                        })
+                        .submit(Request::new(i, i % 2, request_images(spec, 1, i as u64)))
                         .unwrap()
                 })
                 .collect::<Vec<Ticket>>()

@@ -42,6 +42,7 @@ fn pool_cfg(replicas: usize, policy: RoutingPolicy) -> ReplicaSetConfig {
             queue_capacity: 64,
             workers: 1,
             execution: BatchExecution::Arena,
+            admission: pim_serve::AdmissionPolicy::QueueBound,
         },
     }
 }
@@ -71,11 +72,7 @@ fn round_robin_spreads_traffic_and_stays_bitwise() {
         let tickets: Vec<_> = (0..12)
             .map(|i| {
                 let t = pool
-                    .submit(Request {
-                        tenant: i % 4,
-                        model: 0,
-                        images: images(1, i as u64),
-                    })
+                    .submit(Request::new(i % 4, 0, images(1, i as u64)))
                     .unwrap();
                 (i as u64, t)
             })
@@ -123,11 +120,11 @@ fn tenant_pinning_is_sticky() {
         for round in 0..4u64 {
             for tenant in 0..6 {
                 let t = pool
-                    .submit(Request {
+                    .submit(Request::new(
                         tenant,
-                        model: 0,
-                        images: images(1, round * 10 + tenant as u64),
-                    })
+                        0,
+                        images(1, round * 10 + tenant as u64),
+                    ))
                     .unwrap();
                 placements.push((tenant, t.replica()));
                 t.wait().unwrap();
@@ -157,14 +154,7 @@ fn least_queued_routes_and_completes() {
     .unwrap();
     let ((), report) = set.run(|pool| {
         let tickets: Vec<_> = (0..16)
-            .map(|i| {
-                pool.submit(Request {
-                    tenant: 0,
-                    model: 0,
-                    images: images(1, i),
-                })
-                .unwrap()
-            })
+            .map(|i| pool.submit(Request::new(0, 0, images(1, i))).unwrap())
             .collect();
         for t in tickets {
             t.wait().unwrap();
@@ -172,6 +162,60 @@ fn least_queued_routes_and_completes() {
         assert_eq!(pool.outstanding(0) + pool.outstanding(1), 0);
     });
     assert_eq!(report.requests, 16);
+}
+
+/// Regression (outstanding-count race): `LeastQueued` used to increment a
+/// replica's outstanding count only *after* the mailbox rendezvous, so a
+/// burst of concurrent submitters all read the same stale counts and
+/// herded onto one replica. Routing now reserves the slot atomically
+/// (compare-exchange against the observed minimum) before any job is
+/// pushed, so every commit lands on a replica whose count was `<=` all
+/// others — a burst of `replicas * k` held-ticket submissions must spread
+/// to exactly `k` per replica, however the threads interleave.
+#[test]
+fn least_queued_spreads_concurrent_bursts_exactly() {
+    const REPLICAS: usize = 3;
+    const PER_REPLICA: usize = 4;
+    let net = tiny_net(11);
+    let set = ReplicaSet::from_net(
+        "lq_burst",
+        &net,
+        &ExactMath,
+        pool_cfg(REPLICAS, RoutingPolicy::LeastQueued),
+    )
+    .unwrap();
+    let ((), report) = set.run(|pool| {
+        let barrier = std::sync::Barrier::new(REPLICAS * PER_REPLICA);
+        let placements = std::sync::Mutex::new(Vec::new());
+        std::thread::scope(|scope| {
+            for i in 0..REPLICAS * PER_REPLICA {
+                let (barrier, placements) = (&barrier, &placements);
+                scope.spawn(move || {
+                    barrier.wait();
+                    let ticket = pool
+                        .submit(Request::new(i, 0, images(1, i as u64)))
+                        .unwrap();
+                    // Record the placement while still HOLDING the ticket:
+                    // outstanding counts only drop when tickets resolve, so
+                    // counts are monotone for the whole burst and the
+                    // balanced-commit invariant applies to every pick.
+                    placements.lock().unwrap().push(ticket.replica());
+                    barrier.wait();
+                    ticket.wait().unwrap();
+                });
+            }
+        });
+        let mut per_replica = [0usize; REPLICAS];
+        for replica in placements.into_inner().unwrap() {
+            per_replica[replica] += 1;
+        }
+        assert_eq!(
+            per_replica, [PER_REPLICA; REPLICAS],
+            "a concurrent burst must spread exactly across the fleet"
+        );
+    });
+    assert_eq!(report.requests as usize, REPLICAS * PER_REPLICA);
+    assert_eq!(report.failed_requests, 0);
 }
 
 #[test]
@@ -216,11 +260,7 @@ fn artifact_pool_shares_one_mapping_across_replicas() {
     let (ok, _) = set.run(|pool| {
         (0..9u64).all(|i| {
             let response = pool
-                .submit(Request {
-                    tenant: i as usize % 3,
-                    model: 0,
-                    images: images(1, i),
-                })
+                .submit(Request::new(i as usize % 3, 0, images(1, i)))
                 .unwrap()
                 .wait()
                 .unwrap();
@@ -260,11 +300,7 @@ fn rolling_rollout_updates_every_replica() {
         // Post-rollout traffic serves the new weights.
         for i in 0..6u64 {
             let r = pool
-                .submit(Request {
-                    tenant: i as usize,
-                    model: 0,
-                    images: images(1, i),
-                })
+                .submit(Request::new(i as usize, 0, images(1, i)))
                 .unwrap()
                 .wait()
                 .unwrap();
@@ -320,11 +356,7 @@ fn canary_divergence_rolls_the_fleet_back() {
         // swap in, roll back = two bumps on the touched replica).
         for i in 0..6u64 {
             let r = pool
-                .submit(Request {
-                    tenant: i as usize,
-                    model: 0,
-                    images: images(1, i),
-                })
+                .submit(Request::new(i as usize, 0, images(1, i)))
                 .unwrap()
                 .wait()
                 .unwrap();

@@ -16,6 +16,7 @@ pub mod persist;
 pub mod quant_gate;
 pub mod report;
 pub mod rollout;
+pub mod soak;
 mod suite;
 pub mod synth;
 pub mod traffic;

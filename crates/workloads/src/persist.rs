@@ -68,6 +68,7 @@ pub fn persist_roundtrip(
         queue_capacity: 256,
         workers: 1,
         execution: BatchExecution::Auto,
+        admission: pim_serve::AdmissionPolicy::QueueBound,
     };
     let server = Server::new(&registry, &ExactMath, cfg)
         .map_err(|e| StoreError::Corrupt(format!("serve setup: {e}")))?;
@@ -76,11 +77,7 @@ pub fn persist_roundtrip(
             .map(|i| {
                 let seed = 0xC0FFEE ^ i as u64;
                 let ticket = handle
-                    .submit(Request {
-                        tenant: i % 4,
-                        model: 0,
-                        images: request_images(&spec, 1, seed),
-                    })
+                    .submit(Request::new(i % 4, 0, request_images(&spec, 1, seed)))
                     .expect("queue sized for the stream");
                 (seed, ticket)
             })

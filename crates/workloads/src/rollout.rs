@@ -65,6 +65,7 @@ impl Default for RolloutScenarioConfig {
                 queue_capacity: 256,
                 workers: 1,
                 execution: BatchExecution::Arena,
+                admission: pim_serve::AdmissionPolicy::QueueBound,
             },
         }
     }
@@ -193,11 +194,7 @@ pub fn rolling_rollout(
                     }
                     let images = request_images(spec, a.samples, a.image_seed);
                     let ticket = loop {
-                        match pool.submit(Request {
-                            tenant: a.tenant,
-                            model: 0,
-                            images: images.clone(),
-                        }) {
+                        match pool.submit(Request::new(a.tenant, 0, images.clone())) {
                             Ok(t) => break t,
                             Err(SubmitError::QueueFull { .. }) => std::thread::yield_now(),
                             Err(e) => panic!("unexpected reject: {e}"),

@@ -54,8 +54,9 @@ pub mod prelude {
         evaluate, evaluate_with_dimension, DesignVariant, Dimension, EvalResult, Platform,
     };
     pub use pim_serve::{
-        MetricsReport, ModelRegistry, ReplicaSet, ReplicaSetConfig, Request, Response,
-        RolloutConfig, RoutingPolicy, ServeConfig, ServedModel, Server, SubmitError,
+        AdmissionPolicy, MetricsReport, ModelRegistry, Priority, ReplicaSet, ReplicaSetConfig,
+        Request, Response, RolloutConfig, RoutingPolicy, ServeConfig, ServedModel, Server,
+        SloConfig, SubmitError,
     };
     pub use pim_store::{MappedModel, ModelWriter, SharedArtifact, StoredModel};
     pub use pim_tensor::Tensor;
