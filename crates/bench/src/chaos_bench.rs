@@ -1,0 +1,577 @@
+//! `chaos_bench` — the deterministic chaos soak and its CI gates
+//! (`bench_results/BENCH_chaos.json`).
+//!
+//! Runs the same open-loop Poisson traffic twice through a replica pool
+//! of the micro soak model: once fault-free (the baseline), once under a
+//! seeded [`capsnet_workloads::chaos::FaultPlan`] — scripted worker
+//! panics, a scripted stall longer than the pool's `replica_timeout`
+//! (the reply-drop path) and a mid-traffic operator quarantine. Five
+//! invariants are asserted in-process, so the binary doubles as the
+//! fault-tolerance regression gate in CI:
+//!
+//! 1. **zero dropped tickets under fire** — both phases' submissions
+//!    reconcile exactly: every ticket resolves exactly once, typed;
+//! 2. **every scripted fault fired** — the plan's panics and stalls all
+//!    landed inside the traffic window;
+//! 3. **restart accounting** — the pool restarted exactly one replica
+//!    life per injected panic;
+//! 4. **the fleet recovers** — every replica (killed ones included)
+//!    serves a fresh request after the traffic drains;
+//! 5. **clean-replica tail latency holds** — high-tier p99 on replicas
+//!    no fault landed on stays within 10x the fault-free baseline (or an
+//!    absolute 100 ms floor).
+
+use std::time::Duration;
+
+use capsnet::ExactMath;
+use capsnet_workloads::chaos::{
+    chaos_fault_config, run_chaos_phase, ChaosConfig, ChaosPhaseReport, FaultAction, FaultPlan,
+};
+use capsnet_workloads::soak::{measure_capacity_hz, soak_registry, soak_serve_config};
+
+use crate::emit::{write_json_artifact, BenchHost};
+
+/// Replicas in the chaos pool.
+pub const REPLICAS: usize = 4;
+
+/// Tenants issuing chaos traffic (tiers split 20/50/30).
+pub const TENANTS: usize = 200;
+
+/// Scripted worker panics in the plan.
+pub const PANICS: usize = 2;
+
+/// Scripted stalls in the plan.
+pub const STALLS: usize = 1;
+
+/// Scripted stall duration — longer than the pool's 50 ms
+/// `replica_timeout`, so the stalled request is abandoned typed and its
+/// late reply lands with nobody waiting (the reply-drop path).
+pub const STALL: Duration = Duration::from_millis(150);
+
+/// Offered rate as a fraction of the *measured pool throughput*: below
+/// saturation, so the chaos dent — not steady-state overload — dominates
+/// the tail, and the Poisson pacing stays honest (arrivals are never
+/// systematically behind schedule).
+pub const RATE_FRACTION: f64 = 0.6;
+
+/// Ceiling, microseconds, the clean-replica high-tier p99 may never
+/// exceed even when 10x the baseline is smaller.
+pub const HIGH_P99_FLOOR_US: u64 = 100_000;
+
+/// Everything `BENCH_chaos.json` records.
+pub struct ChaosBenchResult {
+    /// Measurement host.
+    pub host: BenchHost,
+    /// Closed-loop single-replica capacity (upper bound; drives the
+    /// calibration burst hard enough to saturate the pool).
+    pub capacity_hz: f64,
+    /// Pool throughput measured by the fault-free calibration burst —
+    /// what replicas + router + harvester sustain *together* on this
+    /// host's cores. The offered rate anchors here.
+    pub pool_hz: f64,
+    /// Requests offered per phase.
+    pub requests_per_phase: usize,
+    /// The seeded schedule the chaos phase ran under.
+    pub plan: FaultPlan,
+    /// Fault-free phase.
+    pub baseline: ChaosPhaseReport,
+    /// Same traffic under the plan.
+    pub chaos: ChaosPhaseReport,
+}
+
+/// Runs the capacity probe, the baseline phase, seeds the plan from the
+/// baseline's measured backend-call count, re-runs the traffic under it
+/// and asserts the chaos gates. `requests_per_phase` scales the run:
+/// ~120k for the committed >=100k-request artifact, a few thousand for
+/// quick checks.
+pub fn run_chaos_bench(requests_per_phase: usize) -> ChaosBenchResult {
+    assert!(requests_per_phase > 0);
+    let serve = soak_serve_config();
+    let registry = soak_registry(0xC405);
+    let probe = requests_per_phase.clamp(2_000, 20_000);
+    let capacity_hz = measure_capacity_hz(&registry, &ExactMath, serve, probe, TENANTS, 0xC4A);
+
+    // Calibrate the *pool*: a fault-free burst offered far above
+    // capacity measures what replicas + router + harvester sustain
+    // together on this host's cores (on a small machine the replicas
+    // timeshare, so per-replica capacity times the replica count is
+    // unattainable). The real phases offer a fraction of this, keeping
+    // the Poisson pacing honest instead of degenerating into a burst.
+    let mut cfg = ChaosConfig {
+        replicas: REPLICAS,
+        tenants: TENANTS,
+        requests: probe,
+        rate_hz: capacity_hz * REPLICAS as f64,
+        seed: 0xC4A0_0001,
+        deadline: Duration::from_millis(400),
+        serve,
+        fault: chaos_fault_config(),
+    };
+    let calibration = run_chaos_phase(&ExactMath, &cfg, &FaultPlan::none());
+    let pool_hz = calibration.achieved_hz.max(1_000.0);
+    cfg.requests = requests_per_phase;
+    cfg.rate_hz = pool_hz * RATE_FRACTION;
+    println!(
+        "chaos_bench: capacity {capacity_hz:.0} req/s/replica (closed-loop, {probe} requests), \
+         pool sustains {pool_hz:.0} req/s, {REPLICAS} replicas, offered {:.0} req/s, \
+         {requests_per_phase} requests/phase",
+        cfg.rate_hz
+    );
+
+    let baseline = run_chaos_phase(&ExactMath, &cfg, &FaultPlan::none());
+    print_phase("baseline", &baseline);
+    let plan = FaultPlan::seeded(
+        cfg.seed,
+        baseline.total_calls,
+        PANICS,
+        STALLS,
+        STALL,
+        REPLICAS,
+        requests_per_phase,
+    );
+    println!(
+        "  plan: {} panics + {} stalls over calls {:?}, quarantine {:?}",
+        plan.panics(),
+        plan.stalls(),
+        plan.points.iter().map(|p| p.at_call).collect::<Vec<_>>(),
+        plan.quarantine,
+    );
+    let chaos = run_chaos_phase(&ExactMath, &cfg, &plan);
+    print_phase("chaos", &chaos);
+
+    let result = ChaosBenchResult {
+        host: BenchHost::detect(),
+        capacity_hz,
+        pool_hz,
+        requests_per_phase,
+        plan,
+        baseline,
+        chaos,
+    };
+    result.assert_gates();
+    result
+}
+
+fn print_phase(name: &str, p: &ChaosPhaseReport) {
+    let c = &p.counts;
+    println!(
+        "  {name}: offered {:.0} req/s, achieved {:.0} req/s, completed {} shed {} \
+         forward-failed {} timeouts {} deadline {} unresponsive {}  \
+         restarts {} quarantines {} probes {}  clean high p99 {:?} us",
+        p.offered_hz,
+        p.achieved_hz,
+        c.completed,
+        c.shed,
+        c.failed_forward,
+        c.replica_timeout,
+        c.deadline_exceeded,
+        c.rejected_unresponsive,
+        p.set.restarts,
+        p.set.quarantines,
+        p.set.probes,
+        p.clean_high_p99_us,
+    );
+}
+
+impl ChaosBenchResult {
+    /// Gate 1: both phases account every submission exactly once.
+    pub fn zero_dropped(&self) -> bool {
+        self.baseline.counts.reconciles() && self.chaos.counts.reconciles()
+    }
+
+    /// Gate 2: every scripted fault fired inside the chaos phase.
+    pub fn faults_fired(&self) -> bool {
+        self.chaos.injected_panics == self.plan.panics() as u64
+            && self.chaos.injected_stalls == self.plan.stalls() as u64
+    }
+
+    /// Gate 3: exactly one replica-life restart per injected panic.
+    pub fn restarts_accounted(&self) -> bool {
+        self.chaos.set.restarts == self.chaos.injected_panics
+    }
+
+    /// Gate 4: every replica — killed ones included — serves after the
+    /// traffic drains, in both phases.
+    pub fn fleet_recovered(&self) -> bool {
+        self.baseline.serving_at_end.iter().all(|&s| s)
+            && self.chaos.serving_at_end.iter().all(|&s| s)
+    }
+
+    /// Gate 5: high-tier p99 on clean replicas within 10x the fault-free
+    /// baseline (or the absolute floor). Requires at least one clean
+    /// replica with high-tier completions — with 4 replicas and at most
+    /// 3 fault landing sites, one always exists.
+    pub fn clean_high_p99_bounded(&self) -> bool {
+        match (
+            self.baseline.clean_high_p99_us,
+            self.chaos.clean_high_p99_us,
+        ) {
+            (Some(base), Some(clean)) => clean <= (10 * base).max(HIGH_P99_FLOOR_US),
+            _ => false,
+        }
+    }
+
+    fn assert_gates(&self) {
+        assert!(
+            self.baseline.counts.reconciles(),
+            "baseline dropped tickets: {:?}",
+            self.baseline.counts
+        );
+        assert!(
+            self.chaos.counts.reconciles(),
+            "chaos phase dropped tickets: {:?}",
+            self.chaos.counts
+        );
+        assert!(
+            self.faults_fired(),
+            "scripted faults missed the window: {} of {} panics, {} of {} stalls",
+            self.chaos.injected_panics,
+            self.plan.panics(),
+            self.chaos.injected_stalls,
+            self.plan.stalls(),
+        );
+        assert!(
+            self.restarts_accounted(),
+            "restart ledger disagrees: {} restarts for {} panics",
+            self.chaos.set.restarts,
+            self.chaos.injected_panics
+        );
+        assert!(
+            self.fleet_recovered(),
+            "a replica never came back: baseline {:?} chaos {:?}",
+            self.baseline.serving_at_end,
+            self.chaos.serving_at_end
+        );
+        assert!(
+            self.clean_high_p99_bounded(),
+            "clean-replica high-tier p99 blew up: baseline {:?} us vs chaos {:?} us",
+            self.baseline.clean_high_p99_us,
+            self.chaos.clean_high_p99_us
+        );
+    }
+
+    /// Renders `BENCH_chaos.json`.
+    pub fn to_json(&self) -> String {
+        let fault = chaos_fault_config();
+        let mut json = format!(
+            concat!(
+                "{{\n",
+                "  \"host\": {{\"simd\": \"{simd}\", \"threads\": {threads}}},\n",
+                "  \"model\": \"caps-soak-micro\",\n",
+                "  \"replicas\": {replicas},\n",
+                "  \"tenants\": {tenants},\n",
+                "  \"capacity_hz\": {cap:.2},\n",
+                "  \"pool_hz\": {pool:.2},\n",
+                "  \"requests_per_phase\": {rpp},\n",
+                "  \"supervision\": {{\"replica_timeout_ms\": {rt}, ",
+                "\"breaker_threshold\": {bt}, \"probe_cooldown_ms\": {pc}, ",
+                "\"max_restarts\": {mr}}},\n",
+                "  \"plan\": {{\"panics\": {panics}, \"stalls\": {stalls}, ",
+                "\"stall_ms\": {stall_ms}, \"points\": [",
+            ),
+            simd = self.host.simd,
+            threads = self.host.threads,
+            replicas = REPLICAS,
+            tenants = TENANTS,
+            cap = self.capacity_hz,
+            pool = self.pool_hz,
+            rpp = self.requests_per_phase,
+            rt = fault
+                .replica_timeout
+                .map(|t| t.as_millis() as u64)
+                .unwrap_or(0),
+            bt = fault.breaker_threshold,
+            pc = fault.probe_cooldown.as_millis(),
+            mr = fault.max_restarts,
+            panics = self.plan.panics(),
+            stalls = self.plan.stalls(),
+            stall_ms = STALL.as_millis(),
+        );
+        for (i, p) in self.plan.points.iter().enumerate() {
+            let action = match p.action {
+                FaultAction::Panic => "panic",
+                FaultAction::Stall(_) => "stall",
+            };
+            json.push_str(&format!(
+                "{{\"at_call\": {}, \"action\": \"{action}\"}}{}",
+                p.at_call,
+                if i + 1 == self.plan.points.len() {
+                    ""
+                } else {
+                    ", "
+                }
+            ));
+        }
+        json.push_str("]},\n  \"phases\": [\n");
+        for (i, (name, p)) in [("baseline", &self.baseline), ("chaos", &self.chaos)]
+            .iter()
+            .enumerate()
+        {
+            json.push_str(&phase_json(name, p));
+            json.push_str(if i == 0 { ",\n" } else { "\n" });
+        }
+        json.push_str(&format!(
+            concat!(
+                "  ],\n",
+                "  \"zero_dropped\": {zd},\n",
+                "  \"faults_fired\": {ff},\n",
+                "  \"restarts_accounted\": {ra},\n",
+                "  \"fleet_recovered\": {fr},\n",
+                "  \"clean_high_p99_bounded\": {cb}\n",
+                "}}\n",
+            ),
+            zd = self.zero_dropped(),
+            ff = self.faults_fired(),
+            ra = self.restarts_accounted(),
+            fr = self.fleet_recovered(),
+            cb = self.clean_high_p99_bounded(),
+        ));
+        json
+    }
+
+    /// Prints the gate summary and writes `BENCH_chaos.json`.
+    pub fn report_and_write(&self) {
+        println!(
+            "chaos_bench gates: zero_dropped {} faults_fired {} restarts_accounted {} \
+             fleet_recovered {} clean_high_p99_bounded {}",
+            self.zero_dropped(),
+            self.faults_fired(),
+            self.restarts_accounted(),
+            self.fleet_recovered(),
+            self.clean_high_p99_bounded()
+        );
+        write_json_artifact("BENCH_chaos.json", &self.to_json());
+    }
+}
+
+fn bool_array(flags: &[bool]) -> String {
+    let cells: Vec<&str> = flags
+        .iter()
+        .map(|&b| if b { "true" } else { "false" })
+        .collect();
+    format!("[{}]", cells.join(", "))
+}
+
+fn u32_array(values: &[u32]) -> String {
+    let cells: Vec<String> = values.iter().map(|v| v.to_string()).collect();
+    format!("[{}]", cells.join(", "))
+}
+
+fn phase_json(name: &str, p: &ChaosPhaseReport) -> String {
+    let c = &p.counts;
+    format!(
+        concat!(
+            "    {{\"name\": \"{name}\", \"offered_hz\": {off:.2}, ",
+            "\"achieved_hz\": {ach:.2},\n",
+            "     \"submitted\": {sub}, \"completed\": {com}, \"shed\": {shed}, ",
+            "\"rejected_full\": {rf}, \"rejected_quota\": {rq}, ",
+            "\"rejected_unresponsive\": {ru}, \"rejected_shutdown\": {rs},\n",
+            "     \"failed_forward\": {ffw}, \"deadline_exceeded\": {de}, ",
+            "\"replica_timeout\": {rto}, \"other_failed\": {of}, ",
+            "\"reconciled\": {rec},\n",
+            "     \"injected_panics\": {ip}, \"injected_stalls\": {is}, ",
+            "\"restarts\": {rst}, \"restarts_per_replica\": {rpr}, ",
+            "\"quarantines\": {qua}, \"probes\": {prb}, ",
+            "\"deadline_misses\": {dm},\n",
+            "     \"tainted\": {taint}, \"serving_at_end\": {serving}, ",
+            "\"clean_high_p99_us\": {p99}}}",
+        ),
+        name = name,
+        off = p.offered_hz,
+        ach = p.achieved_hz,
+        sub = c.submitted,
+        com = c.completed,
+        shed = c.shed,
+        rf = c.rejected_full,
+        rq = c.rejected_quota,
+        ru = c.rejected_unresponsive,
+        rs = c.rejected_shutdown,
+        ffw = c.failed_forward,
+        de = c.deadline_exceeded,
+        rto = c.replica_timeout,
+        of = c.other_failed,
+        rec = c.reconciles(),
+        ip = p.injected_panics,
+        is = p.injected_stalls,
+        rst = p.set.restarts,
+        rpr = u32_array(&p.set.restarts_per_replica),
+        qua = p.set.quarantines,
+        prb = p.set.probes,
+        dm = p.set.deadline_misses,
+        taint = bool_array(&p.tainted),
+        serving = bool_array(&p.serving_at_end),
+        p99 = p.clean_high_p99_us.unwrap_or(0),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use capsnet_workloads::chaos::{ChaosCounts, FaultPoint};
+    use pim_serve::{HealthState, ReplicaSetReport};
+
+    fn synthetic_phase(faulty: bool) -> ChaosPhaseReport {
+        let (panics, stalls) = if faulty { (2, 1) } else { (0, 0) };
+        let restarts_per_replica = if faulty { vec![1, 1, 0, 0] } else { vec![0; 4] };
+        ChaosPhaseReport {
+            counts: ChaosCounts {
+                submitted: 1_000,
+                completed: 980,
+                shed: 10,
+                rejected_full: 0,
+                rejected_quota: 2,
+                rejected_unresponsive: 1,
+                rejected_shutdown: 0,
+                failed_forward: if faulty { 2 } else { 0 },
+                deadline_exceeded: if faulty { 2 } else { 3 },
+                replica_timeout: if faulty { 3 } else { 4 },
+                other_failed: 0,
+            },
+            set: ReplicaSetReport {
+                per_replica: Vec::new(),
+                requests: 980,
+                samples: 980,
+                batches: 980,
+                failed_requests: 2,
+                failed_batches: 1,
+                rejected_full: 0,
+                rejected_quota: 2,
+                shed: 10,
+                swaps: 0,
+                restarts: if faulty { 2 } else { 0 },
+                restarts_per_replica,
+                health: vec![HealthState::Healthy; 4],
+                quarantines: u64::from(faulty),
+                probes: u64::from(faulty) * 3,
+                failovers: 0,
+                deadline_misses: 2,
+            },
+            injected_panics: panics,
+            injected_stalls: stalls,
+            total_calls: 500_000,
+            tainted: if faulty {
+                vec![true, true, true, false]
+            } else {
+                vec![false; 4]
+            },
+            serving_at_end: vec![true; 4],
+            clean_high_p99_us: Some(if faulty { 9_000 } else { 1_200 }),
+            offered_hz: 50_000.0,
+            achieved_hz: 49_000.0,
+        }
+    }
+
+    fn synthetic() -> ChaosBenchResult {
+        ChaosBenchResult {
+            host: BenchHost {
+                simd: "scalar",
+                threads: 1,
+            },
+            capacity_hz: 20_000.0,
+            pool_hz: 15_000.0,
+            requests_per_phase: 1_000,
+            plan: FaultPlan {
+                points: vec![
+                    FaultPoint {
+                        at_call: 60_000,
+                        action: FaultAction::Panic,
+                    },
+                    FaultPoint {
+                        at_call: 120_000,
+                        action: FaultAction::Stall(STALL),
+                    },
+                    FaultPoint {
+                        at_call: 200_000,
+                        action: FaultAction::Panic,
+                    },
+                ],
+                quarantine: None,
+            },
+            baseline: synthetic_phase(false),
+            chaos: synthetic_phase(true),
+        }
+    }
+
+    #[test]
+    fn chaos_json_schema_is_stable() {
+        let result = synthetic();
+        assert!(result.zero_dropped());
+        assert!(result.faults_fired());
+        assert!(result.restarts_accounted());
+        assert!(result.fleet_recovered());
+        assert!(result.clean_high_p99_bounded());
+        let v = crate::jsonlite::parse(&result.to_json()).unwrap();
+        assert_eq!(v.get("replicas").and_then(|x| x.as_f64()), Some(4.0));
+        assert_eq!(
+            v.get("requests_per_phase").and_then(|x| x.as_f64()),
+            Some(1_000.0)
+        );
+        let plan = v.get("plan").unwrap();
+        assert_eq!(plan.get("panics").and_then(|x| x.as_f64()), Some(2.0));
+        assert_eq!(
+            plan.get("points")
+                .and_then(|x| x.as_array())
+                .map(|a| a.len()),
+            Some(3)
+        );
+        let phases = v.get("phases").and_then(|x| x.as_array()).unwrap();
+        assert_eq!(phases.len(), 2);
+        assert_eq!(
+            phases[0].get("name").and_then(|x| x.as_str()),
+            Some("baseline")
+        );
+        let chaos = &phases[1];
+        assert_eq!(
+            chaos.get("reconciled").and_then(|x| x.as_bool()),
+            Some(true)
+        );
+        assert_eq!(
+            chaos.get("injected_panics").and_then(|x| x.as_f64()),
+            Some(2.0)
+        );
+        assert_eq!(
+            chaos
+                .get("serving_at_end")
+                .and_then(|x| x.as_array())
+                .map(|a| a.len()),
+            Some(4)
+        );
+        assert_eq!(
+            chaos
+                .get("restarts_per_replica")
+                .and_then(|x| x.as_array())
+                .and_then(|a| a[0].as_f64()),
+            Some(1.0)
+        );
+        assert_eq!(v.get("zero_dropped").and_then(|x| x.as_bool()), Some(true));
+        assert_eq!(
+            v.get("clean_high_p99_bounded").and_then(|x| x.as_bool()),
+            Some(true)
+        );
+    }
+
+    #[test]
+    fn gates_catch_violations() {
+        let mut dropped = synthetic();
+        dropped.chaos.counts.completed -= 1; // one vanished ticket
+        assert!(!dropped.zero_dropped());
+
+        let mut missed = synthetic();
+        missed.chaos.injected_stalls = 0;
+        assert!(!missed.faults_fired());
+
+        let mut unaccounted = synthetic();
+        unaccounted.chaos.set.restarts = 1;
+        assert!(!unaccounted.restarts_accounted());
+
+        let mut down = synthetic();
+        down.chaos.serving_at_end[2] = false;
+        assert!(!down.fleet_recovered());
+
+        let mut blown = synthetic();
+        blown.chaos.clean_high_p99_us = Some(2_000_000);
+        assert!(!blown.clean_high_p99_bounded());
+        blown.chaos.clean_high_p99_us = None; // every replica tainted
+        assert!(!blown.clean_high_p99_bounded());
+    }
+}

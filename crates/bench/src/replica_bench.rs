@@ -80,6 +80,7 @@ fn measure_fleet(artifact: &SharedArtifact, n: usize, requests: usize) -> Replic
         replicas: n,
         policy: RoutingPolicy::RoundRobin,
         serve: scaling_serve_config(),
+        fault: pim_serve::FaultToleranceConfig::default(),
     };
     let spec = streaming_spec();
     let set = ReplicaSet::from_shared(spec.name.clone(), artifact, &ExactMath, cfg)
@@ -126,6 +127,7 @@ fn account_sharing(
         replicas: n,
         policy: RoutingPolicy::RoundRobin,
         serve: scaling_serve_config(),
+        fault: pim_serve::FaultToleranceConfig::default(),
     };
     let set = ReplicaSet::from_shared(spec.name.clone(), artifact, &ExactMath, cfg)
         .expect("streaming artifact rebuilds");

@@ -1,8 +1,8 @@
 //! Golden-file schema tests for the perf-trajectory artifacts.
 //!
 //! The `bench_results/BENCH_*.json` artifacts (routing, serve, store,
-//! replica, quant) are committed so each PR leaves a comparable
-//! performance record; these
+//! replica, quant, soak, chaos) are committed so each PR leaves a
+//! comparable performance record; these
 //! tests pin their **schema** (keys, types, value sanity) without pinning
 //! machine-dependent numbers, so the files cannot silently drift into a
 //! shape future tooling can't read.
@@ -555,6 +555,134 @@ fn bench_soak_schema() {
             doc.get(flag).and_then(Value::as_bool),
             Some(true),
             "committed soak record must pass gate {flag}"
+        );
+    }
+}
+
+#[test]
+fn bench_chaos_schema() {
+    let doc = load("BENCH_chaos.json");
+    let host = doc.get("host").expect("top-level \"host\" object");
+    assert!(host.get("simd").and_then(Value::as_str).is_some());
+    assert!(f64_field(host, "threads", "host") >= 1.0);
+    assert_eq!(
+        doc.get("model").and_then(Value::as_str),
+        Some("caps-soak-micro")
+    );
+    let replicas = f64_field(&doc, "replicas", "chaos");
+    assert!(replicas >= 2.0, "chaos needs a fleet to fail over within");
+    assert!(f64_field(&doc, "capacity_hz", "chaos") > 0.0);
+    assert!(f64_field(&doc, "pool_hz", "chaos") > 0.0);
+    assert!(
+        f64_field(&doc, "requests_per_phase", "chaos") >= 1e5,
+        "committed chaos soak must cover >= 100k requests per phase"
+    );
+
+    // The supervision knobs the run was cut under.
+    let sup = doc.get("supervision").expect("\"supervision\" object");
+    assert!(f64_field(sup, "replica_timeout_ms", "supervision") > 0.0);
+    assert!(f64_field(sup, "breaker_threshold", "supervision") >= 1.0);
+    assert!(f64_field(sup, "max_restarts", "supervision") >= 1.0);
+
+    // The plan actually scripted faults, and the stall outlives the
+    // replica timeout (otherwise the reply-drop path never exercises).
+    let plan = doc.get("plan").expect("\"plan\" object");
+    let panics = f64_field(plan, "panics", "plan");
+    let stalls = f64_field(plan, "stalls", "plan");
+    assert!(panics >= 2.0, "committed chaos record needs >= 2 panics");
+    assert!(stalls >= 1.0, "committed chaos record needs >= 1 stall");
+    assert!(
+        f64_field(plan, "stall_ms", "plan") > f64_field(sup, "replica_timeout_ms", "supervision")
+    );
+    let points = plan
+        .get("points")
+        .and_then(Value::as_array)
+        .expect("plan \"points\" array");
+    assert_eq!(points.len() as f64, panics + stalls);
+    let calls: Vec<f64> = points
+        .iter()
+        .map(|p| f64_field(p, "at_call", "point"))
+        .collect();
+    assert!(calls.windows(2).all(|w| w[0] < w[1]), "points sorted");
+
+    let phases = doc
+        .get("phases")
+        .and_then(Value::as_array)
+        .expect("\"phases\" array");
+    let names: Vec<&str> = phases
+        .iter()
+        .map(|p| p.get("name").and_then(Value::as_str).expect("phase name"))
+        .collect();
+    assert_eq!(names, ["baseline", "chaos"]);
+
+    for p in phases {
+        let ctx = p.get("name").and_then(Value::as_str).unwrap().to_string();
+        // Zero dropped tickets, recomputed from the raw fields rather
+        // than trusted from the flag.
+        let accounted = f64_field(p, "completed", &ctx)
+            + f64_field(p, "shed", &ctx)
+            + f64_field(p, "rejected_full", &ctx)
+            + f64_field(p, "rejected_quota", &ctx)
+            + f64_field(p, "rejected_unresponsive", &ctx)
+            + f64_field(p, "rejected_shutdown", &ctx)
+            + f64_field(p, "failed_forward", &ctx)
+            + f64_field(p, "deadline_exceeded", &ctx)
+            + f64_field(p, "replica_timeout", &ctx)
+            + f64_field(p, "other_failed", &ctx);
+        assert_eq!(
+            f64_field(p, "submitted", &ctx),
+            accounted,
+            "{ctx}: submissions unaccounted"
+        );
+        assert_eq!(p.get("reconciled").and_then(Value::as_bool), Some(true));
+        assert!(f64_field(p, "offered_hz", &ctx) > 0.0);
+        assert!(f64_field(p, "achieved_hz", &ctx) > 0.0);
+        let serving = p
+            .get("serving_at_end")
+            .and_then(Value::as_array)
+            .expect("serving_at_end array");
+        assert_eq!(serving.len() as f64, replicas);
+        assert!(
+            serving.iter().all(|s| s.as_bool() == Some(true)),
+            "{ctx}: every replica must serve at the end"
+        );
+        assert_eq!(
+            p.get("tainted")
+                .and_then(Value::as_array)
+                .expect("tainted array")
+                .len() as f64,
+            replicas
+        );
+    }
+
+    // The chaos phase took real fire and recovered: every scripted fault
+    // fired, one replica-life restart per panic, and at least one
+    // replica stayed clean to anchor the tail gate.
+    let chaos = &phases[1];
+    assert_eq!(f64_field(chaos, "injected_panics", "chaos"), panics);
+    assert_eq!(f64_field(chaos, "injected_stalls", "chaos"), stalls);
+    assert_eq!(f64_field(chaos, "restarts", "chaos"), panics);
+    let per_replica = chaos
+        .get("restarts_per_replica")
+        .and_then(Value::as_array)
+        .expect("restarts_per_replica array");
+    let restart_sum: f64 = per_replica.iter().map(|r| r.as_f64().unwrap()).sum();
+    assert_eq!(restart_sum, panics);
+    let clean = f64_field(chaos, "clean_high_p99_us", "chaos");
+    assert!(clean > 0.0, "a clean replica must have high-tier samples");
+
+    // The in-process gates must have passed when the artifact was cut.
+    for flag in [
+        "zero_dropped",
+        "faults_fired",
+        "restarts_accounted",
+        "fleet_recovered",
+        "clean_high_p99_bounded",
+    ] {
+        assert_eq!(
+            doc.get(flag).and_then(Value::as_bool),
+            Some(true),
+            "committed chaos record must pass gate {flag}"
         );
     }
 }

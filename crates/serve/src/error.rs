@@ -62,6 +62,16 @@ pub enum SubmitError {
         /// Offending dimensions.
         actual: Vec<usize>,
     },
+    /// The targeted replica did not acknowledge the submission within the
+    /// caller's wait bound (stalled backend, mid-restart, or wedged
+    /// control loop). The request was **not** admitted; resubmitting to
+    /// another replica is safe.
+    ReplicaUnresponsive {
+        /// The unresponsive replica.
+        replica: usize,
+        /// How long the submitter waited for the rendezvous, microseconds.
+        waited_us: u64,
+    },
 }
 
 impl fmt::Display for SubmitError {
@@ -102,6 +112,10 @@ impl fmt::Display for SubmitError {
             SubmitError::ShapeMismatch { expected, actual } => {
                 write!(f, "shape mismatch: expected {expected}, got {actual:?}")
             }
+            SubmitError::ReplicaUnresponsive { replica, waited_us } => write!(
+                f,
+                "replica {replica} unresponsive: no submission rendezvous within {waited_us}us"
+            ),
         }
     }
 }
@@ -130,6 +144,26 @@ pub enum ServeError {
         /// Total time spent retrying, microseconds.
         waited_us: u64,
     },
+    /// The request's end-to-end deadline ([`crate::Request::with_deadline`])
+    /// elapsed before a response was produced. The deadline is the
+    /// *caller's* budget — missing it is not evidence the replica is
+    /// unhealthy, so it never feeds the circuit breaker.
+    DeadlineExceeded {
+        /// How long the caller waited before the deadline fired,
+        /// microseconds.
+        waited_us: u64,
+    },
+    /// The serving replica did not resolve this ticket within the
+    /// configured per-attempt bound
+    /// ([`crate::FaultToleranceConfig::replica_timeout`]) — a stall
+    /// signal. Counts against the replica's circuit breaker; the caller
+    /// may fail the request over to another replica.
+    ReplicaTimeout {
+        /// The stalled replica.
+        replica: usize,
+        /// How long the ticket waited, microseconds.
+        waited_us: u64,
+    },
 }
 
 impl fmt::Display for ServeError {
@@ -147,11 +181,42 @@ impl fmt::Display for ServeError {
                 "target overloaded: retry budget exhausted after {attempts} attempts over \
                  {waited_us}us"
             ),
+            ServeError::DeadlineExceeded { waited_us } => {
+                write!(f, "deadline exceeded after {waited_us}us")
+            }
+            ServeError::ReplicaTimeout { replica, waited_us } => write!(
+                f,
+                "replica {replica} timed out: ticket unresolved after {waited_us}us"
+            ),
         }
     }
 }
 
 impl std::error::Error for ServeError {}
+
+/// How a routed-with-failover call ([`crate::ReplicaSetHandle::call`])
+/// ultimately failed: rejected at admission on every tried replica, or
+/// served-but-failed / timed out at the serving layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CallError {
+    /// Admission rejected the request in a way failover cannot fix
+    /// (unknown model, bad geometry) — retrying elsewhere is pointless.
+    Rejected(SubmitError),
+    /// The serving layer failed the request after the failover budget was
+    /// spent (or its deadline elapsed).
+    Serve(ServeError),
+}
+
+impl fmt::Display for CallError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CallError::Rejected(e) => write!(f, "call rejected: {e}"),
+            CallError::Serve(e) => write!(f, "call failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CallError {}
 
 #[cfg(test)]
 mod tests {
@@ -194,5 +259,25 @@ mod tests {
         assert!(ServeError::Forward("boom".into())
             .to_string()
             .contains("boom"));
+        assert!(SubmitError::ReplicaUnresponsive {
+            replica: 2,
+            waited_us: 500,
+        }
+        .to_string()
+        .contains("replica 2"));
+        assert!(ServeError::DeadlineExceeded { waited_us: 900 }
+            .to_string()
+            .contains("900us"));
+        let timeout = ServeError::ReplicaTimeout {
+            replica: 1,
+            waited_us: 42,
+        };
+        assert!(timeout.to_string().contains("replica 1"));
+        assert!(CallError::Serve(timeout)
+            .to_string()
+            .contains("call failed"));
+        assert!(CallError::Rejected(SubmitError::ShuttingDown)
+            .to_string()
+            .contains("call rejected"));
     }
 }

@@ -81,11 +81,12 @@ mod server;
 
 pub use admission::{AdmissionPolicy, AdmissionVerdict, Priority, SloConfig, TIERS};
 pub use config::{BatchExecution, ServeConfig};
-pub use error::{ServeError, SubmitError};
+pub use error::{CallError, ServeError, SubmitError};
 pub use metrics::{MetricsReport, ModelVersionCount, TierReport};
 pub use registry::{ModelHandle, ModelRegistry};
 pub use replica::{
-    ReplicaSet, ReplicaSetConfig, ReplicaSetHandle, ReplicaSetReport, ReplicaTicket, RoutingPolicy,
+    FaultToleranceConfig, HealthState, ReplicaSet, ReplicaSetConfig, ReplicaSetHandle,
+    ReplicaSetReport, ReplicaTicket, RoutingPolicy,
 };
 pub use rollout::{
     ReplicaOutcome, ReplicaRollout, RetryBudget, RolloutConfig, RolloutError, RolloutReport,

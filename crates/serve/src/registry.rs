@@ -13,7 +13,7 @@
 //! order along any `(tenant, model)` stream is strictly monotone.
 
 use std::path::Path;
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, PoisonError};
 
 use capsnet::CapsNet;
 use pim_store::{MappedModel, SharedArtifact};
@@ -138,9 +138,13 @@ impl ModelRegistry {
     /// The current handle of slot `model` (an `Arc` clone; stays valid
     /// across later swaps).
     pub fn current(&self, model: usize) -> Option<Arc<ModelHandle>> {
+        // Poison-tolerant: the registry outlives replica serving threads
+        // (it survives a replica restart), and the slot holds a plain
+        // `Arc` that is valid at every point, so a panicking holder must
+        // not wedge the slot for the replica's next life.
         self.slots
             .get(model)
-            .map(|slot| Arc::clone(&slot.lock().expect("registry slot lock")))
+            .map(|slot| Arc::clone(&slot.lock().unwrap_or_else(PoisonError::into_inner)))
     }
 
     /// Replaces slot `model`'s network, bumping the version. This is the
@@ -161,7 +165,7 @@ impl ModelRegistry {
                 self.slots.len()
             ))
         })?;
-        let mut guard = slot.lock().expect("registry slot lock");
+        let mut guard = slot.lock().unwrap_or_else(PoisonError::into_inner);
         let next = ModelHandle {
             name: guard.name.clone(),
             version: guard.version + 1,

@@ -1,5 +1,6 @@
 //! The replica pool: N thread-isolated serving replicas sharing **one**
-//! mapped artifact, behind pluggable request routing.
+//! mapped artifact, behind pluggable request routing and a supervising
+//! fault-tolerance layer.
 //!
 //! The PIM paper's premise is that the CapsNet's multi-hundred-MB weights
 //! should stay *resident near memory* instead of being re-streamed per
@@ -24,23 +25,52 @@
 //!   (a tenant's requests always land on the same replica while the fleet
 //!   is stable, preserving per-tenant FIFO across the whole pool).
 //!
-//! All policies skip replicas a rolling rollout (see [`crate::rollout`])
-//! has taken out of rotation, falling back to *any* replica when the whole
-//! fleet is draining — a drained replica still serves correctly, it is
-//! just mid-swap.
+//! All policies skip replicas that are out of rotation — drained by a
+//! rolling rollout (see [`crate::rollout`]) or quarantined by the health
+//! layer — falling back to *any* replica when the whole fleet is out (a
+//! drained replica still serves correctly, it is just mid-swap).
+//!
+//! # Fault tolerance
+//!
+//! Each replica carries a health state machine,
+//! [`HealthState`]: `Healthy → Degraded → Quarantined → Dead`. Ticket
+//! failures and timeouts feed a consecutive-failure circuit breaker
+//! ([`FaultToleranceConfig::breaker_threshold`]); tripping it quarantines
+//! the replica, taking it out of routing rotation. A supervisor watchdog
+//! probes quarantined replicas after a cooldown and re-admits responders
+//! on probation (one strike from re-quarantine until a success heals
+//! them). A replica whose serving thread panics is restarted in place from
+//! its registry — which, on the artifact path, wraps the shared
+//! [`SharedArtifact`] mapping, so the restart re-registers the *current*
+//! version (rollout monotonicity holds) without copying any weights. After
+//! [`FaultToleranceConfig::max_restarts`] failed lives the replica is
+//! `Dead`: its mailbox is closed and every queued job fails typed.
+//!
+//! Requests may carry an end-to-end deadline
+//! ([`crate::Request::with_deadline`]); every wait on the replica-pool
+//! path is bounded by it, resolving [`ServeError::DeadlineExceeded`]
+//! instead of hanging. Independently,
+//! [`FaultToleranceConfig::replica_timeout`] bounds each *attempt* — a
+//! stalled replica yields [`ServeError::ReplicaTimeout`] (which feeds its
+//! breaker) so [`ReplicaSetHandle::call`] can fail the request over to a
+//! healthy replica under a [`RetryBudget`].
 
+use std::cell::RefCell;
 use std::collections::VecDeque;
+use std::fmt;
 use std::path::Path;
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+use std::time::{Duration, Instant};
 
 use capsnet::{CapsNet, MathBackend};
 use pim_store::SharedArtifact;
 
 use crate::config::ServeConfig;
-use crate::error::{ServeError, SubmitError};
-use crate::metrics::MetricsReport;
+use crate::error::{CallError, ServeError, SubmitError};
+use crate::metrics::{MetricsRecorder, MetricsReport};
 use crate::registry::ModelRegistry;
+use crate::rollout::RetryBudget;
 use crate::server::{Request, Response, ServedModel, Server, Ticket};
 
 /// How a [`ReplicaSet`] spreads submissions across its replicas.
@@ -57,8 +87,80 @@ pub enum RoutingPolicy {
     TenantPinned,
 }
 
-/// Replica-pool knobs: fleet size, routing policy, and the per-replica
-/// scheduler configuration.
+/// Fault-tolerance knobs: per-attempt stall bounds, the circuit breaker,
+/// the watchdog's probe cadence, and the restart budget.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultToleranceConfig {
+    /// Per-attempt bound on how long a submission rendezvous or a ticket
+    /// wait may block on one replica before it is declared stalled
+    /// ([`SubmitError::ReplicaUnresponsive`] /
+    /// [`ServeError::ReplicaTimeout`]). `None` (the default) keeps the
+    /// pre-fault-tolerance behavior: waits are unbounded except by a
+    /// request's own deadline.
+    pub replica_timeout: Option<Duration>,
+    /// Consecutive failures on one replica that trip its circuit breaker
+    /// (quarantining it). A success resets the count.
+    pub breaker_threshold: u32,
+    /// How long a quarantined replica sits out before the watchdog probes
+    /// it for re-admission.
+    pub probe_cooldown: Duration,
+    /// The watchdog's scan interval.
+    pub watchdog_interval: Duration,
+    /// Panicked-replica restarts before the replica is declared
+    /// [`HealthState::Dead`] for the rest of the window.
+    pub max_restarts: u32,
+    /// Retry budget for [`ReplicaSetHandle::call`]'s failover resubmission
+    /// (attempts across replicas; backoff between admission rejections).
+    pub failover: RetryBudget,
+}
+
+impl Default for FaultToleranceConfig {
+    fn default() -> Self {
+        FaultToleranceConfig {
+            replica_timeout: None,
+            breaker_threshold: 3,
+            probe_cooldown: Duration::from_millis(50),
+            watchdog_interval: Duration::from_millis(5),
+            max_restarts: 4,
+            failover: RetryBudget::default(),
+        }
+    }
+}
+
+impl FaultToleranceConfig {
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::InvalidConfig`] for a zero breaker threshold,
+    /// watchdog interval, failover attempt budget, or replica timeout.
+    pub fn validate(&self) -> Result<(), ServeError> {
+        if self.breaker_threshold == 0 {
+            return Err(ServeError::InvalidConfig(
+                "breaker_threshold must be >= 1".into(),
+            ));
+        }
+        if self.watchdog_interval.is_zero() {
+            return Err(ServeError::InvalidConfig(
+                "watchdog_interval must be > 0".into(),
+            ));
+        }
+        if self.failover.attempts == 0 {
+            return Err(ServeError::InvalidConfig(
+                "failover.attempts must be >= 1".into(),
+            ));
+        }
+        if self.replica_timeout.is_some_and(|t| t.is_zero()) {
+            return Err(ServeError::InvalidConfig(
+                "replica_timeout must be > 0 when set".into(),
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Replica-pool knobs: fleet size, routing policy, fault tolerance, and
+/// the per-replica scheduler configuration.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ReplicaSetConfig {
     /// Number of serving replicas.
@@ -68,6 +170,8 @@ pub struct ReplicaSetConfig {
     /// Scheduler knobs of **each** replica (every replica runs its own
     /// queue and workers).
     pub serve: ServeConfig,
+    /// Fault-tolerance knobs (timeouts, breaker, watchdog, restarts).
+    pub fault: FaultToleranceConfig,
 }
 
 impl Default for ReplicaSetConfig {
@@ -76,6 +180,7 @@ impl Default for ReplicaSetConfig {
             replicas: 2,
             policy: RoutingPolicy::RoundRobin,
             serve: ServeConfig::default(),
+            fault: FaultToleranceConfig::default(),
         }
     }
 }
@@ -86,12 +191,197 @@ impl ReplicaSetConfig {
     /// # Errors
     ///
     /// [`ServeError::InvalidConfig`] when `replicas` is zero or the
-    /// per-replica scheduler config is invalid.
+    /// per-replica scheduler / fault-tolerance config is invalid.
     pub fn validate(&self) -> Result<(), ServeError> {
         if self.replicas == 0 {
             return Err(ServeError::InvalidConfig("replicas must be >= 1".into()));
         }
+        self.fault.validate()?;
         self.serve.validate()
+    }
+}
+
+// ── replica health ──────────────────────────────────────────────────────
+
+/// A replica's health as the supervisor sees it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HealthState {
+    /// Serving normally.
+    Healthy,
+    /// At least one recent failure, below the breaker threshold; still in
+    /// routing rotation.
+    Degraded,
+    /// Circuit breaker tripped: out of rotation until a watchdog probe
+    /// re-admits it.
+    Quarantined,
+    /// Serving thread gone for good (restart budget exhausted); every job
+    /// fails typed.
+    Dead,
+}
+
+impl HealthState {
+    fn code(self) -> usize {
+        match self {
+            HealthState::Healthy => 0,
+            HealthState::Degraded => 1,
+            HealthState::Quarantined => 2,
+            HealthState::Dead => 3,
+        }
+    }
+
+    fn from_code(code: usize) -> Self {
+        match code {
+            0 => HealthState::Healthy,
+            1 => HealthState::Degraded,
+            2 => HealthState::Quarantined,
+            _ => HealthState::Dead,
+        }
+    }
+}
+
+impl fmt::Display for HealthState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            HealthState::Healthy => "healthy",
+            HealthState::Degraded => "degraded",
+            HealthState::Quarantined => "quarantined",
+            HealthState::Dead => "dead",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One replica's health ledger: the state machine plus the counters the
+/// final [`ReplicaSetReport`] surfaces. Lock-free — every caller path
+/// (submitters, ticket waits, the watchdog, the replica's own respawn
+/// loop) touches it concurrently.
+struct ReplicaHealth {
+    /// Time zero for the quarantine timestamps below.
+    epoch: Instant,
+    breaker_threshold: u32,
+    /// [`HealthState`] code. `SeqCst`: state transitions order against
+    /// the routing reads that depend on them.
+    state: AtomicUsize,
+    consecutive_failures: AtomicU32,
+    /// When the current quarantine was (re-)stamped, µs since `epoch`.
+    quarantined_at_us: AtomicU64,
+    restarts: AtomicU32,
+    quarantines: AtomicU32,
+    probes: AtomicU32,
+}
+
+impl ReplicaHealth {
+    fn new(breaker_threshold: u32) -> Self {
+        ReplicaHealth {
+            epoch: Instant::now(),
+            breaker_threshold,
+            state: AtomicUsize::new(HealthState::Healthy.code()),
+            consecutive_failures: AtomicU32::new(0),
+            quarantined_at_us: AtomicU64::new(0),
+            restarts: AtomicU32::new(0),
+            quarantines: AtomicU32::new(0),
+            probes: AtomicU32::new(0),
+        }
+    }
+
+    fn state(&self) -> HealthState {
+        HealthState::from_code(self.state.load(Ordering::SeqCst))
+    }
+
+    /// `true` while routing should consider this replica.
+    fn is_routable(&self) -> bool {
+        matches!(self.state(), HealthState::Healthy | HealthState::Degraded)
+    }
+
+    fn now_us(&self) -> u64 {
+        self.epoch.elapsed().as_micros() as u64
+    }
+
+    /// A served request succeeded: the failure streak ends and any
+    /// non-dead state heals back to `Healthy` (a probationary replica
+    /// earns its way back in with one success).
+    fn record_success(&self) {
+        self.consecutive_failures.store(0, Ordering::Relaxed);
+        let _ = self
+            .state
+            .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |s| {
+                (s != HealthState::Dead.code()).then(|| HealthState::Healthy.code())
+            });
+    }
+
+    /// A served request failed or timed out: extend the streak; trip the
+    /// breaker at the threshold, else degrade.
+    fn record_failure(&self) {
+        let failures = self.consecutive_failures.fetch_add(1, Ordering::Relaxed) + 1;
+        if failures >= self.breaker_threshold {
+            self.trip_breaker();
+        } else {
+            let _ = self.state.compare_exchange(
+                HealthState::Healthy.code(),
+                HealthState::Degraded.code(),
+                Ordering::SeqCst,
+                Ordering::SeqCst,
+            );
+        }
+    }
+
+    fn trip_breaker(&self) {
+        self.quarantined_at_us
+            .store(self.now_us(), Ordering::Relaxed);
+        let entered = self
+            .state
+            .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |s| {
+                (s != HealthState::Dead.code() && s != HealthState::Quarantined.code())
+                    .then(|| HealthState::Quarantined.code())
+            });
+        if entered.is_ok() {
+            self.quarantines.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Operator-initiated quarantine: trip the breaker regardless of the
+    /// current streak.
+    fn force_quarantine(&self) {
+        self.consecutive_failures
+            .store(self.breaker_threshold, Ordering::Relaxed);
+        self.trip_breaker();
+    }
+
+    /// Probe succeeded: back into rotation on probation — one failure away
+    /// from re-quarantine until a success heals it.
+    fn readmit(&self) {
+        self.consecutive_failures
+            .store(self.breaker_threshold.saturating_sub(1), Ordering::Relaxed);
+        let _ = self.state.compare_exchange(
+            HealthState::Quarantined.code(),
+            HealthState::Degraded.code(),
+            Ordering::SeqCst,
+            Ordering::SeqCst,
+        );
+    }
+
+    /// Probe failed: restart the cooldown clock.
+    fn stamp_quarantine(&self) {
+        self.quarantined_at_us
+            .store(self.now_us(), Ordering::Relaxed);
+    }
+
+    fn since_quarantine_us(&self) -> u64 {
+        self.now_us()
+            .saturating_sub(self.quarantined_at_us.load(Ordering::Relaxed))
+    }
+
+    /// The serving thread panicked (it may yet respawn).
+    fn note_dead(&self) {
+        self.state.store(HealthState::Dead.code(), Ordering::SeqCst);
+    }
+
+    /// A fresh life is serving: clean slate.
+    fn on_respawn(&self) {
+        self.restarts.fetch_add(1, Ordering::Relaxed);
+        self.consecutive_failures.store(0, Ordering::Relaxed);
+        self.state
+            .store(HealthState::Healthy.code(), Ordering::SeqCst);
     }
 }
 
@@ -113,7 +403,9 @@ impl<'a, B: MathBackend + Sync + ?Sized> ReplicaSet<'a, B> {
     /// a clone of the one [`SharedArtifact`] handle, so all replicas'
     /// weight tensors are windows into a single mapping — the pool holds
     /// one physical copy of the eligible weights no matter how many
-    /// replicas serve them.
+    /// replicas serve them. This is also what makes replica *restart*
+    /// cheap: a respawned life re-opens nothing, it serves the same
+    /// registry (and therefore the same mapping) at its current version.
     ///
     /// # Errors
     ///
@@ -205,19 +497,27 @@ impl<'a, B: MathBackend + Sync + ?Sized> ReplicaSet<'a, B> {
     }
 
     /// Opens a serving window: spawns one supervisor-managed thread per
-    /// replica (each running its own [`Server::run`] window), hands `f` a
-    /// [`ReplicaSetHandle`] that routes submissions across the fleet, and
-    /// on return shuts every replica down (queues drained, zero tickets
-    /// dropped). Returns `f`'s result plus the pool's
+    /// replica (each running its own [`Server::run`] window, respawned in
+    /// place on panic up to the restart budget) plus the health watchdog,
+    /// hands `f` a [`ReplicaSetHandle`] that routes submissions across the
+    /// fleet, and on return shuts every replica down (queues drained, zero
+    /// tickets dropped). Returns `f`'s result plus the pool's
     /// [`ReplicaSetReport`].
     pub fn run<R>(&self, f: impl FnOnce(&ReplicaSetHandle<'_>) -> R) -> (R, ReplicaSetReport) {
         let n = self.cfg.replicas;
+        let fault = self.cfg.fault;
         let pool = PoolShared {
             mailboxes: (0..n).map(|_| Mailbox::new()).collect(),
             outstanding: (0..n).map(|_| Arc::new(AtomicUsize::new(0))).collect(),
             draining: (0..n).map(|_| AtomicBool::new(false)).collect(),
+            health: (0..n)
+                .map(|_| Arc::new(ReplicaHealth::new(fault.breaker_threshold)))
+                .collect(),
+            failovers: AtomicU64::new(0),
+            deadline_misses: Arc::new(AtomicU64::new(0)),
             rr: AtomicUsize::new(0),
         };
+        let stop_watchdog = AtomicBool::new(false);
         let (result, reports) = std::thread::scope(|scope| {
             let replica_threads: Vec<_> = self
                 .registries
@@ -225,103 +525,220 @@ impl<'a, B: MathBackend + Sync + ?Sized> ReplicaSet<'a, B> {
                 .enumerate()
                 .map(|(i, registry)| {
                     let mailbox = &pool.mailboxes[i];
+                    let health = Arc::clone(&pool.health[i]);
                     let backend = self.backend;
                     let serve_cfg = self.cfg.serve;
                     scope.spawn(move || {
-                        // If this replica dies mid-job, its supervisor must
-                        // not block forever on an unfilled reply slot: the
-                        // guard fails the in-flight reply, closes the
-                        // mailbox (later pushes see ShuttingDown), and
-                        // fails every queued job before the panic
-                        // propagates through the scope.
-                        let pending: std::cell::RefCell<Option<PendingReply>> =
-                            std::cell::RefCell::new(None);
-                        struct FailOnUnwind<'g> {
-                            mailbox: &'g Mailbox,
-                            pending: &'g std::cell::RefCell<Option<PendingReply>>,
-                        }
-                        impl Drop for FailOnUnwind<'_> {
-                            fn drop(&mut self) {
-                                if !std::thread::panicking() {
-                                    return;
-                                }
-                                if let Some(reply) = self.pending.borrow_mut().take() {
-                                    reply.fail();
-                                }
-                                self.mailbox.close();
-                                while let Some(job) = self.mailbox.pop() {
-                                    PendingReply::of(&job).fail();
-                                }
-                            }
-                        }
-                        let _guard = FailOnUnwind {
-                            mailbox,
-                            pending: &pending,
-                        };
-                        let server = Server::new(registry, backend, serve_cfg)
-                            .expect("config validated at pool construction");
-                        let ((), report) = server.run(|h| {
-                            // The replica's control loop: the only channel
-                            // between supervisor and replica (thread-
-                            // isolation stands in for process isolation).
-                            while let Some(job) = mailbox.pop() {
-                                *pending.borrow_mut() = Some(PendingReply::of(&job));
-                                match job {
-                                    Job::Submit { request, reply } => {
-                                        reply.put(h.submit(request));
-                                    }
-                                    Job::SwapShared { artifact, reply } => {
-                                        reply.put(h.swap_shared(0, &artifact));
-                                    }
-                                    Job::SwapNet { net, reply } => {
-                                        reply.put(
-                                            h.swap_model(0, *net)
-                                                .map_err(|e| ServeError::Load(e.to_string())),
-                                        );
-                                    }
-                                }
-                                *pending.borrow_mut() = None;
-                            }
-                        });
-                        report
+                        replica_main(registry, backend, serve_cfg, fault, mailbox, &health)
                     })
                 })
                 .collect();
+            let watchdog = scope.spawn(|| watchdog_loop(&pool, &stop_watchdog, &fault));
             let handle = ReplicaSetHandle {
                 pool: &pool,
                 registries: &self.registries,
                 policy: self.cfg.policy,
+                fault,
             };
-            // Close the mailboxes on *every* exit from `f` — including an
-            // unwind. Without this, a panic inside the closure would leave
-            // the replica threads blocked in `Mailbox::pop` and the scope
-            // would deadlock joining them instead of propagating the
-            // panic.
-            struct CloseOnDrop<'m>(&'m [Mailbox]);
+            // Stop the watchdog and close the mailboxes on *every* exit
+            // from `f` — including an unwind. Without this, a panic inside
+            // the closure would leave the replica threads blocked in their
+            // mailboxes and the scope would deadlock joining them instead
+            // of propagating the panic.
+            struct CloseOnDrop<'m> {
+                mailboxes: &'m [Mailbox],
+                stop_watchdog: &'m AtomicBool,
+            }
             impl Drop for CloseOnDrop<'_> {
                 fn drop(&mut self) {
-                    for mailbox in self.0 {
+                    self.stop_watchdog.store(true, Ordering::SeqCst);
+                    for mailbox in self.mailboxes {
                         mailbox.close();
                     }
                 }
             }
             let result = {
-                let _closer = CloseOnDrop(&pool.mailboxes);
+                let _closer = CloseOnDrop {
+                    mailboxes: &pool.mailboxes,
+                    stop_watchdog: &stop_watchdog,
+                };
                 f(&handle)
             };
             let reports: Vec<MetricsReport> = replica_threads
                 .into_iter()
-                .map(|t| t.join().expect("replica thread"))
+                .map(|t| t.join().expect("replica supervisor never panics"))
                 .collect();
+            watchdog.join().expect("watchdog never panics");
             (result, reports)
         });
-        (result, ReplicaSetReport::from_replicas(reports))
+        let stats = PoolStats::collect(&pool);
+        (result, ReplicaSetReport::from_replicas(reports, stats))
+    }
+}
+
+/// How often a wounded replica's control loop re-checks the wounded flag
+/// while waiting for mail. Bounds the window between a worker panic and
+/// the replica respawn.
+const WOUNDED_POLL: Duration = Duration::from_millis(2);
+
+/// One replica's supervisor: runs serving lives until clean shutdown or
+/// the restart budget is spent. Each life is a full [`Server::run`] window
+/// over the **same** registry — on the artifact path the registry wraps
+/// the shared mapping, so a respawn re-registers nothing and serves the
+/// current version (swaps that landed in earlier lives persist; rollout
+/// version monotonicity holds across restarts).
+///
+/// Panic capture is two-layered: [`crate::Server`]'s scheduler fails the
+/// affected batch typed and marks itself wounded, and the control loop
+/// here polls that flag so `Server::run` can return and re-raise the
+/// worker's panic — which the `catch_unwind` below converts into a
+/// respawn. Jobs still queued in the mailbox survive into the next life.
+fn replica_main<B: MathBackend + Sync + ?Sized>(
+    registry: &ModelRegistry,
+    backend: &B,
+    serve_cfg: ServeConfig,
+    fault: FaultToleranceConfig,
+    mailbox: &Mailbox,
+    health: &ReplicaHealth,
+) -> MetricsReport {
+    // Held outside the catch so the unwind path can fail a reply the dying
+    // life left unanswered (the waiting submitter must not hang).
+    let pending: RefCell<Option<PendingReply>> = RefCell::new(None);
+    let mut lives: u32 = 0;
+    loop {
+        lives += 1;
+        let life = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let server = Server::new(registry, backend, serve_cfg)
+                .expect("config validated at pool construction");
+            let ((), report) = server.run(|h| {
+                // The replica's control loop: the only channel between
+                // supervisor and replica (thread-isolation stands in for
+                // process isolation).
+                loop {
+                    if h.is_wounded() {
+                        // A worker panicked: return so `Server::run` can
+                        // join it and re-raise the panic. Mail stays
+                        // queued for the next life.
+                        return;
+                    }
+                    match mailbox.pop_timeout(WOUNDED_POLL) {
+                        PopVerdict::Job(job) => {
+                            if h.is_wounded() {
+                                // A worker died in the same instant: hand
+                                // the job to the next life instead of
+                                // dispatching it into the closed server
+                                // (which would fail it typed mid-restart).
+                                mailbox.requeue(job);
+                                return;
+                            }
+                            *pending.borrow_mut() = Some(PendingReply::of(&job));
+                            match job {
+                                Job::Submit { request, reply } => {
+                                    reply.put(h.submit(request));
+                                }
+                                Job::SwapShared { artifact, reply } => {
+                                    reply.put(h.swap_shared(0, &artifact));
+                                }
+                                Job::SwapNet { net, reply } => {
+                                    reply.put(
+                                        h.swap_model(0, *net)
+                                            .map_err(|e| ServeError::Load(e.to_string())),
+                                    );
+                                }
+                                Job::Probe { reply } => {
+                                    let version =
+                                        registry.current(0).map(|m| m.version()).unwrap_or(0);
+                                    reply.put(Ok(version));
+                                }
+                            }
+                            *pending.borrow_mut() = None;
+                        }
+                        PopVerdict::Closed => return,
+                        PopVerdict::TimedOut => {}
+                    }
+                }
+            });
+            report
+        }));
+        match life {
+            Ok(report) => return report,
+            Err(_panic) => {
+                if let Some(reply) = pending.borrow_mut().take() {
+                    reply.fail();
+                }
+                health.note_dead();
+                if lives > fault.max_restarts {
+                    // Restart budget spent: permanent death. Fail every
+                    // queued job typed and report what little we can (the
+                    // dead lives' metrics unwound with them).
+                    mailbox.close_and_fail();
+                    return MetricsRecorder::new(serve_cfg.max_batch).report();
+                }
+                health.on_respawn();
+            }
+        }
+    }
+}
+
+/// The supervisor watchdog: periodically probes quarantined replicas past
+/// their cooldown and re-admits the ones that answer. Probes go through
+/// the ordinary mailbox, so a responding probe proves the whole control
+/// loop (not just the health flag) is live.
+fn watchdog_loop(pool: &PoolShared, stop: &AtomicBool, fault: &FaultToleranceConfig) {
+    let cooldown_us = fault.probe_cooldown.as_micros() as u64;
+    let probe_bound = fault.replica_timeout.unwrap_or(fault.probe_cooldown);
+    while !stop.load(Ordering::SeqCst) {
+        sleep_interruptible(fault.watchdog_interval, stop);
+        if stop.load(Ordering::SeqCst) {
+            return;
+        }
+        for (i, health) in pool.health.iter().enumerate() {
+            if health.state() != HealthState::Quarantined
+                || health.since_quarantine_us() < cooldown_us
+            {
+                continue;
+            }
+            health.probes.fetch_add(1, Ordering::Relaxed);
+            let reply = ReplySlot::new();
+            if !pool.mailboxes[i].push(Job::Probe {
+                reply: Arc::clone(&reply),
+            }) {
+                continue;
+            }
+            match reply.take_deadline(Some(Instant::now() + probe_bound)) {
+                Some(Ok(_)) => health.readmit(),
+                // No answer (stalled / mid-restart) or a typed failure:
+                // stay quarantined, restart the cooldown clock.
+                _ => health.stamp_quarantine(),
+            }
+        }
+    }
+}
+
+/// Sleeps up to `total`, waking early when `stop` is raised (the watchdog
+/// must not hold pool shutdown hostage to its scan interval).
+fn sleep_interruptible(total: Duration, stop: &AtomicBool) {
+    let deadline = Instant::now() + total;
+    loop {
+        if stop.load(Ordering::SeqCst) {
+            return;
+        }
+        let now = Instant::now();
+        if now >= deadline {
+            return;
+        }
+        std::thread::sleep((deadline - now).min(Duration::from_micros(500)));
     }
 }
 
 // ── supervisor ⇄ replica transport ──────────────────────────────────────
 
 /// One-shot rendezvous slot for a job's reply.
+///
+/// Poison-tolerant throughout: the state is a plain `Option`, valid at
+/// every point, so a panicking peer must not cascade into every waiting
+/// caller — the waiter recovers the guard and reads (or times out) as
+/// usual.
 struct ReplySlot<T> {
     value: Mutex<Option<T>>,
     ready: Condvar,
@@ -336,18 +753,48 @@ impl<T> ReplySlot<T> {
     }
 
     fn put(&self, v: T) {
-        *self.value.lock().expect("reply lock") = Some(v);
+        *self.value.lock().unwrap_or_else(PoisonError::into_inner) = Some(v);
         self.ready.notify_all();
     }
 
-    fn take(&self) -> T {
-        let mut guard = self.value.lock().expect("reply lock");
+    /// Waits for the reply. `bound: None` waits forever; `Some(deadline)`
+    /// returns `None` once the deadline passes with no reply (the value,
+    /// if it arrives later, is simply dropped — the rendezvous is over).
+    fn take_deadline(&self, bound: Option<Instant>) -> Option<T> {
+        let mut guard = self.value.lock().unwrap_or_else(PoisonError::into_inner);
         loop {
             if let Some(v) = guard.take() {
-                return v;
+                return Some(v);
             }
-            guard = self.ready.wait(guard).expect("reply wait");
+            match bound {
+                None => {
+                    guard = self
+                        .ready
+                        .wait(guard)
+                        .unwrap_or_else(PoisonError::into_inner);
+                }
+                Some(deadline) => {
+                    let now = Instant::now();
+                    if now >= deadline {
+                        return None;
+                    }
+                    let (g, timeout) = self
+                        .ready
+                        .wait_timeout(guard, deadline - now)
+                        .unwrap_or_else(PoisonError::into_inner);
+                    guard = g;
+                    if timeout.timed_out() {
+                        // Last-chance read under the reacquired lock.
+                        return guard.take();
+                    }
+                }
+            }
         }
+    }
+
+    fn take(&self) -> T {
+        self.take_deadline(None)
+            .expect("unbounded take always yields")
     }
 }
 
@@ -365,10 +812,15 @@ enum Job {
         net: Box<CapsNet>,
         reply: Arc<ReplySlot<Result<u64, ServeError>>>,
     },
+    /// Watchdog liveness probe; answered with the replica's current model
+    /// version.
+    Probe {
+        reply: Arc<ReplySlot<Result<u64, ServeError>>>,
+    },
 }
 
 /// The reply slot of a job, held where a replica's unwind path can still
-/// reach it — see the `FailOnUnwind` guard in [`ReplicaSet::run`].
+/// reach it — see the `pending` cell in [`replica_main`].
 enum PendingReply {
     Submit(Arc<ReplySlot<Result<Ticket, SubmitError>>>),
     Swap(Arc<ReplySlot<Result<u64, ServeError>>>),
@@ -379,9 +831,9 @@ impl PendingReply {
     fn of(job: &Job) -> PendingReply {
         match job {
             Job::Submit { reply, .. } => PendingReply::Submit(Arc::clone(reply)),
-            Job::SwapShared { reply, .. } | Job::SwapNet { reply, .. } => {
-                PendingReply::Swap(Arc::clone(reply))
-            }
+            Job::SwapShared { reply, .. }
+            | Job::SwapNet { reply, .. }
+            | Job::Probe { reply, .. } => PendingReply::Swap(Arc::clone(reply)),
         }
     }
 
@@ -397,7 +849,18 @@ impl PendingReply {
     }
 }
 
-/// A replica's mailbox: FIFO jobs plus a closed flag.
+/// What [`Mailbox::pop_timeout`] observed.
+enum PopVerdict {
+    /// The next job.
+    Job(Job),
+    /// Closed and drained: the replica should exit its control loop.
+    Closed,
+    /// Nothing arrived within the bound (poll again).
+    TimedOut,
+}
+
+/// A replica's mailbox: FIFO jobs plus a closed flag. Poison-tolerant
+/// (the state is a plain `VecDeque` + `bool`, valid at every point).
 struct Mailbox {
     queue: Mutex<(VecDeque<Job>, bool)>,
     ready: Condvar,
@@ -411,11 +874,18 @@ impl Mailbox {
         }
     }
 
-    /// Enqueues a job; `false` when the mailbox is closed (the job is
-    /// dropped — callers surface [`SubmitError::ShuttingDown`]).
+    fn lock(&self) -> MutexGuard<'_, (VecDeque<Job>, bool)> {
+        self.queue.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Enqueues a job; `false` when the mailbox is closed — in which case
+    /// the job's reply is failed **typed** before returning (a push during
+    /// shutdown is rejected, never silently dropped).
     fn push(&self, job: Job) -> bool {
-        let mut guard = self.queue.lock().expect("mailbox lock");
+        let mut guard = self.lock();
         if guard.1 {
+            drop(guard);
+            PendingReply::of(&job).fail();
             return false;
         }
         guard.0.push_back(job);
@@ -424,22 +894,62 @@ impl Mailbox {
         true
     }
 
-    fn close(&self) {
-        self.queue.lock().expect("mailbox lock").1 = true;
+    /// Returns a popped-but-undispatched job to the *front* of the queue:
+    /// the control loop observed the wounded flag after popping, and the
+    /// next life should serve the job in its original position instead of
+    /// the dying server failing it typed mid-restart. Only the replica's
+    /// own (single) control thread calls this, so it cannot race its own
+    /// `close_and_fail`; a mailbox closed for *drain* still accepts the
+    /// requeue — the respawned life (or `close_and_fail` on permanent
+    /// death) disposes of it.
+    fn requeue(&self, job: Job) {
+        let mut guard = self.lock();
+        guard.0.push_front(job);
+        drop(guard);
         self.ready.notify_all();
     }
 
-    /// Blocks for the next job; `None` once closed and drained.
-    fn pop(&self) -> Option<Job> {
-        let mut guard = self.queue.lock().expect("mailbox lock");
+    /// Closes the mailbox for new pushes. Jobs already queued stay for the
+    /// replica to drain and answer (the normal-shutdown path).
+    fn close(&self) {
+        self.lock().1 = true;
+        self.ready.notify_all();
+    }
+
+    /// Closes the mailbox **and** fails every queued job typed — the
+    /// permanent-death path, where no replica life will ever drain them.
+    fn close_and_fail(&self) {
+        let drained: VecDeque<Job> = {
+            let mut guard = self.lock();
+            guard.1 = true;
+            std::mem::take(&mut guard.0)
+        };
+        self.ready.notify_all();
+        for job in &drained {
+            PendingReply::of(job).fail();
+        }
+    }
+
+    /// Waits up to `timeout` for the next job.
+    fn pop_timeout(&self, timeout: Duration) -> PopVerdict {
+        let deadline = Instant::now() + timeout;
+        let mut guard = self.lock();
         loop {
             if let Some(job) = guard.0.pop_front() {
-                return Some(job);
+                return PopVerdict::Job(job);
             }
             if guard.1 {
-                return None;
+                return PopVerdict::Closed;
             }
-            guard = self.ready.wait(guard).expect("mailbox wait");
+            let now = Instant::now();
+            if now >= deadline {
+                return PopVerdict::TimedOut;
+            }
+            let (g, _) = self
+                .ready
+                .wait_timeout(guard, deadline - now)
+                .unwrap_or_else(PoisonError::into_inner);
+            guard = g;
         }
     }
 }
@@ -452,6 +962,14 @@ struct PoolShared {
     outstanding: Vec<Arc<AtomicUsize>>,
     /// Per replica: temporarily out of routing rotation (mid-rollout).
     draining: Vec<AtomicBool>,
+    /// Per replica: the health ledger (also held by the replica thread and
+    /// outstanding tickets, hence the `Arc`).
+    health: Vec<Arc<ReplicaHealth>>,
+    /// Requests resubmitted to another replica after a failure/timeout.
+    failovers: AtomicU64,
+    /// Requests whose end-to-end deadline elapsed (shared with tickets,
+    /// which may outlive the handle's borrow).
+    deadline_misses: Arc<AtomicU64>,
     rr: AtomicUsize,
 }
 
@@ -464,6 +982,7 @@ pub struct ReplicaSetHandle<'p> {
     pool: &'p PoolShared,
     registries: &'p [ModelRegistry],
     policy: RoutingPolicy,
+    fault: FaultToleranceConfig,
 }
 
 impl ReplicaSetHandle<'_> {
@@ -481,6 +1000,17 @@ impl ReplicaSetHandle<'_> {
     /// `true` while `replica` is out of routing rotation (mid-rollout).
     pub fn is_draining(&self, replica: usize) -> bool {
         self.pool.draining[replica].load(Ordering::Relaxed)
+    }
+
+    /// The replica's current [`HealthState`].
+    pub fn health(&self, replica: usize) -> HealthState {
+        self.pool.health[replica].state()
+    }
+
+    /// How many times `replica`'s serving thread has been restarted after
+    /// a panic.
+    pub fn restarts(&self, replica: usize) -> u32 {
+        self.pool.health[replica].restarts.load(Ordering::Relaxed)
     }
 
     /// The current model version a replica serves.
@@ -518,6 +1048,71 @@ impl ReplicaSetHandle<'_> {
         self.submit_reserved(replica, request, guard)
     }
 
+    /// Submits with routing **and failover**: on a replica failure
+    /// (forward panic, stall timeout) or transient admission rejection,
+    /// resubmits to another pick under `budget`, until the request's
+    /// deadline (if any) or the budget runs out. The one-call "just serve
+    /// this" API for callers that prefer availability over placement.
+    ///
+    /// # Errors
+    ///
+    /// [`CallError::Rejected`] for rejections failover cannot fix (unknown
+    /// model, bad shape); [`CallError::Serve`] with
+    /// [`ServeError::DeadlineExceeded`] / [`ServeError::Overloaded`] when
+    /// the deadline or retry budget is exhausted, or the terminal serve
+    /// error otherwise.
+    pub fn call(&self, request: Request, budget: &RetryBudget) -> Result<Response, CallError> {
+        let started = Instant::now();
+        let mut attempts: u32 = 0;
+        loop {
+            if let Some(d) = request.deadline {
+                if Instant::now() >= d {
+                    self.pool.deadline_misses.fetch_add(1, Ordering::Relaxed);
+                    return Err(CallError::Serve(ServeError::DeadlineExceeded {
+                        waited_us: started.elapsed().as_micros() as u64,
+                    }));
+                }
+            }
+            if attempts >= budget.attempts {
+                return Err(CallError::Serve(ServeError::Overloaded {
+                    attempts,
+                    waited_us: started.elapsed().as_micros() as u64,
+                }));
+            }
+            attempts += 1;
+            let (replica, guard) = self.pick_and_reserve(request.tenant);
+            match self.submit_reserved(replica, request.clone(), guard) {
+                Ok(ticket) => match ticket.wait() {
+                    Ok(response) => return Ok(response),
+                    Err(e @ ServeError::DeadlineExceeded { .. }) => {
+                        return Err(CallError::Serve(e));
+                    }
+                    Err(ServeError::Forward(_) | ServeError::ReplicaTimeout { .. }) => {
+                        // The replica failed the request; its breaker was
+                        // already fed by the ticket. Fail over.
+                        self.pool.failovers.fetch_add(1, Ordering::Relaxed);
+                    }
+                    Err(e) => return Err(CallError::Serve(e)),
+                },
+                Err(SubmitError::ReplicaUnresponsive { .. }) => {
+                    // Already waited a full rendezvous bound — retry
+                    // elsewhere immediately.
+                    self.pool.failovers.fetch_add(1, Ordering::Relaxed);
+                }
+                Err(SubmitError::ShuttingDown) => {
+                    self.pool.failovers.fetch_add(1, Ordering::Relaxed);
+                    std::thread::sleep(budget.backoff);
+                }
+                Err(e @ (SubmitError::UnknownModel { .. } | SubmitError::ShapeMismatch { .. })) => {
+                    return Err(CallError::Rejected(e));
+                }
+                // QueueFull / Shed / TenantQuotaExceeded: transient
+                // backpressure — back off and retry.
+                Err(_) => std::thread::sleep(budget.backoff),
+            }
+        }
+    }
+
     /// Reserves one outstanding slot on `replica` **before** any job is
     /// pushed. Reservation-first is what makes `LeastQueued` routing sound
     /// under concurrency: a submitter's pick is visible to every other
@@ -533,13 +1128,16 @@ impl ReplicaSetHandle<'_> {
 
     /// The submit path proper: push the job, rendezvous for the replica's
     /// verdict. `guard` already holds this replica's reservation; any
-    /// early return drops it, releasing the slot.
+    /// early return drops it, releasing the slot. The rendezvous wait is
+    /// bounded by the request's deadline and the pool's
+    /// [`FaultToleranceConfig::replica_timeout`], whichever is sooner.
     fn submit_reserved(
         &self,
         replica: usize,
         request: Request,
         guard: OutstandingGuard,
     ) -> Result<ReplicaTicket, SubmitError> {
+        let deadline = request.deadline;
         let reply = ReplySlot::new();
         if !self.pool.mailboxes[replica].push(Job::Submit {
             request,
@@ -547,12 +1145,39 @@ impl ReplicaSetHandle<'_> {
         }) {
             return Err(SubmitError::ShuttingDown);
         }
-        let ticket = reply.take()?;
-        Ok(ReplicaTicket {
-            ticket,
-            replica,
-            _guard: guard,
-        })
+        let submitted_at = Instant::now();
+        let bound = min_instant(
+            deadline,
+            self.fault.replica_timeout.map(|t| submitted_at + t),
+        );
+        match reply.take_deadline(bound) {
+            Some(verdict) => {
+                let ticket = verdict?;
+                Ok(ReplicaTicket {
+                    ticket,
+                    replica,
+                    deadline,
+                    replica_timeout: self.fault.replica_timeout,
+                    health: Arc::clone(&self.pool.health[replica]),
+                    deadline_misses: Arc::clone(&self.pool.deadline_misses),
+                    _guard: guard,
+                })
+            }
+            None => {
+                let waited = submitted_at.elapsed();
+                // Only a replica_timeout-bounded miss is evidence against
+                // the replica; the caller's own deadline expiring is not.
+                if self.fault.replica_timeout.is_some_and(|t| waited >= t) {
+                    self.pool.health[replica].record_failure();
+                } else {
+                    self.pool.deadline_misses.fetch_add(1, Ordering::Relaxed);
+                }
+                Err(SubmitError::ReplicaUnresponsive {
+                    replica,
+                    waited_us: waited.as_micros() as u64,
+                })
+            }
+        }
     }
 
     /// Picks a replica and atomically reserves its outstanding slot.
@@ -570,7 +1195,7 @@ impl ReplicaSetHandle<'_> {
             return (replica, self.reserve(replica));
         }
         let n = self.replicas();
-        let in_rotation = |i: usize| !self.pool.draining[i].load(Ordering::Relaxed);
+        let in_rotation = |i: usize| self.in_rotation(i);
         loop {
             let load = |i: usize| (self.pool.outstanding[i].load(Ordering::Relaxed), i);
             let (count, replica) = (0..n)
@@ -588,13 +1213,22 @@ impl ReplicaSetHandle<'_> {
         }
     }
 
+    /// Trips `replica`'s circuit breaker: out of routing rotation until a
+    /// watchdog probe re-admits it (soft quarantine — the replica keeps
+    /// serving what it already admitted, and direct [`Self::submit_to`]
+    /// still reaches it). For the irreversible variant see
+    /// [`Self::decommission`].
+    pub fn quarantine(&self, replica: usize) {
+        self.pool.health[replica].force_quarantine();
+    }
+
     /// Permanently decommissions a replica mid-window: takes it out of
     /// routing rotation **and** closes its mailbox, so every later job —
     /// submits and swaps alike — is rejected as shutting down. The
     /// replica's server drains its admitted queue and exits normally; its
-    /// metrics still appear in the final report. There is no way to
-    /// un-quarantine within the window.
-    pub fn quarantine(&self, replica: usize) {
+    /// metrics still appear in the final report. There is no way back
+    /// within the window.
+    pub fn decommission(&self, replica: usize) {
         self.set_draining(replica, true);
         self.pool.mailboxes[replica].close();
     }
@@ -659,12 +1293,20 @@ impl ReplicaSetHandle<'_> {
         self.pool.draining[replica].store(draining, Ordering::Relaxed);
     }
 
-    /// Policy dispatch. Draining replicas are skipped; if the whole fleet
-    /// is draining the policy's first pick stands (a draining replica
-    /// still serves correctly — it is only *preferably* avoided).
+    /// Routing eligibility: not draining (rollout) and routable
+    /// (health — quarantined/dead replicas are skipped).
+    fn in_rotation(&self, replica: usize) -> bool {
+        !self.pool.draining[replica].load(Ordering::Relaxed)
+            && self.pool.health[replica].is_routable()
+    }
+
+    /// Policy dispatch. Out-of-rotation replicas are skipped; if the whole
+    /// fleet is out the policy's first pick stands (a draining replica
+    /// still serves correctly — it is only *preferably* avoided — and a
+    /// dead one rejects typed).
     fn pick_replica(&self, tenant: usize) -> usize {
         let n = self.replicas();
-        let in_rotation = |i: usize| !self.pool.draining[i].load(Ordering::Relaxed);
+        let in_rotation = |i: usize| self.in_rotation(i);
         match self.policy {
             RoutingPolicy::RoundRobin => {
                 for _ in 0..n {
@@ -705,6 +1347,15 @@ fn splitmix(mut z: u64) -> u64 {
     z ^ (z >> 31)
 }
 
+/// The earlier of two optional deadlines.
+fn min_instant(a: Option<Instant>, b: Option<Instant>) -> Option<Instant> {
+    match (a, b) {
+        (Some(x), Some(y)) => Some(x.min(y)),
+        (x, None) => x,
+        (None, y) => y,
+    }
+}
+
 /// Decrements a replica's outstanding count when its ticket resolves (or
 /// is dropped unresolved).
 struct OutstandingGuard {
@@ -723,6 +1374,10 @@ impl Drop for OutstandingGuard {
 pub struct ReplicaTicket {
     ticket: Ticket,
     replica: usize,
+    deadline: Option<Instant>,
+    replica_timeout: Option<Duration>,
+    health: Arc<ReplicaHealth>,
+    deadline_misses: Arc<AtomicU64>,
     _guard: OutstandingGuard,
 }
 
@@ -732,14 +1387,49 @@ impl ReplicaTicket {
         self.replica
     }
 
-    /// Blocks until the response (or the batch's error) is available.
+    /// Blocks until the response (or the batch's error) is available —
+    /// bounded by the request's deadline and the pool's
+    /// [`FaultToleranceConfig::replica_timeout`], whichever is sooner
+    /// (unbounded when neither is set). The outcome feeds the replica's
+    /// circuit breaker: successes heal, failures and stall timeouts count
+    /// against it. A deadline miss does **not** — it is the caller's
+    /// budget, not the replica's fault.
     ///
     /// # Errors
     ///
     /// [`ServeError::Forward`] when inference failed for the dispatched
-    /// batch.
+    /// batch; [`ServeError::DeadlineExceeded`] when the request's deadline
+    /// elapsed first; [`ServeError::ReplicaTimeout`] when the per-attempt
+    /// stall bound elapsed first.
     pub fn wait(self) -> Result<Response, ServeError> {
-        self.ticket.wait()
+        let started = Instant::now();
+        let bound = min_instant(self.deadline, self.replica_timeout.map(|t| started + t));
+        let outcome = match bound {
+            None => Some(self.ticket.wait()),
+            Some(deadline) => self.ticket.wait_until(deadline),
+        };
+        match outcome {
+            Some(result) => {
+                match &result {
+                    Ok(_) => self.health.record_success(),
+                    Err(_) => self.health.record_failure(),
+                }
+                result
+            }
+            None => {
+                let waited_us = started.elapsed().as_micros() as u64;
+                if self.deadline.is_some_and(|d| Instant::now() >= d) {
+                    self.deadline_misses.fetch_add(1, Ordering::Relaxed);
+                    Err(ServeError::DeadlineExceeded { waited_us })
+                } else {
+                    self.health.record_failure();
+                    Err(ServeError::ReplicaTimeout {
+                        replica: self.replica,
+                        waited_us,
+                    })
+                }
+            }
+        }
     }
 
     /// Non-blocking probe — see [`Ticket::try_wait`].
@@ -750,11 +1440,51 @@ impl ReplicaTicket {
 
 // ── aggregated metrics ──────────────────────────────────────────────────
 
+/// Fault-tolerance counters collected from the pool after the window
+/// closes.
+struct PoolStats {
+    restarts_per_replica: Vec<u32>,
+    health: Vec<HealthState>,
+    quarantines: u64,
+    probes: u64,
+    failovers: u64,
+    deadline_misses: u64,
+}
+
+impl PoolStats {
+    fn collect(pool: &PoolShared) -> Self {
+        PoolStats {
+            restarts_per_replica: pool
+                .health
+                .iter()
+                .map(|h| h.restarts.load(Ordering::Relaxed))
+                .collect(),
+            health: pool.health.iter().map(|h| h.state()).collect(),
+            quarantines: pool
+                .health
+                .iter()
+                .map(|h| u64::from(h.quarantines.load(Ordering::Relaxed)))
+                .sum(),
+            probes: pool
+                .health
+                .iter()
+                .map(|h| u64::from(h.probes.load(Ordering::Relaxed)))
+                .sum(),
+            failovers: pool.failovers.load(Ordering::Relaxed),
+            deadline_misses: pool.deadline_misses.load(Ordering::Relaxed),
+        }
+    }
+}
+
 /// Cross-replica metrics for one [`ReplicaSet::run`] window: the
-/// per-replica [`MetricsReport`]s plus fleet-wide sums.
+/// per-replica [`MetricsReport`]s plus fleet-wide sums and the
+/// fault-tolerance ledger.
 #[derive(Debug, Clone)]
 pub struct ReplicaSetReport {
-    /// Each replica's own serve-window report, in replica order.
+    /// Each replica's own serve-window report, in replica order. A replica
+    /// that was restarted reports its **last** life's serving metrics
+    /// (earlier lives unwound with their panics); a permanently dead
+    /// replica reports empty.
     pub per_replica: Vec<MetricsReport>,
     /// Completed requests across the fleet.
     pub requests: u64,
@@ -775,10 +1505,24 @@ pub struct ReplicaSetReport {
     /// Hot swaps across the fleet (every rollout step counts one per
     /// touched replica).
     pub swaps: u64,
+    /// Panic restarts per replica, in replica order.
+    pub restarts_per_replica: Vec<u32>,
+    /// Each replica's final [`HealthState`], in replica order.
+    pub health: Vec<HealthState>,
+    /// Total panic restarts across the fleet.
+    pub restarts: u64,
+    /// Circuit-breaker trips (quarantine entries) across the fleet.
+    pub quarantines: u64,
+    /// Watchdog re-admission probes sent.
+    pub probes: u64,
+    /// Failover resubmissions made by [`ReplicaSetHandle::call`].
+    pub failovers: u64,
+    /// Requests whose end-to-end deadline elapsed before a response.
+    pub deadline_misses: u64,
 }
 
 impl ReplicaSetReport {
-    fn from_replicas(per_replica: Vec<MetricsReport>) -> Self {
+    fn from_replicas(per_replica: Vec<MetricsReport>, stats: PoolStats) -> Self {
         let sum = |f: fn(&MetricsReport) -> u64| per_replica.iter().map(f).sum();
         ReplicaSetReport {
             requests: sum(|r| r.requests),
@@ -791,6 +1535,17 @@ impl ReplicaSetReport {
             shed: sum(|r| r.shed_total()),
             swaps: sum(|r| r.swaps),
             per_replica,
+            restarts: stats
+                .restarts_per_replica
+                .iter()
+                .map(|&r| u64::from(r))
+                .sum(),
+            restarts_per_replica: stats.restarts_per_replica,
+            health: stats.health,
+            quarantines: stats.quarantines,
+            probes: stats.probes,
+            failovers: stats.failovers,
+            deadline_misses: stats.deadline_misses,
         }
     }
 
@@ -808,5 +1563,149 @@ impl ReplicaSetReport {
         } else {
             self.samples as f64 / elapsed
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pim_tensor::Tensor;
+
+    fn submit_job() -> (Job, Arc<ReplySlot<Result<Ticket, SubmitError>>>) {
+        let reply = ReplySlot::new();
+        let job = Job::Submit {
+            request: Request::new(0, 0, Tensor::zeros(&[1, 1, 2, 2])),
+            reply: Arc::clone(&reply),
+        };
+        (job, reply)
+    }
+
+    #[test]
+    fn push_after_close_fails_typed_instead_of_dropping() {
+        let mailbox = Mailbox::new();
+        mailbox.close();
+        let (job, reply) = submit_job();
+        assert!(!mailbox.push(job));
+        // The reply resolved typed — a bounded take returns it at once.
+        let verdict = reply
+            .take_deadline(Some(Instant::now()))
+            .expect("push-after-close must resolve the reply");
+        assert!(matches!(verdict, Err(SubmitError::ShuttingDown)));
+    }
+
+    #[test]
+    fn close_and_fail_resolves_every_queued_job() {
+        let mailbox = Mailbox::new();
+        let replies: Vec<_> = (0..3)
+            .map(|_| {
+                let (job, reply) = submit_job();
+                assert!(mailbox.push(job));
+                reply
+            })
+            .collect();
+        mailbox.close_and_fail();
+        for reply in replies {
+            let verdict = reply
+                .take_deadline(Some(Instant::now()))
+                .expect("close_and_fail must resolve every queued reply");
+            assert!(matches!(verdict, Err(SubmitError::ShuttingDown)));
+        }
+        // And the mailbox is closed for business.
+        let (job, _reply) = submit_job();
+        assert!(!mailbox.push(job));
+    }
+
+    #[test]
+    fn pop_timeout_times_out_then_pops_then_closes() {
+        let mailbox = Mailbox::new();
+        assert!(matches!(
+            mailbox.pop_timeout(Duration::from_millis(1)),
+            PopVerdict::TimedOut
+        ));
+        let (job, _reply) = submit_job();
+        assert!(mailbox.push(job));
+        assert!(matches!(
+            mailbox.pop_timeout(Duration::from_millis(1)),
+            PopVerdict::Job(_)
+        ));
+        mailbox.close();
+        assert!(matches!(
+            mailbox.pop_timeout(Duration::from_millis(1)),
+            PopVerdict::Closed
+        ));
+    }
+
+    #[test]
+    fn poisoned_reply_slot_still_resolves_typed() {
+        let (job, reply) = submit_job();
+        // Poison the slot's mutex: a holder panics mid-critical-section.
+        let hostage = Arc::clone(&reply);
+        std::thread::spawn(move || {
+            let _guard = hostage.value.lock().unwrap();
+            panic!("poison the reply slot");
+        })
+        .join()
+        .unwrap_err();
+        assert!(reply.value.is_poisoned());
+        // The unwind path still resolves the reply, and the waiter still
+        // reads it — typed error, no cascade.
+        PendingReply::of(&job).fail();
+        assert!(matches!(reply.take(), Err(SubmitError::ShuttingDown)));
+    }
+
+    #[test]
+    fn poisoned_mailbox_still_pushes_and_pops() {
+        let mailbox = Mailbox::new();
+        std::thread::scope(|scope| {
+            scope
+                .spawn(|| {
+                    let _guard = mailbox.queue.lock().unwrap();
+                    panic!("poison the mailbox");
+                })
+                .join()
+                .unwrap_err();
+        });
+        assert!(mailbox.queue.is_poisoned());
+        let (job, _reply) = submit_job();
+        assert!(mailbox.push(job));
+        assert!(matches!(
+            mailbox.pop_timeout(Duration::from_millis(1)),
+            PopVerdict::Job(_)
+        ));
+    }
+
+    #[test]
+    fn health_state_machine_trips_probates_and_heals() {
+        let health = ReplicaHealth::new(3);
+        assert_eq!(health.state(), HealthState::Healthy);
+        assert!(health.is_routable());
+
+        health.record_failure();
+        assert_eq!(health.state(), HealthState::Degraded);
+        assert!(health.is_routable());
+        health.record_failure();
+        health.record_failure();
+        assert_eq!(health.state(), HealthState::Quarantined);
+        assert!(!health.is_routable());
+        assert_eq!(health.quarantines.load(Ordering::Relaxed), 1);
+
+        // Probation: one failure re-trips, one success heals.
+        health.readmit();
+        assert_eq!(health.state(), HealthState::Degraded);
+        health.record_failure();
+        assert_eq!(health.state(), HealthState::Quarantined);
+        assert_eq!(health.quarantines.load(Ordering::Relaxed), 2);
+        health.readmit();
+        health.record_success();
+        assert_eq!(health.state(), HealthState::Healthy);
+
+        // Death wins over success; only a respawn resurrects.
+        health.note_dead();
+        health.record_success();
+        assert_eq!(health.state(), HealthState::Dead);
+        assert!(!health.is_routable());
+        health.on_respawn();
+        assert_eq!(health.state(), HealthState::Healthy);
+        assert_eq!(health.restarts.load(Ordering::Relaxed), 1);
     }
 }

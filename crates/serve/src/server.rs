@@ -3,8 +3,8 @@
 //! ticket-based responses.
 
 use std::collections::{HashMap, VecDeque};
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
 use std::time::{Duration, Instant};
 
 use capsnet::{CapsNet, ForwardArena, MathBackend};
@@ -70,6 +70,12 @@ pub struct Request {
     /// Priority tier: higher tiers dispatch first and are shed last under
     /// overload (see [`crate::admission`]).
     pub priority: Priority,
+    /// End-to-end deadline, if any: waits on this request's ticket are
+    /// bounded by it, resolving with [`ServeError::DeadlineExceeded`]
+    /// instead of blocking past the caller's budget. The batch itself is
+    /// not cancelled — the deadline bounds the *caller's wait*, not the
+    /// replica's work.
+    pub deadline: Option<Instant>,
 }
 
 impl Request {
@@ -80,12 +86,21 @@ impl Request {
             model,
             images,
             priority: Priority::Normal,
+            deadline: None,
         }
     }
 
     /// Builder: sets the priority tier.
     pub fn with_priority(mut self, priority: Priority) -> Self {
         self.priority = priority;
+        self
+    }
+
+    /// Builder: gives the request an end-to-end deadline of `budget` from
+    /// now. Ticket waits on the replica-pool path resolve with
+    /// [`ServeError::DeadlineExceeded`] once the deadline elapses.
+    pub fn with_deadline(mut self, budget: Duration) -> Self {
+        self.deadline = Some(Instant::now() + budget);
         self
     }
 }
@@ -136,12 +151,53 @@ impl Ticket {
     /// Returns [`ServeError::Forward`] when inference failed for the
     /// dispatched batch.
     pub fn wait(self) -> Result<Response, ServeError> {
-        let mut st = self.slot.state.lock().expect("ticket lock");
+        // Tolerate a poisoned slot: a waiter that panicked while holding
+        // the lock does not invalidate the plain `Option` inside, and one
+        // panic must not cascade into every sibling ticket.
+        let mut st = self
+            .slot
+            .state
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
         loop {
             if let Some(outcome) = st.take() {
                 return outcome;
             }
-            st = self.slot.ready.wait(st).expect("ticket wait");
+            st = self
+                .slot
+                .ready
+                .wait(st)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    /// Bounded wait: blocks until the outcome is available or `deadline`
+    /// passes. `None` means the deadline fired first — the ticket is still
+    /// live and a later wait can observe the outcome. `Some` **consumes**
+    /// the outcome, like [`Ticket::wait`].
+    pub fn wait_until(&self, deadline: Instant) -> Option<Result<Response, ServeError>> {
+        let mut st = self
+            .slot
+            .state
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        loop {
+            if let Some(outcome) = st.take() {
+                return Some(outcome);
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return None;
+            }
+            let (guard, timeout) = self
+                .slot
+                .ready
+                .wait_timeout(st, deadline - now)
+                .unwrap_or_else(PoisonError::into_inner);
+            st = guard;
+            if timeout.timed_out() {
+                return st.take();
+            }
         }
     }
 
@@ -149,7 +205,11 @@ impl Ticket {
     /// completed. Does **not** consume the result — a later
     /// [`Ticket::wait`] still returns it.
     pub fn try_wait(&self) -> Option<Result<Response, ServeError>> {
-        self.slot.state.lock().expect("ticket lock").clone()
+        self.slot
+            .state
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .clone()
     }
 }
 
@@ -221,6 +281,11 @@ struct Shared<'a, B: MathBackend + Sync + ?Sized> {
     /// EWMA of per-sample service time, nanoseconds; 0 = cold. Feeds the
     /// admission layer's queue-delay prediction.
     est_ns_per_sample: AtomicU64,
+    /// Set when a worker died of a panic: the window is closed, every
+    /// queued ticket has been failed, and the scope join will re-raise the
+    /// panic once the run closure returns. The replica pool's control loop
+    /// polls this to stop feeding a dying server.
+    wounded: AtomicBool,
 }
 
 /// The batched inference server. Construct with [`Server::new`], then open
@@ -277,6 +342,7 @@ impl<'a, B: MathBackend + Sync + ?Sized> Server<'a, B> {
             work_ready: Condvar::new(),
             metrics: Mutex::new(MetricsRecorder::new(self.cfg.max_batch)),
             est_ns_per_sample: AtomicU64::new(0),
+            wounded: AtomicBool::new(false),
         };
         let result = std::thread::scope(|scope| {
             for _ in 0..self.cfg.workers {
@@ -304,7 +370,11 @@ impl<'a, B: MathBackend + Sync + ?Sized> Server<'a, B> {
             let _closer = CloseOnDrop(&shared);
             f(&handle)
         });
-        let report = shared.metrics.lock().expect("metrics lock").report();
+        let report = shared
+            .metrics
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .report();
         (result, report)
     }
 }
@@ -452,6 +522,14 @@ impl<B: MathBackend + Sync + ?Sized> ServerHandle<'_, '_, B> {
             .queued_samples()
     }
 
+    /// `true` once a worker has died of a panic: the window is closed and
+    /// every queued ticket has been failed. The replica pool's control
+    /// loop polls this so it can stop feeding a dying server and let the
+    /// supervisor restart the replica.
+    pub(crate) fn is_wounded(&self) -> bool {
+        self.shared.wounded.load(Ordering::SeqCst)
+    }
+
     /// Atomically hot-swaps model slot `model` to `net`, returning the new
     /// version.
     ///
@@ -538,6 +616,43 @@ impl<B: MathBackend + Sync + ?Sized> ServerHandle<'_, '_, B> {
 /// One worker: form a batch under the latency budget, run it, fulfill its
 /// tickets; exit once the server closed *and* the queue drained.
 fn worker_loop<B: MathBackend + Sync + ?Sized>(shared: &Shared<'_, B>) {
+    // A worker dying of a panic (a panicking backend) must not leave
+    // admitted tickets unresolvable: the guard marks the server wounded,
+    // closes the window, and fails every queued request before the panic
+    // continues into the scope join.
+    struct WoundedGuard<'s, 'a, B: MathBackend + Sync + ?Sized>(&'s Shared<'a, B>);
+    impl<B: MathBackend + Sync + ?Sized> Drop for WoundedGuard<'_, '_, B> {
+        fn drop(&mut self) {
+            if !std::thread::panicking() {
+                return;
+            }
+            let shared = self.0;
+            shared.wounded.store(true, Ordering::SeqCst);
+            let mut st = shared.state.lock().unwrap_or_else(PoisonError::into_inner);
+            st.closed = true;
+            let mut failed = 0usize;
+            for tier in 0..TIERS {
+                while !st.queues[tier].is_empty() {
+                    let p = st.take(tier, 0);
+                    failed += 1;
+                    fulfill(
+                        &p.slot,
+                        Err(ServeError::Forward("serving worker panicked".into())),
+                    );
+                }
+            }
+            drop(st);
+            if failed > 0 {
+                shared
+                    .metrics
+                    .lock()
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .record_failed_batch(failed);
+            }
+            shared.work_ready.notify_all();
+        }
+    }
+    let _guard = WoundedGuard(shared);
     let mut arena = ForwardArena::new();
     loop {
         let Some((batch, batch_seq, handle)) = form_batch(shared) else {
@@ -672,23 +787,48 @@ fn run_batch<B: MathBackend + Sync + ?Sized>(
     let spec = handle.net().spec();
     let batch_samples: usize = batch.iter().map(|p| p.samples).sum();
 
-    let outcome = if batch.len() == 1 {
-        // A lone request's tensor is already batch-shaped: zero-copy.
-        forward_batch(shared, handle, &batch[0].images, arena)
-    } else {
-        let mut assembly = Vec::with_capacity(batch_samples * spec.input_pixels());
-        for p in &batch {
-            assembly.extend_from_slice(p.images.as_slice());
+    let forward = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        if batch.len() == 1 {
+            // A lone request's tensor is already batch-shaped: zero-copy.
+            forward_batch(shared, handle, &batch[0].images, arena)
+        } else {
+            let mut assembly = Vec::with_capacity(batch_samples * spec.input_pixels());
+            for p in &batch {
+                assembly.extend_from_slice(p.images.as_slice());
+            }
+            let dims = [
+                batch_samples,
+                spec.input_channels,
+                spec.input_hw.0,
+                spec.input_hw.1,
+            ];
+            Tensor::from_vec(assembly, &dims)
+                .map_err(|e| ServeError::Forward(e.to_string()))
+                .and_then(|images| forward_batch(shared, handle, &images, arena))
         }
-        let dims = [
-            batch_samples,
-            spec.input_channels,
-            spec.input_hw.0,
-            spec.input_hw.1,
-        ];
-        Tensor::from_vec(assembly, &dims)
-            .map_err(|e| ServeError::Forward(e.to_string()))
-            .and_then(|images| forward_batch(shared, handle, &images, arena))
+    }));
+    let outcome = match forward {
+        Ok(outcome) => outcome,
+        Err(payload) => {
+            // A panicking forward must not take the batch's tickets down
+            // with it: resolve every rider with a typed error first, then
+            // let the panic continue — the worker dies, its WoundedGuard
+            // closes the window, and (under a replica pool) the supervisor
+            // restarts the replica.
+            let failed_requests = batch.len();
+            for p in batch {
+                fulfill(
+                    &p.slot,
+                    Err(ServeError::Forward("forward pass panicked".into())),
+                );
+            }
+            shared
+                .metrics
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .record_failed_batch(failed_requests);
+            std::panic::resume_unwind(payload);
+        }
     };
 
     match outcome {
@@ -788,7 +928,9 @@ fn forward_batch<B: MathBackend + Sync + ?Sized>(
 }
 
 fn fulfill(slot: &TicketSlot, outcome: Result<Response, ServeError>) {
-    let mut st = slot.state.lock().expect("ticket lock");
+    // Poison-tolerant: fulfillment may run from a panicking worker's drop
+    // guard, and a waiter's own panic must never block its siblings.
+    let mut st = slot.state.lock().unwrap_or_else(PoisonError::into_inner);
     *st = Some(outcome);
     slot.ready.notify_all();
 }

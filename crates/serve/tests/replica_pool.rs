@@ -44,6 +44,7 @@ fn pool_cfg(replicas: usize, policy: RoutingPolicy) -> ReplicaSetConfig {
             execution: BatchExecution::Arena,
             admission: pim_serve::AdmissionPolicy::QueueBound,
         },
+        fault: pim_serve::FaultToleranceConfig::default(),
     }
 }
 

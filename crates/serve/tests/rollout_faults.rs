@@ -7,8 +7,9 @@ use std::time::Duration;
 
 use capsnet::{CapsNet, CapsNetSpec, ExactMath, MathBackend};
 use pim_serve::{
-    AdmissionPolicy, BatchExecution, ReplicaOutcome, ReplicaSet, ReplicaSetConfig, Request,
-    RetryBudget, RolloutConfig, RoutingPolicy, ServeConfig, ServeError, SubmitError,
+    AdmissionPolicy, BatchExecution, FaultToleranceConfig, ReplicaOutcome, ReplicaSet,
+    ReplicaSetConfig, Request, RetryBudget, RolloutConfig, RoutingPolicy, ServeConfig, ServeError,
+    SubmitError,
 };
 use pim_store::{ModelWriter, SharedArtifact};
 use pim_tensor::Tensor;
@@ -92,6 +93,7 @@ fn canary_against_saturated_replica_fails_typed_not_livelocked() {
             execution: BatchExecution::Arena,
             admission: AdmissionPolicy::QueueBound,
         },
+        fault: FaultToleranceConfig::default(),
     };
     let set = ReplicaSet::from_net("sat", &v1, &SlowMath, cfg).unwrap();
     let (err, _report) = set.run(|pool| {
@@ -160,6 +162,7 @@ fn failed_reverts_are_recorded_not_silently_dropped() {
             execution: BatchExecution::Arena,
             admission: AdmissionPolicy::QueueBound,
         },
+        fault: FaultToleranceConfig::default(),
     };
     let set = ReplicaSet::from_net("stuck", &v1, &ExactMath, cfg).unwrap();
     let (err, _report) = set.run(|pool| {
@@ -171,8 +174,8 @@ fn failed_reverts_are_recorded_not_silently_dropped() {
         // reverts fine but replica 0 cannot.
         pool.rolling_rollout_observed(&new, &rollout_cfg, |step| {
             if step.replica == 1 && step.outcome == ReplicaOutcome::Updated {
-                pool.quarantine(0);
-                pool.quarantine(2);
+                pool.decommission(0);
+                pool.decommission(2);
             }
         })
         .expect_err("replica 2's swap must fail")

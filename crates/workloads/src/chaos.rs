@@ -1,0 +1,710 @@
+//! Deterministic chaos schedules for the fault-tolerant replica pool.
+//!
+//! The serving layer claims (crates/serve) that replica panics, stalls and
+//! quarantines never drop or hang a ticket: every submission resolves
+//! exactly once, typed. This module turns that claim into a repeatable
+//! experiment:
+//!
+//! * [`FaultPlan`] — a **seeded** schedule of faults: panic on the Nth
+//!   backend call, stall-for-duration on the Mth (long enough past the
+//!   pool's `replica_timeout` that the caller abandons the reply — the
+//!   reply-drop path), plus an optional operator quarantine at a fixed
+//!   arrival index. Same seed, same plan, every run.
+//! * [`ChaosBackend`] — the injection hook: wraps any [`MathBackend`] and
+//!   counts `exp` calls (every CapsNet forward routes through `exp`), so
+//!   fault positions are expressed in backend-call coordinates that scale
+//!   with the workload instead of wall-clock.
+//! * [`run_chaos_phase`] — an open-loop Poisson phase (same pacing as
+//!   [`crate::soak`]) driven into a [`pim_serve::ReplicaSet`] with
+//!   deadlines on every request, every ticket harvested, and every
+//!   submission accounted into [`ChaosCounts`] — the zero-dropped-tickets
+//!   reconciliation under fire. After traffic it verifies each replica
+//!   still serves ([`ChaosPhaseReport::serving_at_end`]).
+//!
+//! `pim-bench`'s `chaos_bench` runs a fault-free baseline phase, seeds a
+//! plan from the baseline's measured call count, re-runs the same traffic
+//! under that plan and gates on reconciliation, restart accounting, and
+//! clean-replica tail latency (`bench_results/BENCH_chaos.json`).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+use capsnet::{CapsNet, MathBackend};
+use pim_serve::{
+    FaultToleranceConfig, Priority, ReplicaSet, ReplicaSetConfig, ReplicaSetHandle,
+    ReplicaSetReport, Request, RetryBudget, RoutingPolicy, ServeConfig, ServeError, SubmitError,
+};
+use pim_tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::soak::{soak_spec, tier_for_tenant};
+use crate::traffic::{request_images, TrafficConfig};
+
+/// One scripted fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultAction {
+    /// Panic the calling worker thread (a poisoned forward).
+    Panic,
+    /// Block the calling worker for the duration (a stalled accelerator).
+    /// Past the pool's `replica_timeout` this is also the reply-drop
+    /// path: the caller abandons the reply slot and the late completion
+    /// lands with nobody waiting.
+    Stall(Duration),
+}
+
+/// A fault pinned to the Nth backend (`exp`) call across the fleet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultPoint {
+    /// Zero-based global `exp`-call index that triggers the fault. Each
+    /// index is drawn exactly once, so each point fires at most once.
+    pub at_call: u64,
+    /// What happens there.
+    pub action: FaultAction,
+}
+
+/// An operator quarantine injected mid-traffic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QuarantineEvent {
+    /// Arrival index (into the Poisson schedule) at which to quarantine.
+    pub at_arrival: usize,
+    /// Replica to quarantine (the watchdog re-admits it after cooldown).
+    pub replica: usize,
+}
+
+/// A deterministic fault schedule — a pure function of its seed and the
+/// baseline call count it was scaled to.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct FaultPlan {
+    /// Call-indexed faults, strictly ascending by `at_call`.
+    pub points: Vec<FaultPoint>,
+    /// Optional mid-traffic operator quarantine.
+    pub quarantine: Option<QuarantineEvent>,
+}
+
+impl FaultPlan {
+    /// The fault-free plan (baseline phases).
+    pub fn none() -> FaultPlan {
+        FaultPlan::default()
+    }
+
+    /// Seeds a plan with `panics` panic points and `stalls` stall points
+    /// (each stalling `stall` long), all landing between 10% and 55% of
+    /// `baseline_calls` — early enough that a phase serving at least ~60%
+    /// of the baseline's forwards reaches every point — plus one
+    /// quarantine at ~35% of `requests` on a seeded replica.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `baseline_calls` is too small to place the points or a
+    /// count is zero where its feature is requested.
+    pub fn seeded(
+        seed: u64,
+        baseline_calls: u64,
+        panics: usize,
+        stalls: usize,
+        stall: Duration,
+        replicas: usize,
+        requests: usize,
+    ) -> FaultPlan {
+        let lo = baseline_calls / 10;
+        let hi = baseline_calls * 55 / 100;
+        let wanted = panics + stalls;
+        assert!(replicas > 0, "replicas must be >= 1");
+        assert!(
+            hi.saturating_sub(lo) >= wanted as u64 * 2,
+            "baseline_calls {baseline_calls} too small for {wanted} fault points"
+        );
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xC4A0_5EED);
+        let mut at: Vec<u64> = Vec::with_capacity(wanted);
+        while at.len() < wanted {
+            let candidate = rng.gen_range(lo..hi);
+            if !at.contains(&candidate) {
+                at.push(candidate);
+            }
+        }
+        // The first `panics` draws panic, the rest stall; sorting by call
+        // index afterwards keeps the draw order (and thus the plan) a
+        // pure function of the seed.
+        let mut points: Vec<FaultPoint> = at
+            .iter()
+            .enumerate()
+            .map(|(i, &at_call)| FaultPoint {
+                at_call,
+                action: if i < panics {
+                    FaultAction::Panic
+                } else {
+                    FaultAction::Stall(stall)
+                },
+            })
+            .collect();
+        points.sort_by_key(|p| p.at_call);
+        FaultPlan {
+            points,
+            quarantine: Some(QuarantineEvent {
+                at_arrival: requests * 35 / 100,
+                replica: rng.gen_range(0..replicas),
+            }),
+        }
+    }
+
+    /// Scripted panics in the plan.
+    pub fn panics(&self) -> usize {
+        self.points
+            .iter()
+            .filter(|p| p.action == FaultAction::Panic)
+            .count()
+    }
+
+    /// Scripted stalls in the plan.
+    pub fn stalls(&self) -> usize {
+        self.points.len() - self.panics()
+    }
+}
+
+/// The fault-injection hook: delegates to `inner` and fires the plan's
+/// [`FaultPoint`]s on the matching global `exp`-call indices. The counter
+/// is shared by every replica's workers, so *which* replica draws a fault
+/// depends on scheduling — the plan pins *when* in the workload faults
+/// happen, and the gates ([`ChaosCounts::reconciles`], restart
+/// accounting, serving-at-end) hold regardless of where they land.
+pub struct ChaosBackend<'a, B: ?Sized> {
+    inner: &'a B,
+    points: Vec<FaultPoint>,
+    calls: AtomicU64,
+    fired_panics: AtomicU64,
+    fired_stalls: AtomicU64,
+}
+
+impl<'a, B: MathBackend + ?Sized> ChaosBackend<'a, B> {
+    /// Wraps `inner` with the plan's call-indexed faults.
+    pub fn new(inner: &'a B, plan: &FaultPlan) -> Self {
+        let mut points = plan.points.clone();
+        points.sort_by_key(|p| p.at_call);
+        points.dedup_by_key(|p| p.at_call);
+        ChaosBackend {
+            inner,
+            points,
+            calls: AtomicU64::new(0),
+            fired_panics: AtomicU64::new(0),
+            fired_stalls: AtomicU64::new(0),
+        }
+    }
+
+    /// Total `exp` calls observed so far.
+    pub fn total_calls(&self) -> u64 {
+        self.calls.load(Ordering::Relaxed)
+    }
+
+    /// Panic points that actually fired.
+    pub fn fired_panics(&self) -> u64 {
+        self.fired_panics.load(Ordering::Relaxed)
+    }
+
+    /// Stall points that actually fired.
+    pub fn fired_stalls(&self) -> u64 {
+        self.fired_stalls.load(Ordering::Relaxed)
+    }
+}
+
+impl<B: MathBackend + ?Sized> MathBackend for ChaosBackend<'_, B> {
+    fn name(&self) -> &'static str {
+        "chaos"
+    }
+
+    fn exp(&self, x: f32) -> f32 {
+        // fetch_add hands each index to exactly one caller, so each fault
+        // point fires at most once even across racing workers.
+        let call = self.calls.fetch_add(1, Ordering::Relaxed);
+        if let Ok(i) = self.points.binary_search_by_key(&call, |p| p.at_call) {
+            match self.points[i].action {
+                FaultAction::Panic => {
+                    self.fired_panics.fetch_add(1, Ordering::Relaxed);
+                    panic!("chaos: scripted panic at backend call {call}");
+                }
+                FaultAction::Stall(d) => {
+                    self.fired_stalls.fetch_add(1, Ordering::Relaxed);
+                    std::thread::sleep(d);
+                }
+            }
+        }
+        self.inner.exp(x)
+    }
+
+    fn inv_sqrt(&self, x: f32) -> f32 {
+        self.inner.inv_sqrt(x)
+    }
+
+    fn div(&self, a: f32, b: f32) -> f32 {
+        self.inner.div(a, b)
+    }
+}
+
+/// One chaos phase: the traffic it offers and the pool it offers it to.
+#[derive(Debug, Clone)]
+pub struct ChaosConfig {
+    /// Replicas in the pool.
+    pub replicas: usize,
+    /// Tenants issuing requests (tiers assigned by
+    /// [`crate::soak::tier_for_tenant`]).
+    pub tenants: usize,
+    /// Requests in the phase.
+    pub requests: usize,
+    /// Offered arrival rate, requests per second (pool-wide).
+    pub rate_hz: f64,
+    /// Arrival-stream / model seed.
+    pub seed: u64,
+    /// End-to-end deadline carried by every request — the bound that
+    /// keeps every harvested wait finite even under scripted stalls.
+    pub deadline: Duration,
+    /// Per-replica scheduler configuration.
+    pub serve: ServeConfig,
+    /// Supervision knobs (timeout, breaker, watchdog, restart budget).
+    pub fault: FaultToleranceConfig,
+}
+
+/// The supervision configuration chaos phases run under: a stall is
+/// abandoned (and metered against the breaker) after 50 ms, quarantined
+/// replicas are probed back within tens of milliseconds, and the restart
+/// budget comfortably covers every scripted panic.
+pub fn chaos_fault_config() -> FaultToleranceConfig {
+    FaultToleranceConfig {
+        replica_timeout: Some(Duration::from_millis(50)),
+        breaker_threshold: 3,
+        probe_cooldown: Duration::from_millis(25),
+        watchdog_interval: Duration::from_millis(5),
+        max_restarts: 8,
+        failover: RetryBudget::default(),
+    }
+}
+
+/// Where every submission of a chaos phase ended up: exactly one bucket
+/// per submission, so [`ChaosCounts::reconciles`] holding means zero
+/// tickets were dropped or hung *while faults were firing*.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ChaosCounts {
+    /// Submissions offered to the pool.
+    pub submitted: u64,
+    /// Tickets that resolved with a response.
+    pub completed: u64,
+    /// Submissions shed by SLO admission (all tiers).
+    pub shed: u64,
+    /// Submissions rejected at the queue bound.
+    pub rejected_full: u64,
+    /// Submissions rejected by the per-tenant quota.
+    pub rejected_quota: u64,
+    /// Submissions whose replica never answered the submission rendezvous
+    /// within `replica_timeout` (it was mid-restart).
+    pub rejected_unresponsive: u64,
+    /// Submissions rejected because the replica was shutting down.
+    pub rejected_shutdown: u64,
+    /// Tickets failed typed by a panicked forward.
+    pub failed_forward: u64,
+    /// Tickets abandoned at their end-to-end deadline.
+    pub deadline_exceeded: u64,
+    /// Tickets abandoned at the per-replica stall timeout.
+    pub replica_timeout: u64,
+    /// Tickets failed with any other typed error.
+    pub other_failed: u64,
+}
+
+impl ChaosCounts {
+    /// The zero-dropped-tickets identity under fire.
+    pub fn reconciles(&self) -> bool {
+        self.submitted
+            == self.completed
+                + self.shed
+                + self.rejected_full
+                + self.rejected_quota
+                + self.rejected_unresponsive
+                + self.rejected_shutdown
+                + self.failed_forward
+                + self.deadline_exceeded
+                + self.replica_timeout
+                + self.other_failed
+    }
+}
+
+/// Outcome of one chaos phase.
+#[derive(Debug, Clone)]
+pub struct ChaosPhaseReport {
+    /// Submission accounting (the reconciliation gate).
+    pub counts: ChaosCounts,
+    /// The pool's own report (restarts, quarantines, probes, per-replica
+    /// metrics).
+    pub set: ReplicaSetReport,
+    /// Panic points that fired during the phase.
+    pub injected_panics: u64,
+    /// Stall points that fired during the phase.
+    pub injected_stalls: u64,
+    /// Backend calls the phase consumed (seeds the next plan).
+    pub total_calls: u64,
+    /// Per replica: `true` when a fault landed on it (a restart, or a
+    /// caller-observed stall timeout). Clean replicas anchor the
+    /// tail-latency gate.
+    pub tainted: Vec<bool>,
+    /// Per replica: `true` when it answered a fresh request after the
+    /// traffic window (killed replicas must be back up).
+    pub serving_at_end: Vec<bool>,
+    /// Server-side high-tier p99 (queue + service), microseconds, over
+    /// clean replicas — the worst per-replica high-tier p99 among
+    /// replicas no fault landed on. Measured by each replica's own
+    /// metrics window, so a stall on one replica cannot skew another's
+    /// samples. `None` when every replica was tainted or no high-tier
+    /// request completed on a clean one.
+    pub clean_high_p99_us: Option<u64>,
+    /// Offered arrival rate, requests per second.
+    pub offered_hz: f64,
+    /// Completed requests per second over the traffic window.
+    pub achieved_hz: f64,
+}
+
+/// Busy-poll/sleep hybrid pacing (same as the soak driver).
+fn pace_until(start: Instant, at_us: u64) {
+    let target = Duration::from_micros(at_us);
+    loop {
+        let now = start.elapsed();
+        if now >= target {
+            return;
+        }
+        let ahead = target - now;
+        if ahead > Duration::from_micros(200) {
+            std::thread::sleep(ahead - Duration::from_micros(100));
+        } else {
+            std::thread::yield_now();
+        }
+    }
+}
+
+/// After the traffic window, proves `replica` is serving: bounded retry
+/// of a deadline-carrying probe request until one completes. Transient
+/// typed failures (a replica mid-restart, a draining quarantine) are
+/// retried; a replica that cannot serve within `patience` returns false.
+fn serves_fresh_request(
+    pool: &ReplicaSetHandle<'_>,
+    replica: usize,
+    image: &Tensor,
+    deadline: Duration,
+    patience: Duration,
+) -> bool {
+    let give_up = Instant::now() + patience;
+    while Instant::now() < give_up {
+        if let Ok(ticket) = pool.submit_to(
+            replica,
+            Request::new(0, 0, image.clone()).with_deadline(deadline),
+        ) {
+            if ticket.wait().is_ok() {
+                return true;
+            }
+        }
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    false
+}
+
+/// Runs one open-loop chaos phase: Poisson arrivals paced in real time
+/// into a replica pool served through a [`ChaosBackend`] armed with
+/// `plan`, every accepted ticket harvested on a side thread (deadlines
+/// bound every wait), every submission accounted into [`ChaosCounts`],
+/// and every replica health-checked after the traffic drains.
+pub fn run_chaos_phase<B: MathBackend + Sync + ?Sized>(
+    inner: &B,
+    cfg: &ChaosConfig,
+    plan: &FaultPlan,
+) -> ChaosPhaseReport {
+    let spec = soak_spec();
+    let net = CapsNet::seeded(&spec, cfg.seed ^ 0xC405).expect("chaos spec is valid");
+    let backend = ChaosBackend::new(inner, plan);
+    let arrivals = TrafficConfig {
+        rate_hz: cfg.rate_hz,
+        requests: cfg.requests,
+        tenants: cfg.tenants,
+        models: 1,
+        max_samples: 1,
+        seed: cfg.seed,
+    }
+    .arrivals();
+    let images: Vec<Tensor> = (0..64)
+        .map(|i| request_images(&spec, 1, cfg.seed ^ (0xC4A05 + i as u64)))
+        .collect();
+
+    let pool_cfg = ReplicaSetConfig {
+        replicas: cfg.replicas,
+        policy: RoutingPolicy::LeastQueued,
+        serve: cfg.serve,
+        fault: cfg.fault,
+    };
+    let set = ReplicaSet::from_net("chaos", &net, &backend, pool_cfg).expect("chaos pool config");
+
+    let mut counts = ChaosCounts::default();
+    let mut tainted = vec![false; cfg.replicas];
+    let mut serving_at_end = vec![false; cfg.replicas];
+    let mut elapsed_s = 0.0f64;
+    let ((), set_report) = set.run(|pool| {
+        std::thread::scope(|scope| {
+            let (tx, rx) = std::sync::mpsc::channel::<pim_serve::ReplicaTicket>();
+            let harvester = scope.spawn(move || {
+                // Ticket-resolution tallies and fault attributions. The
+                // harvester drains tickets *sequentially*, so a stalled
+                // ticket head-of-line-blocks it — which is why latency
+                // is NOT measured here (a caller-side clock would charge
+                // the harvest delay to innocent replicas); the per-tier
+                // gate reads each replica's own server-side metrics
+                // window instead.
+                let mut tally = ChaosCounts::default();
+                let mut timed_out = vec![false; cfg.replicas];
+                let mut panicked = vec![false; cfg.replicas];
+                for ticket in rx {
+                    let replica = ticket.replica();
+                    match ticket.wait() {
+                        Ok(_) => tally.completed += 1,
+                        Err(ServeError::Forward(_)) => {
+                            tally.failed_forward += 1;
+                            panicked[replica] = true;
+                        }
+                        Err(ServeError::DeadlineExceeded { .. }) => tally.deadline_exceeded += 1,
+                        Err(ServeError::ReplicaTimeout { .. }) => {
+                            tally.replica_timeout += 1;
+                            timed_out[replica] = true;
+                        }
+                        Err(_) => tally.other_failed += 1,
+                    }
+                }
+                (tally, timed_out, panicked)
+            });
+
+            let start = Instant::now();
+            for (i, arrival) in arrivals.iter().enumerate() {
+                if let Some(q) = &plan.quarantine {
+                    if q.at_arrival == i {
+                        pool.quarantine(q.replica % cfg.replicas);
+                    }
+                }
+                pace_until(start, arrival.at_us);
+                let tier = tier_for_tenant(arrival.tenant);
+                let request = Request::new(
+                    arrival.tenant,
+                    arrival.model,
+                    images[(arrival.image_seed % images.len() as u64) as usize].clone(),
+                )
+                .with_priority(tier)
+                .with_deadline(cfg.deadline);
+                counts.submitted += 1;
+                match pool.submit(request) {
+                    Ok(ticket) => tx.send(ticket).expect("harvester outlives submission"),
+                    Err(SubmitError::Shed { .. }) => counts.shed += 1,
+                    Err(SubmitError::QueueFull { .. }) => counts.rejected_full += 1,
+                    Err(SubmitError::TenantQuotaExceeded { .. }) => counts.rejected_quota += 1,
+                    Err(SubmitError::ReplicaUnresponsive { .. }) => {
+                        counts.rejected_unresponsive += 1
+                    }
+                    Err(SubmitError::ShuttingDown) => counts.rejected_shutdown += 1,
+                    Err(other) => panic!("unexpected chaos-submit rejection: {other}"),
+                }
+            }
+            elapsed_s = start.elapsed().as_secs_f64();
+            drop(tx);
+            let (tally, timed_out, panicked) = harvester.join().expect("harvester thread");
+            counts.completed = tally.completed;
+            counts.failed_forward = tally.failed_forward;
+            counts.deadline_exceeded = tally.deadline_exceeded;
+            counts.replica_timeout = tally.replica_timeout;
+            counts.other_failed = tally.other_failed;
+
+            // A replica is tainted when a fault landed on it: a panic
+            // restarted it, or a caller abandoned it at the stall
+            // timeout. (The scripted stall always outlives
+            // `replica_timeout`, so the stalled replica is always
+            // caught.) The operator quarantine is *not* a taint — it
+            // serves nothing while out of rotation.
+            for r in 0..cfg.replicas {
+                tainted[r] = pool.restarts(r) > 0 || timed_out[r] || panicked[r];
+            }
+
+            // Killed replicas must be back up and serving.
+            for (r, serving) in serving_at_end.iter_mut().enumerate() {
+                *serving = serves_fresh_request(
+                    pool,
+                    r,
+                    &images[0],
+                    cfg.deadline,
+                    Duration::from_secs(10),
+                );
+            }
+        });
+    });
+
+    let achieved_hz = if elapsed_s > 0.0 {
+        counts.completed as f64 / elapsed_s
+    } else {
+        0.0
+    };
+    // The tail-latency gate anchors on server-side evidence: the worst
+    // high-tier p99 among clean replicas, each measured by its own
+    // metrics window. (A restarted replica reports its last life only,
+    // but a restarted replica is tainted by definition.)
+    let clean_high_p99 = set_report
+        .per_replica
+        .iter()
+        .zip(&tainted)
+        .filter(|(_, &t)| !t)
+        .filter_map(|(m, _)| {
+            m.tiers
+                .iter()
+                .find(|t| t.priority == Priority::High)
+                .filter(|t| t.requests > 0)
+                .map(|t| t.p99_us)
+        })
+        .max();
+    ChaosPhaseReport {
+        counts,
+        set: set_report,
+        injected_panics: backend.fired_panics(),
+        injected_stalls: backend.fired_stalls(),
+        total_calls: backend.total_calls(),
+        tainted,
+        serving_at_end,
+        clean_high_p99_us: clean_high_p99,
+        offered_hz: cfg.rate_hz,
+        achieved_hz,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::soak::soak_serve_config;
+    use capsnet::ExactMath;
+
+    fn small_cfg() -> ChaosConfig {
+        ChaosConfig {
+            replicas: 2,
+            tenants: 20,
+            requests: 1_500,
+            rate_hz: 30_000.0,
+            seed: 0xC405_0001,
+            deadline: Duration::from_millis(400),
+            serve: soak_serve_config(),
+            fault: chaos_fault_config(),
+        }
+    }
+
+    #[test]
+    fn fault_plan_is_deterministic_and_ordered() {
+        let a = FaultPlan::seeded(7, 100_000, 2, 1, Duration::from_millis(100), 4, 10_000);
+        let b = FaultPlan::seeded(7, 100_000, 2, 1, Duration::from_millis(100), 4, 10_000);
+        assert_eq!(a, b, "same seed must give the same plan");
+        assert_ne!(
+            a,
+            FaultPlan::seeded(8, 100_000, 2, 1, Duration::from_millis(100), 4, 10_000)
+        );
+        assert_eq!(a.panics(), 2);
+        assert_eq!(a.stalls(), 1);
+        for w in a.points.windows(2) {
+            assert!(w[0].at_call < w[1].at_call, "strictly ascending");
+        }
+        for p in &a.points {
+            assert!(p.at_call >= 10_000 && p.at_call < 55_000, "{p:?}");
+        }
+        let q = a.quarantine.expect("seeded plans quarantine");
+        assert_eq!(q.at_arrival, 3_500);
+        assert!(q.replica < 4);
+    }
+
+    #[test]
+    fn counts_reconcile_exactly() {
+        let counts = ChaosCounts {
+            submitted: 20,
+            completed: 10,
+            shed: 2,
+            rejected_full: 1,
+            rejected_quota: 1,
+            rejected_unresponsive: 1,
+            rejected_shutdown: 1,
+            failed_forward: 2,
+            deadline_exceeded: 1,
+            replica_timeout: 1,
+            other_failed: 0,
+        };
+        assert!(counts.reconciles());
+        let dropped = ChaosCounts {
+            completed: 9,
+            ..counts
+        };
+        assert!(!dropped.reconciles());
+    }
+
+    #[test]
+    fn chaos_backend_fires_each_point_exactly_once() {
+        let plan = FaultPlan {
+            points: vec![
+                FaultPoint {
+                    at_call: 3,
+                    action: FaultAction::Stall(Duration::from_micros(50)),
+                },
+                FaultPoint {
+                    at_call: 5,
+                    action: FaultAction::Stall(Duration::from_micros(50)),
+                },
+            ],
+            quarantine: None,
+        };
+        let backend = ChaosBackend::new(&ExactMath, &plan);
+        for _ in 0..20 {
+            backend.exp(0.5);
+        }
+        assert_eq!(backend.fired_stalls(), 2);
+        assert_eq!(backend.fired_panics(), 0);
+        assert_eq!(backend.total_calls(), 20);
+    }
+
+    /// End-to-end mini chaos: a fault-free baseline sizes the plan, then
+    /// the same traffic runs under one panic, one stall and one
+    /// quarantine — and still reconciles exactly, restarts every killed
+    /// replica, and serves from every replica afterwards.
+    #[test]
+    fn mini_chaos_phase_reconciles_and_recovers() {
+        let cfg = small_cfg();
+        let baseline = run_chaos_phase(&ExactMath, &cfg, &FaultPlan::none());
+        assert!(
+            baseline.counts.reconciles(),
+            "baseline dropped tickets: {:?}",
+            baseline.counts
+        );
+        assert_eq!(baseline.injected_panics + baseline.injected_stalls, 0);
+        assert_eq!(baseline.set.restarts, 0);
+        assert!(baseline.serving_at_end.iter().all(|&s| s));
+        // The micro spec routes ~5 `exp` calls per request — enough call
+        // resolution to place the plan's points.
+        assert!(baseline.total_calls > 5_000, "{}", baseline.total_calls);
+
+        let plan = FaultPlan::seeded(
+            cfg.seed,
+            baseline.total_calls,
+            1,
+            1,
+            Duration::from_millis(80),
+            cfg.replicas,
+            cfg.requests,
+        );
+        let chaos = run_chaos_phase(&ExactMath, &cfg, &plan);
+        assert!(
+            chaos.counts.reconciles(),
+            "chaos dropped tickets: {:?}",
+            chaos.counts
+        );
+        assert_eq!(chaos.injected_panics, 1, "the scripted panic must fire");
+        assert_eq!(chaos.injected_stalls, 1, "the scripted stall must fire");
+        assert_eq!(
+            chaos.set.restarts, chaos.injected_panics,
+            "every panic restarts exactly one replica life"
+        );
+        assert!(
+            chaos.serving_at_end.iter().all(|&s| s),
+            "every replica must serve after the storm: {:?}",
+            chaos.serving_at_end
+        );
+        assert!(chaos.set.quarantines >= 1, "the operator quarantine");
+        assert_eq!(chaos.tainted.len(), cfg.replicas);
+    }
+}

@@ -12,6 +12,7 @@
 //! and its recovery — is genuinely emergent (see DESIGN.md §1).
 
 pub mod accuracy;
+pub mod chaos;
 pub mod persist;
 pub mod quant_gate;
 pub mod report;
