@@ -430,6 +430,7 @@ mod tests {
             set: ReplicaSetReport {
                 per_replica: Vec::new(),
                 requests: 980,
+                cache_hits: 0,
                 samples: 980,
                 batches: 980,
                 failed_requests: 2,

@@ -4,6 +4,7 @@
 //! stdout and writes a CSV into `bench_results/` (override the directory
 //! with the `PIM_BENCH_OUT` environment variable).
 
+pub mod cache_bench;
 pub mod chaos_bench;
 pub mod emit;
 pub mod jsonlite;

@@ -81,6 +81,7 @@ fn measure_fleet(artifact: &SharedArtifact, n: usize, requests: usize) -> Replic
         policy: RoutingPolicy::RoundRobin,
         serve: scaling_serve_config(),
         fault: pim_serve::FaultToleranceConfig::default(),
+        cache: None,
     };
     let spec = streaming_spec();
     let set = ReplicaSet::from_shared(spec.name.clone(), artifact, &ExactMath, cfg)
@@ -128,6 +129,7 @@ fn account_sharing(
         policy: RoutingPolicy::RoundRobin,
         serve: scaling_serve_config(),
         fault: pim_serve::FaultToleranceConfig::default(),
+        cache: None,
     };
     let set = ReplicaSet::from_shared(spec.name.clone(), artifact, &ExactMath, cfg)
         .expect("streaming artifact rebuilds");

@@ -281,6 +281,7 @@ mod tests {
         TierReport {
             priority,
             requests,
+            cache_hits: 0,
             shed,
             p50_us: p99 / 2,
             p95_us: p99,
@@ -294,6 +295,7 @@ mod tests {
             requests: completed,
             samples: completed,
             batches: completed,
+            cache_hits: 0,
             rejected_full: 0,
             rejected_quota: 0,
             failed_requests: 0,

@@ -560,6 +560,119 @@ fn bench_soak_schema() {
 }
 
 #[test]
+fn bench_cache_schema() {
+    let doc = load("BENCH_cache.json");
+    let host = doc.get("host").expect("top-level \"host\" object");
+    assert!(host.get("simd").and_then(Value::as_str).is_some());
+    assert!(f64_field(host, "threads", "host") >= 1.0);
+
+    // The cache must front the weight-streaming model — a hit's value is
+    // the DRAM sweep it skips.
+    let model = doc.get("model").expect("\"model\" object");
+    assert!(model.get("name").and_then(Value::as_str).is_some());
+    assert!(
+        f64_field(model, "caps_weight_mb", "model") > 100.0,
+        "cache bench must serve the weight-streaming model"
+    );
+
+    let cache = doc.get("cache").expect("\"cache\" object");
+    for key in [
+        "byte_budget",
+        "shards",
+        "bloom_bits",
+        "bloom_hashes",
+        "hot_keys",
+    ] {
+        assert!(f64_field(cache, key, "cache") >= 1.0, "cache {key}");
+    }
+
+    // Zipf stream at the classic web skew, with real repetition to serve.
+    let traffic = doc.get("traffic").expect("\"traffic\" object");
+    let requests = f64_field(traffic, "requests", "traffic");
+    assert!(requests >= 1.0);
+    let skew = f64_field(traffic, "skew", "traffic");
+    assert!((0.8..=1.2).contains(&skew), "gate is defined at s ≈ 1.0");
+    let distinct = f64_field(traffic, "distinct_content", "traffic");
+    let achievable = f64_field(traffic, "achievable_hits", "traffic");
+    assert!(distinct >= 1.0 && distinct <= requests);
+    assert_eq!(achievable, requests - distinct, "achievable hits drifted");
+
+    let off = doc.get("cache_off").expect("\"cache_off\" object");
+    let off_sps = f64_field(off, "samples_per_s", "cache_off");
+    assert!(off_sps > 0.0);
+    assert_eq!(
+        f64_field(off, "dispatched", "cache_off"),
+        requests,
+        "cache-off pass must dispatch every request"
+    );
+
+    let on = doc.get("cache_on").expect("\"cache_on\" object");
+    let on_sps = f64_field(on, "samples_per_s", "cache_on");
+    assert!(on_sps > 0.0);
+    let dispatched = f64_field(on, "dispatched", "cache_on");
+    let hits = f64_field(on, "cache_hits", "cache_on");
+    assert_eq!(
+        dispatched + hits,
+        requests,
+        "fast-path completions must partition the stream"
+    );
+    assert!(
+        hits <= achievable,
+        "more hits ({hits}) than the stream repeats ({achievable})"
+    );
+
+    // Hit rate recomputed from the raw counters, not trusted from the
+    // recorded field.
+    let hit_rate = f64_field(on, "hit_rate", "cache_on");
+    let recomputed = hits / (dispatched + hits);
+    assert!(
+        (hit_rate - recomputed).abs() < 1e-3,
+        "recorded hit_rate {hit_rate} inconsistent with counters ({recomputed})"
+    );
+
+    // Exact ticket reconciliation, recomputed.
+    let rec = doc
+        .get("reconciliation")
+        .expect("\"reconciliation\" object");
+    let submitted = f64_field(rec, "submitted", "reconciliation");
+    let completed = f64_field(rec, "completed", "reconciliation");
+    let dropped = f64_field(rec, "dropped", "reconciliation");
+    assert_eq!(submitted, requests);
+    assert_eq!(dropped, submitted - completed, "dropped not recomputable");
+    assert_eq!(dropped, 0.0, "committed cache record dropped tickets");
+
+    // Uplift recomputed from the two throughputs.
+    let uplift = f64_field(&doc, "uplift_on_vs_off", "top level");
+    let ratio = on_sps / off_sps;
+    assert!(
+        (uplift - ratio).abs() / ratio < 0.01,
+        "recorded uplift {uplift} inconsistent with throughputs ({ratio})"
+    );
+
+    // The gates the committed record must hold.
+    assert_eq!(
+        doc.get("hit_responses_bitwise_equal")
+            .and_then(Value::as_bool),
+        Some(true),
+        "cache hits must record bitwise equality with dispatched responses"
+    );
+    let gates = doc.get("gates").expect("\"gates\" object");
+    let hit_min = f64_field(gates, "hit_rate_min", "gates");
+    let uplift_min = f64_field(gates, "uplift_min", "gates");
+    assert!(hit_min >= 0.5, "hit-rate gate weakened: {hit_min}");
+    assert!(uplift_min >= 1.5, "uplift gate weakened: {uplift_min}");
+    assert!(
+        hit_rate >= hit_min,
+        "hit rate {hit_rate} under gate {hit_min}"
+    );
+    assert!(
+        uplift >= uplift_min,
+        "uplift {uplift} under gate {uplift_min}"
+    );
+    assert_eq!(gates.get("passed").and_then(Value::as_bool), Some(true));
+}
+
+#[test]
 fn bench_chaos_schema() {
     let doc = load("BENCH_chaos.json");
     let host = doc.get("host").expect("top-level \"host\" object");

@@ -1,0 +1,801 @@
+//! **pim-cache** — content-addressed response caching for the serving tier.
+//!
+//! At millions of users, duplicate inference requests dominate traffic and
+//! the cheapest forward pass is the one never run — the paper's data-reuse
+//! argument lifted from the accelerator to the serving tier. This crate
+//! provides the cache itself; `pim-serve` wires it in front of admission:
+//!
+//! * **Content-addressed keys.** Entries are keyed by
+//!   `(model, version, digest)` where the digest is the shared
+//!   [`pim_store::hash`] XXH64-style checksum of the request tensor's raw
+//!   bytes (hashed zero-copy — no materialized byte copies). Two requests
+//!   with bit-identical input tensors collide onto one entry; anything else
+//!   cannot.
+//! * **Bloom-filter admission** ([`bloom::AtomicBloom`]): the
+//!   overwhelmingly-common negative lookup is answered by a handful of
+//!   relaxed atomic loads and never touches a cache-shard lock.
+//! * **Sharded CLOCK eviction** under a byte budget: each shard keeps a
+//!   clock ring; referenced entries get a second chance, unreferenced ones
+//!   are evicted when the budget is exceeded.
+//! * **Version-keyed invalidation, free under hot-swap.** The serving
+//!   registry's versions are strictly monotone, so a swap simply orphans
+//!   the old version's entries: lookups for the new version cannot match
+//!   them, and the clock hand fast-tracks their reclamation
+//!   (`orphan_evictions`). In-flight batches still holding the old model
+//!   `Arc` may keep filling their own epoch — harmless, lazily reclaimed.
+//! * **Cross-replica digest sync** ([`CacheDigest`]): a compact serialized
+//!   bloom + hot-key summary per `(model, version)`. Applying a peer digest
+//!   does not copy values (they are cheap to recompute relative to moving
+//!   them); it biases **retention**: locally-filled entries whose digest a
+//!   peer reported hot start CLOCK-protected, so the working set converges
+//!   fleet-wide. A restarted replica starts cold (empty cache, empty
+//!   digest) and applying a cold digest is a no-op, so reconciliation is
+//!   safe under restart.
+//!
+//! The crate is value-agnostic: anything `Clone + Send + Sync` with a
+//! byte-cost estimate ([`CacheValue`]) can be cached.
+
+pub mod bloom;
+
+use bloom::AtomicBloom;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// Re-export of the shared digest implementation so callers hash with the
+/// exact machinery the artifact store uses — one implementation, no copy.
+pub use pim_store::hash;
+
+/// Configuration of a [`ResponseCache`]. `Copy` so it can ride inside the
+/// serve tier's `Copy` config structs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CacheConfig {
+    /// Total cached-value byte budget across all shards.
+    pub byte_budget: usize,
+    /// Number of independently locked shards.
+    pub shards: usize,
+    /// Bloom filter size in bits per model (rounded up to a power of two).
+    pub bloom_bits: usize,
+    /// Probes per key in the bloom filter.
+    pub bloom_hashes: u32,
+    /// Maximum hot keys advertised per [`CacheDigest`] (and retained from
+    /// peer digests).
+    pub hot_keys: usize,
+    /// Cross-replica digest-sync cadence (consumed by `pim-serve`'s
+    /// replica supervisor; the cache itself is cadence-agnostic).
+    pub sync_interval: Duration,
+}
+
+impl Default for CacheConfig {
+    fn default() -> Self {
+        CacheConfig {
+            byte_budget: 64 << 20,
+            shards: 8,
+            bloom_bits: 1 << 16,
+            bloom_hashes: 3,
+            hot_keys: 32,
+            sync_interval: Duration::from_millis(50),
+        }
+    }
+}
+
+impl CacheConfig {
+    /// Validates field ranges.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first invalid field.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.byte_budget == 0 {
+            return Err("byte_budget must be positive".into());
+        }
+        if self.shards == 0 {
+            return Err("shards must be >= 1".into());
+        }
+        if self.bloom_hashes == 0 || self.bloom_hashes > 16 {
+            return Err("bloom_hashes must be in 1..=16".into());
+        }
+        if self.hot_keys == 0 {
+            return Err("hot_keys must be >= 1".into());
+        }
+        if self.sync_interval.is_zero() {
+            return Err("sync_interval must be positive".into());
+        }
+        Ok(())
+    }
+}
+
+/// A cacheable response payload.
+pub trait CacheValue: Clone + Send + Sync {
+    /// Approximate heap footprint, charged against
+    /// [`CacheConfig::byte_budget`].
+    fn cost_bytes(&self) -> usize;
+}
+
+/// Compact per-`(model, version)` cache summary exchanged between replicas:
+/// the serialized bloom word array plus the hottest exact keys. Values
+/// never travel — a digest is a pre-warm *hint*, not a transfer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CacheDigest {
+    /// Model index the summary describes.
+    pub model: usize,
+    /// Version the summary describes (stale versions are ignored on apply).
+    pub version: u64,
+    /// Serialized bloom filter (word array; geometry fixed by config).
+    pub bloom: Vec<u64>,
+    /// Hottest digests by hit count, most-hit first.
+    pub hot: Vec<u64>,
+    /// Cached entries behind the summary (0 ⇒ a cold/no-op digest).
+    pub entries: u64,
+}
+
+/// Counter snapshot from [`ResponseCache::report`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheReport {
+    /// Exact-key lookup hits.
+    pub hits: u64,
+    /// Lookup misses (bloom negatives included).
+    pub misses: u64,
+    /// Misses answered by the bloom filter alone — no shard lock touched.
+    pub bloom_negatives: u64,
+    /// Values admitted.
+    pub insertions: u64,
+    /// Live entries evicted under byte pressure.
+    pub evictions: u64,
+    /// Entries reclaimed because a hot-swap orphaned their version.
+    pub orphan_evictions: u64,
+    /// Peer digests merged.
+    pub digests_applied: u64,
+    /// Peer digests dropped as stale (older version than already seen).
+    pub digests_ignored: u64,
+    /// Current entry count.
+    pub entries: u64,
+    /// Current charged bytes.
+    pub bytes: u64,
+}
+
+impl CacheReport {
+    /// Hit fraction over all lookups (0 when none).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct Key {
+    model: usize,
+    version: u64,
+    digest: u64,
+}
+
+struct Entry<V> {
+    value: V,
+    cost: usize,
+    /// CLOCK reference counter: decremented as the hand passes, evicted at
+    /// zero. Fresh inserts start at 1; remote-hot inserts start protected.
+    clock: u8,
+    hits: u64,
+}
+
+/// Clock credit for a fresh local insert.
+const CLOCK_FRESH: u8 = 1;
+/// Clock credit for an entry a peer advertised hot, and for local re-hits.
+const CLOCK_PROTECTED: u8 = 3;
+
+struct Shard<V> {
+    map: HashMap<Key, Entry<V>>,
+    /// CLOCK ring over the map's keys; `hand` indexes the next victim
+    /// candidate. Eviction `swap_remove`s, so order is arbitrary but every
+    /// entry is visited once per lap.
+    ring: Vec<Key>,
+    hand: usize,
+    bytes: usize,
+}
+
+impl<V> Shard<V> {
+    fn new() -> Self {
+        Shard {
+            map: HashMap::new(),
+            ring: Vec::new(),
+            hand: 0,
+            bytes: 0,
+        }
+    }
+
+    fn evict_at(&mut self, i: usize) -> Key {
+        let key = self.ring.swap_remove(i);
+        let entry = self.map.remove(&key).expect("ring key present in map");
+        self.bytes -= entry.cost;
+        if self.hand >= self.ring.len() {
+            self.hand = 0;
+        }
+        key
+    }
+}
+
+/// Per-model shared state: local + remote bloom membership, the newest
+/// version observed (the invalidation watermark), and the peer-advertised
+/// hot set.
+struct ModelState {
+    bloom: AtomicBloom,
+    remote_bloom: AtomicBloom,
+    latest_version: AtomicU64,
+    remote_hot: Mutex<Vec<u64>>,
+}
+
+#[derive(Default)]
+struct Stats {
+    hits: AtomicU64,
+    misses: AtomicU64,
+    bloom_negatives: AtomicU64,
+    insertions: AtomicU64,
+    evictions: AtomicU64,
+    orphan_evictions: AtomicU64,
+    digests_applied: AtomicU64,
+    digests_ignored: AtomicU64,
+}
+
+/// Mixes `(version, digest)` into the bloom key so a hot-swap's new epoch
+/// probes disjoint bits — old-epoch bits decay into false-positive noise
+/// instead of requiring a filter rebuild.
+fn bloom_key(version: u64, digest: u64) -> u64 {
+    let mut x = digest ^ version.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x ^= x >> 27;
+    x ^ (x >> 31)
+}
+
+/// Bounded, sharded, content-addressed response cache. See the crate docs
+/// for the design; `pim-serve` owns the integration.
+pub struct ResponseCache<V> {
+    cfg: CacheConfig,
+    models: Vec<ModelState>,
+    shards: Vec<Mutex<Shard<V>>>,
+    shard_budget: usize,
+    stats: Stats,
+}
+
+impl<V: CacheValue> ResponseCache<V> {
+    /// A cache for `models` registered models.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the config is invalid or `models` is zero.
+    pub fn new(cfg: CacheConfig, models: usize) -> Self {
+        cfg.validate().expect("valid cache config");
+        assert!(models >= 1, "cache needs at least one model");
+        let model_states = (0..models)
+            .map(|_| ModelState {
+                bloom: AtomicBloom::new(cfg.bloom_bits, cfg.bloom_hashes),
+                remote_bloom: AtomicBloom::new(cfg.bloom_bits, cfg.bloom_hashes),
+                latest_version: AtomicU64::new(0),
+                remote_hot: Mutex::new(Vec::new()),
+            })
+            .collect();
+        let shards = (0..cfg.shards).map(|_| Mutex::new(Shard::new())).collect();
+        ResponseCache {
+            shard_budget: (cfg.byte_budget / cfg.shards).max(1),
+            cfg,
+            models: model_states,
+            shards,
+            stats: Stats::default(),
+        }
+    }
+
+    /// The configuration the cache was built with.
+    pub fn config(&self) -> &CacheConfig {
+        &self.cfg
+    }
+
+    /// Number of models the cache tracks.
+    pub fn models(&self) -> usize {
+        self.models.len()
+    }
+
+    fn shard_of(&self, digest: u64) -> &Mutex<Shard<V>> {
+        // The digest is already avalanched; fold the high bits in so
+        // shard count doesn't alias low-bit structure.
+        &self.shards[((digest ^ (digest >> 32)) % self.shards.len() as u64) as usize]
+    }
+
+    fn lock_shard(&self, digest: u64) -> std::sync::MutexGuard<'_, Shard<V>> {
+        match self.shard_of(digest).lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    /// Looks up `(model, version, digest)`. The bloom filter answers the
+    /// common negative without locking; a positive falls through to the
+    /// exact-key check (bloom false positives miss correctly there).
+    pub fn get(&self, model: usize, version: u64, digest: u64) -> Option<V> {
+        let state = &self.models[model];
+        state.latest_version.fetch_max(version, Ordering::Relaxed);
+        if !state.bloom.contains(bloom_key(version, digest)) {
+            self.stats.bloom_negatives.fetch_add(1, Ordering::Relaxed);
+            self.stats.misses.fetch_add(1, Ordering::Relaxed);
+            return None;
+        }
+        let key = Key {
+            model,
+            version,
+            digest,
+        };
+        let mut shard = self.lock_shard(digest);
+        match shard.map.get_mut(&key) {
+            Some(entry) => {
+                entry.clock = CLOCK_PROTECTED;
+                entry.hits += 1;
+                self.stats.hits.fetch_add(1, Ordering::Relaxed);
+                Some(entry.value.clone())
+            }
+            None => {
+                self.stats.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Admits a value under the byte budget, evicting via CLOCK as needed.
+    /// Returns `false` when the value alone exceeds a shard's budget.
+    ///
+    /// Inserting under an orphaned (pre-swap) version is allowed — an
+    /// in-flight batch on the old model `Arc` fills its own epoch and the
+    /// entry is fast-tracked for reclamation.
+    pub fn insert(&self, model: usize, version: u64, digest: u64, value: V) -> bool {
+        let state = &self.models[model];
+        state.latest_version.fetch_max(version, Ordering::Relaxed);
+        let cost = value.cost_bytes().max(1);
+        if cost > self.shard_budget {
+            return false;
+        }
+        let protected = self.is_remote_hot(model, digest);
+        let key = Key {
+            model,
+            version,
+            digest,
+        };
+        let mut shard = self.lock_shard(digest);
+        if let Some(entry) = shard.map.get_mut(&key) {
+            // Concurrent fill of the same key: keep the existing entry
+            // (values are bit-identical by construction), refresh credit.
+            entry.clock = entry.clock.max(CLOCK_FRESH);
+            return true;
+        }
+        // CLOCK sweep until the new entry fits. Each full lap decrements
+        // every counter, so the loop terminates; the lap guard force-evicts
+        // if every survivor is somehow pinned.
+        let mut scanned = 0usize;
+        while shard.bytes + cost > self.shard_budget && !shard.ring.is_empty() {
+            let hand = shard.hand;
+            let candidate = shard.ring[hand];
+            let orphaned = candidate.version
+                < self.models[candidate.model]
+                    .latest_version
+                    .load(Ordering::Relaxed);
+            let lap_guard = shard.ring.len() * (CLOCK_PROTECTED as usize + 1);
+            if orphaned {
+                shard.evict_at(hand);
+                self.stats.orphan_evictions.fetch_add(1, Ordering::Relaxed);
+            } else {
+                let entry = shard.map.get_mut(&candidate).expect("ring key in map");
+                if entry.clock > 0 && scanned < lap_guard {
+                    entry.clock -= 1;
+                    shard.hand = (hand + 1) % shard.ring.len();
+                } else {
+                    shard.evict_at(hand);
+                    self.stats.evictions.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+            scanned += 1;
+        }
+        shard.bytes += cost;
+        shard.ring.push(key);
+        shard.map.insert(
+            key,
+            Entry {
+                value,
+                cost,
+                clock: if protected {
+                    CLOCK_PROTECTED
+                } else {
+                    CLOCK_FRESH
+                },
+                hits: 0,
+            },
+        );
+        drop(shard);
+        state.bloom.insert(bloom_key(version, digest));
+        self.stats.insertions.fetch_add(1, Ordering::Relaxed);
+        true
+    }
+
+    /// The newest version observed for `model` (via lookups, fills, or
+    /// peer digests) — the invalidation watermark.
+    pub fn latest_version(&self, model: usize) -> u64 {
+        self.models[model].latest_version.load(Ordering::Relaxed)
+    }
+
+    /// `true` when a peer advertised `digest` hot for `model`'s current
+    /// epoch; such fills start CLOCK-protected.
+    pub fn is_remote_hot(&self, model: usize, digest: u64) -> bool {
+        match self.models[model].remote_hot.lock() {
+            Ok(hot) => hot.contains(&digest),
+            Err(poisoned) => poisoned.into_inner().contains(&digest),
+        }
+    }
+
+    /// This replica's compact summary for `model`: serialized local bloom,
+    /// hottest current-epoch keys, entry count. A cold cache produces a
+    /// cold digest (`entries == 0`, empty hot set) — a no-op for peers.
+    pub fn digest(&self, model: usize) -> CacheDigest {
+        let state = &self.models[model];
+        let version = state.latest_version.load(Ordering::Relaxed);
+        let mut hot: Vec<(u64, u64)> = Vec::new();
+        let mut entries = 0u64;
+        for shard in &self.shards {
+            let shard = match shard.lock() {
+                Ok(g) => g,
+                Err(poisoned) => poisoned.into_inner(),
+            };
+            for (key, entry) in &shard.map {
+                if key.model == model && key.version == version {
+                    entries += 1;
+                    hot.push((key.digest, entry.hits));
+                }
+            }
+        }
+        hot.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        hot.truncate(self.cfg.hot_keys);
+        CacheDigest {
+            model,
+            version,
+            bloom: state.bloom.snapshot(),
+            hot: hot.into_iter().map(|(digest, _)| digest).collect(),
+            entries,
+        }
+    }
+
+    /// Summaries for every model.
+    pub fn digests(&self) -> Vec<CacheDigest> {
+        (0..self.models.len()).map(|m| self.digest(m)).collect()
+    }
+
+    /// Merges a peer digest: remote bloom bits are ORed in and the peer's
+    /// hot keys join the protected set. Digests for an unknown model or a
+    /// **stale version** (older than this replica has already seen) are
+    /// dropped — a restarted peer's cold digest merges as a no-op, so
+    /// reconciliation never wedges on restart. Returns whether the digest
+    /// was applied.
+    pub fn apply_digest(&self, digest: &CacheDigest) -> bool {
+        let Some(state) = self.models.get(digest.model) else {
+            self.stats.digests_ignored.fetch_add(1, Ordering::Relaxed);
+            return false;
+        };
+        let prev = state
+            .latest_version
+            .fetch_max(digest.version, Ordering::Relaxed);
+        if digest.version < prev {
+            self.stats.digests_ignored.fetch_add(1, Ordering::Relaxed);
+            return false;
+        }
+        state.remote_bloom.merge_words(&digest.bloom);
+        let mut hot = match state.remote_hot.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        if digest.version > prev {
+            // New epoch: yesterday's hot set is today's orphan set.
+            hot.clear();
+        }
+        for &d in &digest.hot {
+            if !hot.contains(&d) {
+                hot.push(d);
+            }
+        }
+        // Bound the protected set; oldest hints age out first.
+        let cap = self.cfg.hot_keys * 4;
+        if hot.len() > cap {
+            let excess = hot.len() - cap;
+            hot.drain(..excess);
+        }
+        drop(hot);
+        self.stats.digests_applied.fetch_add(1, Ordering::Relaxed);
+        true
+    }
+
+    /// Counter snapshot.
+    pub fn report(&self) -> CacheReport {
+        let mut entries = 0u64;
+        let mut bytes = 0u64;
+        for shard in &self.shards {
+            let shard = match shard.lock() {
+                Ok(g) => g,
+                Err(poisoned) => poisoned.into_inner(),
+            };
+            entries += shard.map.len() as u64;
+            bytes += shard.bytes as u64;
+        }
+        CacheReport {
+            hits: self.stats.hits.load(Ordering::Relaxed),
+            misses: self.stats.misses.load(Ordering::Relaxed),
+            bloom_negatives: self.stats.bloom_negatives.load(Ordering::Relaxed),
+            insertions: self.stats.insertions.load(Ordering::Relaxed),
+            evictions: self.stats.evictions.load(Ordering::Relaxed),
+            orphan_evictions: self.stats.orphan_evictions.load(Ordering::Relaxed),
+            digests_applied: self.stats.digests_applied.load(Ordering::Relaxed),
+            digests_ignored: self.stats.digests_ignored.load(Ordering::Relaxed),
+            entries,
+            bytes,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    impl CacheValue for Vec<u8> {
+        fn cost_bytes(&self) -> usize {
+            self.len()
+        }
+    }
+
+    fn small() -> CacheConfig {
+        CacheConfig {
+            byte_budget: 1024,
+            shards: 1,
+            bloom_bits: 1 << 12,
+            bloom_hashes: 3,
+            hot_keys: 4,
+            ..CacheConfig::default()
+        }
+    }
+
+    #[test]
+    fn config_validation_rejects_bad_fields() {
+        assert!(CacheConfig::default().validate().is_ok());
+        for cfg in [
+            CacheConfig {
+                byte_budget: 0,
+                ..CacheConfig::default()
+            },
+            CacheConfig {
+                shards: 0,
+                ..CacheConfig::default()
+            },
+            CacheConfig {
+                bloom_hashes: 0,
+                ..CacheConfig::default()
+            },
+            CacheConfig {
+                hot_keys: 0,
+                ..CacheConfig::default()
+            },
+            CacheConfig {
+                sync_interval: Duration::ZERO,
+                ..CacheConfig::default()
+            },
+        ] {
+            assert!(cfg.validate().is_err(), "{cfg:?} should be invalid");
+        }
+    }
+
+    #[test]
+    fn roundtrip_hit_and_miss() {
+        let cache: ResponseCache<Vec<u8>> = ResponseCache::new(small(), 2);
+        assert_eq!(cache.get(0, 1, 42), None);
+        assert!(cache.insert(0, 1, 42, vec![1, 2, 3]));
+        assert_eq!(cache.get(0, 1, 42), Some(vec![1, 2, 3]));
+        // Different digest, version, or model each miss.
+        assert_eq!(cache.get(0, 1, 43), None);
+        assert_eq!(cache.get(0, 2, 42), None);
+        assert_eq!(cache.get(1, 1, 42), None);
+        let rep = cache.report();
+        assert_eq!(rep.hits, 1);
+        assert_eq!(rep.misses, 4);
+        assert!(rep.bloom_negatives >= 2, "{rep:?}");
+        assert_eq!(rep.entries, 1);
+        assert_eq!(rep.bytes, 3);
+    }
+
+    #[test]
+    fn negative_lookups_are_bloom_answered() {
+        let cache: ResponseCache<Vec<u8>> = ResponseCache::new(small(), 1);
+        for d in 0..64u64 {
+            assert_eq!(cache.get(0, 1, d), None);
+        }
+        let rep = cache.report();
+        // An empty bloom answers every lookup without a false positive.
+        assert_eq!(rep.bloom_negatives, 64);
+        assert_eq!(rep.misses, 64);
+    }
+
+    #[test]
+    fn eviction_respects_byte_budget() {
+        let cache: ResponseCache<Vec<u8>> = ResponseCache::new(small(), 1);
+        for d in 0..100u64 {
+            assert!(cache.insert(0, 1, d, vec![0u8; 100]));
+        }
+        let rep = cache.report();
+        assert!(rep.bytes <= 1024, "{} bytes over budget", rep.bytes);
+        assert_eq!(rep.entries, rep.bytes / 100);
+        assert_eq!(rep.evictions + rep.entries, 100);
+        // Oversized values are rejected outright.
+        assert!(!cache.insert(0, 1, 200, vec![0u8; 4096]));
+    }
+
+    #[test]
+    fn clock_keeps_recently_hit_entries() {
+        let cache: ResponseCache<Vec<u8>> = ResponseCache::new(small(), 1);
+        // Fill the budget, then hammer one key so its clock credit is high.
+        for d in 0..10u64 {
+            cache.insert(0, 1, d, vec![0u8; 100]);
+        }
+        for _ in 0..4 {
+            assert!(cache.get(0, 1, 7).is_some());
+        }
+        // Pressure: insert fresh keys; the hot key must survive the sweep.
+        for d in 100..105u64 {
+            cache.insert(0, 1, d, vec![0u8; 100]);
+        }
+        assert!(cache.get(0, 1, 7).is_some(), "hot entry was evicted");
+    }
+
+    #[test]
+    fn hot_swap_orphans_old_version_entries() {
+        let cache: ResponseCache<Vec<u8>> = ResponseCache::new(small(), 1);
+        for d in 0..10u64 {
+            cache.insert(0, 1, d, vec![0u8; 100]);
+        }
+        // The swap is observed via a lookup at the new version.
+        assert_eq!(cache.get(0, 2, 0), None);
+        assert_eq!(cache.latest_version(0), 2);
+        // Old-version entries still exist (lazy reclamation) but byte
+        // pressure reclaims them first, before any live entry.
+        for d in 0..5u64 {
+            cache.insert(0, 2, d, vec![0u8; 100]);
+        }
+        let rep = cache.report();
+        assert!(rep.orphan_evictions >= 5, "{rep:?}");
+        for d in 0..5u64 {
+            assert!(cache.get(0, 2, d).is_some(), "live entry {d} evicted");
+        }
+        // An in-flight batch on the old Arc may still fill its epoch.
+        assert!(cache.insert(0, 1, 99, vec![0u8; 10]));
+    }
+
+    #[test]
+    fn bloom_collision_still_misses_on_exact_key() {
+        // Adversarial: a tiny 64-bit bloom makes collisions easy to find.
+        let cfg = CacheConfig {
+            bloom_bits: 64,
+            bloom_hashes: 2,
+            ..small()
+        };
+        let cache: ResponseCache<Vec<u8>> = ResponseCache::new(cfg, 1);
+        cache.insert(0, 1, 0xDEAD_BEEF, vec![1]);
+        // Find a distinct digest whose bloom probes all land on set bits:
+        // a bloom-positive miss does NOT increment bloom_negatives.
+        let mut colliding = None;
+        for d in 0..1_000_000u64 {
+            if d == 0xDEAD_BEEF {
+                continue;
+            }
+            let negatives_before = cache.report().bloom_negatives;
+            assert!(cache.get(0, 1, d).is_none(), "distinct input served value");
+            if cache.report().bloom_negatives == negatives_before {
+                colliding = Some(d);
+                break;
+            }
+        }
+        // The colliding digest passed the bloom but missed on the exact
+        // key — a false positive never serves a wrong value.
+        let colliding = colliding.expect("a 64-bit bloom collides quickly");
+        assert_ne!(colliding, 0xDEAD_BEEF);
+        assert!(cache.get(0, 1, colliding).is_none());
+    }
+
+    #[test]
+    fn digest_roundtrip_and_hot_protection() {
+        let a: ResponseCache<Vec<u8>> = ResponseCache::new(small(), 1);
+        let b: ResponseCache<Vec<u8>> = ResponseCache::new(small(), 1);
+        a.insert(0, 3, 11, vec![1]);
+        a.insert(0, 3, 12, vec![2]);
+        a.get(0, 3, 11);
+        a.get(0, 3, 11);
+        let d = a.digest(0);
+        assert_eq!(d.version, 3);
+        assert_eq!(d.entries, 2);
+        assert_eq!(d.hot.first(), Some(&11), "hottest key leads: {:?}", d.hot);
+        assert!(b.apply_digest(&d));
+        assert!(b.is_remote_hot(0, 11));
+        assert_eq!(b.latest_version(0), 3);
+        // The hint does not conjure a value — it biases retention only.
+        assert_eq!(b.get(0, 3, 11), None);
+        let rep = b.report();
+        assert_eq!(rep.digests_applied, 1);
+    }
+
+    #[test]
+    fn stale_and_cold_digests_are_safe() {
+        let cache: ResponseCache<Vec<u8>> = ResponseCache::new(small(), 1);
+        cache.insert(0, 5, 1, vec![1]);
+        // Stale epoch: dropped.
+        let stale = CacheDigest {
+            model: 0,
+            version: 4,
+            bloom: vec![u64::MAX; 64],
+            hot: vec![9],
+            entries: 3,
+        };
+        assert!(!cache.apply_digest(&stale));
+        assert!(!cache.is_remote_hot(0, 9));
+        // Unknown model: dropped.
+        let foreign = CacheDigest {
+            model: 7,
+            ..stale.clone()
+        };
+        assert!(!cache.apply_digest(&foreign));
+        // Cold digest from a restarted replica (version 0): dropped as
+        // stale without disturbing anything — peers never wedge on it.
+        let cold: ResponseCache<Vec<u8>> = ResponseCache::new(small(), 1);
+        let cold_digest = cold.digest(0);
+        assert_eq!(cold_digest.entries, 0);
+        assert!(!cache.apply_digest(&cold_digest));
+        assert!(cache.get(0, 5, 1).is_some(), "cold digest disturbed state");
+        // A current-epoch empty digest merges as a pure no-op.
+        let empty = CacheDigest {
+            model: 0,
+            version: 5,
+            bloom: Vec::new(),
+            hot: Vec::new(),
+            entries: 0,
+        };
+        assert!(cache.apply_digest(&empty));
+        assert!(cache.get(0, 5, 1).is_some());
+        let rep = cache.report();
+        assert_eq!(rep.digests_ignored, 3);
+        assert_eq!(rep.digests_applied, 1);
+    }
+
+    #[test]
+    fn new_epoch_digest_clears_stale_hot_hints() {
+        let cache: ResponseCache<Vec<u8>> = ResponseCache::new(small(), 1);
+        cache.apply_digest(&CacheDigest {
+            model: 0,
+            version: 1,
+            bloom: Vec::new(),
+            hot: vec![5],
+            entries: 1,
+        });
+        assert!(cache.is_remote_hot(0, 5));
+        cache.apply_digest(&CacheDigest {
+            model: 0,
+            version: 2,
+            bloom: Vec::new(),
+            hot: vec![6],
+            entries: 1,
+        });
+        assert!(!cache.is_remote_hot(0, 5), "old epoch hint survived swap");
+        assert!(cache.is_remote_hot(0, 6));
+    }
+
+    #[test]
+    fn report_hit_rate() {
+        let rep = CacheReport {
+            hits: 3,
+            misses: 1,
+            ..CacheReport::default()
+        };
+        assert!((rep.hit_rate() - 0.75).abs() < 1e-12);
+        assert_eq!(CacheReport::default().hit_rate(), 0.0);
+    }
+}

@@ -31,7 +31,14 @@
 //!   running N thread-isolated replicas that share one mapped `pim-store`
 //!   artifact (one physical copy of the weights), with pluggable routing
 //!   ([`RoutingPolicy`]) and **rolling version rollout** with canary +
-//!   rollback ([`rollout`]).
+//!   rollback ([`rollout`]);
+//! * **content-addressed response caching** (`pim-cache`, attached via
+//!   [`Server::with_cache`]): requests are keyed by a zero-copy XXH64
+//!   digest of their input tensor; a hit bypasses queueing and shedding
+//!   entirely and is recorded as a typed fast-path completion
+//!   ([`MetricsReport::cache_hits`]). Hot-swaps invalidate by version for
+//!   free, and replicas reconcile their caches by exchanging compact
+//!   bloom + hot-key digests over the mailbox transport.
 //!
 //! Batched execution is **bit-identical** to calling [`capsnet::CapsNet::forward`]
 //! per request (models route per sample, so no information crosses request
@@ -83,6 +90,7 @@ pub use admission::{AdmissionPolicy, AdmissionVerdict, Priority, SloConfig, TIER
 pub use config::{BatchExecution, ServeConfig};
 pub use error::{CallError, ServeError, SubmitError};
 pub use metrics::{MetricsReport, ModelVersionCount, TierReport};
+pub use pim_cache::{CacheConfig, CacheDigest, CacheReport};
 pub use registry::{ModelHandle, ModelRegistry};
 pub use replica::{
     FaultToleranceConfig, HealthState, ReplicaSet, ReplicaSetConfig, ReplicaSetHandle,
@@ -91,4 +99,6 @@ pub use replica::{
 pub use rollout::{
     ReplicaOutcome, ReplicaRollout, RetryBudget, RolloutConfig, RolloutError, RolloutReport,
 };
-pub use server::{Request, Response, ServedModel, Server, ServerHandle, Ticket};
+pub use server::{
+    CachedResponse, Request, Response, ServeCache, ServedModel, Server, ServerHandle, Ticket,
+};

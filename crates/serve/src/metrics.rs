@@ -24,6 +24,10 @@ pub(crate) struct MetricsRecorder {
     rejected_quota: u64,
     /// Per-tier submissions shed by the SLO-aware admission layer.
     shed: [u64; TIERS],
+    /// Per-tier fast-path completions served from the response cache: the
+    /// request never entered the queue, so it contributes no latency
+    /// sample and no batch. Disjoint from `latencies_us`.
+    cache_hits: [u64; TIERS],
     /// Requests whose dispatched batch failed (tickets resolved with an
     /// error). Disjoint from `latencies_us`.
     failed_requests: u64,
@@ -45,6 +49,7 @@ impl MetricsRecorder {
             rejected_full: 0,
             rejected_quota: 0,
             shed: [0; TIERS],
+            cache_hits: [0; TIERS],
             failed_requests: 0,
             failed_batches: 0,
             versions: BTreeMap::new(),
@@ -101,6 +106,12 @@ impl MetricsRecorder {
         self.shed[priority.index()] += 1;
     }
 
+    /// Records a response-cache fast-path completion: the submission was
+    /// answered before admission, bypassing queueing and dispatch.
+    pub(crate) fn record_cache_hit(&mut self, priority: Priority) {
+        self.cache_hits[priority.index()] += 1;
+    }
+
     pub(crate) fn record_swap(&mut self) {
         self.swaps += 1;
     }
@@ -121,6 +132,7 @@ impl MetricsRecorder {
                 priority,
                 requests: tier_sorted.len() as u64,
                 shed: self.shed[priority.index()],
+                cache_hits: self.cache_hits[priority.index()],
                 p50_us: percentile(&tier_sorted, 0.50),
                 p95_us: percentile(&tier_sorted, 0.95),
                 p99_us: percentile(&tier_sorted, 0.99),
@@ -130,6 +142,7 @@ impl MetricsRecorder {
             requests: sorted.len() as u64,
             samples: self.samples,
             batches: self.occupancy.iter().sum(),
+            cache_hits: self.cache_hits.iter().sum(),
             rejected_full: self.rejected_full,
             rejected_quota: self.rejected_quota,
             failed_requests: self.failed_requests,
@@ -182,6 +195,11 @@ pub struct TierReport {
     pub requests: u64,
     /// Submissions of this tier shed by admission control.
     pub shed: u64,
+    /// Fast-path completions of this tier served from the response cache
+    /// (never queued, never dispatched). Disjoint from
+    /// [`TierReport::requests`]; a tier's total completions are
+    /// `requests + cache_hits`.
+    pub cache_hits: u64,
     /// Median total latency of the tier's completed requests, µs.
     pub p50_us: u64,
     /// 95th-percentile latency, µs.
@@ -210,6 +228,11 @@ pub struct MetricsReport {
     pub samples: u64,
     /// Dispatched batches.
     pub batches: u64,
+    /// Fast-path completions served from the response cache before
+    /// admission. Disjoint from [`MetricsReport::requests`] (which keeps
+    /// meaning *dispatched* completions), so total completions are
+    /// `requests + cache_hits` — see [`MetricsReport::completions`].
+    pub cache_hits: u64,
     /// Submissions rejected with [`crate::SubmitError::QueueFull`].
     pub rejected_full: u64,
     /// Submissions rejected with [`crate::SubmitError::TenantQuotaExceeded`].
@@ -268,6 +291,13 @@ impl MetricsReport {
     /// Total submissions shed across all tiers.
     pub fn shed_total(&self) -> u64 {
         self.tiers.iter().map(|t| t.shed).sum()
+    }
+
+    /// Total successful completions: dispatched requests plus cache-hit
+    /// fast-path completions (`completions == cache_hits + requests`, the
+    /// identity the metrics proptest pins).
+    pub fn completions(&self) -> u64 {
+        self.requests + self.cache_hits
     }
 
     /// One tier's report.
@@ -401,17 +431,18 @@ mod tests {
         proptest! {
             /// Under arbitrary (even out-of-range) batch sizes, failure
             /// interleavings, and admission events (sheds, quota rejects,
-            /// queue-full rejects), the derived report stays
-            /// self-consistent — and **every submission is accounted for
-            /// exactly once**:
-            /// `requests + failed_requests + shed + rejected_full +
-            /// rejected_quota == submissions`.
+            /// queue-full rejects, cache-hit fast paths), the derived
+            /// report stays self-consistent — and **every submission is
+            /// accounted for exactly once**:
+            /// `completions + failed_requests + shed + rejected_full +
+            /// rejected_quota == submissions`, where
+            /// `completions == cache_hits + dispatched completions`.
             #[test]
             fn recorder_is_consistent_under_random_batches(
                 max_batch in 1usize..12,
                 batches in proptest::collection::vec(
                     (0usize..24, 0usize..6, 0u32..2, 0usize..3), 0..40),
-                admission_events in proptest::collection::vec(0usize..5, 0..60),
+                admission_events in proptest::collection::vec(0usize..8, 0..60),
             ) {
                 let mut r = MetricsRecorder::new(max_batch);
                 let mut want_requests = 0u64;
@@ -420,6 +451,7 @@ mod tests {
                 let mut want_failed_requests = 0u64;
                 let mut want_failed_batches = 0u64;
                 let mut want_shed = [0u64; 3];
+                let mut want_hits = [0u64; 3];
                 let mut want_rejected_full = 0u64;
                 let mut want_rejected_quota = 0u64;
                 let mut submissions = 0u64;
@@ -450,9 +482,13 @@ mod tests {
                             r.record_reject_full();
                             want_rejected_full += 1;
                         }
-                        _ => {
+                        4 => {
                             r.record_reject_quota();
                             want_rejected_quota += 1;
+                        }
+                        _ => {
+                            r.record_cache_hit(Priority::ALL[e - 5]);
+                            want_hits[e - 5] += 1;
                         }
                     }
                 }
@@ -468,16 +504,26 @@ mod tests {
                 prop_assert_eq!(rep.rejected_quota, want_rejected_quota);
                 for p in Priority::ALL {
                     prop_assert_eq!(rep.tier(p).shed, want_shed[p.index()]);
+                    prop_assert_eq!(rep.tier(p).cache_hits, want_hits[p.index()]);
                 }
-                // The tiers partition completed requests.
+                // The tiers partition completed requests and cache hits.
                 prop_assert_eq!(rep.tiers.iter().map(|t| t.requests).sum::<u64>(), rep.requests);
+                prop_assert_eq!(
+                    rep.tiers.iter().map(|t| t.cache_hits).sum::<u64>(),
+                    rep.cache_hits
+                );
+                // Cache hits are fast-path completions, disjoint from
+                // dispatched requests: completions == hits + dispatched.
+                prop_assert_eq!(rep.cache_hits, want_hits.iter().sum::<u64>());
+                prop_assert_eq!(rep.completions(), rep.cache_hits + rep.requests);
                 // Version attribution covers exactly the successful requests.
                 let attributed: u64 = rep.version_counts.iter().map(|v| v.requests).sum();
                 prop_assert_eq!(attributed, want_requests);
-                // The shed-accounting identity: every submission resolves
-                // exactly once as completed, failed, shed, or rejected.
+                // The accounting identity: every submission resolves
+                // exactly once as completed (dispatched or cache hit),
+                // failed, shed, or rejected.
                 prop_assert_eq!(
-                    rep.requests + rep.failed_requests + rep.shed_total()
+                    rep.completions() + rep.failed_requests + rep.shed_total()
                         + rep.rejected_full + rep.rejected_quota,
                     submissions
                 );

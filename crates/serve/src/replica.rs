@@ -64,6 +64,7 @@ use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::time::{Duration, Instant};
 
 use capsnet::{CapsNet, MathBackend};
+use pim_cache::{CacheConfig, CacheDigest};
 use pim_store::SharedArtifact;
 
 use crate::config::ServeConfig;
@@ -71,7 +72,7 @@ use crate::error::{CallError, ServeError, SubmitError};
 use crate::metrics::{MetricsRecorder, MetricsReport};
 use crate::registry::ModelRegistry;
 use crate::rollout::RetryBudget;
-use crate::server::{Request, Response, ServedModel, Server, Ticket};
+use crate::server::{Request, Response, ServeCache, ServedModel, Server, Ticket};
 
 /// How a [`ReplicaSet`] spreads submissions across its replicas.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -172,6 +173,12 @@ pub struct ReplicaSetConfig {
     pub serve: ServeConfig,
     /// Fault-tolerance knobs (timeouts, breaker, watchdog, restarts).
     pub fault: FaultToleranceConfig,
+    /// Per-replica content-addressed response cache. `Some` gives every
+    /// replica its own [`ServeCache`] (rebuilt cold on panic restart) and
+    /// has the watchdog drive cross-replica digest-sync rounds every
+    /// [`CacheConfig::sync_interval`]. `None` (the default) serves
+    /// uncached.
+    pub cache: Option<CacheConfig>,
 }
 
 impl Default for ReplicaSetConfig {
@@ -181,6 +188,7 @@ impl Default for ReplicaSetConfig {
             policy: RoutingPolicy::RoundRobin,
             serve: ServeConfig::default(),
             fault: FaultToleranceConfig::default(),
+            cache: None,
         }
     }
 }
@@ -195,6 +203,11 @@ impl ReplicaSetConfig {
     pub fn validate(&self) -> Result<(), ServeError> {
         if self.replicas == 0 {
             return Err(ServeError::InvalidConfig("replicas must be >= 1".into()));
+        }
+        if let Some(cache) = &self.cache {
+            cache
+                .validate()
+                .map_err(|e| ServeError::InvalidConfig(format!("cache: {e}")))?;
         }
         self.fault.validate()?;
         self.serve.validate()
@@ -518,6 +531,7 @@ impl<'a, B: MathBackend + Sync + ?Sized> ReplicaSet<'a, B> {
             rr: AtomicUsize::new(0),
         };
         let stop_watchdog = AtomicBool::new(false);
+        let cache_sync = self.cfg.cache.map(|c| c.sync_interval);
         let (result, reports) = std::thread::scope(|scope| {
             let replica_threads: Vec<_> = self
                 .registries
@@ -528,12 +542,15 @@ impl<'a, B: MathBackend + Sync + ?Sized> ReplicaSet<'a, B> {
                     let health = Arc::clone(&pool.health[i]);
                     let backend = self.backend;
                     let serve_cfg = self.cfg.serve;
+                    let cache_cfg = self.cfg.cache;
                     scope.spawn(move || {
-                        replica_main(registry, backend, serve_cfg, fault, mailbox, &health)
+                        replica_main(
+                            registry, backend, serve_cfg, fault, cache_cfg, mailbox, &health,
+                        )
                     })
                 })
                 .collect();
-            let watchdog = scope.spawn(|| watchdog_loop(&pool, &stop_watchdog, &fault));
+            let watchdog = scope.spawn(|| watchdog_loop(&pool, &stop_watchdog, &fault, cache_sync));
             let handle = ReplicaSetHandle {
                 pool: &pool,
                 registries: &self.registries,
@@ -598,6 +615,7 @@ fn replica_main<B: MathBackend + Sync + ?Sized>(
     backend: &B,
     serve_cfg: ServeConfig,
     fault: FaultToleranceConfig,
+    cache_cfg: Option<CacheConfig>,
     mailbox: &Mailbox,
     health: &ReplicaHealth,
 ) -> MetricsReport {
@@ -608,8 +626,16 @@ fn replica_main<B: MathBackend + Sync + ?Sized>(
     loop {
         lives += 1;
         let life = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            let server = Server::new(registry, backend, serve_cfg)
+            // The cache is per **life**, not per replica: a respawn after a
+            // panic starts cold (empty cache, cold digest) exactly like a
+            // restarted process would. Peers drop the cold digest as stale,
+            // so a restarted replica rejoins sync without wedging anyone.
+            let cache = cache_cfg.map(|cfg| Arc::new(ServeCache::new(cfg, registry.len().max(1))));
+            let mut server = Server::new(registry, backend, serve_cfg)
                 .expect("config validated at pool construction");
+            if let Some(cache) = &cache {
+                server = server.with_cache(Arc::clone(cache));
+            }
             let ((), report) = server.run(|h| {
                 // The replica's control loop: the only channel between
                 // supervisor and replica (thread-isolation stands in for
@@ -650,6 +676,17 @@ fn replica_main<B: MathBackend + Sync + ?Sized>(
                                         registry.current(0).map(|m| m.version()).unwrap_or(0);
                                     reply.put(Ok(version));
                                 }
+                                Job::SyncCache { incoming, reply } => {
+                                    reply.put(Ok(match &cache {
+                                        Some(cache) => {
+                                            for digest in &incoming {
+                                                cache.apply_digest(digest);
+                                            }
+                                            cache.digests()
+                                        }
+                                        None => Vec::new(),
+                                    }));
+                                }
                             }
                             *pending.borrow_mut() = None;
                         }
@@ -683,14 +720,27 @@ fn replica_main<B: MathBackend + Sync + ?Sized>(
 /// The supervisor watchdog: periodically probes quarantined replicas past
 /// their cooldown and re-admits the ones that answer. Probes go through
 /// the ordinary mailbox, so a responding probe proves the whole control
-/// loop (not just the health flag) is live.
-fn watchdog_loop(pool: &PoolShared, stop: &AtomicBool, fault: &FaultToleranceConfig) {
+/// loop (not just the health flag) is live. With caching enabled it also
+/// drives a cross-replica digest-sync round every `cache_sync` interval.
+fn watchdog_loop(
+    pool: &PoolShared,
+    stop: &AtomicBool,
+    fault: &FaultToleranceConfig,
+    cache_sync: Option<Duration>,
+) {
     let cooldown_us = fault.probe_cooldown.as_micros() as u64;
     let probe_bound = fault.replica_timeout.unwrap_or(fault.probe_cooldown);
+    let mut last_sync = Instant::now();
     while !stop.load(Ordering::SeqCst) {
         sleep_interruptible(fault.watchdog_interval, stop);
         if stop.load(Ordering::SeqCst) {
             return;
+        }
+        if let Some(interval) = cache_sync {
+            if last_sync.elapsed() >= interval {
+                sync_round(pool, sync_reply_bound(fault));
+                last_sync = Instant::now();
+            }
         }
         for (i, health) in pool.health.iter().enumerate() {
             if health.state() != HealthState::Quarantined
@@ -713,6 +763,75 @@ fn watchdog_loop(pool: &PoolShared, stop: &AtomicBool, fault: &FaultToleranceCon
             }
         }
     }
+}
+
+/// Fallback bound on one digest-sync reply when no
+/// [`FaultToleranceConfig::replica_timeout`] is configured: sync must
+/// never wait unboundedly on a wedged replica.
+const SYNC_REPLY_BOUND: Duration = Duration::from_millis(250);
+
+fn sync_reply_bound(fault: &FaultToleranceConfig) -> Duration {
+    fault.replica_timeout.unwrap_or(SYNC_REPLY_BOUND)
+}
+
+/// One cross-replica digest-sync round: **gather** every live replica's
+/// per-model [`CacheDigest`]s (bounded wait — a stalled or mid-restart
+/// replica is simply skipped this round), then **scatter** each replica
+/// its peers' digests. Values never travel; replicas merge the summaries
+/// per [`pim_cache::ResponseCache::apply_digest`], which drops stale and
+/// cold (restarted-peer) digests, so the round is safe at any point of a
+/// replica's lifecycle. Returns what was gathered, in replica order
+/// (empty for uncached pools and unresponsive replicas).
+fn sync_round(pool: &PoolShared, bound: Duration) -> Vec<Vec<CacheDigest>> {
+    let n = pool.mailboxes.len();
+    let gather: Vec<_> = (0..n)
+        .map(|i| {
+            let reply = ReplySlot::new();
+            pool.mailboxes[i]
+                .push(Job::SyncCache {
+                    incoming: Vec::new(),
+                    reply: Arc::clone(&reply),
+                })
+                .then_some(reply)
+        })
+        .collect();
+    let deadline = Instant::now() + bound;
+    let gathered: Vec<Vec<CacheDigest>> = gather
+        .into_iter()
+        .map(
+            |reply| match reply.map(|r| r.take_deadline(Some(deadline))) {
+                Some(Some(Ok(digests))) => digests,
+                _ => Vec::new(),
+            },
+        )
+        .collect();
+    let scatter: Vec<_> = (0..n)
+        .map(|i| {
+            let incoming: Vec<CacheDigest> = gathered
+                .iter()
+                .enumerate()
+                .filter(|&(j, _)| j != i)
+                .flat_map(|(_, digests)| digests.iter().cloned())
+                .collect();
+            if incoming.is_empty() {
+                return None;
+            }
+            let reply = ReplySlot::new();
+            pool.mailboxes[i]
+                .push(Job::SyncCache {
+                    incoming,
+                    reply: Arc::clone(&reply),
+                })
+                .then_some(reply)
+        })
+        .collect();
+    // Wait (bounded) for the scatter to land so a caller returning from
+    // a sync round knows live replicas have merged their peers' digests.
+    let deadline = Instant::now() + bound;
+    for reply in scatter.into_iter().flatten() {
+        let _ = reply.take_deadline(Some(deadline));
+    }
+    gathered
 }
 
 /// Sleeps up to `total`, waking early when `stop` is raised (the watchdog
@@ -817,6 +936,13 @@ enum Job {
     Probe {
         reply: Arc<ReplySlot<Result<u64, ServeError>>>,
     },
+    /// One digest-sync exchange: the replica merges the peer digests in
+    /// `incoming` into its cache and answers with its own per-model
+    /// digests (empty when the pool runs uncached).
+    SyncCache {
+        incoming: Vec<CacheDigest>,
+        reply: Arc<ReplySlot<Result<Vec<CacheDigest>, ServeError>>>,
+    },
 }
 
 /// The reply slot of a job, held where a replica's unwind path can still
@@ -824,6 +950,7 @@ enum Job {
 enum PendingReply {
     Submit(Arc<ReplySlot<Result<Ticket, SubmitError>>>),
     Swap(Arc<ReplySlot<Result<u64, ServeError>>>),
+    Sync(Arc<ReplySlot<Result<Vec<CacheDigest>, ServeError>>>),
 }
 
 impl PendingReply {
@@ -834,6 +961,7 @@ impl PendingReply {
             Job::SwapShared { reply, .. }
             | Job::SwapNet { reply, .. }
             | Job::Probe { reply, .. } => PendingReply::Swap(Arc::clone(reply)),
+            Job::SyncCache { reply, .. } => PendingReply::Sync(Arc::clone(reply)),
         }
     }
 
@@ -843,6 +971,9 @@ impl PendingReply {
         match self {
             PendingReply::Submit(slot) => slot.put(Err(SubmitError::ShuttingDown)),
             PendingReply::Swap(slot) => {
+                slot.put(Err(ServeError::Load("replica serving thread died".into())));
+            }
+            PendingReply::Sync(slot) => {
                 slot.put(Err(ServeError::Load("replica serving thread died".into())));
             }
         }
@@ -1213,6 +1344,19 @@ impl ReplicaSetHandle<'_> {
         }
     }
 
+    /// Runs one cross-replica cache digest-sync round **now** (the
+    /// watchdog also runs rounds on [`CacheConfig::sync_interval`] when
+    /// the pool is cached): gathers every replica's per-model
+    /// [`CacheDigest`]s, then scatters each replica its peers'. Waits are
+    /// bounded by [`FaultToleranceConfig::replica_timeout`] (with a
+    /// conservative fallback), so a wedged or mid-restart replica skips a
+    /// round instead of stalling it. Returns the gathered digests in
+    /// replica order — empty entries for uncached pools and replicas that
+    /// did not answer in time.
+    pub fn sync_cache_digests(&self) -> Vec<Vec<CacheDigest>> {
+        sync_round(self.pool, sync_reply_bound(&self.fault))
+    }
+
     /// Trips `replica`'s circuit breaker: out of routing rotation until a
     /// watchdog probe re-admits it (soft quarantine — the replica keeps
     /// serving what it already admitted, and direct [`Self::submit_to`]
@@ -1492,6 +1636,9 @@ pub struct ReplicaSetReport {
     pub samples: u64,
     /// Dispatched batches across the fleet.
     pub batches: u64,
+    /// Response-cache fast-path completions across the fleet (disjoint
+    /// from `requests` — a hit never dispatched).
+    pub cache_hits: u64,
     /// Failed requests across the fleet.
     pub failed_requests: u64,
     /// Failed batches across the fleet.
@@ -1526,6 +1673,7 @@ impl ReplicaSetReport {
         let sum = |f: fn(&MetricsReport) -> u64| per_replica.iter().map(f).sum();
         ReplicaSetReport {
             requests: sum(|r| r.requests),
+            cache_hits: sum(|r| r.cache_hits),
             samples: sum(|r| r.samples),
             batches: sum(|r| r.batches),
             failed_requests: sum(|r| r.failed_requests),

@@ -8,6 +8,7 @@ use std::sync::{Arc, Condvar, Mutex, PoisonError};
 use std::time::{Duration, Instant};
 
 use capsnet::{CapsNet, ForwardArena, MathBackend};
+use pim_cache::{hash, CacheValue, ResponseCache};
 use pim_tensor::par::available_threads;
 use pim_tensor::Tensor;
 
@@ -104,6 +105,30 @@ impl Request {
         self
     }
 }
+
+/// The payload the response cache stores per `(model, version, digest)`
+/// key: exactly the content-addressed part of a [`Response`]. Batch
+/// placement and timing fields are per-completion metadata, not content,
+/// so they are reconstructed at hit time.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CachedResponse {
+    /// Predicted class per sample.
+    pub predictions: Vec<usize>,
+    /// Squared class-capsule norms, `[n, H]` row-major — bit-exact as the
+    /// forward produced them.
+    pub class_norms_sq: Vec<f32>,
+}
+
+impl CacheValue for CachedResponse {
+    fn cost_bytes(&self) -> usize {
+        self.predictions.len() * std::mem::size_of::<usize>()
+            + self.class_norms_sq.len() * std::mem::size_of::<f32>()
+            + std::mem::size_of::<Self>()
+    }
+}
+
+/// The response cache type the serve tier plugs in front of admission.
+pub type ServeCache = ResponseCache<CachedResponse>;
 
 /// The server's answer to one request.
 #[derive(Debug, Clone, PartialEq)]
@@ -223,6 +248,10 @@ struct Pending {
     samples: usize,
     enqueued_at: Instant,
     slot: Arc<TicketSlot>,
+    /// Input-content digest, computed once at submit when a response cache
+    /// is attached (the lookup that missed); `run_batch` fills the cache
+    /// under this key so the hash is never recomputed.
+    digest: Option<u64>,
 }
 
 /// Scheduler state behind the queue mutex.
@@ -286,6 +315,9 @@ struct Shared<'a, B: MathBackend + Sync + ?Sized> {
     /// panic once the run closure returns. The replica pool's control loop
     /// polls this to stop feeding a dying server.
     wounded: AtomicBool,
+    /// Content-addressed response cache, consulted before admission: a hit
+    /// bypasses queueing and shedding entirely. `None` = caching off.
+    cache: Option<Arc<ServeCache>>,
 }
 
 /// The batched inference server. Construct with [`Server::new`], then open
@@ -294,6 +326,7 @@ pub struct Server<'a, B: MathBackend + Sync + ?Sized> {
     models: &'a ModelRegistry,
     backend: &'a B,
     cfg: ServeConfig,
+    cache: Option<Arc<ServeCache>>,
 }
 
 impl<'a, B: MathBackend + Sync + ?Sized> Server<'a, B> {
@@ -318,7 +351,31 @@ impl<'a, B: MathBackend + Sync + ?Sized> Server<'a, B> {
             models,
             backend,
             cfg,
+            cache: None,
         })
+    }
+
+    /// Builder: attaches a content-addressed response cache. Every submit
+    /// then hashes the request tensor's bytes (zero-copy) and consults the
+    /// cache before admission — a hit is fulfilled immediately as a typed
+    /// fast-path completion ([`MetricsReport::cache_hits`]), bypassing the
+    /// queue, the admission policy, and the workers entirely. The cache is
+    /// shared: replicas of one logical service may hold clones of the same
+    /// `Arc`, or per-replica caches reconciled via digest sync.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the cache was sized for fewer models than the registry
+    /// holds (its per-model state is indexed by registry slot).
+    pub fn with_cache(mut self, cache: Arc<ServeCache>) -> Self {
+        assert!(
+            cache.models() >= self.models.len(),
+            "cache sized for {} models, registry has {}",
+            cache.models(),
+            self.models.len()
+        );
+        self.cache = Some(cache);
+        self
     }
 
     /// Opens a serve window: spawns the configured workers on a
@@ -343,6 +400,7 @@ impl<'a, B: MathBackend + Sync + ?Sized> Server<'a, B> {
             metrics: Mutex::new(MetricsRecorder::new(self.cfg.max_batch)),
             est_ns_per_sample: AtomicU64::new(0),
             wounded: AtomicBool::new(false),
+            cache: self.cache.clone(),
         };
         let result = std::thread::scope(|scope| {
             for _ in 0..self.cfg.workers {
@@ -424,6 +482,48 @@ impl<B: MathBackend + Sync + ?Sized> ServerHandle<'_, '_, B> {
             });
         }
         let samples = dims[0];
+
+        // Content-addressed fast path: hash the request tensor's bytes
+        // zero-copy and consult the cache *before admission*. A hit never
+        // touches the scheduler lock, cannot be queued, shed, or rejected,
+        // and resolves its ticket immediately with the bit-exact payload a
+        // fresh dispatch on this version would produce. The version comes
+        // from the handle resolved above, so a post-swap submit can only
+        // hit post-swap fills — invalidation by version, for free.
+        let digest = if shared.cache.is_some() {
+            Some(hash::hash_f32(request.images.as_slice()))
+        } else {
+            None
+        };
+        if let (Some(cache), Some(digest)) = (&shared.cache, digest) {
+            if let Some(cached) = cache.get(request.model, model.version(), digest) {
+                let slot = Arc::new(TicketSlot {
+                    state: Mutex::new(None),
+                    ready: Condvar::new(),
+                });
+                fulfill(
+                    &slot,
+                    Ok(Response {
+                        predictions: cached.predictions,
+                        model_version: model.version(),
+                        class_norms_sq: cached.class_norms_sq,
+                        batch_samples: samples,
+                        // A hit rode no batch: placement and timing are
+                        // reported as zero, not inherited from the fill.
+                        batch_seq: 0,
+                        batch_offset: 0,
+                        queue_us: 0,
+                        service_us: 0,
+                    }),
+                );
+                shared
+                    .metrics
+                    .lock()
+                    .expect("metrics lock")
+                    .record_cache_hit(request.priority);
+                return Ok(Ticket { slot });
+            }
+        }
 
         let slot = Arc::new(TicketSlot {
             state: Mutex::new(None),
@@ -507,6 +607,7 @@ impl<B: MathBackend + Sync + ?Sized> ServerHandle<'_, '_, B> {
                 samples,
                 enqueued_at: Instant::now(),
                 slot: Arc::clone(&slot),
+                digest,
             });
         }
         shared.work_ready.notify_all();
@@ -866,6 +967,21 @@ fn run_batch<B: MathBackend + Sync + ?Sized>(
                     queue_us,
                     service_us,
                 };
+                // Fill the cache under the batch's own epoch: after a
+                // hot-swap, an in-flight batch on the old Arc fills the
+                // old version, which current-version lookups can never
+                // match — stale fills are orphans from birth.
+                if let (Some(cache), Some(digest)) = (&shared.cache, p.digest) {
+                    cache.insert(
+                        model_index,
+                        handle.version(),
+                        digest,
+                        CachedResponse {
+                            predictions: response.predictions.clone(),
+                            class_norms_sq: response.class_norms_sq.clone(),
+                        },
+                    );
+                }
                 offset += p.samples;
                 fulfill(&p.slot, Ok(response));
             }

@@ -1,0 +1,266 @@
+//! Content-addressed response cache, end to end through the serve tier:
+//! hit responses bitwise-identical to dispatched ones, typed fast-path
+//! metrics, hot-swap staleness (a post-swap request must never see a
+//! pre-swap response), and cross-replica digest sync surviving a replica
+//! panic-restart.
+
+use std::sync::atomic::{AtomicBool, Ordering::SeqCst};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use capsnet::{CapsNet, CapsNetSpec, ExactMath, MathBackend};
+use pim_serve::{
+    BatchExecution, CacheConfig, ModelRegistry, Priority, ReplicaSet, ReplicaSetConfig, Request,
+    RoutingPolicy, ServeCache, ServeConfig, ServedModel, Server,
+};
+use pim_tensor::Tensor;
+
+fn versioned_net(version: u64) -> CapsNet {
+    let mut spec = CapsNetSpec::tiny_for_tests();
+    spec.batch_shared_routing = false;
+    CapsNet::seeded(&spec, 1000 + version).unwrap()
+}
+
+fn images(n: usize, seed: u64) -> Tensor {
+    Tensor::uniform(&[n, 1, 12, 12], 0.0, 1.0, seed)
+}
+
+fn serve_cfg() -> ServeConfig {
+    ServeConfig {
+        max_batch: 4,
+        max_wait: Duration::from_micros(200),
+        queue_capacity: 64,
+        workers: 1,
+        execution: BatchExecution::Arena,
+        admission: pim_serve::AdmissionPolicy::QueueBound,
+    }
+}
+
+fn small_cache() -> CacheConfig {
+    CacheConfig {
+        byte_budget: 1 << 20,
+        shards: 2,
+        bloom_bits: 1 << 12,
+        bloom_hashes: 3,
+        hot_keys: 8,
+        sync_interval: Duration::from_millis(10),
+    }
+}
+
+#[test]
+fn cache_hit_is_bitwise_identical_and_typed_in_metrics() {
+    let net = versioned_net(1);
+    let registry = ModelRegistry::from_models([ServedModel::new("cached", net.clone())]);
+    let cache = Arc::new(ServeCache::new(small_cache(), 1));
+    let server = Server::new(&registry, &ExactMath, serve_cfg())
+        .unwrap()
+        .with_cache(Arc::clone(&cache));
+
+    let ((miss, hit, other), metrics) = server.run(|handle| {
+        let miss = handle
+            .submit(Request::new(0, 0, images(2, 5)))
+            .unwrap()
+            .wait()
+            .unwrap();
+        // Identical content from a *different* tenant at a different
+        // priority: content addressing ignores both.
+        let hit = handle
+            .submit(Request::new(3, 0, images(2, 5)).with_priority(Priority::High))
+            .unwrap()
+            .wait()
+            .unwrap();
+        let other = handle
+            .submit(Request::new(0, 0, images(2, 6)))
+            .unwrap()
+            .wait()
+            .unwrap();
+        (miss, hit, other)
+    });
+
+    // The hit is bitwise-identical payload-wise and rode no batch.
+    assert_eq!(hit.predictions, miss.predictions);
+    for (a, b) in hit.class_norms_sq.iter().zip(miss.class_norms_sq.iter()) {
+        assert_eq!(a.to_bits(), b.to_bits(), "hit payload diverged");
+    }
+    assert_eq!(hit.model_version, 1);
+    assert_eq!(hit.batch_samples, 2);
+    assert_eq!((hit.queue_us, hit.service_us), (0, 0), "hit rode a batch?");
+    assert!(other.predictions != miss.predictions || other.class_norms_sq != miss.class_norms_sq);
+
+    // Typed fast-path accounting: the hit is disjoint from dispatches and
+    // attributed to its tier.
+    assert_eq!(metrics.requests, 2, "hits must not count as dispatches");
+    assert_eq!(metrics.cache_hits, 1);
+    assert_eq!(metrics.completions(), 3);
+    let high = &metrics.tiers[Priority::High as usize];
+    assert_eq!((high.cache_hits, high.requests), (1, 0));
+
+    let rep = cache.report();
+    assert_eq!(rep.hits, 1);
+    assert_eq!(rep.insertions, 2);
+    assert!(rep.misses >= 2, "{rep:?}");
+}
+
+/// Regression: after a hot-swap, a request whose content was cached under
+/// the old version must be re-served by the new network — never the
+/// pre-swap response. Version-keyed lookups make the old entry
+/// unreachable the moment the registry bumps.
+#[test]
+fn post_swap_request_never_gets_pre_swap_response() {
+    let v1 = versioned_net(1);
+    let v2 = versioned_net(2);
+    let registry = ModelRegistry::from_models([ServedModel::new("swap", v1.clone())]);
+    let cache = Arc::new(ServeCache::new(small_cache(), 1));
+    let server = Server::new(&registry, &ExactMath, serve_cfg())
+        .unwrap()
+        .with_cache(Arc::clone(&cache));
+
+    let ((before, warm, after), _metrics) = server.run(|handle| {
+        let before = handle
+            .submit(Request::new(0, 0, images(1, 9)))
+            .unwrap()
+            .wait()
+            .unwrap();
+        // Prove the entry is really cached pre-swap (a hit).
+        let warm = handle
+            .submit(Request::new(0, 0, images(1, 9)))
+            .unwrap()
+            .wait()
+            .unwrap();
+        assert_eq!(handle.swap_model(0, v2.clone()).unwrap(), 2);
+        let after = handle
+            .submit(Request::new(0, 0, images(1, 9)))
+            .unwrap()
+            .wait()
+            .unwrap();
+        (before, warm, after)
+    });
+
+    assert_eq!(before.model_version, 1);
+    assert_eq!(warm.model_version, 1);
+    assert_eq!(after.model_version, 2, "post-swap request served stale");
+
+    // The networks genuinely disagree on this input (else the test proves
+    // nothing), and the post-swap response carries v2's bits exactly.
+    let o1 = v1.forward(&images(1, 9), &ExactMath).unwrap();
+    let o2 = v2.forward(&images(1, 9), &ExactMath).unwrap();
+    assert_ne!(
+        o1.class_norms_sq.as_slice(),
+        o2.class_norms_sq.as_slice(),
+        "versions agree on this input; pick another seed"
+    );
+    for (a, b) in after
+        .class_norms_sq
+        .iter()
+        .zip(o2.class_norms_sq.as_slice())
+    {
+        assert_eq!(a.to_bits(), b.to_bits(), "post-swap response is not v2's");
+    }
+    assert!(cache.report().hits >= 1, "warm lookup should have hit");
+}
+
+/// One-shot panic backend for the restart test: arm, and the next forward
+/// panics (cache hits never reach the backend, so only a dispatched miss
+/// can trip it).
+struct PanicOnceMath {
+    armed: AtomicBool,
+}
+
+impl MathBackend for PanicOnceMath {
+    fn name(&self) -> &'static str {
+        "panic-once-exact"
+    }
+    fn exp(&self, x: f32) -> f32 {
+        if self.armed.swap(false, SeqCst) {
+            panic!("scripted fault: forward panic");
+        }
+        ExactMath.exp(x)
+    }
+    fn inv_sqrt(&self, x: f32) -> f32 {
+        ExactMath.inv_sqrt(x)
+    }
+    fn div(&self, a: f32, b: f32) -> f32 {
+        ExactMath.div(a, b)
+    }
+}
+
+/// Digest sync across a replica pool: warm replicas advertise their
+/// entries, a panicked-and-restarted replica rejoins from cold (empty
+/// digest) without wedging its peers, and the pool keeps serving.
+#[test]
+fn replica_digest_sync_survives_restart_from_cold() {
+    let net = versioned_net(1);
+    let math = PanicOnceMath {
+        armed: AtomicBool::new(false),
+    };
+    let cfg = ReplicaSetConfig {
+        replicas: 2,
+        policy: RoutingPolicy::RoundRobin,
+        serve: serve_cfg(),
+        fault: pim_serve::FaultToleranceConfig::default(),
+        // Long interval: the test drives sync rounds explicitly so the
+        // watchdog's own rounds cannot race the assertions.
+        cache: Some(CacheConfig {
+            sync_interval: Duration::from_secs(3600),
+            ..small_cache()
+        }),
+    };
+    let set = ReplicaSet::from_net("sync", &net, &math, cfg).unwrap();
+
+    let ((), report) = set.run(|pool| {
+        // Warm both replicas on the same content; the repeat on each
+        // replica is a local hit.
+        for replica in 0..2 {
+            for _ in 0..2 {
+                pool.submit_to(replica, Request::new(0, 0, images(1, 42)))
+                    .unwrap()
+                    .wait()
+                    .unwrap();
+            }
+        }
+        let digests = pool.sync_cache_digests();
+        assert_eq!(digests.len(), 2);
+        for (replica, per_model) in digests.iter().enumerate() {
+            assert_eq!(per_model.len(), 1, "one model per replica");
+            assert_eq!(per_model[0].entries, 1, "replica {replica} not warm");
+            assert!(!per_model[0].hot.is_empty());
+        }
+
+        // Panic replica 0's next dispatched forward; its life dies and the
+        // supervisor respawns it with a cold cache.
+        math.armed.store(true, SeqCst);
+        if let Ok(ticket) = pool.submit_to(0, Request::new(0, 0, images(1, 43))) {
+            let _ = ticket.wait(); // resolves typed (the batch panicked)
+        }
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while pool.restarts(0) < 1 {
+            assert!(Instant::now() < deadline, "replica 0 never restarted");
+            std::thread::sleep(Duration::from_micros(200));
+        }
+
+        // The restarted replica answers sync from cold; the warm peer is
+        // undisturbed and the round completes instead of wedging.
+        let digests = pool.sync_cache_digests();
+        assert_eq!(digests[0][0].entries, 0, "restart must start cold");
+        assert_eq!(digests[0][0].version, 0);
+        assert_eq!(digests[1][0].entries, 1, "peer lost its cache");
+
+        // The pool still serves end to end on both replicas.
+        for replica in 0..2 {
+            pool.submit_to(replica, Request::new(0, 0, images(1, 42)))
+                .unwrap()
+                .wait()
+                .unwrap();
+        }
+    });
+
+    assert_eq!(report.restarts_per_replica, vec![1, 0]);
+    // Replica 1 never restarted, so its hits survive into the report: one
+    // from warming plus one from the final round-trip.
+    assert!(
+        report.per_replica[1].cache_hits >= 2,
+        "replica 1 hits: {}",
+        report.per_replica[1].cache_hits
+    );
+    assert!(report.cache_hits >= 2);
+}

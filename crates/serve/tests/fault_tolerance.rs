@@ -46,6 +46,7 @@ fn pool_cfg(replicas: usize, fault: FaultToleranceConfig) -> ReplicaSetConfig {
         policy: RoutingPolicy::RoundRobin,
         serve: serve_cfg(),
         fault,
+        cache: None,
     }
 }
 

@@ -54,6 +54,7 @@ fn pool_cfg(replicas: usize) -> ReplicaSetConfig {
             max_restarts: 5,
             ..FaultToleranceConfig::default()
         },
+        cache: None,
     }
 }
 

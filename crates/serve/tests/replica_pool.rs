@@ -45,6 +45,7 @@ fn pool_cfg(replicas: usize, policy: RoutingPolicy) -> ReplicaSetConfig {
             admission: pim_serve::AdmissionPolicy::QueueBound,
         },
         fault: pim_serve::FaultToleranceConfig::default(),
+        cache: None,
     }
 }
 

@@ -94,6 +94,7 @@ fn canary_against_saturated_replica_fails_typed_not_livelocked() {
             admission: AdmissionPolicy::QueueBound,
         },
         fault: FaultToleranceConfig::default(),
+        cache: None,
     };
     let set = ReplicaSet::from_net("sat", &v1, &SlowMath, cfg).unwrap();
     let (err, _report) = set.run(|pool| {
@@ -163,6 +164,7 @@ fn failed_reverts_are_recorded_not_silently_dropped() {
             admission: AdmissionPolicy::QueueBound,
         },
         fault: FaultToleranceConfig::default(),
+        cache: None,
     };
     let set = ReplicaSet::from_net("stuck", &v1, &ExactMath, cfg).unwrap();
     let (err, _report) = set.run(|pool| {

@@ -145,9 +145,53 @@ pub fn hash64(data: &[u8]) -> u64 {
     h.finish()
 }
 
+/// One-shot checksum of an `f32` slice's raw memory, **zero-copy**: the
+/// slice is reinterpreted in place, never materialized as a byte vector.
+/// This is the digest the serving tier's content-addressed response cache
+/// keys on (hashing a request tensor's ~kB–MB of samples per lookup), so
+/// avoiding the copy matters.
+///
+/// Equals [`hash64`] over the slice's native-endian byte view; every
+/// artifact this workspace writes is little-endian native, so the store
+/// and the cache agree on one digest per content.
+pub fn hash_f32(data: &[f32]) -> u64 {
+    // SAFETY: `u8` has alignment 1, every initialized `f32` is four valid
+    // bytes, and the view covers exactly the slice's memory.
+    let bytes = unsafe {
+        std::slice::from_raw_parts(data.as_ptr().cast::<u8>(), std::mem::size_of_val(data))
+    };
+    hash64(bytes)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn pinned_output_vectors() {
+        // Exact digests, pinned so the construction can never drift: the
+        // response cache's keys and every artifact checksum depend on
+        // these staying bit-stable across refactors. (The short-input
+        // vectors coincide with reference XXH64 at seed 0; inputs ≥ 32
+        // bytes diverge by design — the lane merge is simplified.)
+        assert_eq!(hash64(b""), 0xef46_db37_51d8_e999);
+        assert_eq!(hash64(b"abc"), 0x44bc_2cf5_ad77_0999);
+        assert_eq!(hash64(&[0u8; 32]), 0xf6e9_be5d_7063_2cf5);
+        let seq: Vec<u8> = (0..=255u8).collect();
+        assert_eq!(hash64(&seq), 0x1fac_be84_06cd_904b);
+        assert_eq!(hash_f32(&[0.0f32, 1.0, -1.0, 0.5]), 0xed35_f53c_7b41_8ac1);
+    }
+
+    #[test]
+    fn hash_f32_is_the_zero_copy_byte_view() {
+        let data = [0.25f32, -7.5, 3.25e-3, f32::MIN_POSITIVE, 1234.5];
+        let copied: Vec<u8> = data.iter().flat_map(|f| f.to_ne_bytes()).collect();
+        assert_eq!(hash_f32(&data), hash64(&copied));
+        assert_eq!(hash_f32(&[]), hash64(b""));
+        // -0.0 and 0.0 differ bitwise, so they must digest differently
+        // (the cache keys on content bits, not float equality).
+        assert_ne!(hash_f32(&[0.0f32]), hash_f32(&[-0.0f32]));
+    }
 
     #[test]
     fn deterministic_and_input_sensitive() {

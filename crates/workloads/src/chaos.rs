@@ -433,6 +433,7 @@ pub fn run_chaos_phase<B: MathBackend + Sync + ?Sized>(
         policy: RoutingPolicy::LeastQueued,
         serve: cfg.serve,
         fault: cfg.fault,
+        cache: None,
     };
     let set = ReplicaSet::from_net("chaos", &net, &backend, pool_cfg).expect("chaos pool config");
 

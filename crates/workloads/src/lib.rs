@@ -21,5 +21,6 @@ pub mod soak;
 mod suite;
 pub mod synth;
 pub mod traffic;
+pub mod zipf;
 
 pub use suite::{benchmarks, Benchmark, Dataset};

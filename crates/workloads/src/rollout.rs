@@ -172,6 +172,7 @@ pub fn rolling_rollout(
         policy: RoutingPolicy::RoundRobin,
         serve: cfg.serve,
         fault: pim_serve::FaultToleranceConfig::default(),
+        cache: None,
     };
     let set = ReplicaSet::from_artifact(spec.name.clone(), &v1_path, &ExactMath, pool_cfg)
         .map_err(|e| StoreError::Corrupt(format!("pool setup: {e}")))?;

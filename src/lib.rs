@@ -13,6 +13,7 @@
 //! | [`hmc`] | `hmc-sim` | HMC vaults/banks/crossbar/PE simulator |
 //! | [`pim`] | `pim-capsnet` | the paper's architecture: distributor, RMAS, engine |
 //! | [`workloads`] | `capsnet-workloads` | Table 1 suite, synthetic data, accuracy harness |
+//! | [`cache`] | `pim-cache` | content-addressed response cache (bloom + CLOCK) |
 //!
 //! # Quickstart
 //!
@@ -33,6 +34,7 @@ pub use capsnet_workloads as workloads;
 pub use gpu_sim as gpu;
 pub use hmc_sim as hmc;
 pub use pim_approx as approx;
+pub use pim_cache as cache;
 pub use pim_capsnet as pim;
 pub use pim_serve as serve;
 pub use pim_store as store;
@@ -50,13 +52,14 @@ pub mod prelude {
     pub use gpu_sim::{GpuSpec, GpuTimingModel, MemorySpec};
     pub use hmc_sim::{HmcConfig, PhaseEngine};
     pub use pim_approx::ApproxProfile;
+    pub use pim_cache::{CacheConfig, CacheReport};
     pub use pim_capsnet::{
         evaluate, evaluate_with_dimension, DesignVariant, Dimension, EvalResult, Platform,
     };
     pub use pim_serve::{
         AdmissionPolicy, MetricsReport, ModelRegistry, Priority, ReplicaSet, ReplicaSetConfig,
-        Request, Response, RolloutConfig, RoutingPolicy, ServeConfig, ServedModel, Server,
-        SloConfig, SubmitError,
+        Request, Response, RolloutConfig, RoutingPolicy, ServeCache, ServeConfig, ServedModel,
+        Server, SloConfig, SubmitError,
     };
     pub use pim_store::{MappedModel, ModelWriter, SharedArtifact, StoredModel};
     pub use pim_tensor::Tensor;
@@ -75,6 +78,7 @@ mod tests {
         let _ = HmcConfig::gen3();
         let _ = Platform::paper_default();
         let _ = ServeConfig::default();
+        let _ = CacheConfig::default();
         let _ = ModelWriter::vault_aligned();
         assert_eq!(workload_benchmarks().len(), 12);
     }
