@@ -1,0 +1,12 @@
+//! Fixture: malformed allowlist entries are diagnostics themselves and
+//! never suppress the underlying finding.
+
+pub fn missing_reason(v: Option<u32>) -> u32 {
+    // LINT-ALLOW(R2)
+    v.unwrap()
+}
+
+pub fn unknown_rule(v: Option<u32>) -> u32 {
+    // LINT-ALLOW(R9): no such rule exists.
+    v.unwrap()
+}

@@ -1,0 +1,29 @@
+//! Fixture: the same hazard shapes as `violations.rs`, each justified —
+//! the lint must come back empty.
+
+pub fn deref_raw(p: *const u8) -> u8 {
+    // SAFETY: fixture caller guarantees `p` is valid for reads.
+    unsafe { *p }
+}
+
+pub fn take(v: Option<u32>) -> u32 {
+    // LINT-ALLOW(R2): fixture invariant — the option is always Some here.
+    v.unwrap()
+}
+
+impl Counters {
+    pub fn read(&self) -> u64 {
+        // LINT-ALLOW(R3): fixture counter is a statistic; ordering is irrelevant.
+        self.state.load(Ordering::Relaxed)
+    }
+
+    pub fn both(&self) -> u64 {
+        // LINT-ALLOW(R2,R3): fixture — audited relaxed read, product bounded.
+        self.state.load(Ordering::Relaxed).checked_mul(2).unwrap()
+    }
+}
+
+pub fn ordered(shared: &Shared, mbox: &Mailbox) {
+    let s = shared.state.lock();
+    let q = mbox.queue.lock();
+}

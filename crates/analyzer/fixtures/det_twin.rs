@@ -1,0 +1,6 @@
+//! Fixture: a deterministic twin reaching for the wall clock.
+
+pub fn step_now() -> u64 {
+    let t = Instant::now();
+    t.elapsed().as_micros() as u64
+}

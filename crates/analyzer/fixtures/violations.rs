@@ -1,0 +1,25 @@
+//! Fixture: one known violation per rule; golden lines are pinned in
+//! `tests/golden.rs`. Never compiled — scanned and linted only.
+
+pub fn deref_raw(p: *const u8) -> u8 {
+    unsafe { *p }
+}
+
+pub fn take(v: Option<u32>) -> u32 {
+    v.unwrap()
+}
+
+pub fn explode() {
+    panic!("fixture");
+}
+
+impl Counters {
+    pub fn read(&self) -> u64 {
+        self.state.load(Ordering::Relaxed)
+    }
+}
+
+pub fn inverted(mbox: &Mailbox, shared: &Shared) {
+    let q = mbox.queue.lock();
+    let s = shared.state.lock();
+}

@@ -1,0 +1,442 @@
+//! Shadow models of the three serve-tier concurrency protocols, checked
+//! exhaustively by [`explore`](super::explore).
+//!
+//! Each protocol comes in two variants: the **correct** one mirroring the
+//! workspace implementation (must pass every interleaving) and a
+//! **broken** one reintroducing the bug the protocol is designed to
+//! exclude (must produce a counterexample — the self-test proving the
+//! invariant can actually trip).
+//!
+//! | model     | mirrors                                   | invariant |
+//! |-----------|-------------------------------------------|-----------|
+//! | `mailbox` | `serve::replica::Mailbox` push/close/requeue | every job resolves exactly once |
+//! | `bloom`   | `cache` bloom insert vs. lock-free probe  | bloom negative ⇒ key absent |
+//! | `reserve` | `serve::replica` `pick_and_reserve` CAS-argmin | counts never negative; overlapping picks spread |
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicI64, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
+
+use super::{explore, Model, Options, Outcome, Sched, ShadowAtomic, ShadowMutex};
+
+/// A model variant: correct (expected to pass) or broken (expected to
+/// fail — self-test).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Variant {
+    Correct,
+    Broken,
+}
+
+/// Report for one model run.
+pub struct Report {
+    pub name: &'static str,
+    pub variant: Variant,
+    pub outcome: Outcome,
+}
+
+impl Report {
+    /// A correct variant passes by exhausting the tree without failure; a
+    /// broken variant passes by producing a counterexample.
+    pub fn ok(&self) -> bool {
+        match self.variant {
+            Variant::Correct => self.outcome.failure.is_none() && self.outcome.exhausted,
+            Variant::Broken => self.outcome.failure.is_some(),
+        }
+    }
+}
+
+fn lock_plain<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+// ── model 1: mailbox push / close / requeue ─────────────────────────────
+
+/// Shadow of `serve::replica::Mailbox`: a queue plus a closed flag under
+/// one mutex. Jobs are resolved (success or failure) exactly once.
+pub struct MailboxState {
+    queue: ShadowMutex<(VecDeque<usize>, bool)>,
+    /// Per-job resolution count (plain — written only by the resolving
+    /// thread, read after quiescence).
+    resolved: [AtomicI64; 2],
+    requeued: AtomicI64,
+}
+
+impl MailboxState {
+    fn resolve(&self, sched: &Sched, tid: usize, job: usize) {
+        let n = self.resolved[job].fetch_add(1, Ordering::SeqCst);
+        if n != 0 {
+            sched.fail(tid, format!("job {job} resolved twice"));
+        }
+    }
+}
+
+/// Threads: t0 pushes job 0 then job 1 (resolving on push-after-close),
+/// t1 closes the mailbox and fails everything drained, t2 works the queue
+/// and requeues job 0 once before completing it.
+///
+/// `Broken`: push and requeue use check-then-act — the closed flag is read
+/// in one critical section and the push happens in another, so a close
+/// between them strands the job (resolved zero times).
+pub fn mailbox(variant: Variant) -> Model<MailboxState> {
+    let broken = variant == Variant::Broken;
+    Model {
+        name: "mailbox",
+        threads: 3,
+        make: Arc::new(|| {
+            Arc::new(MailboxState {
+                queue: ShadowMutex::new("mailbox", (VecDeque::new(), false)),
+                resolved: [AtomicI64::new(0), AtomicI64::new(0)],
+                requeued: AtomicI64::new(0),
+            })
+        }),
+        body: Arc::new(move |tid, sched, s: &MailboxState| match tid {
+            0 => {
+                // Producer: push jobs 0 and 1.
+                for job in 0..2usize {
+                    if broken {
+                        // BUG: closed checked in a separate critical
+                        // section from the push.
+                        let closed = s.queue.lock(sched, tid).1;
+                        if closed {
+                            s.resolve(sched, tid, job);
+                            continue;
+                        }
+                        s.queue.lock(sched, tid).0.push_back(job);
+                    } else {
+                        // Correct: check-and-push is one critical section.
+                        let mut g = s.queue.lock(sched, tid);
+                        if g.1 {
+                            drop(g);
+                            s.resolve(sched, tid, job);
+                        } else {
+                            g.0.push_back(job);
+                        }
+                    }
+                }
+            }
+            1 => {
+                // Closer: close_and_fail — set closed and drain under the
+                // lock, resolve the drained jobs outside it.
+                let mut g = s.queue.lock(sched, tid);
+                g.1 = true;
+                let drained: Vec<usize> = g.0.drain(..).collect();
+                drop(g);
+                for job in drained {
+                    s.resolve(sched, tid, job);
+                }
+            }
+            2 => {
+                // Worker: pop up to 3 times; requeue job 0 once
+                // (front-of-queue, mirroring retry-after-transient-failure)
+                // before resolving it.
+                for _ in 0..3 {
+                    let mut g = s.queue.lock(sched, tid);
+                    let job = g.0.pop_front();
+                    let closed = g.1;
+                    drop(g);
+                    let Some(job) = job else { continue };
+                    if job == 0 && s.requeued.load(Ordering::SeqCst) == 0 {
+                        s.requeued.store(1, Ordering::SeqCst);
+                        if broken {
+                            // BUG: requeue ignores the closed flag.
+                            s.queue.lock(sched, tid).0.push_front(job);
+                        } else {
+                            let mut g = s.queue.lock(sched, tid);
+                            if g.1 {
+                                drop(g);
+                                s.resolve(sched, tid, job);
+                            } else {
+                                g.0.push_front(job);
+                            }
+                        }
+                    } else {
+                        let _ = closed;
+                        s.resolve(sched, tid, job);
+                    }
+                }
+            }
+            _ => unreachable!(),
+        }),
+        check_final: Arc::new(|s: &MailboxState| {
+            // Anything still sitting in the queue at quiescence is a
+            // stranded job: closed mailboxes must drain, and the worker
+            // made enough passes to clear an open one... except when the
+            // close landed first; either way the *resolution count* is the
+            // ground truth.
+            for (job, r) in s.resolved.iter().enumerate() {
+                let n = r.load(Ordering::SeqCst);
+                if n != 1 {
+                    return Err(format!("job {job} resolved {n} times (want exactly 1)"));
+                }
+            }
+            Ok(())
+        }),
+    }
+}
+
+// ── model 2: bloom insert vs. lock-free probe ───────────────────────────
+
+/// Shadow of the cache's admission path: two bloom words (lock-free
+/// fetch_or / load) guarding a locked shard map.
+pub struct BloomState {
+    words: [ShadowAtomic; 2],
+    shard: ShadowMutex<bool>,
+}
+
+/// Threads: t0 inserts the key (bloom bits + shard entry), t1 probes
+/// lock-free and then inspects the shard.
+///
+/// Invariant: the filter never false-negatives — if the shard held the
+/// key *before* the prober read the bloom words, both bits must read set.
+/// The prober checks the shard first and the bloom second; bits are never
+/// cleared, so `present-then-unset-bits` proves a state in which a real
+/// `get` would have skipped the shard for a cached key.
+///
+/// `Broken`: the writer publishes the shard entry first and sets the
+/// bloom bits after — the publication-order bug (the exact shape fixed in
+/// `cache::ResponseCache::insert` in this change).
+pub fn bloom(variant: Variant) -> Model<BloomState> {
+    let broken = variant == Variant::Broken;
+    Model {
+        name: "bloom",
+        threads: 2,
+        make: Arc::new(|| {
+            Arc::new(BloomState {
+                words: [ShadowAtomic::new("w0", 0), ShadowAtomic::new("w1", 0)],
+                shard: ShadowMutex::new("shard", false),
+            })
+        }),
+        body: Arc::new(move |tid, sched, s: &BloomState| match tid {
+            0 => {
+                if broken {
+                    // BUG: shard entry visible before the bloom bits.
+                    *s.shard.lock(sched, tid) = true;
+                    s.words[0].fetch_or(sched, tid, 0b01);
+                    s.words[1].fetch_or(sched, tid, 0b10);
+                } else {
+                    // Correct: bits first (over-approximation is safe),
+                    // shard publication last.
+                    s.words[0].fetch_or(sched, tid, 0b01);
+                    s.words[1].fetch_or(sched, tid, 0b10);
+                    *s.shard.lock(sched, tid) = true;
+                }
+            }
+            1 => {
+                let present = *s.shard.lock(sched, tid);
+                let b0 = s.words[0].load(sched, tid) & 0b01 != 0;
+                let b1 = s.words[1].load(sched, tid) & 0b10 != 0;
+                if present && !(b0 && b1) {
+                    sched.fail(
+                        tid,
+                        format!("false negative: key in shard but bloom bits ({b0}, {b1}) unset"),
+                    );
+                }
+            }
+            _ => unreachable!(),
+        }),
+        check_final: Arc::new(|_| Ok(())),
+    }
+}
+
+// ── model 3: pick_and_reserve CAS-argmin vs. concurrent release ─────────
+
+/// Shadow of `serve::replica` least-queued dispatch: per-replica
+/// outstanding counters reserved via CAS-argmin, released via fetch_sub.
+pub struct ReserveState {
+    outstanding: [ShadowAtomic; 2],
+    /// Which replica each picker reserved, and whether the reservations
+    /// overlapped (both held at once).
+    picks: Mutex<Vec<(usize, i64)>>,
+    active: AtomicI64,
+}
+
+/// Threads: two pickers, each reserving the least-loaded replica (CAS
+/// loop over a snapshot argmin) then releasing it.
+///
+/// Invariants: (a) a release never drives a counter negative — checked at
+/// the fetch_sub; (b) when both reservations are simultaneously live, they
+/// sit on *different* replicas (the burst-spread property the CAS
+/// guarantees with 2 idle replicas and 2 concurrent picks).
+///
+/// `Broken`: reserve uses load-then-store instead of CAS — two pickers
+/// snapshot the same counts, both argmin to replica 0, and the lost update
+/// stacks both requests on one replica (and later underflows it).
+pub fn reserve(variant: Variant) -> Model<ReserveState> {
+    let broken = variant == Variant::Broken;
+    Model {
+        name: "reserve",
+        threads: 2,
+        make: Arc::new(|| {
+            Arc::new(ReserveState {
+                outstanding: [ShadowAtomic::new("out0", 0), ShadowAtomic::new("out1", 0)],
+                picks: Mutex::new(Vec::new()),
+                active: AtomicI64::new(0),
+            })
+        }),
+        body: Arc::new(move |tid, sched, s: &ReserveState| {
+            // Reserve.
+            let replica = loop {
+                let c0 = s.outstanding[0].load(sched, tid);
+                let c1 = s.outstanding[1].load(sched, tid);
+                let (r, c) = if c1 < c0 { (1, c1) } else { (0, c0) };
+                if broken {
+                    // BUG: non-atomic read-modify-write.
+                    s.outstanding[r].store(sched, tid, c + 1);
+                    break r;
+                }
+                if s.outstanding[r]
+                    .compare_exchange(sched, tid, c, c + 1)
+                    .is_ok()
+                {
+                    break r;
+                }
+            };
+            // Overlap bookkeeping (not part of the modeled protocol: a
+            // plain mutex with no scheduling point, so it does not widen
+            // the interleaving space).
+            {
+                let mut picks = lock_plain(&s.picks);
+                let now_active = s.active.fetch_add(1, Ordering::SeqCst) + 1;
+                if now_active == 2 {
+                    let prev = picks.last().map(|&(r, _)| r);
+                    if prev == Some(replica) {
+                        sched.fail(
+                            tid,
+                            format!(
+                                "burst not spread: both live reservations on replica {replica}"
+                            ),
+                        );
+                    }
+                }
+                picks.push((replica, now_active));
+            }
+            // Release (the OutstandingGuard drop path).
+            s.active.fetch_add(-1, Ordering::SeqCst);
+            let prev = s.outstanding[replica].fetch_add(sched, tid, -1);
+            if prev <= 0 {
+                sched.fail(
+                    tid,
+                    format!("outstanding[{replica}] went negative (was {prev} before release)"),
+                );
+            }
+        }),
+        check_final: Arc::new(|s: &ReserveState| {
+            for (i, c) in s.outstanding.iter().enumerate() {
+                let v = c.load_quiesced();
+                if v != 0 {
+                    return Err(format!(
+                        "outstanding[{i}] = {v} after all releases (want 0)"
+                    ));
+                }
+            }
+            Ok(())
+        }),
+    }
+}
+
+impl ShadowAtomic {
+    /// Post-quiescence read for final-invariant checks (no scheduler).
+    pub fn load_quiesced(&self) -> i64 {
+        self.v.load(Ordering::SeqCst)
+    }
+}
+
+// ── registry ────────────────────────────────────────────────────────────
+
+/// Runs every model in both variants, exhaustively.
+pub fn check_all(opts: Options) -> Vec<Report> {
+    let mut reports = Vec::new();
+    for variant in [Variant::Correct, Variant::Broken] {
+        reports.push(Report {
+            name: "mailbox",
+            variant,
+            outcome: explore(&mailbox(variant), opts),
+        });
+        reports.push(Report {
+            name: "bloom",
+            variant,
+            outcome: explore(&bloom(variant), opts),
+        });
+        reports.push(Report {
+            name: "reserve",
+            variant,
+            outcome: explore(&reserve(variant), opts),
+        });
+    }
+    reports
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mailbox_correct_exhausts_clean() {
+        let out = explore(&mailbox(Variant::Correct), Options::default());
+        assert!(out.failure.is_none(), "{:#?}", out.failure);
+        assert!(
+            out.exhausted,
+            "tree not exhausted in {} executions",
+            out.executions
+        );
+        assert!(
+            out.executions > 50,
+            "suspiciously small space: {}",
+            out.executions
+        );
+    }
+
+    #[test]
+    fn mailbox_broken_strands_a_job() {
+        let out = explore(&mailbox(Variant::Broken), Options::default());
+        let cex = out.failure.expect("check-then-act push must strand a job");
+        assert!(
+            cex.message.contains("resolved 0 times") || cex.message.contains("resolved 2 times"),
+            "{}",
+            cex.message
+        );
+        assert!(!cex.ops.is_empty());
+    }
+
+    #[test]
+    fn bloom_correct_exhausts_clean() {
+        let out = explore(&bloom(Variant::Correct), Options::default());
+        assert!(out.failure.is_none(), "{:#?}", out.failure);
+        assert!(out.exhausted);
+    }
+
+    #[test]
+    fn bloom_broken_shows_false_negative_window() {
+        let out = explore(&bloom(Variant::Broken), Options::default());
+        let cex = out.failure.expect("shard-before-bits must false-negative");
+        assert!(cex.message.contains("false negative"), "{}", cex.message);
+    }
+
+    #[test]
+    fn reserve_correct_exhausts_clean() {
+        let out = explore(&reserve(Variant::Correct), Options::default());
+        assert!(out.failure.is_none(), "{:#?}", out.failure);
+        assert!(out.exhausted);
+    }
+
+    #[test]
+    fn reserve_broken_loses_updates() {
+        let out = explore(&reserve(Variant::Broken), Options::default());
+        let cex = out.failure.expect("load-then-store reserve must fail");
+        assert!(
+            cex.message.contains("negative")
+                || cex.message.contains("burst not spread")
+                || cex.message.contains("outstanding"),
+            "{}",
+            cex.message
+        );
+    }
+
+    #[test]
+    fn broken_counterexamples_replay() {
+        let out = explore(&bloom(Variant::Broken), Options::default());
+        let cex = out.failure.expect("counterexample");
+        let ops = super::super::replay(&bloom(Variant::Broken), &cex.choices);
+        assert_eq!(ops, cex.ops, "replay must be deterministic");
+    }
+}

@@ -1,0 +1,136 @@
+//! `pim-analyzer`: correctness tooling for the PIM-CapsNet workspace.
+//!
+//! Two halves:
+//!
+//! 1. **Invariant linter** ([`rules`]) — a comment- and string-aware token
+//!    scanner ([`scan`]) over every workspace crate, enforcing the rules
+//!    R1–R5 against the declared [`manifest`]. Run as
+//!    `pim-analyzer -- lint` (or as part of `check`).
+//! 2. **Interleaving checker** ([`exhaust`]) — a miniature model checker
+//!    that exhaustively enumerates schedules of shadow models mirroring
+//!    the serve-tier concurrency protocols. Run as
+//!    `pim-analyzer -- exhaust` (or as part of `check`).
+//!
+//! Both are dependency-free by construction: the workspace builds offline.
+
+pub mod diag;
+pub mod exhaust;
+pub mod manifest;
+pub mod rules;
+pub mod scan;
+
+use std::path::{Path, PathBuf};
+
+use diag::Diagnostic;
+use manifest::Manifest;
+use rules::FileCtx;
+
+/// Path of the protocol manifest, relative to the workspace root.
+pub const MANIFEST_PATH: &str = "crates/analyzer/protocol.manifest";
+
+/// Directories under the workspace root whose `.rs` files are linted.
+/// Library source only: `tests/`, `benches/`, and `examples/` trees hold
+/// test code by definition and are out of scope for the library rules.
+fn lint_roots(root: &Path) -> Vec<(String, PathBuf)> {
+    let mut roots = Vec::new();
+    let crates = root.join("crates");
+    if let Ok(entries) = std::fs::read_dir(&crates) {
+        let mut dirs: Vec<PathBuf> = entries
+            .filter_map(|e| e.ok())
+            .map(|e| e.path())
+            .filter(|p| p.is_dir())
+            .collect();
+        dirs.sort();
+        for dir in dirs {
+            let krate = dir
+                .file_name()
+                .and_then(|n| n.to_str())
+                .unwrap_or_default()
+                .to_string();
+            let src = dir.join("src");
+            if src.is_dir() {
+                roots.push((krate, src));
+            }
+        }
+    }
+    let root_src = root.join("src");
+    if root_src.is_dir() {
+        roots.push(("suite".to_string(), root_src));
+    }
+    roots
+}
+
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return;
+    };
+    let mut paths: Vec<PathBuf> = entries.filter_map(|e| e.ok()).map(|e| e.path()).collect();
+    paths.sort();
+    for p in paths {
+        if p.is_dir() {
+            // The analyzer's lint fixtures contain violations on purpose.
+            if p.file_name().and_then(|n| n.to_str()) == Some("fixtures") {
+                continue;
+            }
+            collect_rs(&p, out);
+        } else if p.extension().and_then(|e| e.to_str()) == Some("rs") {
+            out.push(p);
+        }
+    }
+}
+
+/// Workspace-relative, forward-slash form of `path`.
+fn rel(root: &Path, path: &Path) -> String {
+    path.strip_prefix(root)
+        .unwrap_or(path)
+        .to_string_lossy()
+        .replace('\\', "/")
+}
+
+/// Loads the protocol manifest from the workspace root.
+pub fn load_manifest(root: &Path) -> Result<Manifest, String> {
+    let path = root.join(MANIFEST_PATH);
+    let text = std::fs::read_to_string(&path)
+        .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    Manifest::parse(&text).map_err(|(line, msg)| format!("{MANIFEST_PATH}:{line}: {msg}"))
+}
+
+/// Lints every library source file in the workspace. Returns the sorted
+/// diagnostic list (empty ⇒ clean).
+pub fn lint_workspace(root: &Path) -> Result<Vec<Diagnostic>, String> {
+    let manifest = load_manifest(root)?;
+    let mut diags = Vec::new();
+    for (krate, src) in lint_roots(root) {
+        let mut files = Vec::new();
+        collect_rs(&src, &mut files);
+        for file in files {
+            let text = std::fs::read_to_string(&file)
+                .map_err(|e| format!("cannot read {}: {e}", file.display()))?;
+            let scanned = scan::scan(&text);
+            let path = rel(root, &file);
+            diags.extend(rules::lint_file(
+                &FileCtx {
+                    path: &path,
+                    krate: &krate,
+                    scanned: &scanned,
+                },
+                &manifest,
+            ));
+        }
+    }
+    diag::sort(&mut diags);
+    Ok(diags)
+}
+
+/// Locates the workspace root: walks up from `start` until a directory
+/// containing `crates/analyzer` is found.
+pub fn find_root(start: &Path) -> Option<PathBuf> {
+    let mut cur = Some(start.to_path_buf());
+    while let Some(dir) = cur {
+        if dir.join("crates/analyzer").is_dir() {
+            return Some(dir);
+        }
+        cur = dir.parent().map(Path::to_path_buf);
+    }
+    None
+}

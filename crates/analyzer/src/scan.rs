@@ -1,0 +1,369 @@
+//! A lightweight, comment- and string-aware tokenizer for Rust source.
+//!
+//! This is deliberately **not** a parser: the linter's rules only need a
+//! token stream with line numbers plus the comment text attached to each
+//! line. Working at token level keeps the analyzer dependency-free (the
+//! workspace is offline — no `syn`) while staying immune to the classic
+//! grep failure modes: keywords inside strings, `//` inside literals,
+//! nested block comments, raw strings, and lifetimes vs. char literals.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+/// One lexical token. Literal *values* are never needed by any rule, so
+/// strings/chars/numbers are reduced to placeholders; identifiers and
+/// punctuation keep their text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (also numeric literals, so that tuple-field
+    /// chains like `self.0.state` stay walkable).
+    Ident(String),
+    /// A single punctuation character (`::` arrives as two `:`).
+    Punct(char),
+    /// String / char / lifetime literal, collapsed.
+    Literal,
+}
+
+/// A token plus the 1-based line it starts on.
+#[derive(Debug, Clone)]
+pub struct Tok {
+    pub kind: TokKind,
+    pub line: u32,
+}
+
+impl Tok {
+    pub fn ident(&self) -> Option<&str> {
+        match &self.kind {
+            TokKind::Ident(s) => Some(s.as_str()),
+            _ => None,
+        }
+    }
+
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.ident() == Some(s)
+    }
+
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokKind::Punct(c)
+    }
+}
+
+/// A scanned source file: the token stream plus per-line comment text.
+#[derive(Debug, Default)]
+pub struct Scanned {
+    pub tokens: Vec<Tok>,
+    /// Comment text per line (1-based), concatenated when a line carries
+    /// several comments. Includes line (`//`, `///`, `//!`) and block
+    /// (`/* */`) comments; a block comment contributes to every line it
+    /// spans.
+    pub comments: BTreeMap<u32, String>,
+    /// Lines that carry at least one non-comment token.
+    pub code_lines: BTreeSet<u32>,
+    /// Total number of lines.
+    pub lines: u32,
+}
+
+impl Scanned {
+    pub fn comment_on(&self, line: u32) -> Option<&str> {
+        self.comments.get(&line).map(String::as_str)
+    }
+
+    pub fn has_code(&self, line: u32) -> bool {
+        self.code_lines.contains(&line)
+    }
+}
+
+/// Tokenizes `src`. Never fails: malformed trailing constructs simply end
+/// the stream (the workspace compiles, so in practice input is well-formed).
+pub fn scan(src: &str) -> Scanned {
+    let b = src.as_bytes();
+    let mut out = Scanned::default();
+    let mut line: u32 = 1;
+    let mut i = 0usize;
+    let n = b.len();
+
+    let push_comment = |comments: &mut BTreeMap<u32, String>, line: u32, text: &str| {
+        let slot = comments.entry(line).or_default();
+        if !slot.is_empty() {
+            slot.push(' ');
+        }
+        slot.push_str(text.trim());
+    };
+
+    while i < n {
+        let c = b[i];
+        match c {
+            b'\n' => {
+                line += 1;
+                i += 1;
+            }
+            b'/' if i + 1 < n && b[i + 1] == b'/' => {
+                // Line comment (also ///, //!).
+                let start = i;
+                while i < n && b[i] != b'\n' {
+                    i += 1;
+                }
+                let text = std::str::from_utf8(&b[start..i]).unwrap_or("");
+                let text = text.trim_start_matches('/').trim_start_matches('!');
+                push_comment(&mut out.comments, line, text);
+            }
+            b'/' if i + 1 < n && b[i + 1] == b'*' => {
+                // Block comment, nested per Rust rules.
+                let mut depth = 1usize;
+                let start_line = line;
+                i += 2;
+                let seg_start = i;
+                let mut seg_line = start_line;
+                while i < n && depth > 0 {
+                    if b[i] == b'/' && i + 1 < n && b[i + 1] == b'*' {
+                        depth += 1;
+                        i += 2;
+                    } else if b[i] == b'*' && i + 1 < n && b[i + 1] == b'/' {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        if b[i] == b'\n' {
+                            let text = std::str::from_utf8(&b[seg_start.min(i)..i]).unwrap_or("");
+                            push_comment(&mut out.comments, seg_line, text.trim_matches('*'));
+                            seg_line = line + 1;
+                            line += 1;
+                        }
+                        i += 1;
+                    }
+                }
+                let end = i.saturating_sub(2).max(seg_start);
+                let text = std::str::from_utf8(&b[seg_start..end]).unwrap_or("");
+                push_comment(&mut out.comments, seg_line, text.trim_matches('*'));
+            }
+            b'"' => {
+                i = skip_string(b, i, &mut line);
+                out.tokens.push(Tok {
+                    kind: TokKind::Literal,
+                    line,
+                });
+                out.code_lines.insert(line);
+            }
+            b'r' | b'b' if is_raw_or_byte_string(b, i) => {
+                let tok_line = line;
+                i = skip_raw_or_byte_string(b, i, &mut line);
+                out.tokens.push(Tok {
+                    kind: TokKind::Literal,
+                    line: tok_line,
+                });
+                out.code_lines.insert(tok_line);
+            }
+            b'\'' => {
+                // Char literal vs lifetime.
+                if is_char_literal(b, i) {
+                    i = skip_char_literal(b, i);
+                } else {
+                    // Lifetime: consume the quote and the identifier.
+                    i += 1;
+                    while i < n && (b[i].is_ascii_alphanumeric() || b[i] == b'_') {
+                        i += 1;
+                    }
+                }
+                out.tokens.push(Tok {
+                    kind: TokKind::Literal,
+                    line,
+                });
+                out.code_lines.insert(line);
+            }
+            _ if c.is_ascii_alphanumeric() || c == b'_' => {
+                let start = i;
+                while i < n && (b[i].is_ascii_alphanumeric() || b[i] == b'_') {
+                    i += 1;
+                }
+                let text = std::str::from_utf8(&b[start..i]).unwrap_or("").to_string();
+                out.tokens.push(Tok {
+                    kind: TokKind::Ident(text),
+                    line,
+                });
+                out.code_lines.insert(line);
+            }
+            _ if c.is_ascii_whitespace() => {
+                i += 1;
+            }
+            _ => {
+                out.tokens.push(Tok {
+                    kind: TokKind::Punct(c as char),
+                    line,
+                });
+                out.code_lines.insert(line);
+                i += 1;
+            }
+        }
+    }
+    out.lines = line;
+    out
+}
+
+/// `true` when position `i` starts `r"`, `r#"`, `b"`, `br"`, `br#"` etc.
+fn is_raw_or_byte_string(b: &[u8], i: usize) -> bool {
+    let n = b.len();
+    // Must not be the tail of an identifier.
+    if i > 0 && (b[i - 1].is_ascii_alphanumeric() || b[i - 1] == b'_') {
+        return false;
+    }
+    let mut j = i;
+    if b[j] == b'b' {
+        j += 1;
+        if j >= n {
+            return false;
+        }
+    }
+    if j < n && b[j] == b'r' {
+        j += 1;
+        while j < n && b[j] == b'#' {
+            j += 1;
+        }
+    }
+    j < n && b[j] == b'"' && j > i
+}
+
+fn skip_raw_or_byte_string(b: &[u8], mut i: usize, line: &mut u32) -> usize {
+    let n = b.len();
+    if b[i] == b'b' {
+        i += 1;
+    }
+    let mut hashes = 0usize;
+    let raw = i < n && b[i] == b'r';
+    if raw {
+        i += 1;
+        while i < n && b[i] == b'#' {
+            hashes += 1;
+            i += 1;
+        }
+    }
+    if i >= n || b[i] != b'"' {
+        return i;
+    }
+    if !raw {
+        return skip_string(b, i, line);
+    }
+    i += 1;
+    while i < n {
+        if b[i] == b'\n' {
+            *line += 1;
+        }
+        if b[i] == b'"' {
+            let mut k = 0usize;
+            while k < hashes && i + 1 + k < n && b[i + 1 + k] == b'#' {
+                k += 1;
+            }
+            if k == hashes {
+                return i + 1 + hashes;
+            }
+        }
+        i += 1;
+    }
+    i
+}
+
+/// Skips a `"..."` string starting at the opening quote; returns the index
+/// just past the closing quote.
+fn skip_string(b: &[u8], mut i: usize, line: &mut u32) -> usize {
+    let n = b.len();
+    i += 1; // opening quote
+    while i < n {
+        match b[i] {
+            b'\\' => i += 2,
+            b'"' => return i + 1,
+            b'\n' => {
+                *line += 1;
+                i += 1;
+            }
+            _ => i += 1,
+        }
+    }
+    i
+}
+
+/// Distinguishes `'x'` / `'\n'` (char literal) from `'a` (lifetime).
+fn is_char_literal(b: &[u8], i: usize) -> bool {
+    let n = b.len();
+    if i + 1 >= n {
+        return false;
+    }
+    if b[i + 1] == b'\\' {
+        return true;
+    }
+    // `'c'` where c is any single non-quote char.
+    if i + 2 < n && b[i + 1] != b'\'' && b[i + 2] == b'\'' {
+        // But `'a'` could in theory be a lifetime followed by a char
+        // literal opener; in practice a lifetime is always followed by
+        // `,>;:)& ` etc., never a quote — so quote-at-i+2 means char.
+        return true;
+    }
+    false
+}
+
+fn skip_char_literal(b: &[u8], mut i: usize) -> usize {
+    let n = b.len();
+    i += 1; // opening quote
+    while i < n {
+        match b[i] {
+            b'\\' => i += 2,
+            b'\'' => return i + 1,
+            _ => i += 1,
+        }
+    }
+    i
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(s: &Scanned) -> Vec<&str> {
+        s.tokens.iter().filter_map(|t| t.ident()).collect()
+    }
+
+    #[test]
+    fn strings_and_comments_do_not_leak_tokens() {
+        let s = scan(
+            r####"
+// unsafe in a comment
+let x = "unsafe { panic!() }"; /* unwrap() */
+let r = r#"Ordering::Relaxed"#;
+let c = '"'; let lt: &'static str = "y";
+real_ident();
+"####,
+        );
+        let ids = idents(&s);
+        assert!(ids.contains(&"real_ident"));
+        assert!(!ids.contains(&"unsafe"));
+        assert!(!ids.contains(&"panic"));
+        assert!(!ids.contains(&"unwrap"));
+        assert!(!ids.contains(&"Relaxed"));
+    }
+
+    #[test]
+    fn comments_are_recorded_per_line() {
+        let s = scan("// SAFETY: fine\nunsafe {}\n");
+        assert!(s.comment_on(1).unwrap().contains("SAFETY: fine"));
+        assert!(s.has_code(2));
+        assert!(!s.has_code(1));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let s = scan("/* outer /* inner */ still comment */ code");
+        assert_eq!(idents(&s), vec!["code"]);
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let s = scan("fn f<'a>(x: &'a str) -> &'a str { x }");
+        let ids = idents(&s);
+        assert!(ids.contains(&"str"));
+        // The trailing `{ x }` must survive the lifetimes.
+        assert!(ids.contains(&"x"));
+    }
+
+    #[test]
+    fn tuple_field_chains_keep_numeric_segments() {
+        let s = scan("self.0.state.lock()");
+        let ids = idents(&s);
+        assert_eq!(ids, vec!["self", "0", "state", "lock"]);
+    }
+}

@@ -210,6 +210,7 @@ impl<V> Shard<V> {
 
     fn evict_at(&mut self, i: usize) -> Key {
         let key = self.ring.swap_remove(i);
+        // LINT-ALLOW(R2): evict_at is only called with keys read off the ring, and ring/map membership moves together under the shard lock
         let entry = self.map.remove(&key).expect("ring key present in map");
         self.bytes -= entry.cost;
         if self.hand >= self.ring.len() {
@@ -269,6 +270,7 @@ impl<V: CacheValue> ResponseCache<V> {
     ///
     /// Panics when the config is invalid or `models` is zero.
     pub fn new(cfg: CacheConfig, models: usize) -> Self {
+        // LINT-ALLOW(R2): constructor contract: the `# Panics` doc requires a validated config; serving code builds configs from checked defaults
         cfg.validate().expect("valid cache config");
         assert!(models >= 1, "cache needs at least one model");
         let model_states = (0..models)
@@ -362,6 +364,17 @@ impl<V: CacheValue> ResponseCache<V> {
             version,
             digest,
         };
+        // Bloom bits are set *before* the entry is published into the
+        // shard map. Lock-free probes read the filter without the shard
+        // lock, and the filter's contract is "negative ⇒ definitely
+        // absent": publishing the entry first would open a window where a
+        // racing probe sees the entry's key miss the filter and skips a
+        // present value. Setting bits first is the safe over-approximation
+        // (a transient false positive costs one locked lookup). Modeled as
+        // the `bloom` interleaving check in `pim_analyzer::exhaust`, whose
+        // Broken variant is exactly the publish-then-set order this used
+        // to have.
+        state.bloom.insert(bloom_key(version, digest));
         let mut shard = self.lock_shard(digest);
         if let Some(entry) = shard.map.get_mut(&key) {
             // Concurrent fill of the same key: keep the existing entry
@@ -385,6 +398,7 @@ impl<V: CacheValue> ResponseCache<V> {
                 shard.evict_at(hand);
                 self.stats.orphan_evictions.fetch_add(1, Ordering::Relaxed);
             } else {
+                // LINT-ALLOW(R2): the candidate key was just read from this shard's ring under the same lock that guards both structures
                 let entry = shard.map.get_mut(&candidate).expect("ring key in map");
                 if entry.clock > 0 && scanned < lap_guard {
                     entry.clock -= 1;
@@ -412,7 +426,6 @@ impl<V: CacheValue> ResponseCache<V> {
             },
         );
         drop(shard);
-        state.bloom.insert(bloom_key(version, digest));
         self.stats.insertions.fetch_add(1, Ordering::Relaxed);
         true
     }
@@ -586,6 +599,63 @@ mod tests {
         ] {
             assert!(cfg.validate().is_err(), "{cfg:?} should be invalid");
         }
+    }
+
+    #[test]
+    fn bloom_bits_published_before_shard_entry() {
+        // Regression for the insert publication order: the bloom filter
+        // must answer "maybe" for any key whose entry is visible in a
+        // shard, because lock-free probes treat a bloom negative as a
+        // definitive miss. The old order (shard entry first, bits after)
+        // had a window where a racing reader skipped a present value; the
+        // exhaustive interleaving proof lives in `pim_analyzer::exhaust`
+        // (`bloom` model) — this test races the real structures and pins
+        // the invariant on the production code path.
+        // Budget sized so no insert ever evicts: every published entry
+        // stays observable, and the reader's spin below always terminates.
+        let cfg = CacheConfig {
+            byte_budget: 64 * 1024,
+            shards: 1,
+            bloom_bits: 1 << 16,
+            bloom_hashes: 3,
+            hot_keys: 4,
+            ..CacheConfig::default()
+        };
+        let cache: std::sync::Arc<ResponseCache<Vec<u8>>> =
+            std::sync::Arc::new(ResponseCache::new(cfg, 1));
+        let writer = {
+            let cache = std::sync::Arc::clone(&cache);
+            std::thread::spawn(move || {
+                for digest in 0..2_000u64 {
+                    assert!(cache.insert(0, 1, digest, vec![0u8; 8]));
+                }
+            })
+        };
+        // Reader: the moment an entry becomes visible under the shard
+        // lock, the bloom bits must already be set — they are written
+        // before the shard lock is taken, and the lock acquisition orders
+        // them before our probe.
+        for digest in 0..2_000u64 {
+            loop {
+                let published = {
+                    let shard = cache.lock_shard(digest);
+                    shard.map.contains_key(&Key {
+                        model: 0,
+                        version: 1,
+                        digest,
+                    })
+                };
+                if published {
+                    assert!(
+                        cache.models[0].bloom.contains(bloom_key(1, digest)),
+                        "digest {digest} visible in shard but bloom still negative"
+                    );
+                    break;
+                }
+                std::hint::spin_loop();
+            }
+        }
+        writer.join().unwrap();
     }
 
     #[test]

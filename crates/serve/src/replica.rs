@@ -583,8 +583,10 @@ impl<'a, B: MathBackend + Sync + ?Sized> ReplicaSet<'a, B> {
             };
             let reports: Vec<MetricsReport> = replica_threads
                 .into_iter()
+                // LINT-ALLOW(R2): the supervisor catches replica panics itself; a join error here is a harness bug
                 .map(|t| t.join().expect("replica supervisor never panics"))
                 .collect();
+            // LINT-ALLOW(R2): the watchdog loop has no panicking path; surface it loudly if one appears
             watchdog.join().expect("watchdog never panics");
             (result, reports)
         });
@@ -632,6 +634,7 @@ fn replica_main<B: MathBackend + Sync + ?Sized>(
             // so a restarted replica rejoins sync without wedging anyone.
             let cache = cache_cfg.map(|cfg| Arc::new(ServeCache::new(cfg, registry.len().max(1))));
             let mut server = Server::new(registry, backend, serve_cfg)
+                // LINT-ALLOW(R2): ReplicaPoolConfig::validate ran before any replica spawned
                 .expect("config validated at pool construction");
             if let Some(cache) = &cache {
                 server = server.with_cache(Arc::clone(cache));
@@ -913,6 +916,7 @@ impl<T> ReplySlot<T> {
 
     fn take(&self) -> T {
         self.take_deadline(None)
+            // LINT-ALLOW(R2): deadline None never returns the timeout variant
             .expect("unbounded take always yields")
     }
 }
@@ -1148,6 +1152,7 @@ impl ReplicaSetHandle<'_> {
     pub fn version(&self, replica: usize) -> u64 {
         self.registries[replica]
             .current(0)
+            // LINT-ALLOW(R2): slot 0 is created for every replica at pool construction
             .expect("every replica registry holds slot 0")
             .version()
     }
@@ -1333,7 +1338,7 @@ impl ReplicaSetHandle<'_> {
                 .filter(|&i| in_rotation(i))
                 .map(load)
                 .min()
-                .unwrap_or_else(|| (0..n).map(load).min().expect("replicas >= 1"));
+                .unwrap_or_else(|| (0..n).map(load).min().expect("replicas >= 1")); // LINT-ALLOW(R2): pool construction rejects zero replicas
             if self.pool.outstanding[replica]
                 .compare_exchange(count, count + 1, Ordering::Relaxed, Ordering::Relaxed)
                 .is_ok()
@@ -1427,6 +1432,7 @@ impl ReplicaSetHandle<'_> {
     pub(crate) fn current_net(&self, replica: usize) -> CapsNet {
         self.registries[replica]
             .current(0)
+            // LINT-ALLOW(R2): slot 0 is created for every replica at pool construction
             .expect("every replica registry holds slot 0")
             .net()
             .clone()
@@ -1467,6 +1473,7 @@ impl ReplicaSetHandle<'_> {
                 .unwrap_or_else(|| {
                     (0..n)
                         .min_by_key(|&i| self.pool.outstanding[i].load(Ordering::Relaxed))
+                        // LINT-ALLOW(R2): pool construction rejects zero replicas
                         .expect("replicas >= 1")
                 }),
             RoutingPolicy::TenantPinned => {

@@ -285,11 +285,13 @@ impl SchedState {
 
     /// Removes `queues[tier][idx]`, keeping every counter consistent.
     fn take(&mut self, tier: usize, idx: usize) -> Pending {
+        // LINT-ALLOW(R2): callers pass an index they just found in this queue
         let p = self.queues[tier].remove(idx).expect("index in bounds");
         self.tier_samples[tier] -= p.samples;
         let count = self
             .tenant_queued
             .get_mut(&p.tenant)
+            // LINT-ALLOW(R2): every queued Pending incremented this map on admit
             .expect("queued tenants are counted");
         *count -= p.samples;
         if *count == 0 {
@@ -519,7 +521,7 @@ impl<B: MathBackend + Sync + ?Sized> ServerHandle<'_, '_, B> {
                 shared
                     .metrics
                     .lock()
-                    .expect("metrics lock")
+                    .unwrap_or_else(PoisonError::into_inner)
                     .record_cache_hit(request.priority);
                 return Ok(Ticket { slot });
             }
@@ -530,7 +532,7 @@ impl<B: MathBackend + Sync + ?Sized> ServerHandle<'_, '_, B> {
             ready: Condvar::new(),
         });
         {
-            let mut st = shared.state.lock().expect("queue lock");
+            let mut st = shared.state.lock().unwrap_or_else(PoisonError::into_inner);
             if st.closed {
                 return Err(SubmitError::ShuttingDown);
             }
@@ -560,7 +562,7 @@ impl<B: MathBackend + Sync + ?Sized> ServerHandle<'_, '_, B> {
                     shared
                         .metrics
                         .lock()
-                        .expect("metrics lock")
+                        .unwrap_or_else(PoisonError::into_inner)
                         .record_reject_full();
                     return Err(SubmitError::QueueFull {
                         capacity: shared.cfg.queue_capacity,
@@ -573,7 +575,7 @@ impl<B: MathBackend + Sync + ?Sized> ServerHandle<'_, '_, B> {
                     shared
                         .metrics
                         .lock()
-                        .expect("metrics lock")
+                        .unwrap_or_else(PoisonError::into_inner)
                         .record_reject_quota();
                     return Err(SubmitError::TenantQuotaExceeded {
                         tenant: request.tenant,
@@ -587,7 +589,7 @@ impl<B: MathBackend + Sync + ?Sized> ServerHandle<'_, '_, B> {
                     shared
                         .metrics
                         .lock()
-                        .expect("metrics lock")
+                        .unwrap_or_else(PoisonError::into_inner)
                         .record_shed(request.priority);
                     return Err(SubmitError::Shed {
                         tenant: request.tenant,
@@ -619,7 +621,7 @@ impl<B: MathBackend + Sync + ?Sized> ServerHandle<'_, '_, B> {
         self.shared
             .state
             .lock()
-            .expect("queue lock")
+            .unwrap_or_else(PoisonError::into_inner)
             .queued_samples()
     }
 
@@ -664,16 +666,24 @@ impl<B: MathBackend + Sync + ?Sized> ServerHandle<'_, '_, B> {
                 registered: shared.models.len(),
             });
         }
-        let mut st = shared.state.lock().expect("queue lock");
+        let mut st = shared.state.lock().unwrap_or_else(PoisonError::into_inner);
         while st.forming[model] > 0 {
-            st = shared.work_ready.wait(st).expect("queue wait");
+            st = shared
+                .work_ready
+                .wait(st)
+                .unwrap_or_else(PoisonError::into_inner);
         }
         let version = shared
             .models
             .swap_model(model, net)
+            // LINT-ALLOW(R2): the bounds check at fn entry makes this infallible
             .expect("index checked above");
         drop(st);
-        shared.metrics.lock().expect("metrics lock").record_swap();
+        shared
+            .metrics
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .record_swap();
         shared.work_ready.notify_all();
         Ok(version)
     }
@@ -768,7 +778,7 @@ fn form_batch<B: MathBackend + Sync + ?Sized>(
     shared: &Shared<'_, B>,
 ) -> Option<(Vec<Pending>, u64, Arc<ModelHandle>)> {
     let cfg = &shared.cfg;
-    let mut st = shared.state.lock().expect("queue lock");
+    let mut st = shared.state.lock().unwrap_or_else(PoisonError::into_inner);
     // Wait for a dispatchable request (or closed + drained): scan tiers in
     // priority order, and within a tier pick the oldest request of a model
     // no other worker is currently forming a batch for. Skipping models
@@ -792,7 +802,10 @@ fn form_batch<B: MathBackend + Sync + ?Sized>(
         if st.closed && st.queues.iter().all(|q| q.is_empty()) {
             return None;
         }
-        st = shared.work_ready.wait(st).expect("queue wait");
+        st = shared
+            .work_ready
+            .wait(st)
+            .unwrap_or_else(PoisonError::into_inner);
     };
     let model = first.model;
     st.forming[model] += 1;
@@ -803,6 +816,7 @@ fn form_batch<B: MathBackend + Sync + ?Sized>(
     let handle = shared
         .models
         .current(model)
+        // LINT-ALLOW(R2): submit rejects unknown models; slots are append-only
         .expect("validated at submit; registry slots are append-only");
     let coalescable = handle.coalescable();
     let deadline = first.enqueued_at + cfg.max_wait;
@@ -823,7 +837,7 @@ fn form_batch<B: MathBackend + Sync + ?Sized>(
         let (guard, timeout) = shared
             .work_ready
             .wait_timeout(st, deadline - now)
-            .expect("queue wait");
+            .unwrap_or_else(PoisonError::into_inner);
         st = guard;
         if timeout.timed_out() {
             // One last sweep below the loop condition, then dispatch.
@@ -985,12 +999,11 @@ fn run_batch<B: MathBackend + Sync + ?Sized>(
                 offset += p.samples;
                 fulfill(&p.slot, Ok(response));
             }
-            shared.metrics.lock().expect("metrics lock").record_batch(
-                model_index,
-                handle.version(),
-                batch_samples,
-                &latencies,
-            );
+            shared
+                .metrics
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .record_batch(model_index, handle.version(), batch_samples, &latencies);
         }
         Err(e) => {
             // Failed batches resolve every ticket with the error AND leave
@@ -1004,7 +1017,7 @@ fn run_batch<B: MathBackend + Sync + ?Sized>(
             shared
                 .metrics
                 .lock()
-                .expect("metrics lock")
+                .unwrap_or_else(PoisonError::into_inner)
                 .record_failed_batch(failed_requests);
         }
     }

@@ -53,6 +53,7 @@ impl Hasher {
     fn consume_stripe(&mut self, stripe: &[u8]) {
         debug_assert_eq!(stripe.len(), 32);
         for (i, lane) in self.lanes.iter_mut().enumerate() {
+            // LINT-ALLOW(R2): stripe is chunked to exactly 32 bytes; i*8..(i+1)*8 is always 8 in-bounds bytes
             let word = u64::from_le_bytes(stripe[i * 8..(i + 1) * 8].try_into().expect("8 bytes"));
             *lane = Self::round(*lane, word);
         }
@@ -106,6 +107,7 @@ impl Hasher {
         let tail = &self.buf[..self.buf_len];
         let mut i = 0;
         while i + 8 <= tail.len() {
+            // LINT-ALLOW(R2): the loop condition i + 8 <= tail.len() proves the slice is 8 bytes
             let word = u64::from_le_bytes(tail[i..i + 8].try_into().expect("8 bytes"));
             acc = (acc ^ Self::round(0, word))
                 .rotate_left(27)
@@ -115,6 +117,7 @@ impl Hasher {
         }
         if i + 4 <= tail.len() {
             let word = u64::from(u32::from_le_bytes(
+                // LINT-ALLOW(R2): the surrounding branch proves at least 4 bytes remain
                 tail[i..i + 4].try_into().expect("4 bytes"),
             ));
             acc = (acc ^ word.wrapping_mul(P1))

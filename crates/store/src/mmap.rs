@@ -20,6 +20,8 @@ pub struct Mmap {
 // SAFETY: the mapping is PROT_READ and never handed out mutably; the
 // pointer is owned by this struct alone and freed exactly once in Drop.
 unsafe impl Send for Mmap {}
+// SAFETY: same argument as Send — the bytes are immutable for the
+// mapping's whole lifetime, so shared references are sound across threads.
 unsafe impl Sync for Mmap {}
 
 impl Mmap {

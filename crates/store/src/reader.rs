@@ -63,6 +63,7 @@ fn parse_and_verify(bytes: &[u8]) -> Result<Metadata, StoreError> {
     let stored_spec_sum = u64::from_le_bytes(
         bytes[spec_end as usize..spec_end as usize + 8]
             .try_into()
+            // LINT-ALLOW(R2): the 8-byte digest tail was length-checked two lines above
             .expect("8 bytes"),
     );
     if crate::hash::hash64(spec_payload) != stored_spec_sum {
@@ -141,6 +142,7 @@ fn extend_f32_from_bytes(out: &mut Vec<f32>, bytes: &[u8]) {
     out.extend(
         bytes
             .chunks_exact(4)
+            // LINT-ALLOW(R2): chunks_exact(4) yields exactly 4-byte slices by contract
             .map(|c| f32::from_bits(u32::from_le_bytes(c.try_into().expect("4 bytes")))),
     );
 }

@@ -187,6 +187,7 @@ pub fn conv2d_pretransposed_into(
         let h = in_dims[2];
         let w = in_dims[3];
         // Both are Some: im2col_into just validated them.
+        // LINT-ALLOW(R2): spec.validate() at fn entry already proved both output dims exist
         (spec.output_dim(h).unwrap(), spec.output_dim(w).unwrap())
     };
     out.resize_for(&[b, out_c, oh, ow]);

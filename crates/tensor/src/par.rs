@@ -72,6 +72,7 @@ where
     });
     results
         .into_iter()
+        // LINT-ALLOW(R2): join() only errs if a shard thread panicked; propagating that panic (not masking it) is the intended behavior
         .map(|r| r.expect("every shard runs to completion"))
         .collect()
 }

@@ -422,6 +422,7 @@ impl QuantTensor {
                 }
             }
         }
+        // LINT-ALLOW(R2): dequantized length equals shape volume by construction of the quantized buffer
         Tensor::from_vec(data, self.shape.dims()).expect("volume matches by construction")
     }
 

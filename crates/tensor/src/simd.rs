@@ -531,12 +531,18 @@ pub mod avx2 {
     /// loads a mask whose first `r` lanes are active.
     static MASK_TABLE: [i32; 16] = [-1, -1, -1, -1, -1, -1, -1, -1, 0, 0, 0, 0, 0, 0, 0, 0];
 
+    // SAFETY: requires AVX2 (callers sit behind the Avx2Fma feature
+    // check). The unaligned load reads 8 i32s starting at offset
+    // `LANES - r` ∈ [1, 7], and 7 + 8 ≤ 16 table entries, so the read
+    // stays inside MASK_TABLE for every permitted `r`.
     #[inline]
     unsafe fn tail_mask(r: usize) -> __m256i {
         debug_assert!((1..LANES).contains(&r));
         _mm256_loadu_si256(MASK_TABLE.as_ptr().add(LANES - r).cast())
     }
 
+    // SAFETY: requires AVX (implied by the callers' AVX2 gate); pure
+    // register arithmetic, touches no memory.
     #[inline]
     unsafe fn hsum256(v: __m256) -> f32 {
         let hi = _mm256_extractf128_ps(v, 1);
@@ -734,6 +740,9 @@ pub mod avx2 {
         y * f1 * f2
     }
 
+    // SAFETY: requires AVX2+FMA per the target_feature attribute; callers
+    // are themselves `target_feature(avx2,fma)` fns behind the runtime
+    // feature check. Register-only math, no memory access.
     #[inline]
     #[target_feature(enable = "avx2,fma")]
     unsafe fn exp_ps(x: __m256) -> __m256 {
